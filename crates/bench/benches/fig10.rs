@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 10: k-FANN_R varying k.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults};
+use fann_core::algo::topk::{exact_max_topk, gd_topk, ier_topk, rlist_topk};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    for algo in ["GD", "R-List", "IER-kNN", "Exact-max"] {
+        let mut group = c.benchmark_group(format!("fig10/{algo}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for k in [1usize, 5, 10] {
+            group.bench_function(format!("k={k}"), |b| {
+                let ctx = make_ctx(&env, 10, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+                let query = ctx.query();
+                b.iter(|| match algo {
+                    "GD" => gd_topk(&query, ctx.gphi("PHL").as_ref(), k),
+                    "R-List" => rlist_topk(&env.graph, &query, ctx.gphi("PHL").as_ref(), k),
+                    "IER-kNN" => ier_topk(&env.graph, &query, &ctx.rtree_p, ctx.gphi("IER-PHL").as_ref(), k),
+                    "Exact-max" => exact_max_topk(&env.graph, &query, k),
+                    _ => unreachable!(),
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 11: APX-sum vs the exact sum answer (the
+//! speed side of the quality/speed trade-off; quality itself is measured
+//! by `src/bin/fig11_apx_quality.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    let mut group = c.benchmark_group("fig11/apx-vs-exact");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for d in [0.001, 0.01, 0.1] {
+        group.bench_function(format!("APX-sum/d={d}"), |b| {
+            let ctx = make_ctx(&env, 11, d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Sum);
+            b.iter(|| ctx.run("APX-sum", "PHL"));
+        });
+        group.bench_function(format!("exact-GD/d={d}"), |b| {
+            let ctx = make_ctx(&env, 11, d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Sum);
+            b.iter(|| ctx.run("GD", "PHL"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

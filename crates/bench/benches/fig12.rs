@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 12: the POI workloads (P = FF/PO, Q = HOS/UNI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{Defaults, QueryCtx, ALL_ALGOS};
+use fann_core::Aggregate;
+use std::time::Duration;
+use workload::poi::{generate_poi, PoiKind};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    let mut group = c.benchmark_group("fig12/poi");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let mut rng = workload::rng(12);
+    let p = generate_poi(&env.graph, PoiKind::FastFood, &mut rng);
+    let q = generate_poi(&env.graph, PoiKind::Hospitals, &mut rng);
+    for (algo, gphi) in ALL_ALGOS {
+        let agg = if algo == "APX-sum" { Aggregate::Sum } else { Aggregate::Max };
+        group.bench_function(format!("FF-HOS/{algo}"), |b| {
+            let ctx = QueryCtx::new(&env, p.clone(), q.clone(), cfg.phi, agg);
+            b.iter(|| ctx.run(algo, gphi));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

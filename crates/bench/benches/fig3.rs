@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 3: GD and IER-kNN per g_phi backend at the
+//! default density. See `src/bin/fig3_gd_vs_gphi.rs` for the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults, GPHI_NAMES};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    for framework in ["GD", "IER-kNN"] {
+        let mut group = c.benchmark_group(format!("fig3/{framework}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for gphi in GPHI_NAMES {
+            group.bench_function(gphi, |b| {
+                let ctx = make_ctx(&env, 1, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+                b.iter(|| ctx.run(framework, gphi));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 4: all algorithms at the default density (a)
+//! and the index-free R-List vs Baseline pair (b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults, ALL_ALGOS};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    let mut group = c.benchmark_group("fig4a/all-algos");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (algo, gphi) in ALL_ALGOS {
+        let agg = if algo == "APX-sum" { Aggregate::Sum } else { Aggregate::Max };
+        group.bench_function(format!("{algo}({gphi})"), |b| {
+            let ctx = make_ctx(&env, 2, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, agg);
+            b.iter(|| ctx.run(algo, gphi));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig4b/index-free");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (label, algo) in [("Baseline(INE)", "GD"), ("R-List(INE)", "R-List")] {
+        group.bench_function(label, |b| {
+            let ctx = make_ctx(&env, 2, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+            b.iter(|| ctx.run(algo, "INE"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

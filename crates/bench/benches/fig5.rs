@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 5: IER-kNN(IER-PHL) and R-List(PHL) varying
+//! the coverage ratio A.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    for (algo, gphi) in [("IER-kNN", "IER-PHL"), ("R-List", "PHL")] {
+        let mut group = c.benchmark_group(format!("fig5/{algo}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for a in [0.01, 0.05, 0.10, 0.20] {
+            group.bench_function(format!("A={a}"), |b| {
+                let ctx = make_ctx(&env, 5, cfg.d, cfg.m, a, cfg.c, cfg.phi, Aggregate::Max);
+                b.iter(|| ctx.run(algo, gphi));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 6: varying the query-set size M.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    for (algo, gphi, agg) in [
+        ("IER-kNN", "IER-PHL", Aggregate::Max),
+        ("APX-sum", "PHL", Aggregate::Sum),
+    ] {
+        let mut group = c.benchmark_group(format!("fig6/{algo}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for m in [16usize, 32, 64, 128] {
+            group.bench_function(format!("M={m}"), |b| {
+                let ctx = make_ctx(&env, 6, cfg.d, m, cfg.a, cfg.c, cfg.phi, agg);
+                b.iter(|| ctx.run(algo, gphi));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

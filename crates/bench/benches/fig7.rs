@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 7: clustered Q, varying the cluster count C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    for (algo, gphi) in [("IER-kNN", "IER-PHL"), ("Exact-max", "")] {
+        let mut group = c.benchmark_group(format!("fig7/{}", if algo == "Exact-max" { "Exact-max" } else { algo }));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for cl in [1usize, 2, 4, 8] {
+            group.bench_function(format!("C={cl}"), |b| {
+                let ctx = make_ctx(&env, 7, cfg.d, cfg.m, cfg.a, cl, cfg.phi, Aggregate::Max);
+                b.iter(|| ctx.run(algo, gphi));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

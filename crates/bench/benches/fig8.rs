@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 8: varying the flexibility parameter phi.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    for (algo, gphi) in [("IER-kNN", "IER-A*"), ("IER-kNN", "A*"), ("R-List", "PHL")] {
+        let mut group = c.benchmark_group(format!("fig8/{algo}-{}", if gphi.is_empty() { "none" } else { gphi }));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for phi in [0.1, 0.5, 1.0] {
+            group.bench_function(format!("phi={phi}"), |b| {
+                let ctx = make_ctx(&env, 8, cfg.d, cfg.m, cfg.a, cfg.c, phi, Aggregate::Max);
+                b.iter(|| ctx.run(algo, gphi));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

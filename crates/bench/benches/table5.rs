@@ -1,0 +1,27 @@
+//! Criterion bench for Table V: Exact-max under each g_phi backend — the
+//! backend choice should barely matter (one g_phi call total).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fann_bench::{make_ctx, Defaults, GPHI_NAMES};
+use fann_core::Aggregate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Defaults::small();
+    let env = cfg.env();
+    let mut group = c.benchmark_group("table5/exact-max-by-gphi");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for gphi in GPHI_NAMES {
+        group.bench_function(gphi, |b| {
+            let ctx = make_ctx(&env, 13, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+            b.iter(|| ctx.run("Exact-max-gphi", gphi));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation (DESIGN.md §7): hub-ordering quality for the label oracle.
+//!
+//! The "PHL" role's cost is dominated by label size, which depends
+//! entirely on the vertex order. Compares three orders on the same
+//! network: input (worst case), degree (our default), and
+//! contraction-hierarchy rank (importance from the CH preprocessing) —
+//! the CH order should produce markedly smaller labels, explaining why
+//! production labelings invest in good orders.
+
+use fann_bench::*;
+use hublabel::{order_by_importance, HubLabels, Ordering};
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes", 4000);
+    let g = workload::synth::road_network(nodes, &mut workload::rng(0x0DE2));
+    eprintln!("[env] graph: {} nodes", g.num_nodes());
+
+    let header: Vec<String> = ["order", "entries", "avg/node", "size", "build"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
+
+    let (hl, secs) = time(|| HubLabels::build_with_ordering(&g, Ordering::Input));
+    rows.push(row("input", &hl, secs));
+    sizes.push(hl.total_label_entries());
+
+    let (hl, secs) = time(|| HubLabels::build_with_ordering(&g, Ordering::Degree));
+    rows.push(row("degree", &hl, secs));
+    sizes.push(hl.total_label_entries());
+
+    let (ch, ch_secs) = time(|| ch_index::Ch::build(&g));
+    let ranks: Vec<u64> = (0..g.num_nodes() as u32).map(|v| ch.rank(v) as u64).collect();
+    let order = order_by_importance(&ranks);
+    let (hl, secs) = time(|| HubLabels::build_with_order(&g, &order));
+    rows.push(row(
+        "CH-rank",
+        &hl,
+        secs + ch_secs, // include the cost of computing the order
+    ));
+    sizes.push(hl.total_label_entries());
+
+    print_table("Ablation: label size by hub order", &header, &rows);
+    println!(
+        "[shape] CH-rank labels are {:.1}x smaller than input order, {:.1}x vs degree ({})",
+        sizes[0] as f64 / sizes[2] as f64,
+        sizes[1] as f64 / sizes[2] as f64,
+        if sizes[2] <= sizes[1] { "OK: importance order wins" } else { "WARN" }
+    );
+}
+
+fn row(name: &str, hl: &HubLabels, secs: f64) -> Vec<String> {
+    vec![
+        name.to_string(),
+        hl.total_label_entries().to_string(),
+        format!("{:.1}", hl.avg_label_size()),
+        fmt_bytes(hl.memory_bytes()),
+        fmt_secs(Some(secs)),
+    ]
+}

@@ -1,0 +1,42 @@
+//! Appendix C (full paper): running time of sum-FANN_R vs max-FANN_R for
+//! the universal algorithms, given identical inputs.
+//!
+//! Paper claims: the two aggregates cost nearly the same — the flexible
+//! subset is the k nearest query points either way; only the final
+//! aggregation differs.
+
+use fann_bench::*;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let header: Vec<String> = ["algorithm", "max", "sum", "sum/max"]
+        .iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut worst: f64 = 1.0;
+    for (algo, gphi) in [("GD", "PHL"), ("R-List", "PHL"), ("IER-kNN", "IER-PHL")] {
+        let run = |agg: Aggregate| -> Option<f64> {
+            run_cell(cfg.budget, cfg.queries, |i| {
+                let ctx = make_ctx(&env, 14_000 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, agg);
+                time(|| ctx.run(algo, gphi)).1
+            })
+        };
+        let (mx, sm) = (run(Aggregate::Max), run(Aggregate::Sum));
+        let ratio = match (mx, sm) {
+            (Some(a), Some(b)) if a > 0.0 => {
+                let r = b / a;
+                worst = worst.max(r.max(1.0 / r));
+                format!("{r:.2}")
+            }
+            _ => "-".to_string(),
+        };
+        rows.push(vec![format!("{algo}({gphi})"), fmt_secs(mx), fmt_secs(sm), ratio]);
+    }
+    print_table("Appendix C: sum vs max runtime parity", &header, &rows);
+    println!(
+        "[shape] worst sum/max deviation {worst:.2}x ({}; paper: very close)",
+        if worst < 2.0 { "OK" } else { "WARN" }
+    );
+}

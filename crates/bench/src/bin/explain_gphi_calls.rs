@@ -1,0 +1,54 @@
+//! Explain experiment (beyond the paper's plots, quantifying §III's core
+//! argument): how many times does each algorithm invoke `g_phi`?
+//!
+//! Expectation: GD = |P| always; R-List stops early via the threshold;
+//! IER-kNN prunes R-tree subtrees and calls fewest; Exact-max calls
+//! exactly once.
+
+use fann_bench::*;
+use fann_core::algo::{exact_max_with_gphi, gd, ier_knn, r_list};
+use fann_core::gphi::counting::CountingPhi;
+use fann_core::gphi::ine::InePhi;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let densities = [0.001, 0.01, 0.1];
+
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain(densities.iter().map(|d| format!("calls@d={d}")))
+        .collect();
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["|P|".to_string()],
+        vec!["GD".to_string()],
+        vec!["R-List".to_string()],
+        vec!["IER-kNN".to_string()],
+        vec!["Exact-max".to_string()],
+    ];
+    for &d in &densities {
+        let ctx = make_ctx(&env, 42, d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+        let query = ctx.query();
+        let counting = CountingPhi::new(InePhi::new(&env.graph, &ctx.q));
+        rows[0].push(ctx.p.len().to_string());
+
+        gd(&query, &counting);
+        rows[1].push(counting.calls().to_string());
+        counting.reset();
+
+        r_list(&env.graph, &query, &counting);
+        rows[2].push(counting.calls().to_string());
+        counting.reset();
+
+        ier_knn(&env.graph, &query, &ctx.rtree_p, &counting);
+        rows[3].push(counting.calls().to_string());
+        counting.reset();
+
+        exact_max_with_gphi(&env.graph, &query, &counting);
+        rows[4].push(counting.calls().to_string());
+        counting.reset();
+    }
+    print_table("g_phi invocation counts per algorithm", &header, &rows);
+    println!("[shape] GD = |P|; R-List and IER-kNN prune; Exact-max calls exactly once");
+}

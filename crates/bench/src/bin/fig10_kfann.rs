@@ -1,0 +1,57 @@
+//! Fig. 10: k-FANN_R efficiency varying `k` (1..20).
+//!
+//! Paper claims: cost grows with `k` for every algorithm except `GD`
+//! (which evaluates all of `P` regardless); `Exact-max` and `R-List` are
+//! the most sensitive to `k` (more expansion before k counters fire).
+
+use fann_bench::*;
+use fann_core::algo::topk::{exact_max_topk, gd_topk, ier_topk, rlist_topk};
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let ks = [1usize, 5, 10, 15, 20];
+
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain(ks.iter().map(|k| format!("k={k}")))
+        .collect();
+    let mut rows = Vec::new();
+    let mut results = std::collections::HashMap::new();
+    for algo in ["GD", "R-List", "IER-kNN", "Exact-max"] {
+        let mut row = vec![algo.to_string()];
+        for &k in &ks {
+            let secs = run_cell(cfg.budget, cfg.queries, |i| {
+                let ctx = make_ctx(&env, 10_000 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+                let query = ctx.query();
+                time(|| match algo {
+                    "GD" => gd_topk(&query, ctx.gphi("PHL").as_ref(), k),
+                    "R-List" => rlist_topk(&env.graph, &query, ctx.gphi("PHL").as_ref(), k),
+                    "IER-kNN" => ier_topk(&env.graph, &query, &ctx.rtree_p, ctx.gphi("IER-PHL").as_ref(), k),
+                    "Exact-max" => exact_max_topk(&env.graph, &query, k),
+                    _ => unreachable!(),
+                })
+                .1
+            });
+            results.insert((algo, k), secs);
+            row.push(fmt_secs(secs));
+        }
+        rows.push(row);
+    }
+    print_table("Fig. 10: k-FANN_R, varying k", &header, &rows);
+
+    // Shape: GD flat in k; Exact-max grows.
+    let ratio = |algo: &'static str| -> Option<f64> {
+        match (results[&(algo, 1)], results[&(algo, 20)]) {
+            (Some(a), Some(b)) if a > 0.0 => Some(b / a),
+            _ => None,
+        }
+    };
+    if let (Some(gdr), Some(emr)) = (ratio("GD"), ratio("Exact-max")) {
+        println!(
+            "[shape] k=1 -> k=20 growth: GD x{gdr:.2} (paper: stable), Exact-max x{emr:.2} (paper: grows) ({})",
+            if emr > gdr { "OK" } else { "WARN" }
+        );
+    }
+}

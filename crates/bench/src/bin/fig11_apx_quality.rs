@@ -1,0 +1,92 @@
+//! Fig. 11: approximation quality of `APX-sum` (ratio d_alpha / d*),
+//! varying `d` (a) and `phi` (b); `--appendix true` adds the full-paper
+//! Appendix B sweeps over `A`, `M`, and `C`.
+//!
+//! Paper claims: the ratio never exceeds 1.2 in practice (guaranteed <= 3,
+//! <= 2 for Q ⊆ P) and is stable across every parameter.
+
+use fann_bench::*;
+use fann_core::algo::{apx_sum, gd};
+use fann_core::Aggregate;
+
+#[allow(clippy::too_many_arguments)]
+fn ratio_cell(env: &Env, cfg: &Defaults, seed: u64, d: f64, m: usize, a: f64, c: usize, phi: f64) -> (f64, f64) {
+    let mut ratios = Vec::new();
+    for i in 0..cfg.queries.max(3) {
+        let ctx = make_ctx(env, seed + i as u64, d, m, a, c, phi, Aggregate::Sum);
+        let query = ctx.query();
+        let gphi = ctx.gphi("PHL");
+        let (Some(approx), Some(exact)) = (
+            apx_sum(&env.graph, &query, gphi.as_ref()),
+            gd(&query, gphi.as_ref()),
+        ) else {
+            continue;
+        };
+        assert!(approx.dist >= exact.dist, "approx beat exact");
+        assert!(approx.dist <= 3 * exact.dist.max(1), "3-approx bound violated");
+        ratios.push(approx.dist as f64 / exact.dist.max(1) as f64);
+    }
+    mean_std(&ratios)
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+
+    let sweep = |name: &str, cells: Vec<(String, f64, usize, f64, usize, f64)>| {
+        let header = vec![name.to_string(), "ratio".to_string(), "stddev".to_string()];
+        let mut rows = Vec::new();
+        let mut worst: f64 = 0.0;
+        for (i, (label, d, m, a, c, phi)) in cells.into_iter().enumerate() {
+            let (mean, std) = ratio_cell(&env, &cfg, 11_000 + 97 * i as u64, d, m, a, c, phi);
+            worst = worst.max(mean + std);
+            rows.push(vec![label, format!("{mean:.4}"), format!("{std:.4}")]);
+        }
+        print_table(&format!("Fig. 11 / App. B: APX-sum ratio, varying {name}"), &header, &rows);
+        worst
+    };
+
+    let mut worst: f64 = 0.0;
+    worst = worst.max(sweep(
+        "d",
+        [0.0001, 0.001, 0.01, 0.1, 1.0]
+            .into_iter()
+            .map(|d| (format!("{d}"), d, cfg.m, cfg.a, cfg.c, cfg.phi))
+            .collect(),
+    ));
+    worst = worst.max(sweep(
+        "phi",
+        [0.1, 0.3, 0.5, 0.7, 1.0]
+            .into_iter()
+            .map(|phi| (format!("{phi}"), cfg.d, cfg.m, cfg.a, cfg.c, phi))
+            .collect(),
+    ));
+    if args.flag("appendix") {
+        worst = worst.max(sweep(
+            "A",
+            [0.01, 0.05, 0.10, 0.15, 0.20]
+                .into_iter()
+                .map(|a| (format!("{:.0}%", a * 100.0), cfg.d, cfg.m, a, cfg.c, cfg.phi))
+                .collect(),
+        ));
+        worst = worst.max(sweep(
+            "M",
+            [64usize, 128, 256, 512]
+                .into_iter()
+                .map(|m| (m.to_string(), cfg.d, m, cfg.a, cfg.c, cfg.phi))
+                .collect(),
+        ));
+        worst = worst.max(sweep(
+            "C",
+            [1usize, 2, 4, 6, 8]
+                .into_iter()
+                .map(|c| (c.to_string(), cfg.d, cfg.m, cfg.a, c, cfg.phi))
+                .collect(),
+        ));
+    }
+    println!(
+        "[shape] worst mean+std ratio observed: {worst:.4} ({}; paper: always < 1.2)",
+        if worst < 1.2 { "OK" } else { "WARN: above the paper's empirical bound" }
+    );
+}

@@ -1,0 +1,84 @@
+//! Fig. 12: real-world POIs — (a) query efficiency and (b) APX-sum
+//! approximation quality with `P ∈ {FF, PO}` and `Q ∈ {HOS, UNI}`
+//! (Table IV densities; synthetic POI substitution per DESIGN.md §5).
+//!
+//! Paper claims: behaviour matches the synthetic-data evaluation; the
+//! APX-sum ratio stays below 1.1 on POIs.
+
+use fann_bench::*;
+use fann_core::algo::{apx_sum, gd};
+use fann_core::Aggregate;
+use workload::poi::{generate_poi, PoiKind};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let p_kinds = [PoiKind::FastFood, PoiKind::PostOffices];
+    let q_kinds = [PoiKind::Hospitals, PoiKind::Universities];
+
+    // (a) Efficiency per algorithm per combo.
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain(p_kinds.iter().flat_map(|pk| {
+            q_kinds.iter().map(move |qk| format!("{}/{}", pk.code(), qk.code()))
+        }))
+        .collect();
+    let mut rows = Vec::new();
+    for (algo, gphi) in ALL_ALGOS {
+        let agg = if algo == "APX-sum" { Aggregate::Sum } else { Aggregate::Max };
+        let mut row = vec![format!("{algo}({gphi})")];
+        for pk in p_kinds {
+            for qk in q_kinds {
+                let secs = run_cell(cfg.budget, cfg.queries, |i| {
+                    let mut rng = workload::rng(12_000 + i as u64);
+                    let p = generate_poi(&env.graph, pk, &mut rng);
+                    let q = generate_poi(&env.graph, qk, &mut rng);
+                    let ctx = QueryCtx::new(&env, p, q, cfg.phi, agg);
+                    time(|| ctx.run(algo, gphi)).1
+                });
+                row.push(fmt_secs(secs));
+            }
+        }
+        rows.push(row);
+    }
+    print_table("Fig. 12(a): efficiency on POIs (P/Q combos)", &header, &rows);
+
+    // (b) APX-sum ratio per combo.
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    for pk in p_kinds {
+        for qk in q_kinds {
+            let mut ratios = Vec::new();
+            for i in 0..cfg.queries.max(3) {
+                let mut rng = workload::rng(12_500 + i as u64);
+                let p = generate_poi(&env.graph, pk, &mut rng);
+                let q = generate_poi(&env.graph, qk, &mut rng);
+                let ctx = QueryCtx::new(&env, p, q, cfg.phi, Aggregate::Sum);
+                let query = ctx.query();
+                let gphi = ctx.gphi("PHL");
+                if let (Some(a), Some(e)) = (
+                    apx_sum(&env.graph, &query, gphi.as_ref()),
+                    gd(&query, gphi.as_ref()),
+                ) {
+                    ratios.push(a.dist as f64 / e.dist.max(1) as f64);
+                }
+            }
+            let (mean, std) = mean_std(&ratios);
+            worst = worst.max(mean);
+            rows.push(vec![
+                format!("{}/{}", pk.code(), qk.code()),
+                format!("{mean:.4}"),
+                format!("{std:.4}"),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 12(b): APX-sum ratio on POIs",
+        &["P/Q".to_string(), "ratio".to_string(), "stddev".to_string()],
+        &rows,
+    );
+    println!(
+        "[shape] worst POI ratio {worst:.4} ({}; paper: < 1.1)",
+        if worst < 1.1 { "OK" } else { "WARN" }
+    );
+}

@@ -1,0 +1,98 @@
+//! Fig. 3: efficiency of `GD` (a) and IER-kNN (b) implemented by different
+//! `g_phi` backends, varying the density `d` of `P`.
+//!
+//! Paper claims to reproduce (shape, not absolute numbers):
+//! * PHL / IER-PHL are the fastest backends, A* / IER-A* the slowest;
+//! * runtime grows ~linearly (GD) / sublinearly (IER-kNN) in `d`;
+//! * IER-kNN beats GD by 1–3 orders of magnitude for the same `g_phi`.
+//!
+//! Usage: `fig3_gd_vs_gphi [--nodes N] [--queries K] [--budget SECS] ...`
+
+use fann_bench::*;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let densities = [0.0001, 0.001, 0.01, 0.1, 1.0];
+
+    let header: Vec<String> = std::iter::once("g_phi".to_string())
+        .chain(densities.iter().map(|d| format!("d={d}")))
+        .collect();
+
+    let cell = |framework: &str, gphi: &str, d: f64| -> Option<f64> {
+        run_cell(cfg.budget, cfg.queries, |i| {
+            let ctx = make_ctx(
+                &env,
+                1000 + i as u64,
+                d,
+                cfg.m,
+                cfg.a,
+                cfg.c,
+                cfg.phi,
+                Aggregate::Max,
+            );
+            time(|| ctx.run(framework, gphi)).1
+        })
+    };
+
+    let mut means: std::collections::HashMap<(String, usize), Option<f64>> =
+        std::collections::HashMap::new();
+    for framework in ["GD", "IER-kNN"] {
+        let mut rows = Vec::new();
+        for gphi in GPHI_NAMES {
+            let mut row = vec![gphi.to_string()];
+            // GD cost is monotone in d: once a density DNFs, skip the rest
+            // of the row instead of burning the budget on a lost cause.
+            let mut dead = false;
+            for (di, &d) in densities.iter().enumerate() {
+                let secs = if dead && framework == "GD" {
+                    None
+                } else {
+                    cell(framework, gphi, d)
+                };
+                dead = dead || secs.is_none();
+                means.insert((format!("{framework}/{gphi}"), di), secs);
+                row.push(fmt_secs(secs));
+            }
+            rows.push(row);
+        }
+        let part = if framework == "GD" { "a" } else { "b" };
+        print_table(
+            &format!("Fig. 3({part}): {framework} by g_phi, varying d"),
+            &header,
+            &rows,
+        );
+    }
+
+    // Shape checks at the default density (d = 0.001).
+    let at = |key: &str| means[&(key.to_string(), 1usize)];
+    let mut ok = true;
+    for framework in ["GD", "IER-kNN"] {
+        if let (Some(phl), Some(astar)) =
+            (at(&format!("{framework}/PHL")), at(&format!("{framework}/A*")))
+        {
+            if phl > astar {
+                eprintln!("[shape] WARN: {framework}: PHL ({phl:.4}s) slower than A* ({astar:.4}s)");
+                ok = false;
+            }
+        }
+    }
+    if let (Some(gd), Some(ier)) = (at("GD/PHL"), at("IER-kNN/IER-PHL")) {
+        if ier > gd {
+            eprintln!("[shape] WARN: IER-kNN ({ier:.4}s) slower than GD ({gd:.4}s)");
+            ok = false;
+        } else {
+            println!("[shape] IER-kNN/IER-PHL is {:.1}x faster than GD/PHL at d=0.001", gd / ier);
+        }
+    }
+    println!(
+        "[shape] {}",
+        if ok {
+            "OK: PHL fastest, A* slowest, IER-kNN dominates GD"
+        } else {
+            "WARN: some expected orderings did not hold at this scale"
+        }
+    );
+}

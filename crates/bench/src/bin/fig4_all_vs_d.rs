@@ -1,0 +1,115 @@
+//! Fig. 4: (a) all FANN_R algorithms varying the density `d` of `P`;
+//! (b) `R-List` vs `Baseline` (both with index-free INE `g_phi`).
+//!
+//! Paper claims to reproduce:
+//! * IER-kNN(-PHL) best at low `d`; `APX-sum` overtakes once `d > 0.01`;
+//! * `APX-sum` is stable in `d` (it depends on `Q`, not `P`);
+//! * index-free `R-List` beats index-free `Baseline`, which DNFs at high `d`.
+
+use fann_bench::*;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let densities = [0.0001, 0.001, 0.01, 0.1, 1.0];
+
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain(densities.iter().map(|d| format!("d={d}")))
+        .collect();
+
+    // (a) All algorithms (universal ones run max; APX-sum runs sum).
+    let mut results: std::collections::HashMap<(String, usize), Option<f64>> =
+        std::collections::HashMap::new();
+    let mut rows = Vec::new();
+    for (algo, gphi) in ALL_ALGOS {
+        let agg = if algo == "APX-sum" {
+            Aggregate::Sum
+        } else {
+            Aggregate::Max
+        };
+        let mut row = vec![format!("{algo}({gphi})")];
+        let mut dead = false;
+        for (di, &d) in densities.iter().enumerate() {
+            // GD is monotone in d; skip the rest of the row after a DNF.
+            let secs = if dead && algo == "GD" {
+                None
+            } else {
+                run_cell(cfg.budget, cfg.queries, |i| {
+                    let ctx = make_ctx(&env, 2000 + i as u64, d, cfg.m, cfg.a, cfg.c, cfg.phi, agg);
+                    time(|| ctx.run(algo, gphi)).1
+                })
+            };
+            dead = dead || secs.is_none();
+            results.insert((algo.to_string(), di), secs);
+            row.push(fmt_secs(secs));
+        }
+        rows.push(row);
+    }
+    print_table("Fig. 4(a): all algorithms, varying d", &header, &rows);
+
+    // (b) R-List vs Baseline (GD), both INE.
+    let mut rows = Vec::new();
+    for algo in ["GD", "R-List"] {
+        let label = if algo == "GD" { "Baseline(INE)" } else { "R-List(INE)" };
+        let mut row = vec![label.to_string()];
+        let mut dead = false;
+        for &d in &densities {
+            if dead {
+                row.push(fmt_secs(None));
+                continue;
+            }
+            let secs = run_cell(cfg.budget, cfg.queries, |i| {
+                let ctx = make_ctx(
+                    &env,
+                    2000 + i as u64,
+                    d,
+                    cfg.m,
+                    cfg.a,
+                    cfg.c,
+                    cfg.phi,
+                    Aggregate::Max,
+                );
+                time(|| ctx.run(algo, "INE")).1
+            });
+            dead = secs.is_none();
+            row.push(fmt_secs(secs));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 4(b): R-List vs Baseline, index-free (INE), varying d",
+        &header,
+        &rows,
+    );
+
+    // Shape checks.
+    let apx_times: Vec<f64> = (0..densities.len())
+        .filter_map(|di| results[&("APX-sum".to_string(), di)])
+        .collect();
+    if apx_times.len() >= 3 {
+        let (mean, std) = mean_std(&apx_times);
+        println!(
+            "[shape] APX-sum stability across d: mean {:.4}s, std {:.4}s ({}x)",
+            mean,
+            std,
+            (std / mean * 100.0).round() / 100.0
+        );
+    }
+    if let (Some(apx), Some(ier)) = (
+        results[&("APX-sum".to_string(), 3usize)],
+        results[&("IER-kNN".to_string(), 3usize)],
+    ) {
+        println!(
+            "[shape] at d=0.1: APX-sum {} vs IER-kNN {} -> {}",
+            fmt_secs(Some(apx)),
+            fmt_secs(Some(ier)),
+            if apx < ier {
+                "APX-sum wins (paper: APX-sum overtakes for d > 0.01)"
+            } else {
+                "IER-kNN still wins at this scale"
+            }
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 5: efficiency varying the coverage ratio `A` of `Q`.
+//!
+//! Paper claims: all algorithms slow down as `A` grows (sparser `Q` means
+//! wider travel); the "expanding" backends (A*, IER-A*, INE) have the
+//! steepest slopes; `APX-sum` and `GD` are comparatively stable.
+
+use fann_bench::*;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let points: Vec<SweepPoint> = [0.01, 0.05, 0.10, 0.15, 0.20]
+        .into_iter()
+        .map(|a| {
+            let mut p = SweepPoint::defaults(&cfg, format!("{:.0}%", a * 100.0));
+            p.a = a;
+            p
+        })
+        .collect();
+    let matrix = sweep_tables(&env, &cfg, "5", "A", &points, 5000);
+    // Shape: INE/A* slope steeper than PHL slope.
+    let slope = |row: &Vec<Option<f64>>| -> Option<f64> {
+        match (row.first().copied().flatten(), row.last().copied().flatten()) {
+            (Some(a), Some(b)) if a > 0.0 => Some(b / a),
+            _ => None,
+        }
+    };
+    let ine = slope(&matrix[2]);
+    let phl = slope(&matrix[3]);
+    if let (Some(i), Some(p)) = (ine, phl) {
+        println!(
+            "[shape] growth A=1%..20%: INE x{i:.1} vs PHL x{p:.1} ({})",
+            if i >= p { "OK: expanding backends steeper" } else { "WARN: unexpected" }
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 6: efficiency varying the query-set size `M = |Q|`.
+//!
+//! Paper claims: larger `M` generally costs more; a dip between the
+//! smallest sizes is possible (trade-off between `M` and region sparsity);
+//! `APX-sum` grows with `M` (its candidate set is one NN per query point);
+//! PHL/GTree and their IER variants stay close together.
+
+use fann_bench::*;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let points: Vec<SweepPoint> = sizes
+        .into_iter()
+        .map(|m| {
+            let mut p = SweepPoint::defaults(&cfg, m.to_string());
+            p.m = m;
+            p
+        })
+        .collect();
+    sweep_tables(&env, &cfg, "6", "M", &points, 6000);
+
+    // Shape: APX-sum cost grows with M.
+    let apx = |m: usize| -> Option<f64> {
+        run_cell(cfg.budget, cfg.queries, |i| {
+            let ctx = make_ctx(&env, 6500 + i as u64, cfg.d, m, cfg.a, cfg.c, cfg.phi, Aggregate::Sum);
+            time(|| ctx.run("APX-sum", "PHL")).1
+        })
+    };
+    if let (Some(small), Some(big)) = (apx(sizes[0]), apx(sizes[4])) {
+        println!(
+            "[shape] APX-sum M=64: {} vs M=1024: {} ({})",
+            fmt_secs(Some(small)),
+            fmt_secs(Some(big)),
+            if big > small { "OK: grows with M" } else { "WARN: did not grow" }
+        );
+    }
+}

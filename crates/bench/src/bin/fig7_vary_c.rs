@@ -1,0 +1,40 @@
+//! Fig. 7: efficiency with clustered `Q`, varying the cluster count `C`.
+//!
+//! Paper claims: more clusters cost more in general; the effect is
+//! strongest for the expansion-driven methods (`R-List`, `Exact-max`,
+//! A*/INE backends); as `C` grows the cost approaches the uniform-Q cost.
+
+use fann_bench::*;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let points: Vec<SweepPoint> = [1usize, 2, 4, 6, 8]
+        .into_iter()
+        .map(|c| {
+            let mut p = SweepPoint::defaults(&cfg, c.to_string());
+            p.c = c;
+            p
+        })
+        .collect();
+    sweep_tables(&env, &cfg, "7", "C", &points, 7000);
+
+    // Shape: cost at C=8 approaches the uniform-Q cost (paper's example:
+    // IER-A* 2.16s uniform vs 2.37s at C=8).
+    let cell = |c: usize| -> Option<f64> {
+        run_cell(cfg.budget, cfg.queries, |i| {
+            let ctx = make_ctx(&env, 7600 + i as u64, cfg.d, cfg.m, cfg.a, c, cfg.phi, Aggregate::Max);
+            time(|| ctx.run("IER-kNN", "IER-A*")).1
+        })
+    };
+    if let (Some(c8), Some(uni)) = (cell(8), cell(1)) {
+        println!(
+            "[shape] IER-A*: C=8 {} vs uniform {} (ratio {:.2}; paper ~1.1)",
+            fmt_secs(Some(c8)),
+            fmt_secs(Some(uni)),
+            c8 / uni
+        );
+    }
+}

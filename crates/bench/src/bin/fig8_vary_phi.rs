@@ -1,0 +1,44 @@
+//! Fig. 8: efficiency varying the flexibility parameter `phi`.
+//!
+//! Paper claims: clear positive correlation with `phi` (more destinations
+//! to visit); the R-tree over `Q` (IER-A* vs A*) helps a lot at small
+//! `phi` and little at `phi = 1`; `R-List` / `Exact-max` are affected most.
+
+use fann_bench::*;
+use fann_core::Aggregate;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = Defaults::from_args(&args);
+    let env = cfg.env();
+    let phis = [0.1, 0.3, 0.5, 0.7, 1.0];
+    let points: Vec<SweepPoint> = phis
+        .into_iter()
+        .map(|phi| {
+            let mut p = SweepPoint::defaults(&cfg, format!("{phi}"));
+            p.phi = phi;
+            p
+        })
+        .collect();
+    sweep_tables(&env, &cfg, "8", "phi", &points, 8000);
+
+    // Shape: IER-A* improvement over A* shrinks as phi -> 1.
+    let cell = |gphi: &str, phi: f64| -> Option<f64> {
+        run_cell(cfg.budget, cfg.queries, |i| {
+            let ctx = make_ctx(&env, 8600 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, phi, Aggregate::Max);
+            time(|| ctx.run("IER-kNN", gphi)).1
+        })
+    };
+    let improvement = |phi: f64| -> Option<f64> {
+        match (cell("A*", phi), cell("IER-A*", phi)) {
+            (Some(plain), Some(ier)) if ier > 0.0 => Some(plain / ier),
+            _ => None,
+        }
+    };
+    if let (Some(low), Some(high)) = (improvement(0.1), improvement(1.0)) {
+        println!(
+            "[shape] IER speedup over A*: phi=0.1 -> {low:.2}x, phi=1.0 -> {high:.2}x ({})",
+            if low >= high { "OK: R-tree on Q helps most at small phi" } else { "WARN" }
+        );
+    }
+}

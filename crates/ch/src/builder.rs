@@ -1,0 +1,306 @@
+//! CH construction and bidirectional upward query.
+
+use roadnet::{Dist, Graph, NodeId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ChParams {
+    /// Max nodes a witness search may settle before giving up (giving up
+    /// inserts the shortcut — always safe, possibly redundant).
+    pub witness_settle_limit: usize,
+}
+
+impl Default for ChParams {
+    fn default() -> Self {
+        ChParams {
+            witness_settle_limit: 60,
+        }
+    }
+}
+
+/// A built contraction hierarchy over an undirected graph.
+pub struct Ch {
+    /// Contraction rank per node (higher = more important).
+    rank: Vec<u32>,
+    /// Upward adjacency: for each node, `(neighbor, weight)` with
+    /// `rank[neighbor] > rank[node]` — original edges and shortcuts.
+    up: Vec<Vec<(NodeId, Dist)>>,
+    num_shortcuts: usize,
+}
+
+/// Working adjacency during contraction (original edges + shortcuts,
+/// with per-pair minimum weight maintained lazily).
+struct WorkGraph {
+    adj: Vec<Vec<(NodeId, Dist)>>,
+    contracted: Vec<bool>,
+}
+
+impl WorkGraph {
+    fn new(g: &Graph) -> Self {
+        let mut adj = vec![Vec::new(); g.num_nodes()];
+        for (u, v, w) in g.edges() {
+            adj[u as usize].push((v, w as Dist));
+            adj[v as usize].push((u, w as Dist));
+        }
+        WorkGraph {
+            adj,
+            contracted: vec![false; g.num_nodes()],
+        }
+    }
+
+    /// Live neighbors of `v` with the minimum weight per neighbor.
+    fn live_neighbors(&self, v: NodeId) -> Vec<(NodeId, Dist)> {
+        let mut nbrs: Vec<(NodeId, Dist)> = self.adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&(u, _)| !self.contracted[u as usize])
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 = prev.1.min(next.1);
+                true
+            } else {
+                false
+            }
+        });
+        nbrs
+    }
+
+    fn add_edge(&mut self, u: NodeId, v: NodeId, w: Dist) {
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+    }
+
+    /// Budgeted witness search: shortest distance from `from` to each
+    /// target, avoiding `via` and contracted nodes, capped at `cutoff`
+    /// distance and `settle_limit` settled nodes. Returns distances
+    /// aligned with `targets` (INF where not proven shorter).
+    fn witness(
+        &self,
+        from: NodeId,
+        via: NodeId,
+        targets: &[NodeId],
+        cutoff: Dist,
+        settle_limit: usize,
+    ) -> Vec<Dist> {
+        let mut out = vec![INF; targets.len()];
+        if settle_limit == 0 {
+            return out;
+        }
+        let mut dist: std::collections::HashMap<NodeId, Dist> = std::collections::HashMap::new();
+        let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push((Reverse(0), from));
+        let mut settled = 0usize;
+        let mut remaining: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+        while let Some((Reverse(d), v)) = heap.pop() {
+            if d > *dist.get(&v).unwrap_or(&INF) {
+                continue;
+            }
+            if d > cutoff || settled >= settle_limit || remaining.is_empty() {
+                break;
+            }
+            settled += 1;
+            if remaining.remove(&v) {
+                let idx = targets.iter().position(|&t| t == v).expect("in targets");
+                out[idx] = d;
+            }
+            for &(t, w) in &self.adj[v as usize] {
+                if t == via || self.contracted[t as usize] {
+                    continue;
+                }
+                let nd = d.saturating_add(w);
+                let cur = dist.entry(t).or_insert(INF);
+                if nd < *cur {
+                    *cur = nd;
+                    heap.push((Reverse(nd), t));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Ch {
+    /// Build with default parameters.
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with_params(g, ChParams::default())
+    }
+
+    /// Build the hierarchy by lazy-priority contraction.
+    pub fn build_with_params(g: &Graph, params: ChParams) -> Self {
+        let n = g.num_nodes();
+        let mut work = WorkGraph::new(g);
+        let mut contracted_neighbors = vec![0u32; n];
+        let mut rank = vec![0u32; n];
+        let mut num_shortcuts = 0usize;
+
+        // Shortcuts needed to contract `v` right now.
+        let simulate = |work: &WorkGraph, v: NodeId| -> Vec<(NodeId, NodeId, Dist)> {
+            let nbrs = work.live_neighbors(v);
+            let mut shortcuts = Vec::new();
+            for (i, &(u, du)) in nbrs.iter().enumerate() {
+                let targets: Vec<NodeId> = nbrs[i + 1..].iter().map(|&(t, _)| t).collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                let max_through = nbrs[i + 1..]
+                    .iter()
+                    .map(|&(_, dw)| du.saturating_add(dw))
+                    .max()
+                    .expect("non-empty");
+                let wit = work.witness(u, v, &targets, max_through, params.witness_settle_limit);
+                for (j, &(t, dt)) in nbrs[i + 1..].iter().enumerate() {
+                    let through = du.saturating_add(dt);
+                    if wit[j] > through {
+                        shortcuts.push((u, t, through));
+                    }
+                }
+            }
+            shortcuts
+        };
+        let priority = |work: &WorkGraph, cn: &[u32], v: NodeId| -> i64 {
+            let deg = work.live_neighbors(v).len() as i64;
+            let sc = simulate(work, v).len() as i64;
+            // Edge difference + contracted-neighbor spread.
+            (sc - deg) * 4 + cn[v as usize] as i64
+        };
+
+        let mut heap: BinaryHeap<(Reverse<i64>, NodeId)> = (0..n as NodeId)
+            .map(|v| (Reverse(priority(&work, &contracted_neighbors, v)), v))
+            .collect();
+        let mut next_rank = 0u32;
+        while let Some((Reverse(p), v)) = heap.pop() {
+            if work.contracted[v as usize] {
+                continue;
+            }
+            // Lazy update: recompute and re-push unless still minimal.
+            let cur = priority(&work, &contracted_neighbors, v);
+            if cur > p {
+                if let Some(&(Reverse(top), _)) = heap.peek() {
+                    if cur > top {
+                        heap.push((Reverse(cur), v));
+                        continue;
+                    }
+                }
+            }
+            // Contract v.
+            for (u, t, w) in simulate(&work, v) {
+                work.add_edge(u, t, w);
+                num_shortcuts += 1;
+            }
+            for (u, _) in work.live_neighbors(v) {
+                contracted_neighbors[u as usize] += 1;
+            }
+            work.contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+        }
+
+        // Upward adjacency: min weight per (node, higher neighbor).
+        let mut up: Vec<Vec<(NodeId, Dist)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let mut edges: Vec<(NodeId, Dist)> = work.adj[v]
+                .iter()
+                .copied()
+                .filter(|&(t, _)| rank[t as usize] > rank[v])
+                .collect();
+            edges.sort_unstable();
+            edges.dedup_by(|next, prev| {
+                if next.0 == prev.0 {
+                    prev.1 = prev.1.min(next.1);
+                    true
+                } else {
+                    false
+                }
+            });
+            up[v] = edges;
+        }
+        Ch {
+            rank,
+            up,
+            num_shortcuts,
+        }
+    }
+
+    /// Exact shortest-path distance via bidirectional upward search;
+    /// `None` when disconnected.
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        if s == t {
+            return Some(0);
+        }
+        let fwd = self.upward_dists(s);
+        let bwd = self.upward_dists(t);
+        let mut best = INF;
+        let (small, large) = if fwd.len() <= bwd.len() {
+            (&fwd, &bwd)
+        } else {
+            (&bwd, &fwd)
+        };
+        for (&v, &df) in small {
+            if let Some(&db) = large.get(&v) {
+                best = best.min(df.saturating_add(db));
+            }
+        }
+        (best != INF).then_some(best)
+    }
+
+    /// Distances from `v` to every node reachable by strictly-upward
+    /// paths. Search spaces are tiny (poly-log on road networks).
+    fn upward_dists(&self, v: NodeId) -> std::collections::HashMap<NodeId, Dist> {
+        let mut dist: std::collections::HashMap<NodeId, Dist> = std::collections::HashMap::new();
+        let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
+        dist.insert(v, 0);
+        heap.push((Reverse(0), v));
+        while let Some((Reverse(d), u)) = heap.pop() {
+            if d > dist[&u] {
+                continue;
+            }
+            for &(t, w) in &self.up[u as usize] {
+                let nd = d.saturating_add(w);
+                let cur = dist.entry(t).or_insert(INF);
+                if nd < *cur {
+                    *cur = nd;
+                    heap.push((Reverse(nd), t));
+                }
+            }
+        }
+        dist
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Shortcut edges inserted during contraction.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Contraction rank of a node (higher = contracted later = more
+    /// important).
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Approximate in-memory size of the upward graph.
+    pub fn memory_bytes(&self) -> usize {
+        self.rank.len() * 4
+            + self
+                .up
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<(NodeId, Dist)>() + 24)
+                .sum::<usize>()
+    }
+
+    /// Average upward degree — the query-effort indicator.
+    pub fn avg_upward_degree(&self) -> f64 {
+        if self.up.is_empty() {
+            return 0.0;
+        }
+        self.up.iter().map(Vec::len).sum::<usize>() as f64 / self.up.len() as f64
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests: CH must be exact on arbitrary connected-ish graphs.
+
+use ch_index::Ch;
+use proptest::prelude::*;
+use roadnet::dijkstra::dijkstra_all;
+use roadnet::{Graph, GraphBuilder, INF};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24, 0usize..24, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(i as f64, (i % 5) as f64);
+        }
+        for v in 1..n as u32 {
+            let u = (next() % v as u64) as u32;
+            b.add_edge(u, v, 1 + (next() % 40) as u32);
+        }
+        for _ in 0..extra {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v {
+                b.add_edge(u, v, 1 + (next() % 40) as u32);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ch_matches_dijkstra(g in arb_graph()) {
+        let ch = Ch::build(&g);
+        for s in 0..g.num_nodes() as u32 {
+            let truth = dijkstra_all(&g, s);
+            for t in 0..g.num_nodes() as u32 {
+                let want = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                prop_assert_eq!(ch.distance(s, t), want, "pair {}->{}", s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation(g in arb_graph()) {
+        let ch = Ch::build(&g);
+        let mut ranks: Vec<u32> = (0..g.num_nodes() as u32).map(|v| ch.rank(v)).collect();
+        ranks.sort_unstable();
+        prop_assert_eq!(ranks, (0..g.num_nodes() as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,145 @@
+//! Brute-force FANN_R reference: one full Dijkstra per query point.
+//!
+//! Exact and simple — `O(|Q| (|E| + |V| log |V|))` plus an
+//! `O(|P| |Q| log |Q|)` selection — used as ground truth by tests and by
+//! the approximation-quality experiments (Fig. 11). Not an evaluated
+//! algorithm in the paper; every paper algorithm must agree with it.
+
+use crate::gphi::select_k_smallest;
+use crate::{FannAnswer, FannQuery};
+use roadnet::dijkstra::dijkstra_all;
+use roadnet::{Dist, Graph};
+
+/// Exact FANN_R answer by exhaustive computation; `None` when no data point
+/// can reach `ceil(phi |Q|)` query points.
+pub fn brute_force(g: &Graph, query: &FannQuery) -> Option<FannAnswer> {
+    let k = query.subset_size();
+    // Distances from every query point (sources = Q: |Q| << |P| usually).
+    let from_q: Vec<Vec<Dist>> = query.q.iter().map(|&q| dijkstra_all(g, q)).collect();
+    let mut best: Option<FannAnswer> = None;
+    for &p in query.p {
+        let dists = query
+            .q
+            .iter()
+            .zip(from_q.iter())
+            .map(|(&qn, row)| (qn, row[p as usize]));
+        let Some(knn) = select_k_smallest(dists, k) else {
+            continue;
+        };
+        let sorted: Vec<Dist> = knn.iter().map(|&(_, d)| d).collect();
+        let d = query.agg.of_sorted(&sorted);
+        if best.as_ref().is_none_or(|b| d < b.dist) {
+            best = Some(FannAnswer {
+                p_star: p,
+                subset: knn.into_iter().map(|(n, _)| n).collect(),
+                dist: d,
+            });
+        }
+    }
+    best
+}
+
+/// Flexible aggregate distance of a single point, by brute force.
+pub fn brute_force_point(g: &Graph, query: &FannQuery, p: roadnet::NodeId) -> Option<Dist> {
+    let k = query.subset_size();
+    let dists = query.q.iter().map(|&qn| {
+        (
+            qn,
+            dijkstra_all(g, qn)[p as usize], // |Q| Dijkstras; test-only helper
+        )
+    });
+    let knn = select_k_smallest(dists, k)?;
+    let sorted: Vec<Dist> = knn.iter().map(|&(_, d)| d).collect();
+    Some(query.agg.of_sorted(&sorted))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::Aggregate;
+    use roadnet::GraphBuilder;
+
+    /// Figure 1 of the paper, reconstructed.
+    ///
+    /// Nodes: p1..p9 are data points (ids 0..8); q1..q4 are query points.
+    /// q3 = p4 and q4 = p5 share nodes; q1 and q2 get their own nodes on
+    /// the edges (p2, p3) and (p3, p6). Weights follow the paper's worked
+    /// answers: max-ANN(p2) = 16, sum-ANN(p2) = 52, and with phi = 50%
+    /// max-FANN(p3) = 2, sum-FANN(p3) = 4.
+    pub fn figure1() -> (roadnet::Graph, Vec<u32>, Vec<u32>) {
+        let mut b = GraphBuilder::new();
+        // Data points p1..p9 -> ids 0..8.
+        for i in 0..9 {
+            b.add_node(i as f64, 0.0);
+        }
+        // Extra nodes for q1 (id 9) and q2 (id 10).
+        let _q1 = b.add_node(2.5, 0.0);
+        let _q2 = b.add_node(3.5, 0.0);
+        // Edges chosen so distances from p2 (id 1) to q1, q2, q3, q4 are
+        // 10, 14, 12, 16 and from p3 (id 2) to q1, q2 are 2, 2.
+        b.add_edge(1, 9, 10); // p2 - q1
+        b.add_edge(9, 2, 2); // q1 - p3
+        b.add_edge(2, 10, 2); // p3 - q2
+        b.add_edge(10, 5, 9); // q2 - p6
+        b.add_edge(1, 3, 12); // p2 - p4 (q3)
+        b.add_edge(1, 4, 16); // p2 - p5 (q4)
+        b.add_edge(0, 1, 30); // p1 - p2 (far filler)
+        b.add_edge(5, 6, 25); // p6 - p7
+        b.add_edge(6, 7, 25); // p7 - p8
+        b.add_edge(7, 8, 25); // p8 - p9
+        let g = b.build();
+        let p: Vec<u32> = (0..9).collect();
+        let q: Vec<u32> = vec![9, 10, 3, 4]; // q1, q2, q3(=p4), q4(=p5)
+        (g, p, q)
+    }
+
+    #[test]
+    fn figure1_ann_answers() {
+        let (g, p, q) = figure1();
+        // phi = 1 -> classic ANN: p2 (id 1) wins for both aggregates.
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Max);
+        let a = brute_force(&g, &query).unwrap();
+        assert_eq!((a.p_star, a.dist), (1, 16));
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Sum);
+        let a = brute_force(&g, &query).unwrap();
+        assert_eq!((a.p_star, a.dist), (1, 52));
+    }
+
+    #[test]
+    fn figure1_fann_answers() {
+        let (g, p, q) = figure1();
+        // phi = 50% -> p3 (id 2) wins: max distance 2, sum distance 4.
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Max);
+        let a = brute_force(&g, &query).unwrap();
+        assert_eq!((a.p_star, a.dist), (2, 2));
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+        let a = brute_force(&g, &query).unwrap();
+        assert_eq!((a.p_star, a.dist), (2, 4));
+        let mut subset = a.subset.clone();
+        subset.sort_unstable();
+        assert_eq!(subset, vec![9, 10]); // {q1, q2}
+    }
+
+    #[test]
+    fn point_eval_matches_best() {
+        let (g, p, q) = figure1();
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+        assert_eq!(brute_force_point(&g, &query, 2), Some(4));
+        assert_eq!(brute_force_point(&g, &query, 1), Some(10 + 12));
+    }
+
+    #[test]
+    fn none_when_unreachable() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1); // P-component
+        b.add_edge(2, 3, 1); // Q-component
+        let g = b.build();
+        let p = [0u32, 1];
+        let q = [2u32, 3];
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+        assert_eq!(brute_force(&g, &query), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! The IER-kNN framework (Algorithm 1, §III-C).
+//!
+//! Best-first traversal of an R-tree over `P`, ordered by the *flexible
+//! Euclidean aggregate function* `g^eps_phi(e, Q)` — the aggregate of the
+//! `k` smallest `mindist(mbr(e), q_i)` values, scaled into an admissible
+//! network lower bound (Lemma 1). Items popped from the queue are resolved
+//! with the exact `g_phi` backend; the search terminates when the head
+//! bound reaches the best exact answer.
+//!
+//! The alternative cheaper bound of §III-C's last paragraph
+//! (`mdist(b_Q, e)` for max, `phi|Q| * mdist(b_Q, e)` for sum) is available
+//! as [`IerBound::MbrOfQ`] for the ablation study.
+
+use crate::gphi::GPhi;
+use crate::{Aggregate, FannAnswer, FannQuery};
+use roadnet::{Dist, Graph, LowerBound};
+use spatial_rtree::{Entry, Mbr, Pt, RTree};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which Euclidean lower bound orders the priority queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IerBound {
+    /// The tight flexible aggregate bound `g^eps_phi(e, Q)` (Lemma 1).
+    Flexible,
+    /// The cheap bound through the MBR of `Q` (§III-C, last paragraph).
+    MbrOfQ,
+}
+
+/// Build the R-tree over `P` used by [`ier_knn`]. Exposed so benchmarks
+/// can build once and query many times.
+pub fn build_p_rtree(g: &Graph, p: &[roadnet::NodeId]) -> RTree<roadnet::NodeId> {
+    let items = p
+        .iter()
+        .map(|&v| {
+            let c = g.coord(v);
+            (Pt::new(c.x, c.y), v)
+        })
+        .collect();
+    RTree::bulk_load(items)
+}
+
+/// IER-kNN with the tight flexible bound.
+pub fn ier_knn(
+    g: &Graph,
+    query: &FannQuery,
+    rtree: &RTree<roadnet::NodeId>,
+    gphi: &dyn GPhi,
+) -> Option<FannAnswer> {
+    ier_knn_with_bound(g, query, rtree, gphi, IerBound::Flexible)
+}
+
+/// IER-kNN with a selectable pruning bound (Algorithm 1).
+pub fn ier_knn_with_bound(
+    g: &Graph,
+    query: &FannQuery,
+    rtree: &RTree<roadnet::NodeId>,
+    gphi: &dyn GPhi,
+    bound: IerBound,
+) -> Option<FannAnswer> {
+    let k = query.subset_size();
+    let lb = LowerBound::for_graph(g);
+    let q_pts: Vec<Pt> = query
+        .q
+        .iter()
+        .map(|&v| {
+            let c = g.coord(v);
+            Pt::new(c.x, c.y)
+        })
+        .collect();
+    let bq = Mbr::of_points(&q_pts);
+
+    // Scratch for the k-smallest mindist selection.
+    let mut scratch: Vec<f64> = Vec::with_capacity(q_pts.len());
+    let mut bound_of = |mbr: &Mbr| -> Dist {
+        match bound {
+            IerBound::Flexible => {
+                scratch.clear();
+                scratch.extend(q_pts.iter().map(|&qp| mbr.mindist_point(qp)));
+                scratch.select_nth_unstable_by(k - 1, f64::total_cmp);
+                let agg = match query.agg {
+                    Aggregate::Max => scratch[k - 1],
+                    Aggregate::Sum => scratch[..k].iter().sum(),
+                };
+                lb.bound_euclid(agg)
+            }
+            IerBound::MbrOfQ => {
+                let md = mbr.mindist_mbr(&bq);
+                let agg = match query.agg {
+                    Aggregate::Max => md,
+                    Aggregate::Sum => k as f64 * md,
+                };
+                lb.bound_euclid(agg)
+            }
+        }
+    };
+
+    // Heap of (Reverse(bound), seq, entry); seq breaks ties deterministically.
+    let mut heap: BinaryHeap<(Reverse<Dist>, u64, Entry<'_, roadnet::NodeId>)> =
+        BinaryHeap::new();
+    let mut seq = 0u64;
+    let root = rtree.root()?;
+    heap.push((Reverse(bound_of(&root.mbr())), seq, Entry::Node(root)));
+    let mut best: Option<FannAnswer> = None;
+
+    while let Some((Reverse(b), _, entry)) = heap.pop() {
+        if let Some(cur) = &best {
+            if b >= cur.dist {
+                break; // Lemma 1: no remaining entry can contain a better p
+            }
+        }
+        match entry {
+            Entry::Node(node) => {
+                for child in node.children() {
+                    seq += 1;
+                    heap.push((Reverse(bound_of(&child.mbr())), seq, child));
+                }
+            }
+            Entry::Item(item) => {
+                let p = item.data;
+                if let Some(r) = gphi.eval(p, k, query.agg) {
+                    if best.as_ref().is_none_or(|cur| r.dist < cur.dist) {
+                        best = Some(FannAnswer {
+                            p_star: p,
+                            subset: r.subset_nodes(),
+                            dist: r.dist,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::brute::brute_force;
+    use crate::gphi::ine::InePhi;
+    use roadnet::GraphBuilder;
+
+    /// Grid with weights >= Euclidean lengths so the bound is admissible.
+    fn metric_grid(w: u32, h: u32) -> roadnet::Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64 * 10.0, y as f64 * 10.0);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 10 + (x * 3 + y) % 6);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 10 + (x + y * 2) % 5);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_brute_force_both_bounds() {
+        let g = metric_grid(7, 7);
+        let p: Vec<u32> = (0..49).step_by(2).collect();
+        let q: Vec<u32> = vec![5, 17, 23, 31, 44, 48];
+        let rtree = build_p_rtree(&g, &p);
+        for phi in [0.2, 0.5, 0.84, 1.0] {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                let query = FannQuery::new(&p, &q, phi, agg);
+                let ine = InePhi::new(&g, &q);
+                let want = brute_force(&g, &query).unwrap();
+                for bound in [IerBound::Flexible, IerBound::MbrOfQ] {
+                    let got =
+                        ier_knn_with_bound(&g, &query, &rtree, &ine, bound).unwrap();
+                    assert_eq!(got.dist, want.dist, "phi={phi} {agg} {bound:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_data_point() {
+        let g = metric_grid(3, 3);
+        let p = [4u32];
+        let q = [0u32, 8];
+        let rtree = build_p_rtree(&g, &p);
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Sum);
+        let ine = InePhi::new(&g, &q);
+        let got = ier_knn(&g, &query, &rtree, &ine).unwrap();
+        assert_eq!(got.p_star, 4);
+        assert_eq!(got.dist, brute_force(&g, &query).unwrap().dist);
+    }
+
+    #[test]
+    fn figure2_walkthrough_terminates_early() {
+        // Mirror of the paper's running example: a tight cluster of P
+        // around Q and a far-away cluster that must never be evaluated.
+        let mut b = GraphBuilder::new();
+        // Near cluster: 4 data nodes + 2 query nodes in a small ring.
+        for i in 0..6 {
+            b.add_node(i as f64, 0.0);
+        }
+        // Far cluster at x = 1000.
+        for i in 0..4 {
+            b.add_node(1000.0 + i as f64, 0.0);
+        }
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 1);
+        }
+        b.add_edge(5, 6, 995);
+        for i in 6..9 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build();
+        let p = [0u32, 2, 4, 6, 7, 8, 9];
+        let q = [1u32, 3];
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+        let rtree = build_p_rtree(&g, &p);
+        let ine = InePhi::new(&g, &q);
+        let got = ier_knn(&g, &query, &rtree, &ine).unwrap();
+        let want = brute_force(&g, &query).unwrap();
+        assert_eq!(got.dist, want.dist);
+        assert!(got.dist <= 1);
+    }
+
+    #[test]
+    fn none_when_unreachable() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64 * 10.0, 0.0);
+        }
+        b.add_edge(0, 1, 10);
+        b.add_edge(2, 3, 10);
+        let g = b.build();
+        let p = [0u32];
+        let q = [2u32, 3];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Max);
+        let rtree = build_p_rtree(&g, &p);
+        let ine = InePhi::new(&g, &q);
+        assert!(ier_knn(&g, &query, &rtree, &ine).is_none());
+    }
+}

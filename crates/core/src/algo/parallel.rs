@@ -1,0 +1,131 @@
+//! Multi-threaded `GD` (extension, DESIGN.md §7).
+//!
+//! `GD` enumerates `P` with independent `g_phi` evaluations — trivially
+//! parallel. Because backends borrow per-thread scratch state (expansion
+//! queues, visited sets), each worker constructs its own backend from a
+//! `Sync` factory; the underlying graph and indexes are shared immutably.
+
+use crate::gphi::GPhi;
+use crate::{FannAnswer, FannQuery};
+use std::sync::Mutex;
+
+/// Exact FANN_R by enumerating `P` across `threads` workers. Equivalent to
+/// [`crate::algo::gd::gd`] (ties may resolve to a different co-optimal
+/// `p*`; `d*` is identical).
+///
+/// `make_gphi` is invoked once per worker thread.
+pub fn gd_parallel<'q, B, F>(
+    query: &FannQuery<'q>,
+    make_gphi: F,
+    threads: usize,
+) -> Option<FannAnswer>
+where
+    B: GPhi,
+    F: Fn() -> B + Sync,
+{
+    let threads = threads.clamp(1, query.p.len().max(1));
+    let k = query.subset_size();
+    let best: Mutex<Option<FannAnswer>> = Mutex::new(None);
+    let chunk = query.p.len().div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        for part in query.p.chunks(chunk) {
+            let best = &best;
+            let make_gphi = &make_gphi;
+            scope.spawn(move || {
+                let gphi = make_gphi();
+                let mut local: Option<FannAnswer> = None;
+                for &p in part {
+                    if let Some(r) = gphi.eval(p, k, query.agg) {
+                        if local.as_ref().is_none_or(|b| r.dist < b.dist) {
+                            local = Some(FannAnswer {
+                                p_star: p,
+                                subset: r.subset_nodes(),
+                                dist: r.dist,
+                            });
+                        }
+                    }
+                }
+                if let Some(l) = local {
+                    let mut guard = best.lock().expect("no poisoned workers");
+                    if guard.as_ref().is_none_or(|b| l.dist < b.dist) {
+                        *guard = Some(l);
+                    }
+                }
+            });
+        }
+    });
+    best.into_inner().expect("scope joined all workers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::gd::gd;
+    use crate::gphi::ine::InePhi;
+    use crate::Aggregate;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> roadnet::Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x * 5 + y) % 4);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + (x + y * 3) % 5);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = grid(8, 8);
+        let p: Vec<u32> = (0..64).collect();
+        let q: Vec<u32> = vec![3, 19, 37, 55, 60];
+        for threads in [1usize, 2, 4, 9] {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                let query = FannQuery::new(&p, &q, 0.6, agg);
+                let serial = gd(&query, &InePhi::new(&g, &q)).unwrap();
+                let par =
+                    gd_parallel(&query, || InePhi::new(&g, &q), threads).unwrap();
+                assert_eq!(par.dist, serial.dist, "threads={threads} {agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_candidates() {
+        let g = grid(4, 4);
+        let p = [0u32, 15];
+        let q = [5u32, 10];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Max);
+        let a = gd_parallel(&query, || InePhi::new(&g, &q), 16).unwrap();
+        let b = gd(&query, &InePhi::new(&g, &q)).unwrap();
+        assert_eq!(a.dist, b.dist);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let p = [0u32, 1];
+        let q = [2u32, 3];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Sum);
+        assert!(gd_parallel(&query, || InePhi::new(&g, &q), 2).is_none());
+    }
+}

@@ -1,0 +1,330 @@
+//! `k`-FANN_R (§V, Definition 3): the `k` best data points.
+//!
+//! Adaptations follow the paper exactly: the priority queue of partial
+//! answers replaces the single best candidate, and every termination test
+//! compares the bound against the *k-th smallest* distance in the queue.
+//! `APX-sum` is deliberately not adapted (the paper notes it cannot be).
+
+use crate::gphi::GPhi;
+use crate::{Aggregate, FannQuery, KFannAnswer};
+use roadnet::{Dist, Graph, NodeId, ObjectStreams, INF};
+use spatial_rtree::{Entry, Mbr, Pt, RTree};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Bounded max-heap of the k best `(dist, node)` answers.
+struct Best {
+    k: usize,
+    heap: BinaryHeap<(Dist, NodeId)>,
+}
+
+impl Best {
+    fn new(k: usize) -> Self {
+        Best {
+            k,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn offer(&mut self, d: Dist, p: NodeId) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((d, p));
+        } else if let Some(&(worst, _)) = self.heap.peek() {
+            if d < worst {
+                self.heap.pop();
+                self.heap.push((d, p));
+            }
+        }
+    }
+
+    /// The current k-th smallest distance (INF until k answers exist).
+    fn kth(&self) -> Dist {
+        if self.heap.len() < self.k {
+            INF
+        } else {
+            self.heap.peek().map_or(INF, |&(d, _)| d)
+        }
+    }
+
+    fn into_answer(self) -> KFannAnswer {
+        let mut v: Vec<(NodeId, Dist)> = self.heap.into_iter().map(|(d, p)| (p, d)).collect();
+        v.sort_by_key(|&(p, d)| (d, p));
+        v
+    }
+}
+
+/// `k`-FANN_R by enumerating `P` (`GD` adaptation: "update the queue when
+/// enumerating P; finally, the queue is our final result").
+pub fn gd_topk(query: &FannQuery, gphi: &dyn GPhi, k_out: usize) -> KFannAnswer {
+    let k = query.subset_size();
+    let mut best = Best::new(k_out);
+    for &p in query.p {
+        if let Some(r) = gphi.eval(p, k, query.agg) {
+            best.offer(r.dist, p);
+        }
+    }
+    best.into_answer()
+}
+
+/// `k`-FANN_R with `R-List`: terminate once the threshold exceeds the
+/// k-th smallest evaluated distance.
+pub fn rlist_topk(
+    g: &Graph,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    k_out: usize,
+) -> KFannAnswer {
+    let k = query.subset_size();
+    let mut streams = ObjectStreams::new(g, query.q, query.p);
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut best = Best::new(k_out);
+    while let Some((i, pnode, _)) = streams.min_head() {
+        let mut heads: Vec<Dist> = streams
+            .head_dists()
+            .into_iter()
+            .map(|h| h.unwrap_or(INF))
+            .collect();
+        heads.sort_unstable();
+        let tau = query.agg.of_sorted(&heads[..k]);
+        if best.kth() <= tau {
+            break;
+        }
+        streams.pop(i);
+        if seen.insert(pnode) {
+            if let Some(r) = gphi.eval(pnode, k, query.agg) {
+                best.offer(r.dist, pnode);
+            }
+        }
+    }
+    best.into_answer()
+}
+
+/// `k`-FANN_R with the IER-kNN framework: pop entries until the Euclidean
+/// flexible bound reaches the k-th smallest evaluated distance.
+pub fn ier_topk(
+    g: &Graph,
+    query: &FannQuery,
+    rtree: &RTree<NodeId>,
+    gphi: &dyn GPhi,
+    k_out: usize,
+) -> KFannAnswer {
+    let k = query.subset_size();
+    let lb = roadnet::LowerBound::for_graph(g);
+    let q_pts: Vec<Pt> = query
+        .q
+        .iter()
+        .map(|&v| {
+            let c = g.coord(v);
+            Pt::new(c.x, c.y)
+        })
+        .collect();
+    let mut scratch: Vec<f64> = Vec::with_capacity(q_pts.len());
+    let mut bound_of = |mbr: &Mbr| -> Dist {
+        scratch.clear();
+        scratch.extend(q_pts.iter().map(|&qp| mbr.mindist_point(qp)));
+        scratch.select_nth_unstable_by(k - 1, f64::total_cmp);
+        let agg = match query.agg {
+            Aggregate::Max => scratch[k - 1],
+            Aggregate::Sum => scratch[..k].iter().sum(),
+        };
+        lb.bound_euclid(agg)
+    };
+
+    let mut best = Best::new(k_out);
+    let Some(root) = rtree.root() else {
+        return best.into_answer();
+    };
+    let mut heap: BinaryHeap<(Reverse<Dist>, u64, Entry<'_, NodeId>)> = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push((Reverse(bound_of(&root.mbr())), seq, Entry::Node(root)));
+    while let Some((Reverse(b), _, entry)) = heap.pop() {
+        if b >= best.kth() {
+            break;
+        }
+        match entry {
+            Entry::Node(node) => {
+                for child in node.children() {
+                    seq += 1;
+                    heap.push((Reverse(bound_of(&child.mbr())), seq, child));
+                }
+            }
+            Entry::Item(item) => {
+                if let Some(r) = gphi.eval(item.data, k, query.agg) {
+                    best.offer(r.dist, item.data);
+                }
+            }
+        }
+    }
+    best.into_answer()
+}
+
+/// `k`-FANN_R with `Exact-max`: expand until `k_out` distinct counters
+/// reach `phi|Q|`; counters fire in non-decreasing max-distance order, so
+/// the firing order is the answer order. `max` only.
+///
+/// # Panics
+/// If the query aggregate is not [`Aggregate::Max`].
+pub fn exact_max_topk(g: &Graph, query: &FannQuery, k_out: usize) -> KFannAnswer {
+    assert_eq!(
+        query.agg,
+        Aggregate::Max,
+        "Exact-max answers max-FANN_R only"
+    );
+    let k = query.subset_size();
+    let mut streams = ObjectStreams::new(g, query.q, query.p);
+    let mut counters: HashMap<NodeId, usize> = HashMap::new();
+    let mut out: KFannAnswer = Vec::with_capacity(k_out);
+    while out.len() < k_out {
+        let Some((i, pnode, d)) = streams.min_head() else {
+            break;
+        };
+        let c = counters.entry(pnode).or_insert(0);
+        *c += 1;
+        if *c == k {
+            out.push((pnode, d));
+        }
+        streams.pop(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::ier::build_p_rtree;
+    use crate::gphi::ine::InePhi;
+    use roadnet::dijkstra::dijkstra_all;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> roadnet::Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64 * 10.0, y as f64 * 10.0);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 10 + (x * 2 + y) % 7);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 10 + (x + y * 3) % 5);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Brute-force k-FANN: all flexible aggregate distances, sorted.
+    fn brute_topk(
+        g: &roadnet::Graph,
+        query: &FannQuery,
+        k_out: usize,
+    ) -> Vec<Dist> {
+        let from_q: Vec<Vec<Dist>> = query.q.iter().map(|&q| dijkstra_all(g, q)).collect();
+        let k = query.subset_size();
+        let mut all: Vec<Dist> = query
+            .p
+            .iter()
+            .filter_map(|&p| {
+                let mut ds: Vec<Dist> =
+                    from_q.iter().map(|row| row[p as usize]).collect();
+                ds.sort_unstable();
+                (ds[k - 1] != INF).then(|| query.agg.of_sorted(&ds[..k]))
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(k_out);
+        all
+    }
+
+    fn dists(a: &KFannAnswer) -> Vec<Dist> {
+        a.iter().map(|&(_, d)| d).collect()
+    }
+
+    #[test]
+    fn all_topk_algorithms_agree() {
+        let g = grid(7, 7);
+        let p: Vec<u32> = (0..49).step_by(2).collect();
+        let q: Vec<u32> = vec![3, 12, 26, 37, 45];
+        let rtree = build_p_rtree(&g, &p);
+        for k_out in [1usize, 3, 5] {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                let query = FannQuery::new(&p, &q, 0.6, agg);
+                let ine = InePhi::new(&g, &q);
+                let want = brute_topk(&g, &query, k_out);
+                assert_eq!(dists(&gd_topk(&query, &ine, k_out)), want, "gd {agg}");
+                assert_eq!(
+                    dists(&rlist_topk(&g, &query, &ine, k_out)),
+                    want,
+                    "rlist {agg}"
+                );
+                assert_eq!(
+                    dists(&ier_topk(&g, &query, &rtree, &ine, k_out)),
+                    want,
+                    "ier {agg}"
+                );
+                if agg == Aggregate::Max {
+                    assert_eq!(
+                        dists(&exact_max_topk(&g, &query, k_out)),
+                        want,
+                        "exact-max"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_equals_single_fann() {
+        let g = grid(6, 6);
+        let p: Vec<u32> = (0..36).step_by(3).collect();
+        let q: Vec<u32> = vec![2, 16, 30];
+        let query = FannQuery::new(&p, &q, 0.67, Aggregate::Max);
+        let ine = InePhi::new(&g, &q);
+        let single = crate::algo::gd::gd(&query, &ine).unwrap();
+        let top1 = gd_topk(&query, &ine, 1);
+        assert_eq!(top1, vec![(single.p_star, single.dist)]);
+        let em1 = exact_max_topk(&g, &query, 1);
+        assert_eq!(em1[0].1, single.dist);
+    }
+
+    #[test]
+    fn k_larger_than_p_returns_all() {
+        let g = grid(4, 4);
+        let p = [0u32, 5, 15];
+        let q = [2u32, 10];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Sum);
+        let ine = InePhi::new(&g, &q);
+        let all = gd_topk(&query, &ine, 10);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn results_have_distinct_points() {
+        let g = grid(6, 6);
+        let p: Vec<u32> = (0..36).collect();
+        let q: Vec<u32> = vec![0, 35];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Max);
+        let out = exact_max_topk(&g, &query, 8);
+        let set: HashSet<NodeId> = out.iter().map(|&(p, _)| p).collect();
+        assert_eq!(set.len(), out.len());
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let g = grid(3, 3);
+        let p = [0u32];
+        let q = [8u32];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Sum);
+        let ine = InePhi::new(&g, &q);
+        assert!(gd_topk(&query, &ine, 0).is_empty());
+        assert!(rlist_topk(&g, &query, &ine, 0).is_empty());
+    }
+}

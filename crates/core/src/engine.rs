@@ -1,0 +1,298 @@
+//! High-level engine: one handle over a network and its indexes.
+//!
+//! The paper's conclusion (§VII) is a decision rule: use the universal
+//! indexed methods (IER-kNN over PHL-class oracles) when indexes exist,
+//! and the specific index-free methods (`Exact-max`, `APX-sum`) when they
+//! don't. [`Engine`] packages that rule behind a single `query` call so
+//! downstream users don't need to know the taxonomy:
+//!
+//! ```
+//! use fann_core::engine::Engine;
+//! use fann_core::Aggregate;
+//! # use roadnet::GraphBuilder;
+//! # let mut b = GraphBuilder::new();
+//! # for i in 0..6 { b.add_node(i as f64, 0.0); }
+//! # for i in 0..5 { b.add_edge(i, i + 1, 10); }
+//! # let graph = b.build();
+//! let engine = Engine::new(&graph).with_labels(); // build once
+//! let answer = engine
+//!     .query(&[0, 2, 4], &[1, 5], 0.5, Aggregate::Max)
+//!     .expect("valid query")
+//!     .expect("reachable");
+//! assert_eq!(answer.dist, 10);
+//! ```
+
+use crate::algo::ier::build_p_rtree;
+use crate::algo::{apx_sum, exact_max, ier_knn, r_list};
+use crate::algo::topk::{exact_max_topk, ier_topk, rlist_topk};
+use crate::gphi::ier2::IerPhi;
+use crate::gphi::ine::InePhi;
+use crate::gphi::oracle::LabelOracle;
+use crate::gphi::GPhi;
+use crate::{Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
+use hublabel::HubLabels;
+use roadnet::{Graph, NodeId};
+
+/// Which strategy [`Engine::query`] selected (observable for logging and
+/// for the engine tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Indexed: IER-kNN over an R-tree on `P` with an IER-PHL backend.
+    IerKnnLabels,
+    /// Index-free exact max: `Exact-max`.
+    ExactMax,
+    /// Index-free exact sum: `R-List` with INE.
+    RListIne,
+    /// Index-free approximate sum: `APX-sum` with INE.
+    ApxSumIne,
+}
+
+/// A road network plus optional indexes, with automatic algorithm choice.
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    labels: Option<HubLabels>,
+    /// Accept approximate sum answers when no index is available
+    /// (3-approximation; off by default).
+    allow_approx_sum: bool,
+}
+
+impl<'g> Engine<'g> {
+    /// An index-free engine (the "road networks change frequently"
+    /// scenario of §IV).
+    pub fn new(graph: &'g Graph) -> Self {
+        Engine {
+            graph,
+            labels: None,
+            allow_approx_sum: false,
+        }
+    }
+
+    /// Build and attach the hub-label oracle (expensive; do it once).
+    pub fn with_labels(mut self) -> Self {
+        self.labels = Some(HubLabels::build(self.graph));
+        self
+    }
+
+    /// Attach previously built labels (e.g. from
+    /// [`HubLabels::from_bytes`]).
+    pub fn with_prebuilt_labels(mut self, labels: HubLabels) -> Self {
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Allow `APX-sum` (guaranteed 3-approximation) for index-free sum
+    /// queries instead of the exact-but-slower `R-List`.
+    pub fn allow_approx_sum(mut self, yes: bool) -> Self {
+        self.allow_approx_sum = yes;
+        self
+    }
+
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// The strategy `query` would use for this aggregate.
+    pub fn strategy_for(&self, agg: Aggregate) -> Strategy {
+        if self.labels.is_some() {
+            Strategy::IerKnnLabels
+        } else {
+            match agg {
+                Aggregate::Max => Strategy::ExactMax,
+                Aggregate::Sum if self.allow_approx_sum => Strategy::ApxSumIne,
+                Aggregate::Sum => Strategy::RListIne,
+            }
+        }
+    }
+
+    /// Answer an FANN_R query with the §VII decision rule. `Ok(None)`
+    /// when no data point reaches `ceil(phi |Q|)` query points.
+    pub fn query(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Result<Option<FannAnswer>, QueryError> {
+        let query = FannQuery { p, q, phi, agg };
+        query.validate(self.graph)?;
+        let answer = match self.strategy_for(agg) {
+            Strategy::IerKnnLabels => {
+                let labels = self.labels.as_ref().expect("strategy implies labels");
+                let rtree = build_p_rtree(self.graph, p);
+                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, q);
+                ier_knn(self.graph, &query, &rtree, &gphi)
+            }
+            Strategy::ExactMax => exact_max(self.graph, &query),
+            Strategy::RListIne => {
+                let gphi = InePhi::new(self.graph, q);
+                r_list(self.graph, &query, &gphi)
+            }
+            Strategy::ApxSumIne => {
+                let gphi = InePhi::new(self.graph, q);
+                apx_sum(self.graph, &query, &gphi)
+            }
+        };
+        Ok(answer)
+    }
+
+    /// Answer a `k`-FANN_R query (§V). Always exact; `APX-sum` has no
+    /// top-k adaptation (per the paper), so index-free sum uses `R-List`.
+    pub fn query_topk(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+        k: usize,
+    ) -> Result<KFannAnswer, QueryError> {
+        let query = FannQuery { p, q, phi, agg };
+        query.validate(self.graph)?;
+        let answer = match (self.labels.as_ref(), agg) {
+            (Some(labels), _) => {
+                let rtree = build_p_rtree(self.graph, p);
+                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, q);
+                ier_topk(self.graph, &query, &rtree, &gphi, k)
+            }
+            (None, Aggregate::Max) => exact_max_topk(self.graph, &query, k),
+            (None, Aggregate::Sum) => {
+                let gphi = InePhi::new(self.graph, q);
+                rlist_topk(self.graph, &query, &gphi, k)
+            }
+        };
+        Ok(answer)
+    }
+
+    /// Evaluate `g_phi(p, Q)` directly with the best available backend
+    /// (Definition 1 as a public operation).
+    pub fn g_phi(
+        &self,
+        p: NodeId,
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Option<crate::gphi::GPhiResult> {
+        let k = ((phi * q.len() as f64).ceil() as usize).clamp(1, q.len());
+        match self.labels.as_ref() {
+            Some(labels) => {
+                IerPhi::new(self.graph, LabelOracle { labels }, q).eval(p, k, agg)
+            }
+            None => InePhi::new(self.graph, q).eval(p, k, agg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::brute::brute_force;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64 * 10.0, y as f64 * 10.0);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 10 + (x + y) % 5);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 10 + (x * 2 + y) % 4);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn indexed_and_index_free_agree_with_truth() {
+        let g = grid(7, 7);
+        let p: Vec<u32> = (0..49).step_by(3).collect();
+        let q: Vec<u32> = vec![4, 18, 30, 44];
+        let bare = Engine::new(&g);
+        let indexed = Engine::new(&g).with_labels();
+        for phi in [0.25, 0.5, 1.0] {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                let query = FannQuery::new(&p, &q, phi, agg);
+                let truth = brute_force(&g, &query).unwrap();
+                let a = bare.query(&p, &q, phi, agg).unwrap().unwrap();
+                let b = indexed.query(&p, &q, phi, agg).unwrap().unwrap();
+                assert_eq!(a.dist, truth.dist, "bare phi={phi} {agg}");
+                assert_eq!(b.dist, truth.dist, "indexed phi={phi} {agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_selected_as_documented() {
+        let g = grid(3, 3);
+        let bare = Engine::new(&g);
+        assert_eq!(bare.strategy_for(Aggregate::Max), Strategy::ExactMax);
+        assert_eq!(bare.strategy_for(Aggregate::Sum), Strategy::RListIne);
+        let approx = Engine::new(&g).allow_approx_sum(true);
+        assert_eq!(approx.strategy_for(Aggregate::Sum), Strategy::ApxSumIne);
+        let indexed = Engine::new(&g).with_labels();
+        assert!(indexed.has_labels());
+        assert_eq!(indexed.strategy_for(Aggregate::Max), Strategy::IerKnnLabels);
+    }
+
+    #[test]
+    fn approx_sum_within_bound() {
+        let g = grid(8, 8);
+        let p: Vec<u32> = (0..64).step_by(2).collect();
+        let q: Vec<u32> = vec![0, 9, 27, 45, 63];
+        let engine = Engine::new(&g).allow_approx_sum(true);
+        let query = FannQuery::new(&p, &q, 0.6, Aggregate::Sum);
+        let truth = brute_force(&g, &query).unwrap();
+        let a = engine.query(&p, &q, 0.6, Aggregate::Sum).unwrap().unwrap();
+        assert!(a.dist >= truth.dist);
+        assert!(a.dist <= 3 * truth.dist);
+    }
+
+    #[test]
+    fn topk_consistent_between_modes() {
+        let g = grid(6, 6);
+        let p: Vec<u32> = (0..36).collect();
+        let q: Vec<u32> = vec![0, 20, 35];
+        let bare = Engine::new(&g);
+        let indexed = Engine::new(&g).with_labels();
+        for agg in [Aggregate::Sum, Aggregate::Max] {
+            let a = bare.query_topk(&p, &q, 0.67, agg, 4).unwrap();
+            let b = indexed.query_topk(&p, &q, 0.67, agg, 4).unwrap();
+            let da: Vec<u64> = a.iter().map(|&(_, d)| d).collect();
+            let db: Vec<u64> = b.iter().map(|&(_, d)| d).collect();
+            assert_eq!(da, db, "{agg}");
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let g = grid(2, 2);
+        let engine = Engine::new(&g);
+        assert!(matches!(
+            engine.query(&[99], &[0], 0.5, Aggregate::Max),
+            Err(QueryError::NodeOutOfRange(99))
+        ));
+        assert!(matches!(
+            engine.query(&[], &[0], 0.5, Aggregate::Max),
+            Err(QueryError::EmptyP)
+        ));
+    }
+
+    #[test]
+    fn g_phi_is_consistent_between_backends() {
+        let g = grid(5, 5);
+        let q: Vec<u32> = vec![0, 12, 24];
+        let bare = Engine::new(&g);
+        let indexed = Engine::new(&g).with_labels();
+        for v in 0..25 {
+            let a = bare.g_phi(v, &q, 0.67, Aggregate::Sum).unwrap();
+            let b = indexed.g_phi(v, &q, 0.67, Aggregate::Sum).unwrap();
+            assert_eq!(a.dist, b.dist);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Instrumentation decorator: count `g_phi` invocations.
+//!
+//! The paper's §III narrative is exactly about reducing the number of
+//! `g_phi` calls: `GD` evaluates every `p ∈ P`, `R-List` stops at a
+//! threshold, IER-kNN prunes whole R-tree subtrees. Wrapping a backend in
+//! [`CountingPhi`] makes that measurable (see the `explain_gphi_calls`
+//! harness binary).
+
+use super::{GPhi, GPhiResult};
+use crate::Aggregate;
+use roadnet::NodeId;
+use std::cell::Cell;
+
+/// A transparent [`GPhi`] wrapper counting `eval` calls.
+pub struct CountingPhi<B> {
+    inner: B,
+    calls: Cell<usize>,
+}
+
+impl<B: GPhi> CountingPhi<B> {
+    pub fn new(inner: B) -> Self {
+        CountingPhi {
+            inner,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// Number of `eval` calls observed so far.
+    pub fn calls(&self) -> usize {
+        self.calls.get()
+    }
+
+    /// Reset the counter (e.g. between algorithms).
+    pub fn reset(&self) {
+        self.calls.set(0);
+    }
+}
+
+impl<B: GPhi> GPhi for CountingPhi<B> {
+    fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
+        self.calls.set(self.calls.get() + 1);
+        self.inner.eval(p, k, agg)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::ier::build_p_rtree;
+    use crate::algo::{gd, ier_knn, r_list};
+    use crate::gphi::ine::InePhi;
+    use crate::FannQuery;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> roadnet::Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64 * 10.0, y as f64 * 10.0);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 10 + (x + y) % 3);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 10 + (x * y) % 4);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn gd_calls_once_per_candidate() {
+        let g = grid(6, 6);
+        let p: Vec<u32> = (0..36).step_by(2).collect();
+        let q = [0u32, 35];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Max);
+        let counting = CountingPhi::new(InePhi::new(&g, &q));
+        gd(&query, &counting).unwrap();
+        assert_eq!(counting.calls(), p.len());
+    }
+
+    #[test]
+    fn rlist_and_ier_call_fewer_times_than_gd() {
+        // Q concentrated in one corner so pruning has something to prune.
+        let g = grid(10, 10);
+        let p: Vec<u32> = (0..100).collect();
+        let q = [0u32, 1, 10, 11];
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Max);
+        let counting = CountingPhi::new(InePhi::new(&g, &q));
+
+        gd(&query, &counting).unwrap();
+        let gd_calls = counting.calls();
+        counting.reset();
+
+        r_list(&g, &query, &counting).unwrap();
+        let rlist_calls = counting.calls();
+        counting.reset();
+
+        let rtree = build_p_rtree(&g, &p);
+        ier_knn(&g, &query, &rtree, &counting).unwrap();
+        let ier_calls = counting.calls();
+
+        assert_eq!(gd_calls, 100);
+        assert!(rlist_calls < gd_calls, "R-List did not prune: {rlist_calls}");
+        assert!(ier_calls < gd_calls, "IER-kNN did not prune: {ier_calls}");
+    }
+
+    #[test]
+    fn reset_zeroes_the_counter() {
+        let g = grid(3, 3);
+        let q = [8u32];
+        let counting = CountingPhi::new(InePhi::new(&g, &q));
+        counting.eval(0, 1, Aggregate::Sum).unwrap();
+        assert_eq!(counting.calls(), 1);
+        counting.reset();
+        assert_eq!(counting.calls(), 0);
+        assert_eq!(counting.name(), "INE");
+    }
+}

@@ -1,0 +1,126 @@
+//! `g_phi` via G-tree occurrence-list kNN (the "GTree" row of Table I).
+//!
+//! The occurrence list (`Occ`) over `Q` is built once per query set; each
+//! `g_phi(p, Q)` evaluation is then a single G-tree kNN search with
+//! `k = phi|Q|` (§III-C; \[11\], \[21\]).
+
+use super::{GPhi, GPhiResult};
+use crate::Aggregate;
+use gtree::{GTree, Occurrence};
+use roadnet::{Graph, NodeId};
+
+/// G-tree kNN backend: captures the tree, graph, and `Occ` over `Q`.
+pub struct GTreeKnnPhi<'t, 'g> {
+    tree: &'t GTree,
+    graph: &'g Graph,
+    occ: Occurrence,
+    num_query: usize,
+}
+
+impl<'t, 'g> GTreeKnnPhi<'t, 'g> {
+    pub fn new(tree: &'t GTree, graph: &'g Graph, q: &[NodeId]) -> Self {
+        GTreeKnnPhi {
+            tree,
+            graph,
+            occ: Occurrence::build(tree, q),
+            num_query: q.len(),
+        }
+    }
+
+    /// The occurrence structure (exposed for index-cost experiments).
+    pub fn occurrence(&self) -> &Occurrence {
+        &self.occ
+    }
+}
+
+impl GPhi for GTreeKnnPhi<'_, '_> {
+    fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
+        assert!(k >= 1 && k <= self.num_query, "invalid subset size {k}");
+        let knn = self.tree.knn(self.graph, &self.occ, p, k);
+        if knn.len() < k {
+            return None;
+        }
+        Some(GPhiResult::from_knn(knn, agg))
+    }
+
+    fn name(&self) -> &'static str {
+        "GTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gphi::ine::InePhi;
+    use gtree::GTreeParams;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x * 2 + y) % 3);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + (x + y * 2) % 4);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_ine() {
+        let g = grid(7, 6);
+        let tree = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 6,
+            },
+        );
+        let q: Vec<u32> = vec![1, 9, 17, 25, 33, 41];
+        let gt = GTreeKnnPhi::new(&tree, &g, &q);
+        let ine = InePhi::new(&g, &q);
+        for p in 0..42u32 {
+            for k in [1usize, 3, 6] {
+                for agg in [Aggregate::Sum, Aggregate::Max] {
+                    assert_eq!(
+                        gt.eval(p, k, agg).unwrap().dist,
+                        ine.eval(p, k, agg).unwrap().dist,
+                        "mismatch p={p} k={k} {agg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn none_when_too_few_reachable() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let tree = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 2,
+            },
+        );
+        let q = [1u32, 3];
+        let gt = GTreeKnnPhi::new(&tree, &g, &q);
+        assert!(gt.eval(0, 2, Aggregate::Sum).is_none());
+        assert_eq!(gt.eval(0, 1, Aggregate::Sum).unwrap().dist, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! `g_phi` via incremental network expansion (INE).
+//!
+//! As observed in §III-C ("Revisitation of `g_phi(p, Q)`"), evaluating
+//! `g_phi(p, Q)` *is* an INE/kNN query with `p` as source and `Q` as the
+//! object set: expand Dijkstra from `p` and stop as soon as `k = phi|Q|`
+//! query points are settled. Index-free — the backend of the paper's
+//! `Baseline` and the default `g_phi` of the index-free experiments
+//! (Fig. 4b).
+
+use super::{GPhi, GPhiResult};
+use crate::Aggregate;
+use roadnet::multisource::membership;
+use roadnet::{DijkstraIter, Graph, NodeId};
+
+/// INE backend: captures the graph and a membership mask over `Q`.
+pub struct InePhi<'g> {
+    graph: &'g Graph,
+    is_query: Vec<bool>,
+    num_query: usize,
+}
+
+impl<'g> InePhi<'g> {
+    pub fn new(graph: &'g Graph, q: &[NodeId]) -> Self {
+        InePhi {
+            graph,
+            is_query: membership(graph.num_nodes(), q),
+            num_query: q.len(),
+        }
+    }
+}
+
+impl GPhi for InePhi<'_> {
+    fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
+        assert!(k >= 1 && k <= self.num_query, "invalid subset size {k}");
+        let mut subset = Vec::with_capacity(k);
+        for (v, d) in DijkstraIter::new(self.graph, p) {
+            if self.is_query[v as usize] {
+                subset.push((v, d));
+                if subset.len() == k {
+                    return Some(GPhiResult::from_knn(subset, agg));
+                }
+            }
+        }
+        None // expansion exhausted before finding k query points
+    }
+
+    fn name(&self) -> &'static str {
+        "INE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::GraphBuilder;
+
+    /// Path 0-1-2-3-4, unit weights.
+    fn path5() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(i as f64, 0.0);
+        }
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_k_nearest_query_points() {
+        let g = path5();
+        let q = [0u32, 3, 4];
+        let phi = InePhi::new(&g, &q);
+        // From node 2: distances to Q are {0: 2, 3: 1, 4: 2}.
+        let r = phi.eval(2, 2, Aggregate::Sum).unwrap();
+        assert_eq!(r.dist, 3); // 1 + 2
+        assert_eq!(r.subset[0], (3, 1));
+        assert_eq!(r.subset[1].1, 2); // either node 0 or 4 at distance 2
+        let r = phi.eval(2, 2, Aggregate::Max).unwrap();
+        assert_eq!(r.dist, 2);
+    }
+
+    #[test]
+    fn full_subset_when_k_equals_q() {
+        let g = path5();
+        let q = [0u32, 4];
+        let phi = InePhi::new(&g, &q);
+        let r = phi.eval(1, 2, Aggregate::Sum).unwrap();
+        assert_eq!(r.dist, 1 + 3);
+    }
+
+    #[test]
+    fn p_on_query_point_counts_at_zero() {
+        let g = path5();
+        let q = [2u32, 4];
+        let phi = InePhi::new(&g, &q);
+        let r = phi.eval(2, 1, Aggregate::Max).unwrap();
+        assert_eq!(r.dist, 0);
+        assert_eq!(r.subset, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let q = [1u32, 2];
+        let phi = InePhi::new(&g, &q);
+        assert!(phi.eval(0, 2, Aggregate::Sum).is_none());
+        assert!(phi.eval(0, 1, Aggregate::Sum).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid subset size")]
+    fn rejects_k_zero() {
+        let g = path5();
+        let q = [0u32];
+        let _ = InePhi::new(&g, &q).eval(1, 0, Aggregate::Sum);
+    }
+}

@@ -1,0 +1,185 @@
+//! Point-to-point shortest-path distance oracles.
+//!
+//! Every `g_phi` backend that is not expansion-based reduces to repeated
+//! point-to-point distance queries; this module collects the oracles used
+//! by the paper (Dijkstra \[12\], A\* \[13\], PHL \[16\] → hub labels, G-tree
+//! \[11\]) behind one trait so [`super::scan::ScanPhi`] and
+//! [`super::ier2::IerPhi`] are generic over them.
+
+use ch_index::Ch;
+use gtree::GTree;
+use hublabel::HubLabels;
+use roadnet::{astar_pair, bidirectional_pair, dijkstra_pair, Dist, Graph, LowerBound, NodeId};
+
+/// An exact point-to-point network distance oracle.
+pub trait DistanceOracle {
+    /// Exact `delta(s, t)`; `None` when disconnected.
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist>;
+
+    /// Name as used in figure legends.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain Dijkstra with early termination.
+pub struct DijkstraOracle<'g> {
+    pub graph: &'g Graph,
+}
+
+impl DistanceOracle for DijkstraOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        dijkstra_pair(self.graph, s, t)
+    }
+    fn name(&self) -> &'static str {
+        "Dijkstra"
+    }
+}
+
+/// A\* with an admissible Euclidean lower bound.
+pub struct AStarOracle<'g> {
+    pub graph: &'g Graph,
+    pub lb: LowerBound,
+}
+
+impl<'g> AStarOracle<'g> {
+    pub fn new(graph: &'g Graph) -> Self {
+        AStarOracle {
+            graph,
+            lb: LowerBound::for_graph(graph),
+        }
+    }
+}
+
+impl DistanceOracle for AStarOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        astar_pair(self.graph, &self.lb, s, t)
+    }
+    fn name(&self) -> &'static str {
+        "A*"
+    }
+}
+
+/// Bidirectional Dijkstra (extension backend, DESIGN.md §7).
+pub struct BidirOracle<'g> {
+    pub graph: &'g Graph,
+}
+
+impl DistanceOracle for BidirOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        bidirectional_pair(self.graph, s, t)
+    }
+    fn name(&self) -> &'static str {
+        "BiDijkstra"
+    }
+}
+
+/// Hub-label oracle — the paper's "PHL" role (DESIGN.md §5).
+pub struct LabelOracle<'l> {
+    pub labels: &'l HubLabels,
+}
+
+impl DistanceOracle for LabelOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.labels.distance(s, t)
+    }
+    fn name(&self) -> &'static str {
+        "PHL"
+    }
+}
+
+/// G-tree assembly-based shortest-path distance oracle.
+pub struct GTreeOracle<'t, 'g> {
+    pub tree: &'t GTree,
+    pub graph: &'g Graph,
+}
+
+impl DistanceOracle for GTreeOracle<'_, '_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.tree.dist(self.graph, s, t)
+    }
+    fn name(&self) -> &'static str {
+        "GTree"
+    }
+}
+
+/// Contraction-hierarchy oracle (extension backend, DESIGN.md §7):
+/// bidirectional upward search over the shortcut-augmented graph.
+pub struct ChOracle<'c> {
+    pub ch: &'c Ch,
+}
+
+impl DistanceOracle for ChOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.ch.distance(s, t)
+    }
+    fn name(&self) -> &'static str {
+        "CH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::GraphBuilder;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        b.add_node(0.0, 1.0);
+        b.add_node(1.0, 1.0);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 2);
+        b.add_edge(1, 3, 2);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn all_oracles_agree() {
+        let g = diamond();
+        let hl = HubLabels::build(&g);
+        let gt = GTree::build(&g);
+        let ch = Ch::build(&g);
+        let oracles: Vec<Box<dyn DistanceOracle + '_>> = vec![
+            Box::new(DijkstraOracle { graph: &g }),
+            Box::new(AStarOracle::new(&g)),
+            Box::new(BidirOracle { graph: &g }),
+            Box::new(LabelOracle { labels: &hl }),
+            Box::new(GTreeOracle {
+                tree: &gt,
+                graph: &g,
+            }),
+            Box::new(ChOracle { ch: &ch }),
+        ];
+        for s in 0..4 {
+            for t in 0..4 {
+                let expect = dijkstra_pair(&g, s, t);
+                for o in &oracles {
+                    assert_eq!(o.dist(s, t), expect, "{} wrong for {s}->{t}", o.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let g = diamond();
+        let hl = HubLabels::build(&g);
+        let gt = GTree::build(&g);
+        let ch = Ch::build(&g);
+        let names = [
+            DijkstraOracle { graph: &g }.name(),
+            AStarOracle::new(&g).name(),
+            BidirOracle { graph: &g }.name(),
+            LabelOracle { labels: &hl }.name(),
+            GTreeOracle {
+                tree: &gt,
+                graph: &g,
+            }
+            .name(),
+            ChOracle { ch: &ch }.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

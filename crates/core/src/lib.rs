@@ -1,0 +1,211 @@
+//! FANN_R: flexible aggregate nearest neighbor queries in road networks.
+//!
+//! This crate is the paper's primary contribution (Yao et al., ICDE 2018):
+//!
+//! * [`FannQuery`] / [`FannAnswer`] — the query quintuple
+//!   `(G, P, Q, phi, g)` and answer triple `(p*, Q*_phi, d*)`
+//!   (Definitions 1 and 2).
+//! * [`gphi`] — the flexible aggregate function `g_phi(p, Q)` with all the
+//!   backends of Table I (INE, A\*, label/"PHL", G-tree kNN, and the IER²
+//!   family over an R-tree on `Q`).
+//! * [`algo`] — the query algorithms: the Dijkstra-based baseline `GD`
+//!   (§III-A), `R-List` (§III-B), the IER-kNN framework (Algorithm 1),
+//!   `Exact-max` (Algorithm 2), `APX-sum` (Algorithm 3), and the
+//!   `k`-FANN_R extensions (§V).
+//!
+//! All exact algorithms agree on `d*` by construction; the integration and
+//! property tests cross-validate them against a brute-force reference.
+//! [`engine::Engine`] wraps the §VII decision rule (indexed vs index-free,
+//! exact vs approximate) behind one `query` call.
+
+pub mod algo;
+pub mod engine;
+pub mod gphi;
+
+use roadnet::{Dist, Graph, NodeId};
+use std::fmt;
+
+/// The aggregate function `g`: either `sum` or `max` (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    Sum,
+    Max,
+}
+
+impl Aggregate {
+    /// Aggregate a slice of distances sorted in ascending order.
+    /// Saturating for `Sum`, so `INF` stays `INF`.
+    pub fn of_sorted(&self, sorted: &[Dist]) -> Dist {
+        match self {
+            Aggregate::Sum => sorted.iter().fold(0u64, |a, &d| a.saturating_add(d)),
+            Aggregate::Max => sorted.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregate::Sum => write!(f, "sum"),
+            Aggregate::Max => write!(f, "max"),
+        }
+    }
+}
+
+/// An FANN_R query: data points `P`, query points `Q`, flexibility
+/// `phi in (0, 1]`, and aggregate `g` (Definition 2). The graph is passed
+/// to each algorithm separately so one query can run on many backends.
+#[derive(Debug, Clone)]
+pub struct FannQuery<'a> {
+    pub p: &'a [NodeId],
+    pub q: &'a [NodeId],
+    pub phi: f64,
+    pub agg: Aggregate,
+}
+
+/// Validation failures for [`FannQuery::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    EmptyP,
+    EmptyQ,
+    PhiOutOfRange,
+    NodeOutOfRange(NodeId),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyP => write!(f, "P must be non-empty"),
+            QueryError::EmptyQ => write!(f, "Q must be non-empty"),
+            QueryError::PhiOutOfRange => write!(f, "phi must lie in (0, 1]"),
+            QueryError::NodeOutOfRange(v) => write!(f, "node {v} is not in the graph"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl<'a> FannQuery<'a> {
+    /// Construct a query.
+    ///
+    /// # Panics
+    /// If `phi` is outside `(0, 1]` or either set is empty; use
+    /// [`FannQuery::validate`] for fallible checking against a graph.
+    pub fn new(p: &'a [NodeId], q: &'a [NodeId], phi: f64, agg: Aggregate) -> Self {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must lie in (0, 1], got {phi}");
+        assert!(!p.is_empty(), "P must be non-empty");
+        assert!(!q.is_empty(), "Q must be non-empty");
+        FannQuery { p, q, phi, agg }
+    }
+
+    /// `ceil(phi * |Q|)` — the size of the flexible subset `Q_phi`.
+    pub fn subset_size(&self) -> usize {
+        ((self.phi * self.q.len() as f64).ceil() as usize).clamp(1, self.q.len())
+    }
+
+    /// Check the query against a graph.
+    pub fn validate(&self, g: &Graph) -> Result<(), QueryError> {
+        if self.p.is_empty() {
+            return Err(QueryError::EmptyP);
+        }
+        if self.q.is_empty() {
+            return Err(QueryError::EmptyQ);
+        }
+        if !(self.phi > 0.0 && self.phi <= 1.0) {
+            return Err(QueryError::PhiOutOfRange);
+        }
+        let n = g.num_nodes() as NodeId;
+        for &v in self.p.iter().chain(self.q.iter()) {
+            if v >= n {
+                return Err(QueryError::NodeOutOfRange(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An FANN_R answer `(p*, Q*_phi, d*)` (Definition 2). `subset` is sorted
+/// by distance ascending and has exactly `subset_size()` members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FannAnswer {
+    pub p_star: NodeId,
+    pub subset: Vec<NodeId>,
+    pub dist: Dist,
+}
+
+/// A `k`-FANN_R answer (Definition 3): the `k` data points with the
+/// smallest flexible aggregate distances, ascending.
+pub type KFannAnswer = Vec<(NodeId, Dist)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::GraphBuilder;
+
+    #[test]
+    fn aggregate_of_sorted() {
+        assert_eq!(Aggregate::Sum.of_sorted(&[1, 2, 3]), 6);
+        assert_eq!(Aggregate::Max.of_sorted(&[1, 2, 3]), 3);
+        assert_eq!(Aggregate::Sum.of_sorted(&[]), 0);
+        assert_eq!(Aggregate::Max.of_sorted(&[]), 0);
+        assert_eq!(Aggregate::Sum.of_sorted(&[u64::MAX, 1]), u64::MAX);
+    }
+
+    #[test]
+    fn subset_size_rounds_up() {
+        let p = [0u32];
+        let q = [0u32, 1, 2, 3];
+        assert_eq!(FannQuery::new(&p, &q, 0.5, Aggregate::Max).subset_size(), 2);
+        assert_eq!(FannQuery::new(&p, &q, 0.26, Aggregate::Max).subset_size(), 2);
+        assert_eq!(FannQuery::new(&p, &q, 0.25, Aggregate::Max).subset_size(), 1);
+        assert_eq!(FannQuery::new(&p, &q, 1.0, Aggregate::Max).subset_size(), 4);
+        assert_eq!(FannQuery::new(&p, &q, 0.01, Aggregate::Max).subset_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn rejects_phi_zero() {
+        let p = [0u32];
+        let q = [0u32];
+        let _ = FannQuery::new(&p, &q, 0.0, Aggregate::Sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn rejects_phi_above_one() {
+        let p = [0u32];
+        let q = [0u32];
+        let _ = FannQuery::new(&p, &q, 1.5, Aggregate::Sum);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        let g = b.build();
+        let p = [0u32, 5];
+        let q = [1u32];
+        let query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+        assert_eq!(query.validate(&g), Err(QueryError::NodeOutOfRange(5)));
+    }
+
+    #[test]
+    fn validate_ok() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        let g = b.build();
+        let p = [0u32];
+        let q = [1u32];
+        assert!(FannQuery::new(&p, &q, 1.0, Aggregate::Max)
+            .validate(&g)
+            .is_ok());
+    }
+
+    #[test]
+    fn aggregate_display() {
+        assert_eq!(Aggregate::Sum.to_string(), "sum");
+        assert_eq!(Aggregate::Max.to_string(), "max");
+    }
+}

@@ -1,0 +1,427 @@
+//! kNN search over an object set with occurrence lists (`Occ`).
+//!
+//! This is the "GTree" kNN algorithm of Table I: given a query vertex `v`
+//! and an object set `O` (for FANN_R, `O = Q` and `k = phi|Q|`), the search
+//! walks the G-tree best-first, pruning subtrees without objects using the
+//! occurrence structure and lower-bounding each subtree by the exact global
+//! distance from `v` to the subtree's nearest border.
+
+use crate::tree::{dadd, restricted_dijkstra, GTree};
+use roadnet::{Dist, Graph, NodeId, INF};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Occurrence lists over an object set: for every tree node whether its
+/// subtree contains an object, and the objects of each leaf.
+pub struct Occurrence {
+    has: Vec<bool>,
+    leaf_objects: Vec<Vec<NodeId>>,
+    num_objects: usize,
+}
+
+impl Occurrence {
+    /// Mark the tree nodes covering `objects`.
+    pub fn build(tree: &GTree, objects: &[NodeId]) -> Self {
+        let n = tree.num_tree_nodes();
+        let mut has = vec![false; n];
+        let mut leaf_objects = vec![Vec::new(); n];
+        for &o in objects {
+            let leaf = tree.leaf(o);
+            leaf_objects[leaf as usize].push(o);
+            let mut cur = leaf;
+            loop {
+                if has[cur as usize] {
+                    break; // ancestors already marked
+                }
+                has[cur as usize] = true;
+                match tree.parent_of(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+        Occurrence {
+            has,
+            leaf_objects,
+            num_objects: objects.len(),
+        }
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Approximate in-memory size (Appendix-A index-cost experiment).
+    pub fn memory_bytes(&self) -> usize {
+        self.has.len()
+            + self
+                .leaf_objects
+                .iter()
+                .map(|l| l.len() * 4 + std::mem::size_of::<Vec<NodeId>>())
+                .sum::<usize>()
+    }
+}
+
+/// Bounded max-heap collecting the k smallest `(dist, node)` results.
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<(Dist, NodeId)>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn offer(&mut self, d: Dist, v: NodeId) {
+        if d == INF || self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((d, v));
+        } else if let Some(&(worst, _)) = self.heap.peek() {
+            if d < worst {
+                self.heap.pop();
+                self.heap.push((d, v));
+            }
+        }
+    }
+
+    /// Current pruning threshold: the k-th best distance so far.
+    fn threshold(&self) -> Dist {
+        if self.heap.len() < self.k {
+            INF
+        } else {
+            self.heap.peek().map_or(INF, |&(d, _)| d)
+        }
+    }
+
+    fn into_sorted(self) -> Vec<(NodeId, Dist)> {
+        let mut v: Vec<(NodeId, Dist)> = self.heap.into_iter().map(|(d, n)| (n, d)).collect();
+        v.sort_by_key(|&(n, d)| (d, n));
+        v
+    }
+}
+
+impl GTree {
+    pub(crate) fn parent_of(&self, x: u32) -> Option<u32> {
+        self.nodes[x as usize].parent
+    }
+
+    /// The `k` objects of `occ` nearest to `v` in network distance,
+    /// ascending; fewer than `k` if fewer are reachable.
+    pub fn knn(&self, g: &Graph, occ: &Occurrence, v: NodeId, k: usize) -> Vec<(NodeId, Dist)> {
+        let mut best = TopK::new(k);
+        if k == 0 {
+            return Vec::new();
+        }
+        let lv = self.leaf(v);
+
+        // 1) Objects in v's own leaf: inner Dijkstra + out-and-back via
+        //    borders (leaf matrices are global).
+        {
+            let leaf = &self.nodes[lv as usize];
+            let inner = restricted_dijkstra(g, v, &leaf.vert_pos);
+            let vp = leaf.vert_pos[&v];
+            for &o in &occ.leaf_objects[lv as usize] {
+                let op = leaf.vert_pos[&o];
+                let mut d = inner[op as usize];
+                for bi in 0..leaf.borders.len() {
+                    d = d.min(dadd(leaf.lmat(bi, vp), leaf.lmat(bi, op)));
+                }
+                best.offer(d, o);
+            }
+        }
+
+        // 2) Eagerly compute global distance vectors from v to the matrix
+        //    vertices of every ancestor, seeding the frontier with each
+        //    ancestor's non-path object children.
+        //    dv_of[x] = distances from v to nodes[x].verts (internal only).
+        let mut dv_of: HashMap<u32, Vec<Dist>> = HashMap::new();
+        let mut frontier: BinaryHeap<(Reverse<Dist>, u32)> = BinaryHeap::new();
+
+        {
+            let leaf = &self.nodes[lv as usize];
+            let vp = leaf.vert_pos[&v];
+            // Distance vector over current child's borders, walking up.
+            let mut cur = lv;
+            let mut dv: Vec<Dist> = (0..leaf.borders.len())
+                .map(|bi| leaf.lmat(bi, vp))
+                .collect();
+            while let Some(parent) = self.parent_of(cur) {
+                let p = &self.nodes[parent as usize];
+                let cur_bpos: Vec<u32> = self.nodes[cur as usize]
+                    .borders
+                    .iter()
+                    .map(|b| p.vert_pos[b])
+                    .collect();
+                // Distances from v to all matrix verts of `parent`.
+                let dvp: Vec<Dist> = (0..p.verts.len() as u32)
+                    .map(|u| {
+                        let mut bd = INF;
+                        for (i, &fp) in cur_bpos.iter().enumerate() {
+                            bd = bd.min(dadd(dv[i], p.mat(fp, u)));
+                        }
+                        bd
+                    })
+                    .collect();
+                // Seed sibling subtrees that contain objects.
+                for &c in &p.children {
+                    if c == cur || !occ.has[c as usize] {
+                        continue;
+                    }
+                    let key = self.nodes[c as usize]
+                        .borders
+                        .iter()
+                        .map(|b| dvp[p.vert_pos[b] as usize])
+                        .min()
+                        .unwrap_or(INF);
+                    if key != INF {
+                        frontier.push((Reverse(key), c));
+                    }
+                }
+                dv = p.border_pos.iter().map(|&bp| dvp[bp as usize]).collect();
+                dv_of.insert(parent, dvp);
+                cur = parent;
+            }
+        }
+
+        // 3) Best-first descent.
+        while let Some((Reverse(key), x)) = frontier.pop() {
+            if key >= best.threshold() {
+                break;
+            }
+            let node = &self.nodes[x as usize];
+            let parent = node.parent.expect("frontier nodes are non-root");
+            let p = &self.nodes[parent as usize];
+            let dvp = &dv_of[&parent];
+            // Distances from v to this node's borders via the parent vector.
+            let dvb: Vec<Dist> = node
+                .borders
+                .iter()
+                .map(|b| dvp[p.vert_pos[b] as usize])
+                .collect();
+            if node.is_leaf() {
+                for &o in &occ.leaf_objects[x as usize] {
+                    let op = node.vert_pos[&o];
+                    let mut d = INF;
+                    for (bi, &db) in dvb.iter().enumerate() {
+                        d = d.min(dadd(db, node.lmat(bi, op)));
+                    }
+                    best.offer(d, o);
+                }
+            } else {
+                let dvx: Vec<Dist> = (0..node.verts.len() as u32)
+                    .map(|u| {
+                        let mut bd = INF;
+                        for (bi, &db) in dvb.iter().enumerate() {
+                            bd = bd.min(dadd(db, node.mat(node.border_pos[bi], u)));
+                        }
+                        bd
+                    })
+                    .collect();
+                for &c in &node.children {
+                    if !occ.has[c as usize] {
+                        continue;
+                    }
+                    let key = self.nodes[c as usize]
+                        .borders
+                        .iter()
+                        .map(|b| dvx[node.vert_pos[b] as usize])
+                        .min()
+                        .unwrap_or(INF);
+                    if key != INF && key < best.threshold() {
+                        frontier.push((Reverse(key), c));
+                    }
+                }
+                dv_of.insert(x, dvx);
+            }
+        }
+        best.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::GTreeParams;
+    use roadnet::dijkstra::dijkstra_all;
+    use roadnet::GraphBuilder;
+    use roadnet::Graph;
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x * 3 + y) % 4);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + (x + y) % 3);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Reference kNN by full Dijkstra + sort.
+    fn knn_naive(g: &Graph, objects: &[NodeId], v: NodeId, k: usize) -> Vec<(NodeId, Dist)> {
+        let d = dijkstra_all(g, v);
+        let mut all: Vec<(NodeId, Dist)> = objects
+            .iter()
+            .map(|&o| (o, d[o as usize]))
+            .filter(|&(_, d)| d != INF)
+            .collect();
+        all.sort_by_key(|&(n, d)| (d, n));
+        all.truncate(k);
+        all
+    }
+
+    fn assert_knn_matches(g: &Graph, t: &GTree, objects: &[NodeId], k: usize) {
+        let occ = Occurrence::build(t, objects);
+        for v in 0..g.num_nodes() as NodeId {
+            let got = t.knn(g, &occ, v, k);
+            let want = knn_naive(g, objects, v, k);
+            // Distances must agree exactly; at equal distance the object
+            // choice may differ, so compare the distance multisets.
+            let gd: Vec<Dist> = got.iter().map(|&(_, d)| d).collect();
+            let wd: Vec<Dist> = want.iter().map(|&(_, d)| d).collect();
+            assert_eq!(gd, wd, "knn dist mismatch from {v}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_naive_small() {
+        let g = grid(6, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 5,
+            },
+        );
+        let objects: Vec<NodeId> = vec![0, 7, 13, 21, 35];
+        assert_knn_matches(&g, &t, &objects, 3);
+    }
+
+    #[test]
+    fn knn_matches_naive_fanout4() {
+        let g = grid(9, 7);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 8,
+            },
+        );
+        let objects: Vec<NodeId> = (0..63).step_by(5).collect();
+        assert_knn_matches(&g, &t, &objects, 4);
+    }
+
+    #[test]
+    fn knn_k_exceeds_objects() {
+        let g = grid(5, 5);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        let objects = vec![3, 17];
+        let occ = Occurrence::build(&t, &objects);
+        let got = t.knn(&g, &occ, 0, 10);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn knn_query_on_object() {
+        let g = grid(5, 5);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        let objects = vec![12, 3];
+        let occ = Occurrence::build(&t, &objects);
+        let got = t.knn(&g, &occ, 12, 1);
+        assert_eq!(got, vec![(12, 0)]);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let g = grid(4, 4);
+        let t = GTree::build(&g);
+        let occ = Occurrence::build(&t, &[1, 2]);
+        assert!(t.knn(&g, &occ, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn knn_single_leaf_tree() {
+        let g = grid(3, 3);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 64,
+            },
+        );
+        let objects = vec![8, 4];
+        let occ = Occurrence::build(&t, &objects);
+        let got = t.knn(&g, &occ, 0, 2);
+        let want = knn_naive(&g, &objects, 0, 2);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_respects_disconnection() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        b.add_edge(4, 5, 1);
+        let g = b.build();
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 2,
+            },
+        );
+        let objects = vec![2, 5];
+        let occ = Occurrence::build(&t, &objects);
+        // From node 0 only object 2 is reachable.
+        let got = t.knn(&g, &occ, 0, 2);
+        assert_eq!(got, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn occurrence_stats() {
+        let g = grid(6, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 5,
+            },
+        );
+        let occ = Occurrence::build(&t, &[0, 1, 2]);
+        assert_eq!(occ.num_objects(), 3);
+        assert!(occ.memory_bytes() > 0);
+        assert!(occ.has[0], "root must be marked");
+    }
+}

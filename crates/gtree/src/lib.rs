@@ -1,0 +1,23 @@
+//! G-tree: a hierarchical road-network index for distance and kNN queries.
+//!
+//! Reimplementation of the G-tree index of Zhong et al. \[11\], \[21\], used by
+//! the paper as one of the state-of-the-art `g_phi` backends (Table I):
+//! the graph is recursively partitioned (fanout `f`, leaf capacity `tau`),
+//! each tree node materializes a distance matrix over its (children's)
+//! borders, and queries assemble distances through those matrices. The
+//! occurrence-list (`Occ`) kNN search of the original paper is provided by
+//! [`Occurrence`] + [`GTree::knn`].
+//!
+//! Differences from the original are documented in DESIGN.md: METIS is
+//! replaced by geometric recursive bisection with greedy cut refinement,
+//! and matrices are lifted to global distances by a top-down refinement
+//! pass, which keeps queries simple and provably exact.
+
+pub mod knn;
+pub mod partition;
+pub mod persist;
+pub mod query;
+pub mod tree;
+
+pub use knn::Occurrence;
+pub use tree::{GTree, GTreeParams};

@@ -1,0 +1,333 @@
+//! Binary persistence for the G-tree index.
+//!
+//! G-tree construction dominates deployment cost on large networks
+//! (Fig. 9b); this module serializes the full index — hierarchy, borders,
+//! matrix vertex sets, and distance matrices — into a versioned
+//! little-endian stream so it can be built once and shipped.
+//!
+//! ```text
+//! magic "GTRE" | version u32 | params (fanout u32, leaf_cap u32)
+//! graph nodes u64 | leaf_of u32*
+//! tree nodes u64
+//! per node: parent i64 (-1 = root) | depth u32
+//!           children len u32 + u32*
+//!           borders  len u32 + u32*
+//!           verts    len u32 + u32*
+//!           border_pos len u32 + u32*
+//!           matrix   len u64 + u64*
+//! ```
+
+use crate::tree::{GNode, GTree, GTreeParams};
+use roadnet::Dist;
+use std::collections::HashMap;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"GTRE";
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a G-tree file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    BadMagic,
+    UnsupportedVersion(u32),
+    Truncated,
+    /// A structural invariant failed (dangling child, bad leaf pointer,
+    /// matrix size mismatch, ...).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a G-tree file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::Truncated => write!(f, "unexpected end of data"),
+            PersistError::Corrupt(what) => write!(f, "corrupt index: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, PersistError> {
+        let len = self.u32()? as usize;
+        let mut v = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+}
+
+fn put_u32_vec(out: &mut Vec<u8>, v: &[u32]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+impl GTree {
+    /// Serialize to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let params = self.params();
+        out.extend_from_slice(&(params.fanout as u32).to_le_bytes());
+        out.extend_from_slice(&(params.leaf_cap as u32).to_le_bytes());
+        out.extend_from_slice(&(self.leaf_of.len() as u64).to_le_bytes());
+        for &l in &self.leaf_of {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for n in &self.nodes {
+            let parent: i64 = n.parent.map_or(-1, |p| p as i64);
+            out.extend_from_slice(&parent.to_le_bytes());
+            out.extend_from_slice(&n.depth.to_le_bytes());
+            put_u32_vec(&mut out, &n.children);
+            put_u32_vec(&mut out, &n.borders);
+            put_u32_vec(&mut out, &n.verts);
+            put_u32_vec(&mut out, &n.border_pos);
+            out.extend_from_slice(&(n.matrix.len() as u64).to_le_bytes());
+            for &d in &n.matrix {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a stream produced by [`GTree::to_bytes`], re-deriving the
+    /// hash lookups and validating structural invariants.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader { buf: data, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let params = GTreeParams {
+            fanout: r.u32()? as usize,
+            leaf_cap: r.u32()? as usize,
+        };
+        let graph_nodes = r.u64()? as usize;
+        let mut leaf_of = Vec::with_capacity(graph_nodes.min(1 << 26));
+        for _ in 0..graph_nodes {
+            leaf_of.push(r.u32()?);
+        }
+        let num_tree_nodes = r.u64()? as usize;
+        let mut nodes = Vec::with_capacity(num_tree_nodes.min(1 << 22));
+        for _ in 0..num_tree_nodes {
+            let parent_raw = r.i64()?;
+            let parent = if parent_raw < 0 {
+                None
+            } else {
+                Some(parent_raw as u32)
+            };
+            let depth = r.u32()?;
+            let children = r.u32_vec()?;
+            let borders = r.u32_vec()?;
+            let verts = r.u32_vec()?;
+            let border_pos = r.u32_vec()?;
+            let mlen = r.u64()? as usize;
+            let mut matrix: Vec<Dist> = Vec::with_capacity(mlen.min(1 << 26));
+            for _ in 0..mlen {
+                matrix.push(r.u64()?);
+            }
+            let vert_pos: HashMap<u32, u32> = verts
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            nodes.push(GNode {
+                parent,
+                children,
+                depth,
+                borders,
+                verts,
+                vert_pos,
+                border_pos,
+                matrix,
+            });
+        }
+
+        // Structural validation.
+        for (i, n) in nodes.iter().enumerate() {
+            for &c in &n.children {
+                if c as usize >= nodes.len() {
+                    return Err(PersistError::Corrupt("child index out of range"));
+                }
+                if nodes[c as usize].parent != Some(i as u32) {
+                    return Err(PersistError::Corrupt("parent/child mismatch"));
+                }
+            }
+            let expected = if n.children.is_empty() {
+                n.borders.len() * n.verts.len()
+            } else {
+                n.verts.len() * n.verts.len()
+            };
+            if n.matrix.len() != expected {
+                return Err(PersistError::Corrupt("matrix size mismatch"));
+            }
+            if n.border_pos.len() != n.borders.len() {
+                return Err(PersistError::Corrupt("border_pos size mismatch"));
+            }
+        }
+        for &l in &leaf_of {
+            if l as usize >= nodes.len() || !nodes[l as usize].children.is_empty() {
+                return Err(PersistError::Corrupt("leaf_of points at a non-leaf"));
+            }
+        }
+        Ok(GTree::from_parts(nodes, leaf_of, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{Graph, GraphBuilder, NodeId};
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x + y) % 3);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + x % 2);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let g = grid(7, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 6,
+            },
+        );
+        let bytes = t.to_bytes();
+        let t2 = GTree::from_bytes(&bytes).unwrap();
+        assert_eq!(t2.num_tree_nodes(), t.num_tree_nodes());
+        assert_eq!(t2.params().leaf_cap, 6);
+        for s in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(t2.dist(&g, s, v), t.dist(&g, s, v), "pair {s}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_knn() {
+        use crate::knn::Occurrence;
+        let g = grid(6, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 5,
+            },
+        );
+        let t2 = GTree::from_bytes(&t.to_bytes()).unwrap();
+        let objects: Vec<NodeId> = (0..36).step_by(4).collect();
+        let occ1 = Occurrence::build(&t, &objects);
+        let occ2 = Occurrence::build(&t2, &objects);
+        for v in 0..36 {
+            let a: Vec<_> = t.knn(&g, &occ1, v, 3);
+            let b: Vec<_> = t2.knn(&g, &occ2, v, 3);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(matches!(
+            GTree::from_bytes(b"XXXX????"),
+            Err(PersistError::BadMagic)
+        ));
+        let g = grid(3, 3);
+        let mut bytes = GTree::build(&g).to_bytes();
+        bytes[4] = 9;
+        assert!(matches!(
+            GTree::from_bytes(&bytes),
+            Err(PersistError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = grid(4, 4);
+        let bytes = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        )
+        .to_bytes();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(GTree::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_leaf_pointer() {
+        let g = grid(4, 4);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        let mut bytes = t.to_bytes();
+        // leaf_of starts at offset 4+4+8+8 = 24; point node 0 at node 0
+        // (the root, which is internal here).
+        bytes[24..28].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            GTree::from_bytes(&bytes),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

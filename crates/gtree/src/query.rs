@@ -1,0 +1,231 @@
+//! Shortest-path distance queries over the G-tree (the assembly method).
+//!
+//! Because matrices hold *global* distances after refinement
+//! (see [`crate::tree`]), a query is a small dynamic program:
+//! ascend from each endpoint's leaf to the LCA, combining border vectors
+//! with matrix lookups, then join the two vectors through the LCA matrix.
+
+use crate::tree::{dadd, restricted_dijkstra, GTree};
+use roadnet::{Dist, Graph, NodeId, INF};
+
+impl GTree {
+    /// Lowest common ancestor of two arena nodes.
+    pub(crate) fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
+            a = self.nodes[a as usize].parent.expect("deeper node has parent");
+        }
+        while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
+            b = self.nodes[b as usize].parent.expect("deeper node has parent");
+        }
+        while a != b {
+            a = self.nodes[a as usize].parent.expect("distinct roots impossible");
+            b = self.nodes[b as usize].parent.expect("distinct roots impossible");
+        }
+        a
+    }
+
+    /// Global distances from `v` to the borders of the child of `stop`
+    /// on the path from `leaf(v)` up to `stop`. Returns
+    /// `(child_of_stop, dist_per_border)` aligned with that child's
+    /// `borders` vector.
+    ///
+    /// # Panics
+    /// If `stop` is `leaf(v)` itself (there is no child on the path).
+    pub(crate) fn ascend(&self, v: NodeId, stop: u32) -> (u32, Vec<Dist>) {
+        let mut cur = self.leaf(v);
+        assert_ne!(cur, stop, "ascend requires v's leaf below `stop`");
+        let leaf = &self.nodes[cur as usize];
+        let vp = leaf.vert_pos[&v];
+        let mut dv: Vec<Dist> = (0..leaf.borders.len())
+            .map(|bi| leaf.lmat(bi, vp))
+            .collect();
+        loop {
+            let parent = self.nodes[cur as usize].parent.expect("stop is an ancestor");
+            if parent == stop {
+                return (cur, dv);
+            }
+            let p = &self.nodes[parent as usize];
+            let cur_borders = &self.nodes[cur as usize].borders;
+            let bpos: Vec<u32> = cur_borders.iter().map(|b| p.vert_pos[b]).collect();
+            let ndv: Vec<Dist> = p
+                .border_pos
+                .iter()
+                .map(|&tp| {
+                    let mut best = INF;
+                    for (i, &fp) in bpos.iter().enumerate() {
+                        best = best.min(dadd(dv[i], p.mat(fp, tp)));
+                    }
+                    best
+                })
+                .collect();
+            dv = ndv;
+            cur = parent;
+        }
+    }
+
+    /// Exact network distance between any two vertices; `None` when
+    /// disconnected. This is the "GTree" shortest-path backend of Table I.
+    pub fn dist(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<Dist> {
+        if s == t {
+            return Some(0);
+        }
+        let ls = self.leaf(s);
+        let lt = self.leaf(t);
+        if ls == lt {
+            let leaf = &self.nodes[ls as usize];
+            let (ps, pt) = (leaf.vert_pos[&s], leaf.vert_pos[&t]);
+            // Paths inside the leaf...
+            let mut best = restricted_dijkstra(g, s, &leaf.vert_pos)[pt as usize];
+            // ...or out through a border and back (matrix entries are global).
+            for bi in 0..leaf.borders.len() {
+                best = best.min(dadd(leaf.lmat(bi, ps), leaf.lmat(bi, pt)));
+            }
+            return (best != INF).then_some(best);
+        }
+        let lca = self.lca(ls, lt);
+        let (cs, dvs) = self.ascend(s, lca);
+        let (ct, dvt) = self.ascend(t, lca);
+        let a = &self.nodes[lca as usize];
+        let bs: Vec<u32> = self.nodes[cs as usize]
+            .borders
+            .iter()
+            .map(|b| a.vert_pos[b])
+            .collect();
+        let bt: Vec<u32> = self.nodes[ct as usize]
+            .borders
+            .iter()
+            .map(|b| a.vert_pos[b])
+            .collect();
+        let mut best = INF;
+        for (i, &p1) in bs.iter().enumerate() {
+            if dvs[i] == INF {
+                continue;
+            }
+            for (j, &p2) in bt.iter().enumerate() {
+                best = best.min(dadd(dadd(dvs[i], a.mat(p1, p2)), dvt[j]));
+            }
+        }
+        (best != INF).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{GTree, GTreeParams};
+    use roadnet::dijkstra::dijkstra_all;
+    use roadnet::{Graph, GraphBuilder, NodeId, INF};
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x * 7 + y * 3) % 5);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + (x + y * 2) % 4);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn assert_all_pairs(g: &Graph, t: &GTree) {
+        for s in 0..g.num_nodes() as NodeId {
+            let truth = dijkstra_all(g, s);
+            for v in 0..g.num_nodes() as NodeId {
+                let expect = (truth[v as usize] != INF).then_some(truth[v as usize]);
+                assert_eq!(t.dist(g, s, v), expect, "pair {s}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_small_leaves() {
+        let g = grid(6, 5);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        assert_all_pairs(&g, &t);
+    }
+
+    #[test]
+    fn exact_fanout_four() {
+        let g = grid(8, 7);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 6,
+            },
+        );
+        assert_all_pairs(&g, &t);
+    }
+
+    #[test]
+    fn exact_single_leaf() {
+        let g = grid(3, 3);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 100,
+            },
+        );
+        assert_all_pairs(&g, &t);
+    }
+
+    #[test]
+    fn disconnected_graph_returns_none_across() {
+        // Two 2x2 grids with no connection.
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            b.add_node((i % 4) as f64, (i / 4) as f64 * 10.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(4, 5, 1);
+        b.add_edge(5, 6, 1);
+        b.add_edge(6, 7, 1);
+        let g = b.build();
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 3,
+            },
+        );
+        assert_all_pairs(&g, &t);
+        assert_eq!(t.dist(&g, 0, 7), None);
+    }
+
+    #[test]
+    fn deep_tree_stays_exact() {
+        let g = grid(10, 10);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 3,
+            },
+        );
+        assert!(t.height() >= 5);
+        // Spot-check a sample of pairs (full 100x100 is covered above on
+        // smaller grids).
+        let truth0 = dijkstra_all(&g, 0);
+        for v in (0..100).step_by(7) {
+            assert_eq!(t.dist(&g, 0, v), Some(truth0[v as usize]));
+        }
+    }
+}

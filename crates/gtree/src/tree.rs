@@ -1,0 +1,662 @@
+//! G-tree construction: hierarchy, borders, and distance matrices.
+//!
+//! Matrices are built in two phases:
+//!
+//! 1. **Bottom-up assembly** — leaf matrices come from Dijkstra restricted
+//!    to the leaf subgraph; each internal node's matrix is all-pairs over a
+//!    small *assembly graph* whose vertices are its children's borders and
+//!    whose edges are child matrix entries plus the original cut edges
+//!    between children. After this phase every matrix holds shortest-path
+//!    distances *within the node's subgraph*.
+//! 2. **Top-down refinement** — the root's subgraph is the whole network,
+//!    so its matrix is already global; walking down, each matrix entry is
+//!    improved with detours that leave the subgraph through its borders
+//!    (`d_g(u,v) = min(d_X(u,v), min_{a,b in borders(X)} d_X(u,a) +
+//!    d_g(a,b) + d_X(b,v))`). After this phase every matrix holds **global**
+//!    shortest-path distances, which makes the query-time assembly
+//!    (`crate::query`) and kNN (`crate::knn`) simple and exact.
+
+use crate::partition::{partition_graph, PartitionNode};
+use roadnet::{Dist, Graph, NodeId, INF};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Saturating distance addition: `INF + x = INF`.
+#[inline]
+pub(crate) fn dadd(a: Dist, b: Dist) -> Dist {
+    a.saturating_add(b)
+}
+
+/// Build parameters. The paper sets `fanout = 4` and `leaf_cap` (`tau`)
+/// from 64 to 512 depending on the dataset (§VI-A).
+#[derive(Debug, Clone, Copy)]
+pub struct GTreeParams {
+    pub fanout: usize,
+    pub leaf_cap: usize,
+}
+
+impl Default for GTreeParams {
+    fn default() -> Self {
+        GTreeParams {
+            fanout: 4,
+            leaf_cap: 64,
+        }
+    }
+}
+
+pub(crate) struct GNode {
+    pub parent: Option<u32>,
+    pub children: Vec<u32>,
+    pub depth: u32,
+    /// Border vertices: members of this subgraph with an edge leaving it.
+    pub borders: Vec<NodeId>,
+    /// Matrix vertex set. Internal nodes: union of children's borders.
+    /// Leaves: every vertex of the leaf (matrix columns).
+    pub verts: Vec<NodeId>,
+    /// Position of a vertex within `verts`.
+    pub vert_pos: HashMap<NodeId, u32>,
+    /// Positions of `borders[i]` within `verts`.
+    pub border_pos: Vec<u32>,
+    /// Internal: `|verts| x |verts|`, row-major.
+    /// Leaf: `|borders| x |verts|`, row-major.
+    pub matrix: Vec<Dist>,
+}
+
+impl GNode {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Internal-node matrix lookup by `verts` positions.
+    #[inline]
+    pub fn mat(&self, i: u32, j: u32) -> Dist {
+        self.matrix[i as usize * self.verts.len() + j as usize]
+    }
+
+    /// Leaf matrix lookup: row = border index, column = `verts` position.
+    #[inline]
+    pub fn lmat(&self, border_idx: usize, col: u32) -> Dist {
+        self.matrix[border_idx * self.verts.len() + col as usize]
+    }
+}
+
+/// The built G-tree index.
+pub struct GTree {
+    pub(crate) nodes: Vec<GNode>,
+    /// Vertex -> arena index of its leaf node.
+    pub(crate) leaf_of: Vec<u32>,
+    params: GTreeParams,
+}
+
+/// Root node arena index (build order guarantees 0).
+#[cfg(test)]
+pub(crate) const ROOT: u32 = 0;
+
+impl GTree {
+    /// Build a G-tree over `g` with default parameters.
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with_params(g, GTreeParams::default())
+    }
+
+    /// Build a G-tree over `g`.
+    pub fn build_with_params(g: &Graph, params: GTreeParams) -> Self {
+        let hierarchy = partition_graph(g, params.fanout, params.leaf_cap);
+        let mut tree = GTree {
+            nodes: Vec::new(),
+            leaf_of: vec![u32::MAX; g.num_nodes()],
+            params,
+        };
+        tree.instantiate(&hierarchy, None, 0);
+        tree.assemble_bottom_up(g);
+        tree.refine_top_down();
+        tree
+    }
+
+    pub fn params(&self) -> GTreeParams {
+        self.params
+    }
+
+    /// Number of tree nodes.
+    pub fn num_tree_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (1 for a single-leaf tree).
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0) as usize + 1
+    }
+
+    /// Reassemble from decoded parts (persistence path).
+    pub(crate) fn from_parts(nodes: Vec<GNode>, leaf_of: Vec<u32>, params: GTreeParams) -> Self {
+        GTree {
+            nodes,
+            leaf_of,
+            params,
+        }
+    }
+
+    /// Arena index of the leaf containing `v`.
+    pub(crate) fn leaf(&self, v: NodeId) -> u32 {
+        self.leaf_of[v as usize]
+    }
+
+    /// Approximate in-memory size of borders + matrices (Fig. 9a analogue).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.matrix.len() * std::mem::size_of::<Dist>()
+                    + n.verts.len() * (4 + 8) // id + hash entry overhead approx
+                    + n.borders.len() * 4
+            })
+            .sum()
+    }
+
+    /// Recursively instantiate arena nodes from the partition hierarchy.
+    /// Returns the arena index of the created node.
+    fn instantiate(
+        &mut self,
+        part: &PartitionNode,
+        parent: Option<u32>,
+        depth: u32,
+    ) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(GNode {
+            parent,
+            children: Vec::new(),
+            depth,
+            borders: Vec::new(),
+            verts: Vec::new(),
+            vert_pos: HashMap::new(),
+            border_pos: Vec::new(),
+            matrix: Vec::new(),
+        });
+        if part.is_leaf() {
+            for &v in &part.vertices {
+                self.leaf_of[v as usize] = idx;
+            }
+            // Leaf verts = its vertices, sorted for determinism.
+            let mut vs = part.vertices.clone();
+            vs.sort_unstable();
+            let vert_pos = vs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            self.nodes[idx as usize].verts = vs;
+            self.nodes[idx as usize].vert_pos = vert_pos;
+        } else {
+            let mut children = Vec::with_capacity(part.children.len());
+            for c in &part.children {
+                let cid = self.instantiate(c, Some(idx), depth + 1);
+                children.push(cid);
+            }
+            self.nodes[idx as usize].children = children;
+        }
+        idx
+    }
+
+    /// True when `v` belongs to the subtree rooted at arena node `x`.
+    /// Uses leaf -> ancestors walk; depth is small (O(log n)).
+    pub(crate) fn contains(&self, x: u32, v: NodeId) -> bool {
+        let mut cur = self.leaf_of[v as usize];
+        loop {
+            if cur == x {
+                return true;
+            }
+            match self.nodes[cur as usize].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Compute borders for every node and fill leaf/internal matrices
+    /// bottom-up (within-subgraph distances).
+    fn assemble_bottom_up(&mut self, g: &Graph) {
+        // Borders: v is a border of node x iff some neighbor of v lies
+        // outside x's subtree. Compute per node by scanning its vertices.
+        // Vertices per subtree are collected leaf-up to avoid re-walks.
+        let order: Vec<u32> = {
+            // Deeper nodes first.
+            let mut idxs: Vec<u32> = (0..self.nodes.len() as u32).collect();
+            idxs.sort_by_key(|&i| Reverse(self.nodes[i as usize].depth));
+            idxs
+        };
+
+        // subtree vertex lists (moved out as computed to save memory).
+        let mut subtree_verts: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for &x in &order {
+            let xi = x as usize;
+            if self.nodes[xi].is_leaf() {
+                subtree_verts[xi] = self.nodes[xi].verts.clone();
+            } else {
+                let mut all = Vec::new();
+                for &c in &self.nodes[xi].children {
+                    all.extend_from_slice(&subtree_verts[c as usize]);
+                }
+                subtree_verts[xi] = all;
+            }
+            // Borders of x.
+            let borders: Vec<NodeId> = subtree_verts[xi]
+                .iter()
+                .copied()
+                .filter(|&v| g.neighbors(v).any(|(nb, _)| !self.contains(x, nb)))
+                .collect();
+            self.nodes[xi].borders = borders;
+        }
+
+        // Matrices bottom-up.
+        for &x in &order {
+            if self.nodes[x as usize].is_leaf() {
+                self.build_leaf_matrix(g, x);
+            } else {
+                self.build_internal_matrix(g, x, &subtree_verts);
+            }
+        }
+    }
+
+    /// Leaf matrix: Dijkstra restricted to the leaf from each border.
+    fn build_leaf_matrix(&mut self, g: &Graph, x: u32) {
+        let xi = x as usize;
+        let verts = self.nodes[xi].verts.clone();
+        let borders = self.nodes[xi].borders.clone();
+        let pos: &HashMap<NodeId, u32> = &self.nodes[xi].vert_pos;
+        let ncols = verts.len();
+        let mut matrix = vec![INF; borders.len() * ncols];
+        for (bi, &b) in borders.iter().enumerate() {
+            let dists = restricted_dijkstra(g, b, pos);
+            matrix[bi * ncols..(bi + 1) * ncols].copy_from_slice(&dists);
+        }
+        let border_pos = borders.iter().map(|b| pos[b]).collect();
+        let n = &mut self.nodes[xi];
+        n.matrix = matrix;
+        n.border_pos = border_pos;
+    }
+
+    /// Internal matrix: all-pairs over the assembly graph of child borders.
+    fn build_internal_matrix(&mut self, g: &Graph, x: u32, subtree_verts: &[Vec<NodeId>]) {
+        let xi = x as usize;
+        let children = self.nodes[xi].children.clone();
+
+        // Matrix vertex set: union of children borders (sorted, deduped).
+        let mut verts: Vec<NodeId> = children
+            .iter()
+            .flat_map(|&c| self.nodes[c as usize].borders.iter().copied())
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+        let vert_pos: HashMap<NodeId, u32> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let nv = verts.len();
+
+        // Assembly adjacency: child matrix entries + cut edges between
+        // children of x.
+        let mut adj: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); nv];
+        for &c in &children {
+            let cn = &self.nodes[c as usize];
+            for (i, &bi) in cn.borders.iter().enumerate() {
+                let pi = vert_pos[&bi];
+                for (j, &bj) in cn.borders.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let d = if cn.is_leaf() {
+                        cn.lmat(i, cn.vert_pos[&bj])
+                    } else {
+                        cn.mat(cn.vert_pos[&bi], cn.vert_pos[&bj])
+                    };
+                    if d != INF {
+                        adj[pi as usize].push((vert_pos[&bj], d));
+                    }
+                }
+            }
+        }
+        // Cut edges: map each subtree vertex to its child, then scan borders'
+        // original edges for endpoints in different children of x.
+        let mut child_of: HashMap<NodeId, u32> = HashMap::new();
+        for &c in &children {
+            for &v in &subtree_verts[c as usize] {
+                child_of.insert(v, c);
+            }
+        }
+        for &u in &verts {
+            let cu = child_of[&u];
+            for (v, w) in g.neighbors(u) {
+                if let Some(&cv) = child_of.get(&v) {
+                    if cv != cu {
+                        // Both endpoints are borders of their children,
+                        // hence in `verts`.
+                        adj[vert_pos[&u] as usize].push((vert_pos[&v], w as Dist));
+                    }
+                }
+            }
+        }
+
+        // All-pairs over the assembly graph.
+        let mut matrix = vec![INF; nv * nv];
+        let mut heap: BinaryHeap<(Reverse<Dist>, u32)> = BinaryHeap::new();
+        for s in 0..nv as u32 {
+            let row = &mut matrix[s as usize * nv..(s as usize + 1) * nv];
+            row[s as usize] = 0;
+            heap.push((Reverse(0), s));
+            while let Some((Reverse(d), v)) = heap.pop() {
+                if d > row[v as usize] {
+                    continue;
+                }
+                for &(t, w) in &adj[v as usize] {
+                    let nd = dadd(d, w);
+                    if nd < row[t as usize] {
+                        row[t as usize] = nd;
+                        heap.push((Reverse(nd), t));
+                    }
+                }
+            }
+            heap.clear();
+        }
+
+        let border_pos = self.nodes[xi]
+            .borders
+            .iter()
+            .map(|b| vert_pos[b])
+            .collect();
+        let n = &mut self.nodes[xi];
+        n.verts = verts;
+        n.vert_pos = vert_pos;
+        n.border_pos = border_pos;
+        n.matrix = matrix;
+    }
+
+    /// Top-down refinement: lift within-subgraph matrices to global ones.
+    fn refine_top_down(&mut self) {
+        // BFS order (arena construction is pre-order, so increasing index
+        // visits parents before children).
+        for x in 1..self.nodes.len() as u32 {
+            let xi = x as usize;
+            let parent = self.nodes[xi].parent.expect("non-root has parent") as usize;
+            let nb = self.nodes[xi].borders.len();
+            if nb == 0 {
+                continue; // isolated subgraph: nothing can leave it
+            }
+            // Global border-to-border distances from the (already refined)
+            // parent matrix.
+            let pborder: Vec<u32> = self.nodes[xi]
+                .borders
+                .iter()
+                .map(|b| self.nodes[parent].vert_pos[b])
+                .collect();
+            let mut gbb = vec![INF; nb * nb];
+            for a in 0..nb {
+                for b in 0..nb {
+                    gbb[a * nb + b] = self.nodes[parent].mat(pborder[a], pborder[b]);
+                }
+            }
+            if self.nodes[xi].is_leaf() {
+                self.refine_leaf(x, &gbb);
+            } else {
+                self.refine_internal(x, &gbb);
+            }
+        }
+    }
+
+    /// Leaf: `d_g(b, v) = min(d_L(b, v), min_c g(b, c) + d_L(c, v))`.
+    fn refine_leaf(&mut self, x: u32, gbb: &[Dist]) {
+        let n = &mut self.nodes[x as usize];
+        let nb = n.borders.len();
+        let ncols = n.verts.len();
+        let old = n.matrix.clone();
+        for b in 0..nb {
+            for v in 0..ncols {
+                let mut best = old[b * ncols + v];
+                for c in 0..nb {
+                    best = best.min(dadd(gbb[b * nb + c], old[c * ncols + v]));
+                }
+                n.matrix[b * ncols + v] = best;
+            }
+        }
+    }
+
+    /// Internal: `d_g(u, v) = min(d_X(u, v), min_{a,b} d_X(u, a) + g(a, b)
+    /// + d_X(b, v))`, factored through `h(u, b) = min_a d_X(u, a) + g(a, b)`.
+    fn refine_internal(&mut self, x: u32, gbb: &[Dist]) {
+        let n = &mut self.nodes[x as usize];
+        let nb = n.borders.len();
+        let nv = n.verts.len();
+        let bp: Vec<usize> = n.border_pos.iter().map(|&p| p as usize).collect();
+        let old = n.matrix.clone();
+        // h[u][b] = min_a old(u, a) + g(a, b)
+        let mut h = vec![INF; nv * nb];
+        for u in 0..nv {
+            for b in 0..nb {
+                let mut best = INF;
+                for a in 0..nb {
+                    best = best.min(dadd(old[u * nv + bp[a]], gbb[a * nb + b]));
+                }
+                h[u * nb + b] = best;
+            }
+        }
+        for u in 0..nv {
+            for v in 0..nv {
+                let mut best = old[u * nv + v];
+                for b in 0..nb {
+                    best = best.min(dadd(h[u * nb + b], old[bp[b] * nv + v]));
+                }
+                n.matrix[u * nv + v] = best;
+            }
+        }
+    }
+}
+
+/// Dijkstra from `src` restricted to the vertices present in `pos`
+/// (a leaf's vertex set); returns distances aligned with `pos` values.
+pub(crate) fn restricted_dijkstra(
+    g: &Graph,
+    src: NodeId,
+    pos: &HashMap<NodeId, u32>,
+) -> Vec<Dist> {
+    let mut dist = vec![INF; pos.len()];
+    let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
+    dist[pos[&src] as usize] = 0;
+    heap.push((Reverse(0), src));
+    while let Some((Reverse(d), v)) = heap.pop() {
+        if d > dist[pos[&v] as usize] {
+            continue;
+        }
+        for (t, w) in g.neighbors(v) {
+            if let Some(&tp) = pos.get(&t) {
+                let nd = dadd(d, w as Dist);
+                if nd < dist[tp as usize] {
+                    dist[tp as usize] = nd;
+                    heap.push((Reverse(nd), t));
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x + y) % 3);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + x % 2);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_leaf_tree_for_tiny_graph() {
+        let g = grid(3, 3);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 16,
+            },
+        );
+        assert_eq!(t.num_tree_nodes(), 1);
+        assert_eq!(t.height(), 1);
+        assert!(t.nodes[0].borders.is_empty()); // nothing leaves the root
+    }
+
+    #[test]
+    fn every_vertex_assigned_to_a_leaf() {
+        let g = grid(8, 8);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 8,
+            },
+        );
+        for v in 0..g.num_nodes() {
+            let leaf = t.leaf_of[v];
+            assert_ne!(leaf, u32::MAX);
+            assert!(t.nodes[leaf as usize].is_leaf());
+            assert!(t.nodes[leaf as usize].vert_pos.contains_key(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn root_has_no_borders_on_connected_graph() {
+        let g = grid(6, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 6,
+            },
+        );
+        assert!(t.nodes[ROOT as usize].borders.is_empty());
+    }
+
+    #[test]
+    fn borders_have_outside_edges() {
+        let g = grid(6, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 6,
+            },
+        );
+        for (x, n) in t.nodes.iter().enumerate() {
+            for &b in &n.borders {
+                assert!(
+                    g.neighbors(b).any(|(nb, _)| !t.contains(x as u32, nb)),
+                    "border {b} of node {x} has no outside edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn child_borders_are_matrix_verts() {
+        let g = grid(8, 8);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 8,
+            },
+        );
+        for n in &t.nodes {
+            if n.is_leaf() {
+                continue;
+            }
+            for &c in &n.children {
+                for b in &t.nodes[c as usize].borders {
+                    assert!(n.vert_pos.contains_key(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_diagonal_is_zero() {
+        let g = grid(8, 8);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 8,
+            },
+        );
+        for n in &t.nodes {
+            if n.is_leaf() {
+                for (bi, &b) in n.borders.iter().enumerate() {
+                    assert_eq!(n.lmat(bi, n.vert_pos[&b]), 0);
+                }
+            } else {
+                for i in 0..n.verts.len() as u32 {
+                    assert_eq!(n.mat(i, i), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refined_matrices_are_global_distances() {
+        use roadnet::dijkstra::dijkstra_all;
+        let g = grid(7, 5);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 6,
+            },
+        );
+        for n in &t.nodes {
+            if n.is_leaf() {
+                for (bi, &b) in n.borders.iter().enumerate() {
+                    let truth = dijkstra_all(&g, b);
+                    for (&v, &vp) in &n.vert_pos {
+                        assert_eq!(
+                            n.lmat(bi, vp),
+                            truth[v as usize],
+                            "leaf matrix wrong for {b}->{v}"
+                        );
+                    }
+                }
+            } else {
+                for (i, &u) in n.verts.iter().enumerate() {
+                    let truth = dijkstra_all(&g, u);
+                    for (j, &v) in n.verts.iter().enumerate() {
+                        assert_eq!(
+                            n.mat(i as u32, j as u32),
+                            truth[v as usize],
+                            "matrix wrong for {u}->{v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_reporting_positive() {
+        let g = grid(8, 8);
+        let t = GTree::build(&g);
+        assert!(t.memory_bytes() > 0);
+    }
+}

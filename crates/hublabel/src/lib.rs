@@ -1,0 +1,356 @@
+//! Pruned 2-hop hub labeling — an exact, labeling-based distance oracle.
+//!
+//! The paper's fastest `g_phi` backend is **PHL** (pruned highway labeling,
+//! Akiba et al. \[16\]): after heavy preprocessing, every vertex stores a
+//! label (a set of `(hub, distance)` pairs) such that the shortest-path
+//! distance of any pair is the minimum over common hubs. This crate
+//! implements the same contract via *pruned landmark labeling* (the
+//! vertex-hub sibling of PHL): identical query algorithm, identical role in
+//! every FANN_R algorithm, and the same memory behaviour the paper reports
+//! in Fig. 9 (largest index of all, growing super-linearly with the graph).
+//! See DESIGN.md §5 for the substitution rationale.
+//!
+//! # Algorithm
+//!
+//! Vertices are ranked by a heuristic importance order (degree by default).
+//! For each vertex `v` in rank order, a *pruned Dijkstra* from `v` visits
+//! node `u` at distance `d`; if the labels built so far already certify
+//! `dist(v, u) <= d`, the search is pruned at `u`; otherwise `(v, d)` is
+//! appended to `u`'s label. The result is a *2-hop cover*: for every pair
+//! `(s, t)` some vertex on a shortest `s`-`t` path is in both labels.
+//!
+//! Queries are a sorted-list merge: `min over common hubs h of
+//! L_s(h) + L_t(h)` — microseconds in practice.
+
+pub mod persist;
+
+use roadnet::{Dist, Graph, NodeId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Hub ordering strategies. Higher-ranked vertices become hubs first and
+/// appear in more labels; a good order keeps labels small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// Descending degree (ties by id). Good default for road networks.
+    Degree,
+    /// Input order (0, 1, 2, ...) — only useful as an ablation baseline.
+    Input,
+}
+
+/// Turn an importance score per vertex into an explicit hub order
+/// (most important first). Convenience for [`HubLabels::build_with_order`];
+/// e.g. pass contraction-hierarchy ranks for much smaller labels than the
+/// degree heuristic (see `crates/bench/src/bin/ablation_label_order.rs`).
+pub fn order_by_importance(scores: &[u64]) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+    order.sort_by_key(|&v| (Reverse(scores[v as usize]), v));
+    order
+}
+
+/// A built hub-label index.
+pub struct HubLabels {
+    /// Per node: `(hub_rank, dist)` pairs sorted by `hub_rank` ascending.
+    labels: Vec<Vec<(u32, Dist)>>,
+}
+
+impl HubLabels {
+    /// Build labels with the default ([`Ordering::Degree`]) order.
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with_ordering(g, Ordering::Degree)
+    }
+
+    /// Build labels, giving up when the total label count exceeds
+    /// `max_entries` — the moral equivalent of the paper's PHL running out
+    /// of memory on the largest datasets (Fig. 9): label size is the
+    /// dominant cost and grows super-linearly with the graph.
+    pub fn build_with_limit(g: &Graph, max_entries: usize) -> Option<Self> {
+        Self::build_inner(g, Ordering::Degree, Some(max_entries))
+    }
+
+    /// Build labels with an explicit hub order.
+    pub fn build_with_ordering(g: &Graph, ordering: Ordering) -> Self {
+        let n = g.num_nodes();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        if ordering == Ordering::Degree {
+            order.sort_by_key(|&v| (Reverse(g.degree(v)), v));
+        }
+        Self::build_with_order_inner(g, &order, None).expect("no limit given")
+    }
+
+    /// Build labels with a fully custom hub order (most important first).
+    /// Must be a permutation of `0..g.num_nodes()`.
+    pub fn build_with_order(g: &Graph, order: &[NodeId]) -> Self {
+        assert_eq!(order.len(), g.num_nodes(), "order must cover every node");
+        Self::build_with_order_inner(g, order, None).expect("no limit given")
+    }
+
+    fn build_inner(g: &Graph, ordering: Ordering, max_entries: Option<usize>) -> Option<Self> {
+        let n = g.num_nodes();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        if ordering == Ordering::Degree {
+            order.sort_by_key(|&v| (Reverse(g.degree(v)), v));
+        }
+        Self::build_with_order_inner(g, &order, max_entries)
+    }
+
+    fn build_with_order_inner(
+        g: &Graph,
+        order: &[NodeId],
+        max_entries: Option<usize>,
+    ) -> Option<Self> {
+        let n = g.num_nodes();
+        let mut total_entries = 0usize;
+
+        let mut labels: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); n];
+        // Scratch: distance from the current hub to each earlier hub rank,
+        // letting the pruning query run in O(|label(u)|).
+        let mut hub_dist_by_rank = vec![INF; n];
+        let mut dist = vec![INF; n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
+
+        for (rank, &hub) in order.iter().enumerate() {
+            let rank = rank as u32;
+            for &(r, d) in &labels[hub as usize] {
+                hub_dist_by_rank[r as usize] = d;
+            }
+
+            dist[hub as usize] = 0;
+            touched.push(hub);
+            heap.push((Reverse(0), hub));
+            while let Some((Reverse(d), u)) = heap.pop() {
+                if d > dist[u as usize] {
+                    continue;
+                }
+                // Pruning test: is (hub -> u) already certified by earlier hubs?
+                let mut certified = INF;
+                for &(r, du) in &labels[u as usize] {
+                    let dh = hub_dist_by_rank[r as usize];
+                    if dh != INF {
+                        certified = certified.min(dh + du);
+                    }
+                }
+                if certified <= d {
+                    continue;
+                }
+                labels[u as usize].push((rank, d));
+                total_entries += 1;
+                if max_entries.is_some_and(|cap| total_entries > cap) {
+                    return None; // label budget blown (Fig. 9 "PHL fails")
+                }
+                for (t, w) in g.neighbors(u) {
+                    let nd = d + w as Dist;
+                    if nd < dist[t as usize] {
+                        dist[t as usize] = nd;
+                        touched.push(t);
+                        heap.push((Reverse(nd), t));
+                    }
+                }
+            }
+            // Reset scratch state touched by this hub.
+            for &(r, _) in &labels[hub as usize] {
+                hub_dist_by_rank[r as usize] = INF;
+            }
+            for &v in &touched {
+                dist[v as usize] = INF;
+            }
+            touched.clear();
+            heap.clear();
+        }
+        Some(HubLabels { labels })
+    }
+
+    /// Internal accessor for persistence.
+    pub(crate) fn labels(&self) -> &[Vec<(u32, Dist)>] {
+        &self.labels
+    }
+
+    /// Reassemble from decoded labels (persistence path). Callers must
+    /// guarantee each label is sorted by hub rank.
+    pub(crate) fn from_labels(labels: Vec<Vec<(u32, Dist)>>) -> Self {
+        HubLabels { labels }
+    }
+
+    /// Exact shortest-path distance; `None` when `s` and `t` are in
+    /// different components (no common hub).
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        if s == t {
+            return Some(0);
+        }
+        let (mut i, mut j) = (0, 0);
+        let (ls, lt) = (&self.labels[s as usize], &self.labels[t as usize]);
+        let mut best = INF;
+        while i < ls.len() && j < lt.len() {
+            match ls[i].0.cmp(&lt[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(ls[i].1 + lt[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (best != INF).then_some(best)
+    }
+
+    /// Number of labeled vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total number of `(hub, dist)` entries across all labels.
+    pub fn total_label_entries(&self) -> usize {
+        self.labels.iter().map(Vec::len).sum()
+    }
+
+    /// Mean label size — the labeling-oracle quality metric.
+    pub fn avg_label_size(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.total_label_entries() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Approximate in-memory size (Fig. 9a analogue).
+    pub fn memory_bytes(&self) -> usize {
+        self.total_label_entries() * std::mem::size_of::<(u32, Dist)>()
+            + self.labels.len() * std::mem::size_of::<Vec<(u32, Dist)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::dijkstra::dijkstra_all;
+    use roadnet::GraphBuilder;
+
+    fn grid(w: u32, h: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1 + (x + y) % 3);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w, 1 + (x * y) % 2);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn assert_exact(g: &Graph, hl: &HubLabels) {
+        for s in 0..g.num_nodes() as NodeId {
+            let truth = dijkstra_all(g, s);
+            for t in 0..g.num_nodes() as NodeId {
+                let expect = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                assert_eq!(hl.distance(s, t), expect, "pair {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_grid() {
+        let g = grid(5, 4);
+        let hl = HubLabels::build(&g);
+        assert_exact(&g, &hl);
+    }
+
+    #[test]
+    fn exact_with_input_ordering() {
+        let g = grid(4, 4);
+        let hl = HubLabels::build_with_ordering(&g, Ordering::Input);
+        assert_exact(&g, &hl);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 2);
+        b.add_edge(2, 3, 5);
+        let g = b.build();
+        let hl = HubLabels::build(&g);
+        assert_eq!(hl.distance(0, 1), Some(2));
+        assert_eq!(hl.distance(2, 3), Some(5));
+        assert_eq!(hl.distance(0, 2), None);
+        assert_eq!(hl.distance(1, 3), None);
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let g = grid(3, 3);
+        let hl = HubLabels::build(&g);
+        for v in 0..9 {
+            assert_eq!(hl.distance(v, v), Some(0));
+        }
+    }
+
+    #[test]
+    fn labels_sorted_by_rank() {
+        let g = grid(5, 5);
+        let hl = HubLabels::build(&g);
+        for l in &hl.labels {
+            assert!(l.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = grid(4, 3);
+        let hl = HubLabels::build(&g);
+        assert_eq!(hl.num_nodes(), 12);
+        assert!(hl.total_label_entries() >= 12); // every node labels itself
+        assert!(hl.avg_label_size() >= 1.0);
+        assert!(hl.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn limit_aborts_large_builds_but_allows_small() {
+        let g = grid(6, 6);
+        assert!(HubLabels::build_with_limit(&g, 5).is_none());
+        let hl = HubLabels::build_with_limit(&g, 1_000_000).unwrap();
+        assert_exact(&g, &hl);
+    }
+
+    #[test]
+    fn custom_order_stays_exact() {
+        let g = grid(5, 5);
+        // Reverse-id order: terrible, but must remain exact.
+        let order: Vec<NodeId> = (0..25).rev().collect();
+        let hl = HubLabels::build_with_order(&g, &order);
+        assert_exact(&g, &hl);
+        // order_by_importance sorts descending by score.
+        let scores: Vec<u64> = (0..25).map(|v| v as u64 * 7 % 13).collect();
+        let order = order_by_importance(&scores);
+        let hl = HubLabels::build_with_order(&g, &order);
+        assert_exact(&g, &hl);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn custom_order_must_cover() {
+        let g = grid(3, 3);
+        let _ = HubLabels::build_with_order(&g, &[0, 1]);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        let g = b.build();
+        let hl = HubLabels::build(&g);
+        assert_eq!(hl.distance(0, 0), Some(0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Binary persistence for hub labels.
+//!
+//! Label construction is the expensive phase (minutes on large networks,
+//! Fig. 9b); production deployments build once and ship the index. The
+//! format is a versioned little-endian stream:
+//!
+//! ```text
+//! magic "HLBL" | version u32 | node count u64
+//! per node: entry count u32 | (hub_rank u32, dist u64)*
+//! ```
+
+use crate::HubLabels;
+use roadnet::Dist;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"HLBL";
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a label file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    BadMagic,
+    UnsupportedVersion(u32),
+    Truncated,
+    /// Labels must be sorted by hub rank; a corrupt stream is rejected.
+    UnsortedLabel(usize),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a hub-label file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::Truncated => write!(f, "unexpected end of data"),
+            PersistError::UnsortedLabel(v) => write!(f, "label of node {v} is not sorted"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl HubLabels {
+    /// Serialize to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.total_label_entries() * 12);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
+        for label in self.labels() {
+            out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+            for &(rank, dist) in label {
+                out.extend_from_slice(&rank.to_le_bytes());
+                out.extend_from_slice(&dist.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a stream produced by [`HubLabels::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader { buf: data, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let n = r.u64()? as usize;
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let len = r.u32()? as usize;
+            let mut label: Vec<(u32, Dist)> = Vec::with_capacity(len);
+            for _ in 0..len {
+                let rank = r.u32()?;
+                let dist = r.u64()?;
+                label.push((rank, dist));
+            }
+            if !label.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(PersistError::UnsortedLabel(v));
+            }
+            labels.push(label);
+        }
+        Ok(HubLabels::from_labels(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::GraphBuilder;
+
+    fn sample() -> HubLabels {
+        let mut b = GraphBuilder::new();
+        for i in 0..10 {
+            b.add_node(i as f64, (i % 3) as f64);
+        }
+        for i in 0..9 {
+            b.add_edge(i, i + 1, 1 + i % 4);
+        }
+        b.add_edge(0, 9, 7);
+        HubLabels::build(&b.build())
+    }
+
+    #[test]
+    fn roundtrip_preserves_distances() {
+        let hl = sample();
+        let bytes = hl.to_bytes();
+        let hl2 = HubLabels::from_bytes(&bytes).unwrap();
+        assert_eq!(hl2.num_nodes(), hl.num_nodes());
+        assert_eq!(hl2.total_label_entries(), hl.total_label_entries());
+        for s in 0..10 {
+            for t in 0..10 {
+                assert_eq!(hl2.distance(s, t), hl.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            HubLabels::from_bytes(b"NOPE"),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            HubLabels::from_bytes(&bytes),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = sample().to_bytes();
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(HubLabels::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsorted_label() {
+        let hl = sample();
+        let mut bytes = hl.to_bytes();
+        // Find a node with >= 2 entries and swap its first two ranks.
+        let mut pos = 16;
+        loop {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if len >= 2 {
+                let a = pos + 4;
+                let b = pos + 4 + 12;
+                let mut r1 = [0u8; 4];
+                r1.copy_from_slice(&bytes[a..a + 4]);
+                let mut r2 = [0u8; 4];
+                r2.copy_from_slice(&bytes[b..b + 4]);
+                bytes[a..a + 4].copy_from_slice(&r2);
+                bytes[b..b + 4].copy_from_slice(&r1);
+                break;
+            }
+            pos += 4 + len * 12;
+        }
+        assert!(matches!(
+            HubLabels::from_bytes(&bytes),
+            Err(PersistError::UnsortedLabel(_))
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: hub labels are exact and survive persistence.
+
+use hublabel::HubLabels;
+use proptest::prelude::*;
+use roadnet::dijkstra::dijkstra_all;
+use roadnet::{Graph, GraphBuilder, INF};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..26, 0usize..26, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(i as f64, (i % 4) as f64);
+        }
+        for v in 1..n as u32 {
+            let u = (next() % v as u64) as u32;
+            b.add_edge(u, v, 1 + (next() % 30) as u32);
+        }
+        for _ in 0..extra {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v {
+                b.add_edge(u, v, 1 + (next() % 30) as u32);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn labels_exact(g in arb_graph()) {
+        let hl = HubLabels::build(&g);
+        for s in 0..g.num_nodes() as u32 {
+            let truth = dijkstra_all(&g, s);
+            for t in 0..g.num_nodes() as u32 {
+                let want = (truth[t as usize] != INF).then_some(truth[t as usize]);
+                prop_assert_eq!(hl.distance(s, t), want);
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip(g in arb_graph()) {
+        let hl = HubLabels::build(&g);
+        let hl2 = HubLabels::from_bytes(&hl.to_bytes()).unwrap();
+        for s in 0..g.num_nodes() as u32 {
+            for t in 0..g.num_nodes() as u32 {
+                prop_assert_eq!(hl2.distance(s, t), hl.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn limit_zero_never_builds_nonempty(g in arb_graph()) {
+        // Any graph with at least one node labels itself at least once.
+        prop_assert!(HubLabels::build_with_limit(&g, 0).is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! A* point-to-point search with an admissible Euclidean lower bound.
+//!
+//! The paper evaluates A* \[13\] as one of the `g_phi` backends (Table I).
+//! Admissibility is provided by [`crate::LowerBound`], which scales raw
+//! Euclidean distances so they never exceed network distances.
+
+use crate::graph::{Graph, NodeId};
+use crate::lowerbound::LowerBound;
+use crate::{Dist, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A* search from `s` to `t` using lower bound `lb`; `None` if unreachable.
+///
+/// With an admissible (never over-estimating) heuristic this returns the
+/// exact shortest-path distance, settling no more nodes than Dijkstra.
+pub fn astar_pair(g: &Graph, lb: &LowerBound, s: NodeId, t: NodeId) -> Option<Dist> {
+    if s == t {
+        return Some(0);
+    }
+    let n = g.num_nodes();
+    let mut dist = vec![INF; n];
+    // Heap keyed by f = g + h; ties broken arbitrarily.
+    let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push((Reverse(lb.bound(g, s, t)), s));
+    while let Some((Reverse(f), v)) = heap.pop() {
+        let d = dist[v as usize];
+        if v == t {
+            return Some(d);
+        }
+        // Stale check: recompute f from the current g-value.
+        if f > d.saturating_add(lb.bound(g, v, t)) {
+            continue;
+        }
+        for (nb, w) in g.neighbors(v) {
+            let nd = d + w as Dist;
+            if nd < dist[nb as usize] {
+                dist[nb as usize] = nd;
+                heap.push((Reverse(nd + lb.bound(g, nb, t)), nb));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_pair;
+    use crate::graph::GraphBuilder;
+
+    /// 3x3 grid with unit spacing; weights = rounded-up Euclidean lengths.
+    fn grid() -> Graph {
+        let mut b = GraphBuilder::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                b.add_node(x as f64 * 10.0, y as f64 * 10.0);
+            }
+        }
+        for y in 0..3u32 {
+            for x in 0..3u32 {
+                let v = y * 3 + x;
+                if x + 1 < 3 {
+                    b.add_edge(v, v + 1, 10);
+                }
+                if y + 1 < 3 {
+                    b.add_edge(v, v + 3, 12); // vertical roads are slower
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn astar_equals_dijkstra_on_grid() {
+        let g = grid();
+        let lb = LowerBound::for_graph(&g);
+        for s in 0..9 {
+            for t in 0..9 {
+                assert_eq!(
+                    astar_pair(&g, &lb, s, t),
+                    dijkstra_pair(&g, s, t),
+                    "mismatch for {s}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn astar_same_node_is_zero() {
+        let g = grid();
+        let lb = LowerBound::for_graph(&g);
+        assert_eq!(astar_pair(&g, &lb, 4, 4), Some(0));
+    }
+
+    #[test]
+    fn astar_unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(100.0, 0.0);
+        let g = b.build();
+        let lb = LowerBound::for_graph(&g);
+        assert_eq!(astar_pair(&g, &lb, 0, 1), None);
+    }
+}

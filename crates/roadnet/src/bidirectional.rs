@@ -1,0 +1,117 @@
+//! Bidirectional Dijkstra point-to-point search.
+//!
+//! Not part of the paper's evaluated backends; included as an extra exact
+//! oracle used to cross-check the others (DESIGN.md §7) and as a cheap
+//! distance routine for workload generation on undirected graphs.
+
+use crate::graph::{Graph, NodeId};
+use crate::{Dist, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact shortest-path distance via simultaneous forward/backward search.
+///
+/// On undirected graphs both searches use the same adjacency. Terminates
+/// when the sum of the two frontier minima reaches the best meeting
+/// distance found so far.
+pub fn bidirectional_pair(g: &Graph, s: NodeId, t: NodeId) -> Option<Dist> {
+    if s == t {
+        return Some(0);
+    }
+    let n = g.num_nodes();
+    let mut dist = [vec![INF; n], vec![INF; n]];
+    let mut settled = [vec![false; n], vec![false; n]];
+    let mut heaps: [BinaryHeap<(Reverse<Dist>, NodeId)>; 2] =
+        [BinaryHeap::new(), BinaryHeap::new()];
+    dist[0][s as usize] = 0;
+    dist[1][t as usize] = 0;
+    heaps[0].push((Reverse(0), s));
+    heaps[1].push((Reverse(0), t));
+    let mut best = INF;
+
+    loop {
+        // Pick the side with the smaller frontier minimum.
+        let top0 = heaps[0].peek().map(|&(Reverse(d), _)| d);
+        let top1 = heaps[1].peek().map(|&(Reverse(d), _)| d);
+        let side = match (top0, top1) {
+            (None, None) => break,
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (Some(a), Some(b)) => usize::from(b < a),
+        };
+        // Standard stopping criterion for distance-only queries.
+        let lo0 = top0.unwrap_or(INF);
+        let lo1 = top1.unwrap_or(INF);
+        if lo0.saturating_add(lo1) >= best {
+            break;
+        }
+        let (Reverse(d), v) = heaps[side].pop().expect("side chosen non-empty");
+        if settled[side][v as usize] {
+            continue;
+        }
+        settled[side][v as usize] = true;
+        let other = 1 - side;
+        if dist[other][v as usize] != INF {
+            best = best.min(d + dist[other][v as usize]);
+        }
+        for (nb, w) in g.neighbors(v) {
+            let nd = d + w as Dist;
+            if nd < dist[side][nb as usize] {
+                dist[side][nb as usize] = nd;
+                heaps[side].push((Reverse(nd), nb));
+            }
+        }
+    }
+    (best != INF).then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_pair;
+    use crate::graph::GraphBuilder;
+
+    fn ladder(n: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..2 * n {
+            b.add_node((i / 2) as f64, (i % 2) as f64);
+        }
+        for i in 0..n {
+            b.add_edge(2 * i, 2 * i + 1, 1 + i % 3);
+            if i + 1 < n {
+                b.add_edge(2 * i, 2 * (i + 1), 2 + i % 2);
+                b.add_edge(2 * i + 1, 2 * (i + 1) + 1, 1);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_dijkstra_on_ladder() {
+        let g = ladder(8);
+        for s in 0..g.num_nodes() as NodeId {
+            for t in 0..g.num_nodes() as NodeId {
+                assert_eq!(
+                    bidirectional_pair(&g, s, t),
+                    dijkstra_pair(&g, s, t),
+                    "mismatch {s}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_node_zero() {
+        let g = ladder(3);
+        assert_eq!(bidirectional_pair(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        let g = b.build();
+        assert_eq!(bidirectional_pair(&g, 0, 1), None);
+    }
+}

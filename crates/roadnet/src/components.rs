@@ -1,0 +1,139 @@
+//! Connected-component cleanup.
+//!
+//! The raw DIMACS datasets "have many errors, such as unconnected components
+//! or self-loops" (§VI-A); the paper cleans them in preprocessing. Self-loops
+//! are dropped by [`crate::GraphBuilder`]; this module extracts the largest
+//! connected component and renumbers nodes densely.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Result of component extraction: the cleaned graph plus the mapping from
+/// old node ids to new ones (`None` for nodes outside the kept component).
+pub struct ComponentExtraction {
+    pub graph: Graph,
+    pub old_to_new: Vec<Option<NodeId>>,
+    pub new_to_old: Vec<NodeId>,
+}
+
+/// Extract the largest connected component of `g`.
+pub fn largest_connected_component(g: &Graph) -> ComponentExtraction {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        comp[start] = id;
+        stack.push(start as NodeId);
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for (nb, _) in g.neighbors(v) {
+                if comp[nb as usize] == u32::MAX {
+                    comp[nb as usize] = id;
+                    stack.push(nb);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+
+    let mut old_to_new = vec![None; n];
+    let mut new_to_old = Vec::new();
+    let mut builder = GraphBuilder::new();
+    for v in 0..n {
+        if comp[v] == best {
+            let p = g.coord(v as NodeId);
+            let id = builder.add_node(p.x, p.y);
+            old_to_new[v] = Some(id);
+            new_to_old.push(v as NodeId);
+        }
+    }
+    for (u, v, w) in g.edges() {
+        if let (Some(nu), Some(nv)) = (old_to_new[u as usize], old_to_new[v as usize]) {
+            builder.add_edge(nu, nv, w);
+        }
+    }
+    ComponentExtraction {
+        graph: builder.build(),
+        old_to_new,
+        new_to_old,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn keeps_largest_component() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(i as f64, 0.0);
+        }
+        // Component A: 0-1 (2 nodes). Component B: 2-3-4-5 (4 nodes).
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 4, 1);
+        b.add_edge(4, 5, 1);
+        let g = b.build();
+        let ex = largest_connected_component(&g);
+        assert_eq!(ex.graph.num_nodes(), 4);
+        assert_eq!(ex.graph.num_edges(), 3);
+        assert_eq!(ex.old_to_new[0], None);
+        assert_eq!(ex.old_to_new[2], Some(0));
+        assert_eq!(ex.new_to_old, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn connected_graph_is_identity_sized() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let ex = largest_connected_component(&g);
+        assert_eq!(ex.graph.num_nodes(), 3);
+        assert_eq!(ex.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_dropped() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 5);
+        let g = b.build();
+        let ex = largest_connected_component(&g);
+        assert_eq!(ex.graph.num_nodes(), 2);
+        // Coordinates carried over.
+        assert_eq!(ex.graph.coord(1).x, 1.0);
+    }
+
+    #[test]
+    fn preserves_weights() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 42);
+        b.add_edge(1, 2, 7);
+        let g = b.build();
+        let ex = largest_connected_component(&g);
+        assert_eq!(ex.graph.edge_weight(0, 1), Some(42));
+        assert_eq!(ex.graph.edge_weight(1, 2), Some(7));
+    }
+}

@@ -1,0 +1,258 @@
+//! Mutable road networks: weight updates, closures, and snapshots.
+//!
+//! The paper's case for the index-free algorithms (§IV) is networks that
+//! "change frequently (or we cannot build an index over the whole road
+//! network easily)" — live traffic, temporary closures, game maps.
+//! [`DynamicNetwork`] is the mutable counterpart of [`Graph`]: cheap
+//! in-place updates plus an O(|V| + |E|) [`snapshot`](DynamicNetwork::snapshot)
+//! into the immutable CSR form every algorithm consumes. `Exact-max` and
+//! `APX-sum` re-run on a fresh snapshot in milliseconds; the indexed
+//! methods would first pay the full label/G-tree rebuild (Fig. 9b).
+
+use crate::graph::{Graph, GraphBuilder, NodeId, Point, Weight};
+use std::collections::HashMap;
+
+/// Errors from dynamic updates.
+#[derive(Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    NoSuchNode(NodeId),
+    NoSuchEdge(NodeId, NodeId),
+    SelfLoop(NodeId),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::NoSuchNode(v) => write!(f, "node {v} does not exist"),
+            UpdateError::NoSuchEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            UpdateError::SelfLoop(v) => write!(f, "self-loop at {v} rejected"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// An editable undirected road network.
+pub struct DynamicNetwork {
+    coords: Vec<Point>,
+    /// Adjacency with per-neighbor weight; both directions kept in sync.
+    adj: Vec<HashMap<NodeId, Weight>>,
+    /// Monotone counter bumped by every mutation; lets callers know when
+    /// a cached snapshot is stale.
+    version: u64,
+}
+
+impl DynamicNetwork {
+    /// Start from an existing immutable graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut adj: Vec<HashMap<NodeId, Weight>> = vec![HashMap::new(); g.num_nodes()];
+        for (u, v, w) in g.edges() {
+            adj[u as usize].insert(v, w);
+            adj[v as usize].insert(u, w);
+        }
+        DynamicNetwork {
+            coords: g.coords().to_vec(),
+            adj,
+            version: 0,
+        }
+    }
+
+    /// An empty network.
+    pub fn new() -> Self {
+        DynamicNetwork {
+            coords: Vec::new(),
+            adj: Vec::new(),
+            version: 0,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(HashMap::len).sum::<usize>() / 2
+    }
+
+    /// Mutation counter: changes iff the network changed.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub fn add_node(&mut self, x: f64, y: f64) -> NodeId {
+        let id = self.coords.len() as NodeId;
+        self.coords.push(Point::new(x, y));
+        self.adj.push(HashMap::new());
+        self.version += 1;
+        id
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), UpdateError> {
+        if (v as usize) < self.coords.len() {
+            Ok(())
+        } else {
+            Err(UpdateError::NoSuchNode(v))
+        }
+    }
+
+    /// Insert or overwrite an undirected edge (weight clamped to >= 1).
+    pub fn upsert_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), UpdateError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(UpdateError::SelfLoop(u));
+        }
+        let w = w.max(1);
+        self.adj[u as usize].insert(v, w);
+        self.adj[v as usize].insert(u, w);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Update the weight of an existing edge (e.g. live traffic).
+    pub fn set_weight(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), UpdateError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if !self.adj[u as usize].contains_key(&v) {
+            return Err(UpdateError::NoSuchEdge(u, v));
+        }
+        let w = w.max(1);
+        self.adj[u as usize].insert(v, w);
+        self.adj[v as usize].insert(u, w);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Scale the weight of an existing edge (congestion factor).
+    pub fn scale_weight(&mut self, u: NodeId, v: NodeId, factor: f64) -> Result<(), UpdateError> {
+        let w = *self
+            .adj
+            .get(u as usize)
+            .and_then(|m| m.get(&v))
+            .ok_or(UpdateError::NoSuchEdge(u, v))?;
+        let scaled = ((w as f64 * factor).round() as u64).clamp(1, u32::MAX as u64) as Weight;
+        self.set_weight(u, v, scaled)
+    }
+
+    /// Remove an edge (road closure).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), UpdateError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if self.adj[u as usize].remove(&v).is_none() {
+            return Err(UpdateError::NoSuchEdge(u, v));
+        }
+        self.adj[v as usize].remove(&u);
+        self.version += 1;
+        Ok(())
+    }
+
+    pub fn weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.adj.get(u as usize).and_then(|m| m.get(&v)).copied()
+    }
+
+    /// Materialize the current state as an immutable CSR [`Graph`].
+    pub fn snapshot(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.num_nodes(), self.num_edges());
+        for p in &self.coords {
+            b.add_node(p.x, p.y);
+        }
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for (&v, &w) in nbrs {
+                if (u as NodeId) < v {
+                    b.add_edge(u as NodeId, v, w);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+impl Default for DynamicNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_pair;
+
+    fn base() -> DynamicNetwork {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 3, 10);
+        DynamicNetwork::from_graph(&b.build())
+    }
+
+    #[test]
+    fn snapshot_matches_source() {
+        let d = base();
+        let g = d.snapshot();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(dijkstra_pair(&g, 0, 3), Some(3));
+    }
+
+    #[test]
+    fn traffic_update_changes_shortest_path() {
+        let mut d = base();
+        // Congest the middle link: the long way around becomes optimal.
+        d.set_weight(1, 2, 50).unwrap();
+        let g = d.snapshot();
+        assert_eq!(dijkstra_pair(&g, 0, 3), Some(10));
+    }
+
+    #[test]
+    fn closure_disconnects() {
+        let mut d = base();
+        d.remove_edge(1, 2).unwrap();
+        d.remove_edge(0, 3).unwrap();
+        let g = d.snapshot();
+        assert_eq!(dijkstra_pair(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn scale_weight_rounds_and_clamps() {
+        let mut d = base();
+        d.scale_weight(0, 1, 3.4).unwrap();
+        assert_eq!(d.weight(0, 1), Some(3));
+        d.scale_weight(0, 1, 0.0).unwrap();
+        assert_eq!(d.weight(0, 1), Some(1)); // clamped to positive
+    }
+
+    #[test]
+    fn version_tracks_mutations() {
+        let mut d = base();
+        let v0 = d.version();
+        d.set_weight(0, 1, 5).unwrap();
+        assert!(d.version() > v0);
+        let v1 = d.version();
+        assert!(d.set_weight(9, 1, 5).is_err());
+        assert_eq!(d.version(), v1); // failed updates don't bump
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut d = base();
+        assert_eq!(d.set_weight(0, 2, 1), Err(UpdateError::NoSuchEdge(0, 2)));
+        assert_eq!(d.upsert_edge(0, 0, 1), Err(UpdateError::SelfLoop(0)));
+        assert_eq!(d.remove_edge(0, 9), Err(UpdateError::NoSuchNode(9)));
+    }
+
+    #[test]
+    fn grows_with_new_nodes_and_edges() {
+        let mut d = DynamicNetwork::new();
+        let a = d.add_node(0.0, 0.0);
+        let b = d.add_node(1.0, 0.0);
+        d.upsert_edge(a, b, 7).unwrap();
+        let g = d.snapshot();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(dijkstra_pair(&g, a, b), Some(7));
+    }
+}

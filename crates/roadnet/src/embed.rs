@@ -1,0 +1,249 @@
+//! Embedding objects that lie *on edges* (or off the network) into the
+//! vertex set.
+//!
+//! §II-A assumes `P, Q ⊆ V` and prescribes the reductions for everything
+//! else: an object on an edge is handled through the edge's two endpoint
+//! vertices, and an object off the network snaps to its closest network
+//! point. This module implements both faithfully by *augmenting the
+//! graph*: an edge-located object becomes a real vertex splitting its edge
+//! (weights `offset` and `w - offset`), which is exactly equivalent to the
+//! endpoint reduction (`delta(x, q) = min(delta(x, a) + offset,
+//! delta(x, b) + (w - offset))`) but keeps every downstream algorithm
+//! unchanged. Node ids of the base graph are preserved; new vertices get
+//! ids `>= g.num_nodes()`.
+
+use crate::graph::{Graph, GraphBuilder, NodeId, Weight};
+
+/// A location on an edge `(u, v)`: `offset` length units from `u`
+/// (`0 < offset < weight(u, v)`; endpoints should be passed as plain
+/// vertices instead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgePoint {
+    pub u: NodeId,
+    pub v: NodeId,
+    pub offset: Weight,
+}
+
+/// Errors from [`embed_edge_points`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum EmbedError {
+    /// The referenced edge does not exist.
+    NoSuchEdge(NodeId, NodeId),
+    /// Offset is zero or >= the edge weight.
+    BadOffset { edge: (NodeId, NodeId), offset: Weight, weight: Weight },
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::NoSuchEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            EmbedError::BadOffset { edge, offset, weight } => write!(
+                f,
+                "offset {offset} invalid for edge {edge:?} of weight {weight}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// Split edges at the given points. Returns the augmented graph and the
+/// new vertex id of each point (in input order).
+///
+/// Multiple points on the same edge are supported (sorted by offset and
+/// chained). Existing vertex ids and all pairwise distances between them
+/// are preserved: splitting an edge into segments whose weights sum to the
+/// original weight changes no shortest path.
+pub fn embed_edge_points(
+    g: &Graph,
+    points: &[EdgePoint],
+) -> Result<(Graph, Vec<NodeId>), EmbedError> {
+    // Validate and group points per normalized edge.
+    use std::collections::HashMap;
+    let mut per_edge: HashMap<(NodeId, NodeId), Vec<(Weight, usize)>> = HashMap::new();
+    for (idx, p) in points.iter().enumerate() {
+        let w = g
+            .edge_weight(p.u, p.v)
+            .ok_or(EmbedError::NoSuchEdge(p.u, p.v))?;
+        if p.offset == 0 || p.offset >= w {
+            return Err(EmbedError::BadOffset {
+                edge: (p.u, p.v),
+                offset: p.offset,
+                weight: w,
+            });
+        }
+        // Normalize to (min, max) with offset measured from the min node.
+        let (a, b, off) = if p.u < p.v {
+            (p.u, p.v, p.offset)
+        } else {
+            (p.v, p.u, w - p.offset)
+        };
+        per_edge.entry((a, b)).or_default().push((off, idx));
+    }
+
+    let mut b = GraphBuilder::with_capacity(
+        g.num_nodes() + points.len(),
+        g.num_edges() + 2 * points.len(),
+    );
+    for v in 0..g.num_nodes() {
+        let c = g.coord(v as NodeId);
+        b.add_node(c.x, c.y);
+    }
+    let mut new_ids = vec![NodeId::MAX; points.len()];
+    for (u, v, w) in g.edges() {
+        match per_edge.get_mut(&(u, v)) {
+            None => b.add_edge(u, v, w),
+            Some(splits) => {
+                splits.sort_unstable();
+                // Chain u -> s1 -> s2 -> ... -> v with segment weights.
+                let cu = g.coord(u);
+                let cv = g.coord(v);
+                let mut prev = u;
+                let mut prev_off: Weight = 0;
+                for &(off, idx) in splits.iter() {
+                    let t = off as f64 / w as f64;
+                    let id = b.add_node(
+                        cu.x + (cv.x - cu.x) * t,
+                        cu.y + (cv.y - cu.y) * t,
+                    );
+                    new_ids[idx] = id;
+                    // Coincident points on the same edge get weight-0
+                    // segments clamped to 1 by the builder; reject instead
+                    // to keep distances exact.
+                    b.add_edge(prev, id, off - prev_off);
+                    prev = id;
+                    prev_off = off;
+                }
+                b.add_edge(prev, v, w - prev_off);
+            }
+        }
+    }
+    Ok((b.build(), new_ids))
+}
+
+/// Snap an off-network location to the nearest vertex by Euclidean
+/// distance (the §II-A "closest point in the network" reduction for
+/// vertex-granularity data). Linear scan; callers with many lookups should
+/// use an R-tree over the coordinates instead.
+pub fn snap_to_vertex(g: &Graph, x: f64, y: f64) -> Option<NodeId> {
+    (0..g.num_nodes() as NodeId).min_by(|&a, &b| {
+        let pa = g.coord(a);
+        let pb = g.coord(b);
+        let da = (pa.x - x).powi(2) + (pa.y - y).powi(2);
+        let db = (pb.x - x).powi(2) + (pb.y - y).powi(2);
+        da.total_cmp(&db).then(a.cmp(&b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{dijkstra_all, dijkstra_pair};
+    use crate::INF;
+
+    fn square() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(10.0, 0.0);
+        b.add_node(10.0, 10.0);
+        b.add_node(0.0, 10.0);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 10);
+        b.add_edge(2, 3, 10);
+        b.add_edge(3, 0, 10);
+        b.build()
+    }
+
+    #[test]
+    fn split_preserves_existing_distances() {
+        let g = square();
+        let (g2, ids) = embed_edge_points(
+            &g,
+            &[
+                EdgePoint { u: 0, v: 1, offset: 3 },
+                EdgePoint { u: 2, v: 3, offset: 6 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(g2.num_nodes(), 6);
+        for s in 0..4 {
+            let before = dijkstra_all(&g, s);
+            for t in 0..4 {
+                assert_eq!(
+                    dijkstra_pair(&g2, s, t),
+                    (before[t as usize] != INF).then_some(before[t as usize])
+                );
+            }
+        }
+        // New points sit at the right distances from the endpoints.
+        assert_eq!(dijkstra_pair(&g2, 0, ids[0]), Some(3));
+        assert_eq!(dijkstra_pair(&g2, 1, ids[0]), Some(7));
+        assert_eq!(dijkstra_pair(&g2, 2, ids[1]), Some(6));
+        assert_eq!(dijkstra_pair(&g2, 3, ids[1]), Some(4));
+    }
+
+    #[test]
+    fn multiple_points_on_one_edge() {
+        let g = square();
+        let (g2, ids) = embed_edge_points(
+            &g,
+            &[
+                EdgePoint { u: 0, v: 1, offset: 7 },
+                EdgePoint { u: 0, v: 1, offset: 2 },
+            ],
+        )
+        .unwrap();
+        // Points keep their input order in `ids` regardless of offsets.
+        assert_eq!(dijkstra_pair(&g2, 0, ids[0]), Some(7));
+        assert_eq!(dijkstra_pair(&g2, 0, ids[1]), Some(2));
+        assert_eq!(dijkstra_pair(&g2, ids[1], ids[0]), Some(5));
+    }
+
+    #[test]
+    fn reversed_endpoint_order_is_equivalent() {
+        let g = square();
+        // Offset measured from v=1 side.
+        let (g2, ids) =
+            embed_edge_points(&g, &[EdgePoint { u: 1, v: 0, offset: 4 }]).unwrap();
+        assert_eq!(dijkstra_pair(&g2, 1, ids[0]), Some(4));
+        assert_eq!(dijkstra_pair(&g2, 0, ids[0]), Some(6));
+    }
+
+    #[test]
+    fn figure1_style_query_on_edge() {
+        // A query object on an edge participates via both endpoints,
+        // exactly the paper's q1-on-(p2, p3) situation.
+        let g = square();
+        let (g2, ids) =
+            embed_edge_points(&g, &[EdgePoint { u: 0, v: 1, offset: 5 }]).unwrap();
+        let q = ids[0];
+        // delta(2, q) = min(delta(2,0) + 5, delta(2,1) + 5) = 15.
+        assert_eq!(dijkstra_pair(&g2, 2, q), Some(15));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let g = square();
+        assert!(matches!(
+            embed_edge_points(&g, &[EdgePoint { u: 0, v: 2, offset: 1 }]),
+            Err(EmbedError::NoSuchEdge(0, 2))
+        ));
+        assert!(matches!(
+            embed_edge_points(&g, &[EdgePoint { u: 0, v: 1, offset: 0 }]),
+            Err(EmbedError::BadOffset { .. })
+        ));
+        assert!(matches!(
+            embed_edge_points(&g, &[EdgePoint { u: 0, v: 1, offset: 10 }]),
+            Err(EmbedError::BadOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn snap_finds_nearest_vertex() {
+        let g = square();
+        assert_eq!(snap_to_vertex(&g, 1.0, 1.0), Some(0));
+        assert_eq!(snap_to_vertex(&g, 9.0, 11.0), Some(2));
+        let empty = GraphBuilder::new().build();
+        assert_eq!(snap_to_vertex(&empty, 0.0, 0.0), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Incremental network expansion (INE) as a pausable iterator.
+//!
+//! [`DijkstraIter`] settles nodes from-near-to-far around a source and can be
+//! suspended and resumed at any point: all search state lives in the struct,
+//! so `|Q|` expansions can be interleaved — the "switchable" multi-source
+//! Dijkstra the paper's `R-List` and `Exact-max` need (§IV-A implementation
+//! details). Distance state is kept in hash maps, so memory is proportional
+//! to the *explored* region, not `|V|`, keeping the practical footprint of
+//! `|Q|` concurrent expansions far below the `O(|Q||V|)` worst case.
+
+use crate::graph::{Graph, NodeId};
+use crate::Dist;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A lazily-advancing Dijkstra expansion from a single source.
+///
+/// `next()` settles and returns the next nearest unsettled node as
+/// `(node, dist)`; nodes are produced in non-decreasing distance order and
+/// each node at most once.
+pub struct DijkstraIter<'g> {
+    graph: &'g Graph,
+    dist: HashMap<NodeId, Dist>,
+    settled: HashSet<NodeId>,
+    heap: BinaryHeap<(Reverse<Dist>, NodeId)>,
+}
+
+impl<'g> DijkstraIter<'g> {
+    pub fn new(graph: &'g Graph, source: NodeId) -> Self {
+        assert!(
+            (source as usize) < graph.num_nodes(),
+            "source {source} out of range"
+        );
+        let mut dist = HashMap::new();
+        dist.insert(source, 0);
+        let mut heap = BinaryHeap::new();
+        heap.push((Reverse(0), source));
+        DijkstraIter {
+            graph,
+            dist,
+            settled: HashSet::new(),
+            heap,
+        }
+    }
+
+    /// Distance of the next node that would be settled, without settling it.
+    pub fn peek_dist(&mut self) -> Option<Dist> {
+        self.skip_stale();
+        self.heap.peek().map(|&(Reverse(d), _)| d)
+    }
+
+    /// Number of nodes settled so far.
+    pub fn settled_count(&self) -> usize {
+        self.settled.len()
+    }
+
+    /// Whether `v` has already been settled, and at what distance.
+    pub fn settled_dist(&self, v: NodeId) -> Option<Dist> {
+        self.settled.contains(&v).then(|| self.dist[&v])
+    }
+
+    fn skip_stale(&mut self) {
+        while let Some(&(Reverse(d), v)) = self.heap.peek() {
+            if self.settled.contains(&v) || self.dist.get(&v).is_none_or(|&cur| d > cur) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Iterator for DijkstraIter<'_> {
+    type Item = (NodeId, Dist);
+
+    fn next(&mut self) -> Option<(NodeId, Dist)> {
+        self.skip_stale();
+        let (Reverse(d), v) = self.heap.pop()?;
+        self.settled.insert(v);
+        for (nb, w) in self.graph.neighbors(v) {
+            if self.settled.contains(&nb) {
+                continue;
+            }
+            let nd = d + w as Dist;
+            let entry = self.dist.entry(nb).or_insert(Dist::MAX);
+            if nd < *entry {
+                *entry = nd;
+                self.heap.push((Reverse(nd), nb));
+            }
+        }
+        Some((v, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_all;
+    use crate::graph::GraphBuilder;
+    use crate::INF;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(0, 2, 3);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn settles_in_distance_order() {
+        let g = diamond();
+        let order: Vec<_> = DijkstraIter::new(&g, 0).collect();
+        assert_eq!(order, vec![(0, 0), (1, 1), (3, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn matches_full_dijkstra() {
+        let g = diamond();
+        let full = dijkstra_all(&g, 2);
+        let mut seen = vec![INF; g.num_nodes()];
+        for (v, d) in DijkstraIter::new(&g, 2) {
+            seen[v as usize] = d;
+        }
+        assert_eq!(seen, full);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let g = diamond();
+        let mut it = DijkstraIter::new(&g, 0);
+        assert_eq!(it.peek_dist(), Some(0));
+        assert_eq!(it.peek_dist(), Some(0));
+        assert_eq!(it.next(), Some((0, 0)));
+        assert_eq!(it.peek_dist(), Some(1));
+    }
+
+    #[test]
+    fn pausable_and_resumable() {
+        let g = diamond();
+        let mut it = DijkstraIter::new(&g, 0);
+        let first: Vec<_> = it.by_ref().take(2).collect();
+        assert_eq!(first, vec![(0, 0), (1, 1)]);
+        // "Switch away" (do other work), then resume.
+        let rest: Vec<_> = it.collect();
+        assert_eq!(rest, vec![(3, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn exhausts_on_disconnected_component() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        b.add_node(2.0, 0.0);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let settled: Vec<_> = DijkstraIter::new(&g, 0).collect();
+        assert_eq!(settled, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn settled_dist_tracks_history() {
+        let g = diamond();
+        let mut it = DijkstraIter::new(&g, 0);
+        it.by_ref().take(3).for_each(drop);
+        assert_eq!(it.settled_dist(3), Some(2));
+        assert_eq!(it.settled_dist(2), None);
+        assert_eq!(it.settled_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let g = diamond();
+        let _ = DijkstraIter::new(&g, 99);
+    }
+}

@@ -1,0 +1,339 @@
+//! Compact CSR graph with planar coordinates.
+
+use std::fmt;
+
+/// Node identifier: dense index in `0..graph.num_nodes()`.
+pub type NodeId = u32;
+
+/// Edge weight ("length" in the paper's terms). Positive.
+pub type Weight = u32;
+
+/// Planar coordinate of a node, in the same length unit as edge weights so
+/// that `euclid(u, v) <= network_distance(u, v)` can hold (A* admissibility).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An undirected weighted road network in CSR form.
+///
+/// Each undirected edge `{u, v}` is stored twice (as `u -> v` and `v -> u`).
+/// Construction goes through [`GraphBuilder`], which removes self-loops and
+/// collapses parallel edges to the minimum weight — the same cleanup the
+/// paper applies to the raw DIMACS data (§VI-A).
+#[derive(Clone)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<Weight>,
+    coords: Vec<Point>,
+}
+
+impl Graph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of *undirected* edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of directed arcs (twice [`Self::num_edges`]).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Outgoing arcs of `v` as `(neighbor, weight)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Coordinate of `v`.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Point {
+        self.coords[v as usize]
+    }
+
+    /// All coordinates, indexed by node id.
+    #[inline]
+    pub fn coords(&self) -> &[Point] {
+        &self.coords
+    }
+
+    /// Euclidean distance between two nodes (`δ^ε` in the paper).
+    #[inline]
+    pub fn euclid(&self, u: NodeId, v: NodeId) -> f64 {
+        self.coords[u as usize].dist(&self.coords[v as usize])
+    }
+
+    /// Weight of the arc `u -> v`, if the edge exists.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.neighbors(u).find(|&(t, _)| t == v).map(|(_, w)| w)
+    }
+
+    /// Iterate over every undirected edge once as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Rough in-memory size of the CSR arrays plus coordinates, in bytes.
+    /// Used by the index-cost experiments (Fig. 9) as the substrate cost.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.targets.len() * 4
+            + self.weights.len() * 4
+            + self.coords.len() * std::mem::size_of::<Point>()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Nodes are added with coordinates; undirected edges reference existing
+/// nodes. `build` sorts adjacency lists, drops self-loops and keeps the
+/// minimum weight among parallel edges.
+#[derive(Default, Clone)]
+pub struct GraphBuilder {
+    coords: Vec<Point>,
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate for `n` nodes and `m` undirected edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            coords: Vec::with_capacity(n),
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Add a node at `(x, y)`; returns its id.
+    pub fn add_node(&mut self, x: f64, y: f64) -> NodeId {
+        let id = self.coords.len() as NodeId;
+        self.coords.push(Point::new(x, y));
+        id
+    }
+
+    /// Add an undirected edge. Zero weights are clamped to 1 to keep the
+    /// weight function positive (`W: E -> R+`, §II-A).
+    ///
+    /// # Panics
+    /// If an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        assert!(
+            (u as usize) < self.coords.len() && (v as usize) < self.coords.len(),
+            "edge ({u}, {v}) references a node that was not added"
+        );
+        self.edges.push((u, v, w.max(1)));
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate of an already-added node as `(x, y)`.
+    ///
+    /// # Panics
+    /// If `v` has not been added.
+    pub fn coord_of(&self, v: NodeId) -> (f64, f64) {
+        let p = self.coords[v as usize];
+        (p.x, p.y)
+    }
+
+    /// Finalize into a CSR [`Graph`].
+    pub fn build(mut self) -> Graph {
+        let n = self.coords.len();
+        // Normalize: drop self-loops, direct u < v, dedupe keeping min weight.
+        self.edges.retain(|&(u, v, _)| u != v);
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup_by(|next, prev| {
+            if next.0 == prev.0 && next.1 == prev.1 {
+                prev.2 = prev.2.min(next.2);
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut deg = vec![0u32; n];
+        for &(u, v, _) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; acc as usize];
+        let mut weights = vec![0 as Weight; acc as usize];
+        for &(u, v, w) in &self.edges {
+            let cu = cursor[u as usize] as usize;
+            targets[cu] = v;
+            weights[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            targets[cv] = u;
+            weights[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        Graph {
+            offsets,
+            targets,
+            weights,
+            coords: self.coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(3.0, 0.0);
+        let d = b.add_node(0.0, 4.0);
+        b.add_edge(a, c, 3);
+        b.add_edge(a, d, 4);
+        b.add_edge(c, d, 5);
+        b.build()
+    }
+
+    #[test]
+    fn builds_csr_with_both_directions() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        let mut nbrs: Vec<_> = g.neighbors(0).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![(1, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_edge(a, a, 7);
+        b.add_edge(a, c, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_edge(a, c, 9);
+        b.add_edge(c, a, 2);
+        b.add_edge(a, c, 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(a, c), Some(2));
+        assert_eq!(g.edge_weight(c, a), Some(2));
+    }
+
+    #[test]
+    fn zero_weight_is_clamped_to_one() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_edge(a, c, 0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(a, c), Some(1));
+    }
+
+    #[test]
+    fn euclid_matches_geometry() {
+        let g = triangle();
+        assert!((g.euclid(1, 2) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        assert!(es.iter().all(|&(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn edge_weight_absent_for_missing_edge() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_node(2.0, 0.0);
+        b.add_edge(a, c, 1);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a node")]
+    fn edge_to_unknown_node_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        b.add_edge(a, 5, 1);
+    }
+}

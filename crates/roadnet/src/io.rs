@@ -1,0 +1,286 @@
+//! Graph IO: DIMACS challenge-9 format and a compact text format.
+//!
+//! The paper's datasets (Table III) are the 9th DIMACS Implementation
+//! Challenge USA road graphs, distributed as a `.gr` file (arcs) plus a
+//! `.co` file (coordinates). [`load_dimacs`] parses that pair so the
+//! harness can run on the paper's exact inputs when the files are present;
+//! otherwise the `workload` crate substitutes synthetic networks
+//! (DESIGN.md §5).
+
+use crate::graph::{Graph, GraphBuilder, NodeId, Weight};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Errors raised while parsing graph files.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    /// Line number and description of the malformed content.
+    Parse(usize, String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err<T: fmt::Display>(line: usize, msg: T) -> IoError {
+    IoError::Parse(line, msg.to_string())
+}
+
+/// Parse a DIMACS `.gr` arc stream and a `.co` coordinate stream into a
+/// graph. DIMACS node ids are 1-based; the result is 0-based. Arcs in `.gr`
+/// files appear in both directions; [`GraphBuilder`] dedupes them.
+///
+/// Coordinates in `.co` files are integer micro-degrees; they are kept
+/// verbatim as `f64` — call [`crate::LowerBound::for_graph`] afterwards to
+/// get an admissible Euclidean bound regardless of the unit mismatch.
+pub fn read_dimacs<R1: Read, R2: Read>(gr: R1, co: R2) -> Result<Graph, IoError> {
+    let mut builder = GraphBuilder::new();
+    let mut declared_nodes = 0usize;
+
+    for (idx, line) in BufReader::new(co).lines().enumerate() {
+        let line = line?;
+        let lno = idx + 1;
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("v") => {
+                let id: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(lno, "missing node id"))?
+                    .parse()
+                    .map_err(|e| parse_err(lno, e))?;
+                let x: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err(lno, "missing x"))?
+                    .parse()
+                    .map_err(|e| parse_err(lno, e))?;
+                let y: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err(lno, "missing y"))?
+                    .parse()
+                    .map_err(|e| parse_err(lno, e))?;
+                if id == 0 || id != builder.num_nodes() + 1 {
+                    return Err(parse_err(lno, format!("non-sequential node id {id}")));
+                }
+                builder.add_node(x, y);
+            }
+            Some("c") | Some("p") | None => {}
+            Some(other) => return Err(parse_err(lno, format!("unknown record '{other}'"))),
+        }
+    }
+
+    for (idx, line) in BufReader::new(gr).lines().enumerate() {
+        let line = line?;
+        let lno = idx + 1;
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("a") => {
+                let u: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(lno, "missing tail"))?
+                    .parse()
+                    .map_err(|e| parse_err(lno, e))?;
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(lno, "missing head"))?
+                    .parse()
+                    .map_err(|e| parse_err(lno, e))?;
+                let w: Weight = it
+                    .next()
+                    .ok_or_else(|| parse_err(lno, "missing weight"))?
+                    .parse()
+                    .map_err(|e| parse_err(lno, e))?;
+                let n = builder.num_nodes();
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(parse_err(lno, format!("arc ({u},{v}) out of range")));
+                }
+                builder.add_edge((u - 1) as NodeId, (v - 1) as NodeId, w);
+            }
+            Some("p") => {
+                // "p sp <n> <m>"
+                it.next();
+                if let Some(n) = it.next() {
+                    declared_nodes = n.parse().map_err(|e| parse_err(lno, e))?;
+                }
+            }
+            Some("c") | None => {}
+            Some(other) => return Err(parse_err(lno, format!("unknown record '{other}'"))),
+        }
+    }
+
+    if declared_nodes != 0 && declared_nodes != builder.num_nodes() {
+        return Err(parse_err(
+            0,
+            format!(
+                "gr declares {declared_nodes} nodes but co provides {}",
+                builder.num_nodes()
+            ),
+        ));
+    }
+    Ok(builder.build())
+}
+
+/// Load a DIMACS graph from `<stem>.gr` + `<stem>.co` on disk.
+pub fn load_dimacs<P: AsRef<Path>>(stem: P) -> Result<Graph, IoError> {
+    let stem = stem.as_ref();
+    let gr = std::fs::File::open(stem.with_extension("gr"))?;
+    let co = std::fs::File::open(stem.with_extension("co"))?;
+    read_dimacs(gr, co)
+}
+
+/// Serialize a graph in the compact text format:
+/// first line `n m`, then `n` lines `x y`, then `m` lines `u v w` (0-based).
+pub fn write_compact(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n", g.num_nodes(), g.num_edges()));
+    for v in 0..g.num_nodes() {
+        let p = g.coord(v as NodeId);
+        out.push_str(&format!("{} {}\n", p.x, p.y));
+    }
+    for (u, v, w) in g.edges() {
+        out.push_str(&format!("{u} {v} {w}\n"));
+    }
+    out
+}
+
+/// Parse the compact text format produced by [`write_compact`].
+pub fn read_compact(text: &str) -> Result<Graph, IoError> {
+    let mut lines = text.lines().enumerate();
+    let (lno, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(0, "empty input"))?;
+    let mut it = header.split_ascii_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or_else(|| parse_err(lno + 1, "missing n"))?
+        .parse()
+        .map_err(|e| parse_err(lno + 1, e))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| parse_err(lno + 1, "missing m"))?
+        .parse()
+        .map_err(|e| parse_err(lno + 1, e))?;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        let (lno, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "unexpected EOF in nodes"))?;
+        let mut it = line.split_ascii_whitespace();
+        let x: f64 = it
+            .next()
+            .ok_or_else(|| parse_err(lno + 1, "missing x"))?
+            .parse()
+            .map_err(|e| parse_err(lno + 1, e))?;
+        let y: f64 = it
+            .next()
+            .ok_or_else(|| parse_err(lno + 1, "missing y"))?
+            .parse()
+            .map_err(|e| parse_err(lno + 1, e))?;
+        b.add_node(x, y);
+    }
+    for _ in 0..m {
+        let (lno, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "unexpected EOF in edges"))?;
+        let mut it = line.split_ascii_whitespace();
+        let u: NodeId = it
+            .next()
+            .ok_or_else(|| parse_err(lno + 1, "missing u"))?
+            .parse()
+            .map_err(|e| parse_err(lno + 1, e))?;
+        let v: NodeId = it
+            .next()
+            .ok_or_else(|| parse_err(lno + 1, "missing v"))?
+            .parse()
+            .map_err(|e| parse_err(lno + 1, e))?;
+        let w: Weight = it
+            .next()
+            .ok_or_else(|| parse_err(lno + 1, "missing w"))?
+            .parse()
+            .map_err(|e| parse_err(lno + 1, e))?;
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(parse_err(lno + 1, format!("edge ({u},{v}) out of range")));
+        }
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_pair;
+
+    const GR: &str = "c tiny graph\n\
+                      p sp 3 4\n\
+                      a 1 2 5\n\
+                      a 2 1 5\n\
+                      a 2 3 7\n\
+                      a 3 2 7\n";
+    const CO: &str = "c coordinates\n\
+                      v 1 0 0\n\
+                      v 2 3 4\n\
+                      v 3 6 8\n";
+
+    #[test]
+    fn parses_dimacs_pair() {
+        let g = read_dimacs(GR.as_bytes(), CO.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(dijkstra_pair(&g, 0, 2), Some(12));
+        assert_eq!(g.coord(1).x, 3.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_arc() {
+        let bad = "a 1 9 5\n";
+        let err = read_dimacs(bad.as_bytes(), CO.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_, _)));
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let bad = "x what\n";
+        assert!(read_dimacs(GR.as_bytes(), bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_node_count_mismatch() {
+        let gr = "p sp 5 0\n";
+        let err = read_dimacs(gr.as_bytes(), CO.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declares 5"));
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let g = read_dimacs(GR.as_bytes(), CO.as_bytes()).unwrap();
+        let text = write_compact(&g);
+        let g2 = read_compact(&text).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(
+            dijkstra_pair(&g2, 0, 2),
+            dijkstra_pair(&g, 0, 2)
+        );
+    }
+
+    #[test]
+    fn compact_rejects_truncated() {
+        assert!(read_compact("3 1\n0 0\n").is_err());
+        assert!(read_compact("").is_err());
+    }
+}

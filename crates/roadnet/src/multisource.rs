@@ -1,0 +1,217 @@
+//! The "list of queues": one from-near-to-far data-object stream per query
+//! point (paper §III-B / §IV-A).
+//!
+//! Each queue is a [`DijkstraIter`] from one query point, filtered to nodes
+//! that carry a data object, with one-element lookahead. The queues are
+//! advanced *alternately* ("switchable"): all per-queue state persists while
+//! another queue runs. `R-List` and `Exact-max` are thin drivers on top.
+
+use crate::expansion::DijkstraIter;
+use crate::graph::{Graph, NodeId};
+use crate::Dist;
+
+/// Build a node-indexed membership mask for a set of object nodes.
+pub fn membership(num_nodes: usize, objects: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; num_nodes];
+    for &p in objects {
+        assert!(
+            (p as usize) < num_nodes,
+            "object node {p} out of range (n = {num_nodes})"
+        );
+        mask[p as usize] = true;
+    }
+    mask
+}
+
+/// One from-near-to-far stream of data objects around a single source.
+struct ObjectStream<'g> {
+    expansion: DijkstraIter<'g>,
+    /// Lookahead: the next unreported object, if any.
+    head: Option<(NodeId, Dist)>,
+    exhausted: bool,
+}
+
+impl<'g> ObjectStream<'g> {
+    fn new(graph: &'g Graph, source: NodeId) -> Self {
+        ObjectStream {
+            expansion: DijkstraIter::new(graph, source),
+            head: None,
+            exhausted: false,
+        }
+    }
+
+    /// Ensure `head` holds the next object (advancing the expansion).
+    fn fill(&mut self, is_object: &[bool]) {
+        if self.head.is_some() || self.exhausted {
+            return;
+        }
+        for (v, d) in self.expansion.by_ref() {
+            if is_object[v as usize] {
+                self.head = Some((v, d));
+                return;
+            }
+        }
+        self.exhausted = true;
+    }
+}
+
+/// `|Q|` interleaved object streams over a common object set.
+pub struct ObjectStreams<'g> {
+    streams: Vec<ObjectStream<'g>>,
+    is_object: Vec<bool>,
+}
+
+impl<'g> ObjectStreams<'g> {
+    /// One stream per source in `sources`, yielding members of `objects`.
+    pub fn new(graph: &'g Graph, sources: &[NodeId], objects: &[NodeId]) -> Self {
+        let is_object = membership(graph.num_nodes(), objects);
+        let streams = sources
+            .iter()
+            .map(|&q| ObjectStream::new(graph, q))
+            .collect();
+        ObjectStreams { streams, is_object }
+    }
+
+    /// Number of streams (`|Q|`).
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Head (next unreported object and its distance) of stream `i`,
+    /// advancing the underlying expansion as needed. `None` once the
+    /// stream's component holds no further objects.
+    pub fn head(&mut self, i: usize) -> Option<(NodeId, Dist)> {
+        let s = &mut self.streams[i];
+        s.fill(&self.is_object);
+        s.head
+    }
+
+    /// Pop the head of stream `i`.
+    pub fn pop(&mut self, i: usize) -> Option<(NodeId, Dist)> {
+        let s = &mut self.streams[i];
+        s.fill(&self.is_object);
+        s.head.take()
+    }
+
+    /// Index + head of the stream whose head distance is smallest
+    /// (`L_min` in Algorithm 2). `None` when every stream is exhausted.
+    pub fn min_head(&mut self) -> Option<(usize, NodeId, Dist)> {
+        let mut best: Option<(usize, NodeId, Dist)> = None;
+        for i in 0..self.streams.len() {
+            if let Some((v, d)) = self.head(i) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, v, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Current head distances of all streams (exhausted streams yield
+    /// `None`). Used to evaluate the R-List threshold.
+    pub fn head_dists(&mut self) -> Vec<Option<Dist>> {
+        (0..self.streams.len())
+            .map(|i| self.head(i).map(|(_, d)| d))
+            .collect()
+    }
+
+    /// Total nodes settled across all streams — the expansion work metric
+    /// reported by the efficiency experiments.
+    pub fn total_settled(&self) -> usize {
+        self.streams.iter().map(|s| s.expansion.settled_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Path 0-1-2-3-4 with unit weights; objects at 0 and 4.
+    fn path5() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(i as f64, 0.0);
+        }
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn streams_yield_objects_near_to_far() {
+        let g = path5();
+        let mut s = ObjectStreams::new(&g, &[1], &[0, 4]);
+        assert_eq!(s.pop(0), Some((0, 1)));
+        assert_eq!(s.pop(0), Some((4, 3)));
+        assert_eq!(s.pop(0), None);
+    }
+
+    #[test]
+    fn min_head_picks_globally_nearest() {
+        let g = path5();
+        // Sources at both ends, objects at 1 and 2.
+        let mut s = ObjectStreams::new(&g, &[0, 4], &[1, 2]);
+        // Stream 0 head: (1, 1); stream 1 head: (2, 2).
+        assert_eq!(s.min_head(), Some((0, 1, 1)));
+        s.pop(0);
+        // Stream 0 head: (2, 2); stream 1 head: (2, 2): tie, first wins.
+        assert_eq!(s.min_head(), Some((0, 2, 2)));
+    }
+
+    #[test]
+    fn head_is_idempotent() {
+        let g = path5();
+        let mut s = ObjectStreams::new(&g, &[2], &[0, 4]);
+        // Nodes 0 and 4 are both at distance 2; the heap breaks the tie
+        // towards the larger id, so 4 is reported first.
+        assert_eq!(s.head(0), Some((4, 2)));
+        assert_eq!(s.head(0), Some((4, 2)));
+        assert_eq!(s.pop(0), Some((4, 2)));
+        assert_eq!(s.pop(0), Some((0, 2)));
+    }
+
+    #[test]
+    fn source_on_object_yields_distance_zero() {
+        let g = path5();
+        let mut s = ObjectStreams::new(&g, &[4], &[4]);
+        assert_eq!(s.pop(0), Some((4, 0)));
+        assert_eq!(s.pop(0), None);
+    }
+
+    #[test]
+    fn head_dists_reports_exhaustion() {
+        let g = path5();
+        let mut s = ObjectStreams::new(&g, &[0, 4], &[2]);
+        assert_eq!(s.head_dists(), vec![Some(2), Some(2)]);
+        s.pop(0);
+        assert_eq!(s.head_dists(), vec![None, Some(2)]);
+    }
+
+    #[test]
+    fn interleaving_streams_is_safe() {
+        let g = path5();
+        let mut s = ObjectStreams::new(&g, &[0, 4], &[0, 1, 2, 3, 4]);
+        // Alternate pops; each stream must still see all 5 objects in order.
+        let mut got = [Vec::new(), Vec::new()];
+        for _round in 0..5 {
+            for (q, out) in got.iter_mut().enumerate() {
+                let (v, d) = s.pop(q).unwrap();
+                out.push((v, d));
+            }
+        }
+        assert_eq!(got[0], vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+        assert_eq!(got[1], vec![(4, 0), (3, 1), (2, 2), (1, 3), (0, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn membership_rejects_bad_node() {
+        membership(3, &[5]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Shortest-path *route* reconstruction.
+//!
+//! The FANN_R algorithms only need distances, but the applications the
+//! paper motivates (logistics, meetings) ultimately dispatch someone along
+//! a route. This module adds parent-tracking Dijkstra so examples and
+//! downstream users can materialize the winning paths.
+
+use crate::graph::{Graph, NodeId};
+use crate::{Dist, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Shortest path from `s` to `t` as `(total_dist, nodes)`; the node list
+/// starts with `s` and ends with `t`. `None` when unreachable.
+pub fn shortest_path(g: &Graph, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+    if s == t {
+        return Some((0, vec![s]));
+    }
+    let n = g.num_nodes();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![NodeId::MAX; n];
+    let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push((Reverse(0), s));
+    while let Some((Reverse(d), v)) = heap.pop() {
+        if v == t {
+            break;
+        }
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (nb, w) in g.neighbors(v) {
+            let nd = d + w as Dist;
+            if nd < dist[nb as usize] {
+                dist[nb as usize] = nd;
+                parent[nb as usize] = v;
+                heap.push((Reverse(nd), nb));
+            }
+        }
+    }
+    if dist[t as usize] == INF {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while cur != s {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((dist[t as usize], path))
+}
+
+/// Total weight of a node sequence; `None` if any hop is not an edge.
+/// Useful as a route validator.
+pub fn path_length(g: &Graph, path: &[NodeId]) -> Option<Dist> {
+    if path.is_empty() {
+        return None;
+    }
+    let mut total: Dist = 0;
+    for hop in path.windows(2) {
+        total += g.edge_weight(hop[0], hop[1])? as Dist;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_pair;
+    use crate::graph::GraphBuilder;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(0, 2, 5);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn reconstructs_shortest_route() {
+        let g = diamond();
+        let (d, path) = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(d, 2);
+        assert_eq!(path, vec![0, 1, 3]);
+        assert_eq!(path_length(&g, &path), Some(2));
+    }
+
+    #[test]
+    fn same_node_is_trivial_path() {
+        let g = diamond();
+        assert_eq!(shortest_path(&g, 2, 2), Some((0, vec![2])));
+        assert_eq!(path_length(&g, &[2]), Some(0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        let g = b.build();
+        assert_eq!(shortest_path(&g, 0, 1), None);
+    }
+
+    #[test]
+    fn distance_matches_pair_dijkstra_on_random_pairs() {
+        let mut b = GraphBuilder::new();
+        for y in 0..5u32 {
+            for x in 0..5u32 {
+                b.add_node(x as f64, y as f64);
+            }
+        }
+        for y in 0..5u32 {
+            for x in 0..5u32 {
+                let v = y * 5 + x;
+                if x + 1 < 5 {
+                    b.add_edge(v, v + 1, 1 + (x * 3 + y) % 4);
+                }
+                if y + 1 < 5 {
+                    b.add_edge(v, v + 5, 1 + (x + y * 2) % 3);
+                }
+            }
+        }
+        let g = b.build();
+        for s in 0..25 {
+            for t in 0..25 {
+                let got = shortest_path(&g, s, t);
+                let want = dijkstra_pair(&g, s, t);
+                assert_eq!(got.as_ref().map(|&(d, _)| d), want, "{s}->{t}");
+                if let Some((d, path)) = got {
+                    assert_eq!(path_length(&g, &path), Some(d), "invalid route {s}->{t}");
+                    assert_eq!(path[0], s);
+                    assert_eq!(*path.last().unwrap(), t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_rejects_non_paths() {
+        let g = diamond();
+        assert_eq!(path_length(&g, &[0, 3]), None); // not an edge
+        assert_eq!(path_length(&g, &[]), None);
+    }
+}

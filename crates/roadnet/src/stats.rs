@@ -1,0 +1,208 @@
+//! Descriptive statistics of a road network.
+//!
+//! Used to verify that synthetic substitutes look like the paper's DIMACS
+//! graphs (Table III: ~2.2–2.4 undirected edges per node, near-planar) and
+//! surfaced by the `fannr stats` CLI subcommand.
+
+use crate::dijkstra::dijkstra_all;
+use crate::graph::{Graph, NodeId};
+use crate::{Dist, INF};
+
+/// Summary statistics for a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    /// Undirected edges per node (Table III reports ~2.2–2.4).
+    pub edges_per_node: f64,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    pub min_weight: u32,
+    pub max_weight: u32,
+    pub avg_weight: f64,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+    /// Lower bound on the diameter from a double-sweep (exact on trees).
+    pub diameter_lb: Dist,
+}
+
+/// Compute [`GraphStats`]. Cost: a few BFS/DFS passes plus two Dijkstras.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.num_nodes();
+    let mut min_degree = usize::MAX;
+    let mut max_degree = 0usize;
+    for v in 0..n {
+        let d = g.degree(v as NodeId);
+        min_degree = min_degree.min(d);
+        max_degree = max_degree.max(d);
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    let (mut min_w, mut max_w, mut sum_w) = (u32::MAX, 0u32, 0u64);
+    let mut edge_count = 0usize;
+    for (_, _, w) in g.edges() {
+        min_w = min_w.min(w);
+        max_w = max_w.max(w);
+        sum_w += w as u64;
+        edge_count += 1;
+    }
+    if edge_count == 0 {
+        min_w = 0;
+    }
+
+    // Largest component via repeated DFS.
+    let mut seen = vec![false; n];
+    let mut largest = 0usize;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let mut size = 0usize;
+        seen[s] = true;
+        stack.push(s as NodeId);
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for (t, _) in g.neighbors(v) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+
+    // Double sweep: farthest node from 0, then farthest from that.
+    let diameter_lb = if n == 0 {
+        0
+    } else {
+        let far = |src: NodeId| -> (NodeId, Dist) {
+            dijkstra_all(g, src)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, d)| d != INF)
+                .max_by_key(|&(v, d)| (d, v))
+                .map(|(v, d)| (v as NodeId, d))
+                .unwrap_or((src, 0))
+        };
+        let (a, _) = far(0);
+        far(a).1
+    };
+
+    GraphStats {
+        nodes: n,
+        edges: edge_count,
+        edges_per_node: if n == 0 {
+            0.0
+        } else {
+            edge_count as f64 / n as f64
+        },
+        min_degree,
+        max_degree,
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            g.num_arcs() as f64 / n as f64
+        },
+        min_weight: min_w,
+        max_weight: max_w,
+        avg_weight: if edge_count == 0 {
+            0.0
+        } else {
+            sum_w as f64 / edge_count as f64
+        },
+        largest_component: largest,
+        diameter_lb,
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes:             {}", self.nodes)?;
+        writeln!(
+            f,
+            "edges:             {} ({:.2} per node)",
+            self.edges, self.edges_per_node
+        )?;
+        writeln!(
+            f,
+            "degree:            min {} / avg {:.2} / max {}",
+            self.min_degree, self.avg_degree, self.max_degree
+        )?;
+        writeln!(
+            f,
+            "edge weight:       min {} / avg {:.1} / max {}",
+            self.min_weight, self.avg_weight, self.max_weight
+        )?;
+        writeln!(
+            f,
+            "largest component: {} ({:.1}%)",
+            self.largest_component,
+            if self.nodes == 0 {
+                0.0
+            } else {
+                100.0 * self.largest_component as f64 / self.nodes as f64
+            }
+        )?;
+        write!(f, "diameter >=        {}", self.diameter_lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn path_graph_stats() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 3, 4);
+        let s = graph_stats(&b.build());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!((s.min_degree, s.max_degree), (1, 2));
+        assert_eq!((s.min_weight, s.max_weight), (2, 4));
+        assert_eq!(s.largest_component, 4);
+        assert_eq!(s.diameter_lb, 9); // exact on a path
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 4, 1);
+        let s = graph_stats(&b.build());
+        assert_eq!(s.largest_component, 3);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let s = graph_stats(&GraphBuilder::new().build());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.diameter_lb, 0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(1.0, 0.0);
+        b.add_edge(0, 1, 5);
+        let text = graph_stats(&b.build()).to_string();
+        assert!(text.contains("nodes:"));
+        assert!(text.contains("diameter >="));
+    }
+}

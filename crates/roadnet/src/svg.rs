@@ -1,0 +1,251 @@
+//! SVG rendering of road networks and query answers.
+//!
+//! Debugging and demo aid: draw the network, highlight `P`/`Q`, the
+//! winning data point, and the routes to the chosen flexible subset —
+//! the same picture as the paper's Fig. 1. Pure string generation, no
+//! graphics dependencies.
+
+use crate::graph::{Graph, NodeId};
+use crate::path::shortest_path;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width: f64,
+    /// Draw every edge (off for very large networks).
+    pub draw_edges: bool,
+    pub edge_color: &'static str,
+    pub data_color: &'static str,
+    pub query_color: &'static str,
+    pub answer_color: &'static str,
+    pub route_color: &'static str,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 800.0,
+            draw_edges: true,
+            edge_color: "#c8c8c8",
+            data_color: "#222222",
+            query_color: "#d62728",
+            answer_color: "#1f77b4",
+            route_color: "#2ca02c",
+        }
+    }
+}
+
+/// A scene to render: the network plus optional overlays.
+pub struct SvgScene<'g> {
+    graph: &'g Graph,
+    data_points: Vec<NodeId>,
+    query_points: Vec<NodeId>,
+    answer: Option<(NodeId, Vec<NodeId>)>,
+    options: SvgOptions,
+}
+
+impl<'g> SvgScene<'g> {
+    pub fn new(graph: &'g Graph) -> Self {
+        SvgScene {
+            graph,
+            data_points: Vec::new(),
+            query_points: Vec::new(),
+            answer: None,
+            options: SvgOptions::default(),
+        }
+    }
+
+    pub fn with_options(mut self, options: SvgOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Highlight the data set `P`.
+    pub fn data_points(mut self, p: &[NodeId]) -> Self {
+        self.data_points = p.to_vec();
+        self
+    }
+
+    /// Highlight the query set `Q`.
+    pub fn query_points(mut self, q: &[NodeId]) -> Self {
+        self.query_points = q.to_vec();
+        self
+    }
+
+    /// Highlight an FANN answer: `p*` and routes to its flexible subset.
+    pub fn answer(mut self, p_star: NodeId, subset: &[NodeId]) -> Self {
+        self.answer = Some((p_star, subset.to_vec()));
+        self
+    }
+
+    /// Render to an SVG document string.
+    pub fn render(&self) -> String {
+        let g = self.graph;
+        let o = &self.options;
+        // Bounding box with a margin.
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in 0..g.num_nodes() {
+            let p = g.coord(v as NodeId);
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        if !min_x.is_finite() {
+            return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>".to_string();
+        }
+        let span_x = (max_x - min_x).max(1e-9);
+        let span_y = (max_y - min_y).max(1e-9);
+        let margin = 0.04 * o.width;
+        let scale = (o.width - 2.0 * margin) / span_x;
+        let height = span_y * scale + 2.0 * margin;
+        let tx = |x: f64| (x - min_x) * scale + margin;
+        // SVG y grows downward; flip so north is up.
+        let ty = |y: f64| height - ((y - min_y) * scale + margin);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+             viewBox=\"0 0 {:.0} {:.0}\">",
+            o.width, height, o.width, height
+        );
+        if o.draw_edges {
+            let _ = writeln!(
+                out,
+                "<g stroke=\"{}\" stroke-width=\"0.7\">",
+                o.edge_color
+            );
+            for (u, v, _) in g.edges() {
+                let pu = g.coord(u);
+                let pv = g.coord(v);
+                let _ = writeln!(
+                    out,
+                    "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>",
+                    tx(pu.x),
+                    ty(pu.y),
+                    tx(pv.x),
+                    ty(pv.y)
+                );
+            }
+            let _ = writeln!(out, "</g>");
+        }
+        // Routes first (under the markers).
+        if let Some((p_star, subset)) = &self.answer {
+            let _ = writeln!(
+                out,
+                "<g stroke=\"{}\" stroke-width=\"2.5\" fill=\"none\" opacity=\"0.8\">",
+                o.route_color
+            );
+            for &qn in subset {
+                if let Some((_, path)) = shortest_path(g, *p_star, qn) {
+                    let mut d = String::new();
+                    for (i, &node) in path.iter().enumerate() {
+                        let p = g.coord(node);
+                        let _ = write!(
+                            d,
+                            "{}{:.1},{:.1} ",
+                            if i == 0 { "M" } else { "L" },
+                            tx(p.x),
+                            ty(p.y)
+                        );
+                    }
+                    let _ = writeln!(out, "<path d=\"{}\"/>", d.trim_end());
+                }
+            }
+            let _ = writeln!(out, "</g>");
+        }
+        let mut marker = |nodes: &[NodeId], color: &str, r: f64| {
+            let _ = writeln!(out, "<g fill=\"{color}\">");
+            for &v in nodes {
+                let p = g.coord(v);
+                let _ = writeln!(
+                    out,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r:.1}\"/>",
+                    tx(p.x),
+                    ty(p.y)
+                );
+            }
+            let _ = writeln!(out, "</g>");
+        };
+        marker(&self.data_points, o.data_color, 3.0);
+        marker(&self.query_points, o.query_color, 4.0);
+        if let Some((p_star, subset)) = &self.answer {
+            let hl: HashSet<NodeId> = subset.iter().copied().collect();
+            marker(
+                &hl.into_iter().collect::<Vec<_>>(),
+                o.route_color,
+                4.5,
+            );
+            marker(&[*p_star], o.answer_color, 6.0);
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn small() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        b.add_node(10.0, 0.0);
+        b.add_node(10.0, 10.0);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 10);
+        b.build()
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let g = small();
+        let svg = SvgScene::new(&g)
+            .data_points(&[0])
+            .query_points(&[2])
+            .answer(0, &[2])
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One <g> per layer, balanced tags.
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<path"), "route missing");
+        assert!(svg.contains("<line"), "edges missing");
+    }
+
+    #[test]
+    fn empty_graph_renders_stub() {
+        let g = GraphBuilder::new().build();
+        let svg = SvgScene::new(&g).render();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn edges_can_be_disabled() {
+        let g = small();
+        let svg = SvgScene::new(&g)
+            .with_options(SvgOptions {
+                draw_edges: false,
+                ..SvgOptions::default()
+            })
+            .render();
+        assert!(!svg.contains("<line"));
+    }
+
+    #[test]
+    fn marker_counts_match_sets() {
+        let g = small();
+        let svg = SvgScene::new(&g)
+            .data_points(&[0, 1])
+            .query_points(&[2])
+            .render();
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+}

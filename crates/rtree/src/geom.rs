@@ -1,0 +1,238 @@
+//! Planar geometry: points and minimum bounding rectangles (MBRs).
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pt {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Pt {
+    pub fn new(x: f64, y: f64) -> Self {
+        Pt { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Pt) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned minimum bounding rectangle.
+///
+/// `mindist` follows Roussopoulos et al. \[23\]: the smallest possible
+/// Euclidean distance from a point (or another MBR) to anything inside the
+/// rectangle — the pruning bound in IER (Lemma 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mbr {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Mbr {
+    /// Degenerate MBR covering a single point.
+    pub fn from_point(p: Pt) -> Self {
+        Mbr {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
+    }
+
+    /// Identity element for [`Mbr::union`]: contains nothing.
+    pub fn empty() -> Self {
+        Mbr {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Smallest MBR containing both `self` and `other`.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grow to include a point.
+    pub fn extend(&mut self, p: Pt) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Bounding box of a point set; [`Mbr::empty`] for an empty slice.
+    pub fn of_points(points: &[Pt]) -> Mbr {
+        let mut m = Mbr::empty();
+        for &p in points {
+            m.extend(p);
+        }
+        m
+    }
+
+    pub fn contains(&self, p: Pt) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_x - self.min_x) * (self.max_y - self.min_y)
+        }
+    }
+
+    /// `mindist(b, q)`: minimum Euclidean distance from `q` to the MBR
+    /// (0 when `q` lies inside).
+    pub fn mindist_point(&self, q: Pt) -> f64 {
+        let dx = (self.min_x - q.x).max(q.x - self.max_x).max(0.0);
+        let dy = (self.min_y - q.y).max(q.y - self.max_y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// `mindist(b, b')`: minimum Euclidean distance between two MBRs
+    /// (0 when they intersect).
+    pub fn mindist_mbr(&self, other: &Mbr) -> f64 {
+        let dx = (self.min_x - other.max_x).max(other.min_x - self.max_x).max(0.0);
+        let dy = (self.min_y - other.max_y).max(other.min_y - self.max_y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Maximum possible distance from `q` to anything in the MBR; an upper
+    /// bound used by aggregate pruning heuristics.
+    pub fn maxdist_point(&self, q: Pt) -> f64 {
+        let dx = (q.x - self.min_x).abs().max((q.x - self.max_x).abs());
+        let dy = (q.y - self.min_y).abs().max((q.y - self.max_y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    pub fn center(&self) -> Pt {
+        Pt::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_covers_both() {
+        let a = Mbr::from_point(Pt::new(0.0, 0.0));
+        let b = Mbr::from_point(Pt::new(2.0, 3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Pt::new(1.0, 1.5)));
+        assert_eq!(u.area(), 6.0);
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let a = Mbr {
+            min_x: 1.0,
+            min_y: 2.0,
+            max_x: 3.0,
+            max_y: 4.0,
+        };
+        assert_eq!(Mbr::empty().union(&a), a);
+        assert!(Mbr::empty().is_empty());
+        assert_eq!(Mbr::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn mindist_point_inside_is_zero() {
+        let m = Mbr {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 4.0,
+            max_y: 4.0,
+        };
+        assert_eq!(m.mindist_point(Pt::new(2.0, 2.0)), 0.0);
+        assert_eq!(m.mindist_point(Pt::new(4.0, 4.0)), 0.0);
+    }
+
+    #[test]
+    fn mindist_point_outside_is_perpendicular_or_corner() {
+        let m = Mbr {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 4.0,
+            max_y: 4.0,
+        };
+        assert_eq!(m.mindist_point(Pt::new(7.0, 2.0)), 3.0);
+        // Corner case: (7, 8) vs corner (4, 4) -> 5.
+        assert_eq!(m.mindist_point(Pt::new(7.0, 8.0)), 5.0);
+    }
+
+    #[test]
+    fn mindist_mbr_zero_when_overlapping() {
+        let a = Mbr {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 4.0,
+            max_y: 4.0,
+        };
+        let b = Mbr {
+            min_x: 3.0,
+            min_y: 3.0,
+            max_x: 5.0,
+            max_y: 5.0,
+        };
+        assert_eq!(a.mindist_mbr(&b), 0.0);
+    }
+
+    #[test]
+    fn mindist_mbr_separated() {
+        let a = Mbr {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 1.0,
+            max_y: 1.0,
+        };
+        let b = Mbr {
+            min_x: 4.0,
+            min_y: 5.0,
+            max_x: 6.0,
+            max_y: 7.0,
+        };
+        assert_eq!(a.mindist_mbr(&b), 5.0); // dx = 3, dy = 4
+    }
+
+    #[test]
+    fn maxdist_bounds_mindist() {
+        let m = Mbr {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 2.0,
+            max_y: 2.0,
+        };
+        let q = Pt::new(5.0, 5.0);
+        assert!(m.maxdist_point(q) >= m.mindist_point(q));
+    }
+
+    #[test]
+    fn of_points_matches_extends() {
+        let pts = [Pt::new(1.0, 5.0), Pt::new(-2.0, 0.5), Pt::new(3.0, 2.0)];
+        let m = Mbr::of_points(&pts);
+        assert_eq!(m.min_x, -2.0);
+        assert_eq!(m.max_x, 3.0);
+        assert_eq!(m.min_y, 0.5);
+        assert_eq!(m.max_y, 5.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! An R-tree over planar points with STR bulk loading.
+//!
+//! The paper uses R-trees in two places (Table I): over the data set `P`
+//! for the IER-kNN framework (Algorithm 1), and over the query set `Q` for
+//! the `IER²` variants of `g_phi`. Both uses need
+//!
+//! * external best-first traversal: the caller owns the priority queue and
+//!   orders [`Entry`] handles by its own aggregate bound (`g^eps_phi(e, Q)`) —
+//!   see [`RTree::root`] and [`Node::children`];
+//! * classic incremental nearest-neighbor search by Euclidean distance
+//!   (Hjaltason & Samet \[22\]) — see [`RTree::nearest_iter`].
+//!
+//! The tree is built once by Sort-Tile-Recursive (STR) bulk loading with a
+//! configurable fanout (the paper sets `f = 4`, §VI-A) and is immutable
+//! afterwards, matching the paper's static-index setting.
+
+pub mod geom;
+
+pub use geom::{Mbr, Pt};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order wrapper for finite `f64` priorities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A stored item: a point plus its payload (typically a graph node id).
+#[derive(Debug, Clone)]
+pub struct Item<T> {
+    pub point: Pt,
+    pub data: T,
+}
+
+enum NodeKind<T> {
+    Leaf(Vec<Item<T>>),
+    Internal(Vec<Node<T>>),
+}
+
+/// An R-tree node with its MBR.
+pub struct Node<T> {
+    mbr: Mbr,
+    kind: NodeKind<T>,
+}
+
+impl<T> Node<T> {
+    /// The node's minimum bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        self.mbr
+    }
+
+    /// Child entries: sub-nodes for internal nodes, items for leaves
+    /// (line 9 of Algorithm 1: "for each R-tree entry ê under e").
+    pub fn children(&self) -> impl Iterator<Item = Entry<'_, T>> {
+        let (nodes, items) = match &self.kind {
+            NodeKind::Internal(ns) => (&ns[..], &[][..]),
+            NodeKind::Leaf(its) => (&[][..], &its[..]),
+        };
+        nodes
+            .iter()
+            .map(Entry::Node)
+            .chain(items.iter().map(Entry::Item))
+    }
+
+    fn count_nodes(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(_) => 1,
+            NodeKind::Internal(ns) => 1 + ns.iter().map(Node::count_nodes).sum::<usize>(),
+        }
+    }
+}
+
+/// A traversal handle: either an internal/leaf node or a stored item.
+pub enum Entry<'a, T> {
+    Node(&'a Node<T>),
+    Item(&'a Item<T>),
+}
+
+impl<'a, T> Entry<'a, T> {
+    /// MBR of the entry (degenerate for items).
+    pub fn mbr(&self) -> Mbr {
+        match self {
+            Entry::Node(n) => n.mbr,
+            Entry::Item(it) => Mbr::from_point(it.point),
+        }
+    }
+
+    /// Minimum possible Euclidean distance from `q` to this entry.
+    pub fn mindist(&self, q: Pt) -> f64 {
+        match self {
+            Entry::Node(n) => n.mbr.mindist_point(q),
+            Entry::Item(it) => it.point.dist(&q),
+        }
+    }
+}
+
+impl<'a, T> Clone for Entry<'a, T> {
+    fn clone(&self) -> Self {
+        match self {
+            Entry::Node(n) => Entry::Node(n),
+            Entry::Item(i) => Entry::Item(i),
+        }
+    }
+}
+
+// Entries carry no intrinsic ordering: callers key their priority queues by
+// an external bound (e.g. `g^eps_phi(e, Q)` in Algorithm 1) and use these
+// do-nothing impls only to satisfy `BinaryHeap`'s trait bounds.
+impl<T> PartialEq for Entry<'_, T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for Entry<'_, T> {}
+impl<T> PartialOrd for Entry<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<'_, T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// An immutable R-tree bulk-loaded with STR.
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+    fanout: usize,
+}
+
+/// Default fanout, matching the paper's `f = 4` (§VI-A).
+pub const DEFAULT_FANOUT: usize = 4;
+
+impl<T> RTree<T> {
+    /// Bulk-load with the default fanout.
+    pub fn bulk_load(items: Vec<(Pt, T)>) -> Self {
+        Self::bulk_load_with_fanout(items, DEFAULT_FANOUT)
+    }
+
+    /// Bulk-load with an explicit fanout (`>= 2`).
+    pub fn bulk_load_with_fanout(items: Vec<(Pt, T)>, fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2, got {fanout}");
+        let len = items.len();
+        let leaves: Vec<Item<T>> = items
+            .into_iter()
+            .map(|(point, data)| Item { point, data })
+            .collect();
+        let root = (!leaves.is_empty()).then(|| Self::build_leaves(leaves, fanout));
+        RTree { root, len, fanout }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Root node; `None` for an empty tree.
+    pub fn root(&self) -> Option<&Node<T>> {
+        self.root.as_ref()
+    }
+
+    /// STR: sort by x, cut into vertical slabs, sort each slab by y, chunk.
+    fn str_tile<E, KX, KY>(mut elems: Vec<E>, cap: usize, kx: KX, ky: KY) -> Vec<Vec<E>>
+    where
+        KX: Fn(&E) -> f64,
+        KY: Fn(&E) -> f64,
+    {
+        let n = elems.len();
+        let n_groups = n.div_ceil(cap);
+        let n_slabs = (n_groups as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(n_slabs);
+        elems.sort_by(|a, b| kx(a).total_cmp(&kx(b)));
+        let mut groups = Vec::with_capacity(n_groups);
+        let mut rest = elems;
+        while !rest.is_empty() {
+            let take = slab_size.min(rest.len());
+            let mut slab: Vec<E> = rest.drain(..take).collect();
+            slab.sort_by(|a, b| ky(a).total_cmp(&ky(b)));
+            while !slab.is_empty() {
+                let take = cap.min(slab.len());
+                groups.push(slab.drain(..take).collect());
+            }
+        }
+        groups
+    }
+
+    fn build_leaves(items: Vec<Item<T>>, fanout: usize) -> Node<T> {
+        let groups = Self::str_tile(items, fanout, |i| i.point.x, |i| i.point.y);
+        let mut nodes: Vec<Node<T>> = groups
+            .into_iter()
+            .map(|g| {
+                let mut mbr = Mbr::empty();
+                for it in &g {
+                    mbr.extend(it.point);
+                }
+                Node {
+                    mbr,
+                    kind: NodeKind::Leaf(g),
+                }
+            })
+            .collect();
+        while nodes.len() > 1 {
+            let groups =
+                Self::str_tile(nodes, fanout, |n| n.mbr.center().x, |n| n.mbr.center().y);
+            nodes = groups
+                .into_iter()
+                .map(|g| {
+                    let mbr = g.iter().fold(Mbr::empty(), |acc, n| acc.union(&n.mbr));
+                    Node {
+                        mbr,
+                        kind: NodeKind::Internal(g),
+                    }
+                })
+                .collect();
+        }
+        nodes.pop().expect("non-empty input produces a root")
+    }
+
+    /// Items in increasing Euclidean distance from `q` (incremental
+    /// best-first NN, \[22\]). Lazy: pulling `k` results does work roughly
+    /// proportional to the visited frontier only.
+    pub fn nearest_iter(&self, q: Pt) -> NearestIter<'_, T> {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = &self.root {
+            heap.push((
+                Reverse(OrdF64(root.mbr.mindist_point(q))),
+                HeapEntry::Node(root),
+            ));
+        }
+        NearestIter { q, heap }
+    }
+
+    /// The `k` nearest items to `q` as `(distance, &data)`.
+    pub fn knn(&self, q: Pt, k: usize) -> Vec<(f64, &T)> {
+        self.nearest_iter(q).take(k).collect()
+    }
+
+    /// Iterate over all stored items (arbitrary order).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &Item<T>> + '_> {
+        fn walk<'a, T>(n: &'a Node<T>) -> Box<dyn Iterator<Item = &'a Item<T>> + 'a> {
+            match &n.kind {
+                NodeKind::Leaf(items) => Box::new(items.iter()),
+                NodeKind::Internal(ns) => Box::new(ns.iter().flat_map(walk)),
+            }
+        }
+        match &self.root {
+            Some(r) => walk(r),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Number of tree nodes (for the Appendix-A index-cost experiment).
+    pub fn num_nodes(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::count_nodes)
+    }
+
+    /// Rough in-memory size: nodes + items. Payload counted as `size_of::<T>()`.
+    pub fn memory_bytes(&self) -> usize {
+        let node_sz = std::mem::size_of::<Node<T>>();
+        let item_sz = std::mem::size_of::<Item<T>>();
+        self.num_nodes() * node_sz + self.len * item_sz
+    }
+}
+
+/// Internal heap entry for [`NearestIter`]. Ordering lives entirely in the
+/// `f64` key; entries themselves compare equal.
+enum HeapEntry<'a, T> {
+    Node(&'a Node<T>),
+    Item(&'a Item<T>),
+}
+
+impl<T> PartialEq for HeapEntry<'_, T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for HeapEntry<'_, T> {}
+impl<T> PartialOrd for HeapEntry<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<'_, T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Iterator produced by [`RTree::nearest_iter`].
+pub struct NearestIter<'a, T> {
+    q: Pt,
+    heap: BinaryHeap<(Reverse<OrdF64>, HeapEntry<'a, T>)>,
+}
+
+impl<'a, T> Iterator for NearestIter<'a, T> {
+    type Item = (f64, &'a T);
+
+    fn next(&mut self) -> Option<(f64, &'a T)> {
+        while let Some((Reverse(OrdF64(d)), entry)) = self.heap.pop() {
+            match entry {
+                HeapEntry::Item(it) => return Some((d, &it.data)),
+                HeapEntry::Node(n) => match &n.kind {
+                    NodeKind::Leaf(items) => {
+                        for it in items {
+                            self.heap.push((
+                                Reverse(OrdF64(it.point.dist(&self.q))),
+                                HeapEntry::Item(it),
+                            ));
+                        }
+                    }
+                    NodeKind::Internal(ns) => {
+                        for c in ns {
+                            self.heap.push((
+                                Reverse(OrdF64(c.mbr.mindist_point(self.q))),
+                                HeapEntry::Node(c),
+                            ));
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items(n: usize) -> Vec<(Pt, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Pt::new(x, y), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: RTree<usize> = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert!(t.root().is_none());
+        assert_eq!(t.knn(Pt::new(0.0, 0.0), 3), vec![]);
+        assert_eq!(t.num_nodes(), 0);
+    }
+
+    #[test]
+    fn single_item() {
+        let t = RTree::bulk_load(vec![(Pt::new(1.0, 2.0), 7usize)]);
+        assert_eq!(t.len(), 1);
+        let nn = t.knn(Pt::new(1.0, 2.0), 1);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(*nn[0].1, 7);
+        assert_eq!(nn[0].0, 0.0);
+    }
+
+    #[test]
+    fn stores_all_items() {
+        let t = RTree::bulk_load(grid_items(57));
+        assert_eq!(t.len(), 57);
+        let mut ids: Vec<usize> = t.iter().map(|it| it.data).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let items = grid_items(100);
+        let t = RTree::bulk_load(items.clone());
+        let q = Pt::new(3.7, 6.2);
+        let mut by_scan: Vec<(f64, usize)> =
+            items.iter().map(|(p, i)| (p.dist(&q), *i)).collect();
+        by_scan.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let by_tree: Vec<(f64, usize)> = t.nearest_iter(q).map(|(d, &i)| (d, i)).collect();
+        assert_eq!(by_tree.len(), 100);
+        for (a, b) in by_scan.iter().zip(by_tree.iter()) {
+            assert!((a.0 - b.0).abs() < 1e-12, "distance order mismatch");
+        }
+    }
+
+    #[test]
+    fn knn_returns_k_sorted() {
+        let t = RTree::bulk_load(grid_items(100));
+        let res = t.knn(Pt::new(0.0, 0.0), 5);
+        assert_eq!(res.len(), 5);
+        assert!(res.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(*res[0].1, 0);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_len() {
+        let t = RTree::bulk_load(grid_items(3));
+        assert_eq!(t.knn(Pt::new(0.0, 0.0), 10).len(), 3);
+    }
+
+    #[test]
+    fn root_mbr_covers_everything() {
+        let t = RTree::bulk_load(grid_items(100));
+        let mbr = t.root().unwrap().mbr();
+        for it in t.iter() {
+            assert!(mbr.contains(it.point));
+        }
+    }
+
+    #[test]
+    fn children_mbrs_nest() {
+        fn check<T>(n: &Node<T>) {
+            for c in n.children() {
+                let m = c.mbr();
+                assert!(n.mbr().union(&m) == n.mbr(), "child MBR escapes parent");
+                if let Entry::Node(cn) = c {
+                    check(cn);
+                }
+            }
+        }
+        let t = RTree::bulk_load(grid_items(100));
+        check(t.root().unwrap());
+    }
+
+    #[test]
+    fn fanout_is_respected() {
+        fn max_children<T>(n: &Node<T>) -> usize {
+            let own = n.children().count();
+            let sub = n
+                .children()
+                .filter_map(|c| match c {
+                    Entry::Node(cn) => Some(max_children(cn)),
+                    Entry::Item(_) => None,
+                })
+                .max()
+                .unwrap_or(0);
+            own.max(sub)
+        }
+        let t = RTree::bulk_load_with_fanout(grid_items(100), 4);
+        assert!(max_children(t.root().unwrap()) <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn rejects_fanout_one() {
+        let _ = RTree::bulk_load_with_fanout(grid_items(4), 1);
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let items = vec![
+            (Pt::new(1.0, 1.0), 0usize),
+            (Pt::new(1.0, 1.0), 1),
+            (Pt::new(1.0, 1.0), 2),
+        ];
+        let t = RTree::bulk_load(items);
+        let res = t.knn(Pt::new(1.0, 1.0), 3);
+        let mut ids: Vec<usize> = res.iter().map(|(_, &i)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let t = RTree::bulk_load(grid_items(64));
+        assert!(t.memory_bytes() > 0);
+        assert!(t.num_nodes() >= 16); // 64 items, fanout 4
+    }
+}

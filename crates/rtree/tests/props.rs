@@ -1,0 +1,69 @@
+//! Property tests: the R-tree must agree with linear scans on arbitrary
+//! point sets (duplicates, collinear points, extreme coordinates).
+
+use proptest::prelude::*;
+use spatial_rtree::{Mbr, Pt, RTree};
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nearest_order_matches_scan(pts in arb_points(), q in (-1e6f64..1e6, -1e6f64..1e6)) {
+        let items: Vec<(Pt, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Pt::new(x, y), i))
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        let q = Pt::new(q.0, q.1);
+        let mut scan: Vec<f64> = items.iter().map(|(p, _)| p.dist(&q)).collect();
+        scan.sort_by(f64::total_cmp);
+        let tree_d: Vec<f64> = tree.nearest_iter(q).map(|(d, _)| d).collect();
+        prop_assert_eq!(tree_d.len(), scan.len());
+        for (a, b) in tree_d.iter().zip(scan.iter()) {
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn all_items_enumerable(pts in arb_points()) {
+        let items: Vec<(Pt, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Pt::new(x, y), i))
+            .collect();
+        let tree = RTree::bulk_load(items);
+        let mut ids: Vec<usize> = tree.iter().map(|it| it.data).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mindist_lower_bounds_every_member(pts in arb_points(), q in (-1e6f64..1e6, -1e6f64..1e6)) {
+        let q = Pt::new(q.0, q.1);
+        let pts: Vec<Pt> = pts.iter().map(|&(x, y)| Pt::new(x, y)).collect();
+        let mbr = Mbr::of_points(&pts);
+        for p in &pts {
+            prop_assert!(mbr.mindist_point(q) <= p.dist(&q) + 1e-9);
+            prop_assert!(mbr.maxdist_point(q) >= p.dist(&q) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn mbr_mindist_symmetric(a in arb_points(), b in arb_points()) {
+        let ma = Mbr::of_points(&a.iter().map(|&(x, y)| Pt::new(x, y)).collect::<Vec<_>>());
+        let mb = Mbr::of_points(&b.iter().map(|&(x, y)| Pt::new(x, y)).collect::<Vec<_>>());
+        prop_assert!((ma.mindist_mbr(&mb) - mb.mindist_mbr(&ma)).abs() < 1e-9);
+        // And never exceeds any cross-pair distance.
+        for &(ax, ay) in &a {
+            for &(bx, by) in &b {
+                let d = Pt::new(ax, ay).dist(&Pt::new(bx, by));
+                prop_assert!(ma.mindist_mbr(&mb) <= d + 1e-9);
+            }
+        }
+    }
+}

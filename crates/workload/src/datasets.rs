@@ -1,0 +1,180 @@
+//! The Table III dataset registry, at laptop scale.
+//!
+//! The paper's seven DIMACS USA graphs span 48k–24M nodes. This registry
+//! keeps the same names and the same relative size progression at 1/24
+//! scale (DESIGN.md §5), plus the per-dataset G-tree leaf capacities
+//! (`tau`) of §VI-A scaled accordingly. Real DIMACS files are used instead
+//! when `ROADNET_DATA_DIR` points at a directory containing
+//! `<name>.gr` / `<name>.co` pairs.
+
+use crate::synth::road_network;
+use roadnet::components::largest_connected_component;
+use roadnet::Graph;
+
+/// One Table III dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Table III short name (DE, ME, COL, NW, E, CTR, USA).
+    pub name: &'static str,
+    pub description: &'static str,
+    /// Paper node count (for reporting).
+    pub paper_nodes: usize,
+    /// Scaled synthetic node target.
+    pub target_nodes: usize,
+    /// G-tree `tau` (max leaf size), scaled from §VI-A.
+    pub gtree_leaf_cap: usize,
+}
+
+/// All seven datasets of Table III (scaled ~1/24).
+pub const DATASETS: [DatasetSpec; 7] = [
+    DatasetSpec {
+        name: "DE",
+        description: "Delaware",
+        paper_nodes: 48_812,
+        target_nodes: 2_000,
+        gtree_leaf_cap: 32,
+    },
+    DatasetSpec {
+        name: "ME",
+        description: "Maine",
+        paper_nodes: 187_315,
+        target_nodes: 7_800,
+        gtree_leaf_cap: 64,
+    },
+    DatasetSpec {
+        name: "COL",
+        description: "Colorado",
+        paper_nodes: 435_666,
+        target_nodes: 18_000,
+        gtree_leaf_cap: 64,
+    },
+    DatasetSpec {
+        name: "NW",
+        description: "Northwest USA",
+        paper_nodes: 1_089_933,
+        target_nodes: 45_000,
+        gtree_leaf_cap: 128,
+    },
+    DatasetSpec {
+        name: "E",
+        description: "Eastern USA",
+        paper_nodes: 3_598_623,
+        target_nodes: 150_000,
+        gtree_leaf_cap: 128,
+    },
+    DatasetSpec {
+        name: "CTR",
+        description: "Central USA",
+        paper_nodes: 14_081_816,
+        target_nodes: 400_000,
+        gtree_leaf_cap: 256,
+    },
+    DatasetSpec {
+        name: "USA",
+        description: "Full USA",
+        paper_nodes: 23_947_347,
+        target_nodes: 700_000,
+        gtree_leaf_cap: 256,
+    },
+];
+
+/// The paper's default network (`NW`, §VI-A).
+pub const DEFAULT: &DatasetSpec = &DATASETS[3];
+
+/// Find a dataset by Table III name (case-insensitive).
+pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+    DATASETS.iter().find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+impl DatasetSpec {
+    /// Load the dataset: from `ROADNET_DATA_DIR/<name>.gr|.co` if present
+    /// (cleaned to its largest component, as the paper does), otherwise a
+    /// deterministic synthetic substitute of `target_nodes` size.
+    pub fn load(&self) -> Graph {
+        if let Ok(dir) = std::env::var("ROADNET_DATA_DIR") {
+            let stem = std::path::Path::new(&dir).join(self.name);
+            if stem.with_extension("gr").exists() {
+                match roadnet::io::load_dimacs(&stem) {
+                    Ok(g) => return largest_connected_component(&g).graph,
+                    Err(e) => eprintln!(
+                        "warning: failed to load DIMACS {}: {e}; falling back to synthetic",
+                        stem.display()
+                    ),
+                }
+            }
+        }
+        self.synthesize()
+    }
+
+    /// The synthetic substitute (deterministic per dataset name).
+    pub fn synthesize(&self) -> Graph {
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xF4_A2_77_01u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        road_network(self.target_nodes, &mut crate::rng(seed))
+    }
+
+    /// A smaller variant for fast tests/benches: same topology style,
+    /// `target_nodes` scaled by `factor <= 1`.
+    pub fn synthesize_scaled(&self, factor: f64) -> Graph {
+        assert!(factor > 0.0 && factor <= 1.0);
+        let n = ((self.target_nodes as f64 * factor) as usize).max(16);
+        let seed = self
+            .name
+            .bytes()
+            .fold(0x9E_37_79_B9u64, |h, b| h.wrapping_mul(33).wrapping_add(b as u64));
+        road_network(n, &mut crate::rng(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_mirrors_table3_order() {
+        let names: Vec<&str> = DATASETS.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["DE", "ME", "COL", "NW", "E", "CTR", "USA"]);
+        // Strictly increasing sizes, like the paper.
+        assert!(DATASETS.windows(2).all(|w| w[0].paper_nodes < w[1].paper_nodes));
+        assert!(DATASETS
+            .windows(2)
+            .all(|w| w[0].target_nodes < w[1].target_nodes));
+    }
+
+    #[test]
+    fn default_is_nw() {
+        assert_eq!(DEFAULT.name, "NW");
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert_eq!(by_name("col").unwrap().name, "COL");
+        assert!(by_name("XX").is_none());
+    }
+
+    #[test]
+    fn smallest_dataset_synthesizes_to_target() {
+        let g = DATASETS[0].synthesize();
+        let n = g.num_nodes();
+        assert!(
+            (1_600..=2_400).contains(&n),
+            "DE synthetic size {n} off target"
+        );
+    }
+
+    #[test]
+    fn scaled_synthesis_shrinks() {
+        let g = DATASETS[0].synthesize_scaled(0.25);
+        assert!(g.num_nodes() < 800);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = DATASETS[0].synthesize();
+        let b = DATASETS[0].synthesize();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

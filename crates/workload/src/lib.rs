@@ -1,0 +1,24 @@
+//! Experiment substrate for the paper's evaluation (§VI-A).
+//!
+//! * [`synth`] — synthetic road-network generator (perturbed grid + highway
+//!   shortcuts) substituting for the DIMACS USA graphs when the real files
+//!   are absent (DESIGN.md §5); weights are guaranteed `>= Euclidean`
+//!   length so A\*/IER bounds stay admissible.
+//! * [`points`] — generators for `P` (uniform by density `d`) and `Q`
+//!   (uniform by coverage ratio `A`, clustered by cluster count `C`).
+//! * [`poi`] — synthetic POI sets matching the densities of Table IV.
+//! * [`datasets`] — the Table III registry at laptop scale, with the
+//!   per-dataset G-tree leaf capacities of §VI-A.
+
+pub mod datasets;
+pub mod points;
+pub mod poi;
+pub mod synth;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for reproducible experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,146 @@
+//! Synthetic POI sets matching Table IV (real-world POIs in NW).
+//!
+//! The paper extracts OSM points of interest for the NW road network. The
+//! OSM extracts are not bundled, so each POI class is synthesized with its
+//! Table IV *density* and a clustering flavor that matches its real-world
+//! distribution (schools and parks cluster around populated areas;
+//! courthouses are scattered). DESIGN.md §5 records the substitution —
+//! what Fig. 12 exercises is only the density (`|P|/|V| ~ d_default`) and
+//! size (`|Q| ~ M_default`) relationships, which are preserved exactly.
+
+use crate::points::{clustered_query_points, uniform_data_points};
+use rand::Rng;
+use roadnet::{Graph, NodeId};
+
+/// The POI classes of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoiKind {
+    /// Parks (density 0.005).
+    Parks,
+    /// Schools (density 0.004).
+    Schools,
+    /// Fast food (density 0.001) — a Fig. 12 `P` set.
+    FastFood,
+    /// Post offices (density 0.001) — a Fig. 12 `P` set.
+    PostOffices,
+    /// Hotels (density 0.0004).
+    Hotels,
+    /// Hospitals (density 0.0002) — a Fig. 12 `Q` set.
+    Hospitals,
+    /// Universities (density 0.00009) — a Fig. 12 `Q` set.
+    Universities,
+    /// Courthouses (density 0.00005).
+    Courthouses,
+}
+
+impl PoiKind {
+    pub const ALL: [PoiKind; 8] = [
+        PoiKind::Parks,
+        PoiKind::Schools,
+        PoiKind::FastFood,
+        PoiKind::PostOffices,
+        PoiKind::Hotels,
+        PoiKind::Hospitals,
+        PoiKind::Universities,
+        PoiKind::Courthouses,
+    ];
+
+    /// Table IV short name.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PoiKind::Parks => "PA",
+            PoiKind::Schools => "SC",
+            PoiKind::FastFood => "FF",
+            PoiKind::PostOffices => "PO",
+            PoiKind::Hotels => "HOT",
+            PoiKind::Hospitals => "HOS",
+            PoiKind::Universities => "UNI",
+            PoiKind::Courthouses => "CH",
+        }
+    }
+
+    /// Table IV density (`#POIs / |V|` on NW).
+    pub fn density(&self) -> f64 {
+        match self {
+            PoiKind::Parks => 0.005,
+            PoiKind::Schools => 0.004,
+            PoiKind::FastFood => 0.001,
+            PoiKind::PostOffices => 0.001,
+            PoiKind::Hotels => 0.0004,
+            PoiKind::Hospitals => 0.0002,
+            PoiKind::Universities => 0.00009,
+            PoiKind::Courthouses => 0.00005,
+        }
+    }
+
+    /// Real-world clustering flavor: how many clusters the class forms
+    /// (0 = uniform scatter).
+    fn clusters(&self) -> usize {
+        match self {
+            PoiKind::Parks | PoiKind::Schools => 12,
+            PoiKind::FastFood | PoiKind::Hotels => 8,
+            PoiKind::PostOffices => 0,
+            PoiKind::Hospitals => 4,
+            PoiKind::Universities => 3,
+            PoiKind::Courthouses => 0,
+        }
+    }
+}
+
+/// Generate one POI set over `g` with the Table IV density of `kind`.
+pub fn generate_poi<R: Rng>(g: &Graph, kind: PoiKind, rng: &mut R) -> Vec<NodeId> {
+    let count = ((kind.density() * g.num_nodes() as f64).round() as usize).max(2);
+    let c = kind.clusters();
+    if c == 0 || count < 2 * c {
+        uniform_data_points(g, count as f64 / g.num_nodes() as f64, rng)
+    } else {
+        clustered_query_points(g, count, 1.0, c, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::grid_network;
+
+    #[test]
+    fn sizes_track_density() {
+        let g = grid_network(60, 60, 0.05, &mut crate::rng(1));
+        let mut rng = crate::rng(2);
+        for kind in PoiKind::ALL {
+            let poi = generate_poi(&g, kind, &mut rng);
+            let want = ((kind.density() * g.num_nodes() as f64).round() as usize).max(2);
+            assert_eq!(poi.len(), want, "{}", kind.code());
+        }
+    }
+
+    #[test]
+    fn codes_unique() {
+        let set: std::collections::HashSet<_> =
+            PoiKind::ALL.iter().map(|k| k.code()).collect();
+        assert_eq!(set.len(), PoiKind::ALL.len());
+    }
+
+    #[test]
+    fn fig12_pairings_have_sane_relative_sizes() {
+        // P (FF, PO) must be much larger than Q (HOS, UNI), as in Table IV.
+        let g = grid_network(80, 80, 0.05, &mut crate::rng(3));
+        let mut rng = crate::rng(4);
+        let ff = generate_poi(&g, PoiKind::FastFood, &mut rng);
+        let hos = generate_poi(&g, PoiKind::Hospitals, &mut rng);
+        let uni = generate_poi(&g, PoiKind::Universities, &mut rng);
+        assert!(ff.len() > 2 * hos.len());
+        assert!(hos.len() >= uni.len());
+    }
+
+    #[test]
+    fn all_nodes_in_range() {
+        let g = grid_network(40, 40, 0.05, &mut crate::rng(5));
+        let mut rng = crate::rng(6);
+        for kind in PoiKind::ALL {
+            for v in generate_poi(&g, kind, &mut rng) {
+                assert!((v as usize) < g.num_nodes());
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Generators for data points `P` and query points `Q` (§VI-A).
+//!
+//! * **Uniform data points** — `P` is a uniform sample of `d |V|` nodes
+//!   (`d` = density).
+//! * **Uniform query points** — pick a random *seed* node, compute the
+//!   network *radius* (the seed's eccentricity), and sample `M` nodes whose
+//!   network distance to the seed is at most `A x radius`; if the region is
+//!   too small, expand outward (take the nearest `M` nodes), exactly as the
+//!   paper prescribes.
+//! * **Clustered query points** — select `C` central nodes inside the
+//!   region and grow `M / C` nodes around each by network expansion.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use roadnet::dijkstra::{dijkstra_all, eccentricity};
+use roadnet::{DijkstraIter, Dist, Graph, NodeId, INF};
+use std::collections::HashSet;
+
+/// Uniform `P` with density `d`: `max(1, round(d |V|))` distinct nodes.
+pub fn uniform_data_points<R: Rng>(g: &Graph, d: f64, rng: &mut R) -> Vec<NodeId> {
+    assert!(d > 0.0 && d <= 1.0, "density must lie in (0, 1], got {d}");
+    let n = g.num_nodes();
+    let count = ((d * n as f64).round() as usize).clamp(1, n);
+    sample_nodes(n, count, rng)
+}
+
+/// `count` distinct node ids sampled uniformly.
+fn sample_nodes<R: Rng>(n: usize, count: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+    all.shuffle(rng);
+    all.truncate(count);
+    all.sort_unstable();
+    all
+}
+
+/// The query region: a seed node, the graph radius from it, and the nodes
+/// within `A x radius`, sorted by distance (nearest first).
+pub struct QueryRegion {
+    pub seed: NodeId,
+    pub radius: Dist,
+    /// Nodes of the whole component sorted by distance from the seed.
+    sorted: Vec<(NodeId, Dist)>,
+    /// How many of `sorted` fall inside `A x radius`.
+    within: usize,
+}
+
+impl QueryRegion {
+    /// Build a region with coverage ratio `a` around a random seed.
+    pub fn new<R: Rng>(g: &Graph, a: f64, rng: &mut R) -> Self {
+        assert!(a > 0.0 && a <= 1.0, "coverage ratio must lie in (0, 1]");
+        let seed = rng.gen_range(0..g.num_nodes()) as NodeId;
+        let radius = eccentricity(g, seed);
+        let dist = dijkstra_all(g, seed);
+        let mut sorted: Vec<(NodeId, Dist)> = dist
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, d)| d != INF)
+            .map(|(v, d)| (v as NodeId, d))
+            .collect();
+        sorted.sort_by_key(|&(v, d)| (d, v));
+        let bound = (a * radius as f64) as Dist;
+        let within = sorted.partition_point(|&(_, d)| d <= bound);
+        QueryRegion {
+            seed,
+            radius,
+            sorted,
+            within,
+        }
+    }
+
+    /// Candidate nodes: everything within the region, expanded outward to
+    /// at least `m` nodes when the region is too small (§VI-A).
+    pub fn candidates(&self, m: usize) -> &[(NodeId, Dist)] {
+        let take = self.within.max(m).min(self.sorted.len());
+        &self.sorted[..take]
+    }
+}
+
+/// Uniform `Q`: `m` nodes sampled from the coverage region (§VI-A,
+/// "uniform query points").
+pub fn uniform_query_points<R: Rng>(g: &Graph, m: usize, a: f64, rng: &mut R) -> Vec<NodeId> {
+    assert!(m >= 1, "need at least one query point");
+    let region = QueryRegion::new(g, a, rng);
+    let cand = region.candidates(m);
+    let mut picks: Vec<NodeId> = cand.iter().map(|&(v, _)| v).collect();
+    picks.shuffle(rng);
+    picks.truncate(m);
+    picks.sort_unstable();
+    picks
+}
+
+/// Clustered `Q`: `c` centers inside the region, `m / c` nodes grown
+/// around each center by network expansion (§VI-A, "clustered query
+/// points"). Clusters never overlap (a node joins one cluster only).
+pub fn clustered_query_points<R: Rng>(
+    g: &Graph,
+    m: usize,
+    a: f64,
+    c: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert!(m >= 1 && c >= 1, "need m >= 1 and c >= 1");
+    let c = c.min(m);
+    let region = QueryRegion::new(g, a, rng);
+    let cand = region.candidates(m);
+    let centers: Vec<NodeId> = {
+        let mut pool: Vec<NodeId> = cand.iter().map(|&(v, _)| v).collect();
+        pool.shuffle(rng);
+        pool.truncate(c);
+        pool
+    };
+    let mut picked: HashSet<NodeId> = HashSet::with_capacity(m);
+    let per_cluster = m / c;
+    for (i, &center) in centers.iter().enumerate() {
+        // The last cluster absorbs the remainder.
+        let want = if i + 1 == centers.len() {
+            m - picked.len()
+        } else {
+            per_cluster
+        };
+        let mut grown = 0usize;
+        for (v, _) in DijkstraIter::new(g, center) {
+            if grown >= want || picked.len() >= m {
+                break;
+            }
+            if picked.insert(v) {
+                grown += 1;
+            }
+        }
+    }
+    // Top up from the candidate pool if clusters were too small (tiny
+    // components around centers).
+    if picked.len() < m {
+        for &(v, _) in cand {
+            if picked.len() >= m {
+                break;
+            }
+            picked.insert(v);
+        }
+    }
+    let mut out: Vec<NodeId> = picked.into_iter().collect();
+    out.sort_unstable();
+    out.truncate(m);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::grid_network;
+
+    fn graph() -> Graph {
+        grid_network(15, 15, 0.05, &mut crate::rng(9))
+    }
+
+    #[test]
+    fn data_points_match_density() {
+        let g = graph();
+        let mut rng = crate::rng(1);
+        let p = uniform_data_points(&g, 0.1, &mut rng);
+        let want = (0.1 * g.num_nodes() as f64).round() as usize;
+        assert_eq!(p.len(), want);
+        // Distinct and in range.
+        let set: HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), p.len());
+        assert!(p.iter().all(|&v| (v as usize) < g.num_nodes()));
+    }
+
+    #[test]
+    fn density_one_is_all_nodes() {
+        let g = graph();
+        let p = uniform_data_points(&g, 1.0, &mut crate::rng(2));
+        assert_eq!(p.len(), g.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn rejects_zero_density() {
+        let g = graph();
+        let _ = uniform_data_points(&g, 0.0, &mut crate::rng(3));
+    }
+
+    #[test]
+    fn query_points_within_region() {
+        let g = graph();
+        let mut rng = crate::rng(4);
+        let a = 0.3;
+        let region = QueryRegion::new(&g, a, &mut rng);
+        let bound = (a * region.radius as f64) as Dist;
+        let cand = region.candidates(10);
+        assert!(cand.len() >= 10);
+        // All but the forced expansion lie within the bound.
+        for &(_, d) in &cand[..region.within.min(cand.len())] {
+            assert!(d <= bound);
+        }
+    }
+
+    #[test]
+    fn query_points_count_and_distinct() {
+        let g = graph();
+        for a in [0.01, 0.1, 0.5, 1.0] {
+            let q = uniform_query_points(&g, 32, a, &mut crate::rng(5));
+            assert_eq!(q.len(), 32, "a={a}");
+            let set: HashSet<_> = q.iter().collect();
+            assert_eq!(set.len(), 32);
+        }
+    }
+
+    #[test]
+    fn tiny_region_expands_outward() {
+        let g = graph();
+        // a so small the region is just the seed: generator must still
+        // deliver m points by expanding.
+        let q = uniform_query_points(&g, 16, 1e-9_f64.max(0.0001), &mut crate::rng(6));
+        assert_eq!(q.len(), 16);
+    }
+
+    #[test]
+    fn clustered_points_count_and_distinct() {
+        let g = graph();
+        for c in [1usize, 2, 4, 8] {
+            let q = clustered_query_points(&g, 24, 0.4, c, &mut crate::rng(7));
+            assert_eq!(q.len(), 24, "c={c}");
+            let set: HashSet<_> = q.iter().collect();
+            assert_eq!(set.len(), 24);
+        }
+    }
+
+    #[test]
+    fn clustered_is_spatially_tighter_than_uniform() {
+        let g = grid_network(30, 30, 0.05, &mut crate::rng(8));
+        // Mean distance to the nearest other member: small for clustered
+        // sets even when the clusters themselves are far apart.
+        let spread = |q: &[NodeId]| -> f64 {
+            q.iter()
+                .map(|&v| {
+                    q.iter()
+                        .filter(|&&u| u != v)
+                        .map(|&u| g.euclid(u, v))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / q.len() as f64
+        };
+        // Average over several seeds to dodge unlucky draws.
+        let mut su = 0.0;
+        let mut sc = 0.0;
+        for seed in 0..5 {
+            let u = uniform_query_points(&g, 40, 0.8, &mut crate::rng(100 + seed));
+            let c = clustered_query_points(&g, 40, 0.8, 2, &mut crate::rng(200 + seed));
+            su += spread(&u);
+            sc += spread(&c);
+        }
+        assert!(
+            sc < su,
+            "clusters not tighter: clustered {sc} vs uniform {su}"
+        );
+    }
+
+    #[test]
+    fn more_clusters_than_points_is_clamped() {
+        let g = graph();
+        let q = clustered_query_points(&g, 3, 0.5, 10, &mut crate::rng(10));
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Optimal meeting point (OMP) as a special case of FANN_R (paper §I).
+//!
+//! A group of friends wants to meet somewhere on the road network. The
+//! classic OMP minimizes everyone's total travel; the *flexible* variant
+//! finds the best spot reachable by any 60% of the group — useful when a
+//! quorum suffices. By \[5\], \[10\] the candidate set is implicitly all of
+//! `V`, which `fann_core::algo::omp` exploits directly.
+//!
+//! Run with: `cargo run --release --example meeting_point`
+
+use fannr::fann::algo::{flexible_omp, omp};
+use fannr::fann::Aggregate;
+use fannr::roadnet::shortest_path;
+
+fn main() {
+    let mut rng = fannr::workload::rng(404);
+    let graph = fannr::workload::synth::road_network(4000, &mut rng);
+    let friends = fannr::workload::points::uniform_query_points(&graph, 10, 0.7, &mut rng);
+    println!(
+        "network: {} nodes | {} friends at {:?}",
+        graph.num_nodes(),
+        friends.len(),
+        friends
+    );
+
+    for agg in [Aggregate::Sum, Aggregate::Max] {
+        let (spot, cost) = omp(&graph, &friends, agg).expect("connected");
+        println!("\n{agg}-OMP (everyone attends): meet at node {spot}, cost {cost}");
+    }
+
+    let flexible = flexible_omp(&graph, &friends, 0.6, Aggregate::Sum).expect("connected");
+    println!(
+        "\nflexible sum-OMP (any 60% = {} friends): meet at node {}, total travel {}",
+        flexible.subset.len(),
+        flexible.p_star,
+        flexible.dist
+    );
+    println!("attendees: {:?}", flexible.subset);
+    // Show each attendee's route.
+    for &f in flexible.subset.iter().take(3) {
+        if let Some((d, path)) = shortest_path(&graph, f, flexible.p_star) {
+            println!("  {f} travels {d} via {} hops", path.len() - 1);
+        }
+    }
+
+    let (_, full_cost) = omp(&graph, &friends, Aggregate::Sum).expect("connected");
+    println!(
+        "\nthe 60% quorum costs {:.0}% of full attendance",
+        100.0 * flexible.dist as f64 / full_cost as f64
+    );
+    assert!(flexible.dist <= full_cost);
+}

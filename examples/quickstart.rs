@@ -1,0 +1,69 @@
+//! Quickstart: build a small road network, run an FANN_R query with every
+//! algorithm, and check they agree.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fannr::fann::algo::{apx_sum, brute_force, exact_max, gd, ier_knn, r_list};
+use fannr::fann::algo::ier::build_p_rtree;
+use fannr::fann::gphi::ine::InePhi;
+use fannr::fann::{Aggregate, FannQuery};
+
+fn main() {
+    // 1. A synthetic road network (~2000 nodes) — swap in
+    //    `roadnet::io::load_dimacs("path/to/NW")` for a real DIMACS graph.
+    let mut rng = fannr::workload::rng(7);
+    let graph = fannr::workload::synth::road_network(2000, &mut rng);
+    println!(
+        "network: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // 2. Data points P (density 1%) and query points Q (16 points spread
+    //    over 30% of the network radius).
+    let p = fannr::workload::points::uniform_data_points(&graph, 0.01, &mut rng);
+    let q = fannr::workload::points::uniform_query_points(&graph, 16, 0.3, &mut rng);
+    println!("|P| = {}, |Q| = {}", p.len(), q.len());
+
+    // 3. A max-FANN_R query with phi = 0.5: find the data point minimizing
+    //    the max distance to its best 8 query points.
+    let query = FannQuery::new(&p, &q, 0.5, Aggregate::Max);
+    query.validate(&graph).expect("valid query");
+
+    // Index-free g_phi backend (INE); see fann_core::gphi for the others.
+    let ine = InePhi::new(&graph, &q);
+    let rtree = build_p_rtree(&graph, &p);
+
+    let answers = [
+        ("brute-force", brute_force(&graph, &query)),
+        ("GD", gd(&query, &ine)),
+        ("R-List", r_list(&graph, &query, &ine)),
+        ("IER-kNN", ier_knn(&graph, &query, &rtree, &ine)),
+        ("Exact-max", exact_max(&graph, &query)),
+    ];
+    for (name, a) in &answers {
+        let a = a.as_ref().expect("connected network");
+        println!(
+            "{name:12} -> p* = node {:5}, d* = {:6}, |Q*_phi| = {}",
+            a.p_star,
+            a.dist,
+            a.subset.len()
+        );
+    }
+    let d0 = answers[0].1.as_ref().unwrap().dist;
+    assert!(
+        answers.iter().all(|(_, a)| a.as_ref().unwrap().dist == d0),
+        "exact algorithms must agree"
+    );
+
+    // 4. sum-FANN_R: exact vs the 3-approximation APX-sum.
+    let sum_query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+    let exact = gd(&sum_query, &ine).unwrap();
+    let approx = apx_sum(&graph, &sum_query, &ine).unwrap();
+    println!(
+        "sum-FANN_R: exact d* = {}, APX-sum d = {} (ratio {:.3}, guaranteed <= 3)",
+        exact.dist,
+        approx.dist,
+        approx.dist as f64 / exact.dist as f64
+    );
+}

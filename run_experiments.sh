@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation (section VI).
+# Results land in results/. Configurable: --nodes, --queries, --budget, ...
+set -u
+ARGS="${*:-}"
+BINS="fig3_gd_vs_gphi fig4_all_vs_d fig5_vary_a fig6_vary_m fig7_vary_c \
+fig8_vary_phi fig9_index_cost fig10_kfann fig11_apx_quality fig12_poi \
+table5_exactmax_gphi appendix_index_small appendix_sum_vs_max ablation_ier_bounds \
+explain_gphi_calls ablation_label_order"
+mkdir -p results
+for b in $BINS; do
+  echo "=== $b ==="
+  cargo run --release -q -p fann-bench --bin "$b" -- $ARGS 2>&1 | tee "results/$b.txt"
+done

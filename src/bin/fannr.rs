@@ -1,0 +1,279 @@
+//! `fannr` — command-line front end for FANN_R queries.
+//!
+//! ```text
+//! fannr datasets
+//! fannr gen   --nodes 10000 --seed 7 --out network.txt
+//! fannr index --graph network.txt --out labels.bin
+//! fannr query --graph network.txt [--labels labels.bin] \
+//!             --algo ier-knn --agg max --phi 0.5 \
+//!             --p-density 0.01 --q-size 32 --coverage 0.2 [--k 5] [--routes]
+//! ```
+//!
+//! `query` generates `P`/`Q` with the §VI-A generators (deterministic per
+//! `--seed`) and prints the answer; `--routes` additionally materializes
+//! the winning shortest paths.
+
+use fannr::fann::algo::ier::build_p_rtree;
+use fannr::fann::algo::topk::{exact_max_topk, gd_topk, ier_topk, rlist_topk};
+use fannr::fann::algo::{apx_sum, exact_max, gd, ier_knn, r_list};
+use fannr::fann::gphi::ier2::IerPhi;
+use fannr::fann::gphi::ine::InePhi;
+use fannr::fann::gphi::oracle::LabelOracle;
+use fannr::fann::gphi::GPhi;
+use fannr::fann::{Aggregate, FannAnswer, FannQuery};
+use fannr::hublabel::HubLabels;
+use fannr::roadnet::io::{read_compact, write_compact};
+use fannr::roadnet::{shortest_path, Graph};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_opts(args);
+    let result = match cmd.as_str() {
+        "datasets" => cmd_datasets(),
+        "gen" => cmd_gen(&opts),
+        "index" => cmd_index(&opts),
+        "query" => cmd_query(&opts),
+        "render" => cmd_render(&opts),
+        "stats" => cmd_stats(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: fannr <command> [--key value ...]
+commands:
+  datasets   list the Table III dataset registry
+  gen        generate a synthetic road network   (--nodes, --seed, --out)
+  index      build + persist hub labels          (--graph, --out)
+  query      run an FANN_R query                 (--graph, --algo, --agg,
+             --phi, --p-density, --q-size, --coverage, --clusters, --seed,
+             --labels, --k, --routes)
+  render     draw a query answer as SVG          (query options + --out)
+  stats      describe a network                  (--graph)
+algorithms:  gd | r-list | ier-knn | exact-max | apx-sum";
+
+fn parse_opts(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), val);
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn require(opts: &HashMap<String, String>, key: &str) -> Result<String, String> {
+    opts.get(key)
+        .cloned()
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!(
+        "{:<5} {:<14} {:>12} {:>14} {:>6}",
+        "name", "description", "paper nodes", "scaled target", "tau"
+    );
+    for d in &fannr::workload::datasets::DATASETS {
+        println!(
+            "{:<5} {:<14} {:>12} {:>14} {:>6}",
+            d.name, d.description, d.paper_nodes, d.target_nodes, d.gtree_leaf_cap
+        );
+    }
+    println!("\nset ROADNET_DATA_DIR to load the real DIMACS files instead");
+    Ok(())
+}
+
+fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let nodes: usize = get(opts, "nodes", 10_000);
+    let seed: u64 = get(opts, "seed", 7);
+    let out = require(opts, "out")?;
+    let g = fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(seed));
+    std::fs::write(&out, write_compact(&g)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn load_graph(opts: &HashMap<String, String>) -> Result<Graph, String> {
+    let path = require(opts, "graph")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    read_compact(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_index(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let out = require(opts, "out")?;
+    let t0 = std::time::Instant::now();
+    let labels = HubLabels::build(&g);
+    let bytes = labels.to_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "built hub labels in {:.1}s: {} entries (avg {:.1}/node), {} bytes -> {}",
+        t0.elapsed().as_secs_f64(),
+        labels.total_label_entries(),
+        labels.avg_label_size(),
+        bytes.len(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let algo = opts.get("algo").map(String::as_str).unwrap_or("ier-knn");
+    let agg = match opts.get("agg").map(String::as_str).unwrap_or("max") {
+        "max" => Aggregate::Max,
+        "sum" => Aggregate::Sum,
+        other => return Err(format!("unknown aggregate '{other}' (max|sum)")),
+    };
+    let phi: f64 = get(opts, "phi", 0.5);
+    let seed: u64 = get(opts, "seed", 1);
+    let d: f64 = get(opts, "p-density", 0.01);
+    let m: usize = get(opts, "q-size", 32);
+    let a: f64 = get(opts, "coverage", 0.2);
+    let c: usize = get(opts, "clusters", 1);
+    let k: usize = get(opts, "k", 1);
+
+    let mut rng = fannr::workload::rng(seed);
+    let p = fannr::workload::points::uniform_data_points(&g, d, &mut rng);
+    let q = if c <= 1 {
+        fannr::workload::points::uniform_query_points(&g, m, a, &mut rng)
+    } else {
+        fannr::workload::points::clustered_query_points(&g, m, a, c, &mut rng)
+    };
+    let query = FannQuery::new(&p, &q, phi, agg);
+    query.validate(&g).map_err(|e| e.to_string())?;
+    println!(
+        "graph: {} nodes | |P| = {} | |Q| = {} | phi = {phi} ({}) | g = {agg}",
+        g.num_nodes(),
+        p.len(),
+        q.len(),
+        query.subset_size()
+    );
+
+    // Backend: persisted labels if provided, else index-free INE.
+    let labels = match opts.get("labels") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(HubLabels::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let gphi: Box<dyn GPhi> = match &labels {
+        Some(l) => Box::new(IerPhi::new(&g, LabelOracle { labels: l }, &q)),
+        None => Box::new(InePhi::new(&g, &q)),
+    };
+    println!("backend: {}", gphi.name());
+
+    let t0 = std::time::Instant::now();
+    if k > 1 {
+        let rtree = build_p_rtree(&g, &p);
+        let answers = match algo {
+            "gd" => gd_topk(&query, gphi.as_ref(), k),
+            "r-list" => rlist_topk(&g, &query, gphi.as_ref(), k),
+            "ier-knn" => ier_topk(&g, &query, &rtree, gphi.as_ref(), k),
+            "exact-max" => exact_max_topk(&g, &query, k),
+            other => return Err(format!("'{other}' has no k-FANN variant")),
+        };
+        println!("top-{k} in {:?}:", t0.elapsed());
+        for (rank, (node, dist)) in answers.iter().enumerate() {
+            println!("  #{:<2} node {:<8} d = {}", rank + 1, node, dist);
+        }
+        return Ok(());
+    }
+    let answer: Option<FannAnswer> = match algo {
+        "gd" => gd(&query, gphi.as_ref()),
+        "r-list" => r_list(&g, &query, gphi.as_ref()),
+        "ier-knn" => {
+            let rtree = build_p_rtree(&g, &p);
+            ier_knn(&g, &query, &rtree, gphi.as_ref())
+        }
+        "exact-max" => exact_max(&g, &query),
+        "apx-sum" => apx_sum(&g, &query, gphi.as_ref()),
+        other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
+    };
+    let elapsed = t0.elapsed();
+    let Some(ans) = answer else {
+        println!("no answer: no data point reaches {} query points", query.subset_size());
+        return Ok(());
+    };
+    println!(
+        "answer in {elapsed:?}: p* = node {}, d* = {}, Q*_phi = {:?}",
+        ans.p_star, ans.dist, ans.subset
+    );
+    if opts.contains_key("routes") {
+        for &qn in &ans.subset {
+            if let Some((dist, path)) = shortest_path(&g, ans.p_star, qn) {
+                println!("  route to {qn} ({dist}): {path:?}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_render(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fannr::roadnet::svg::SvgScene;
+    let g = load_graph(opts)?;
+    let out = require(opts, "out")?;
+    let agg = match opts.get("agg").map(String::as_str).unwrap_or("max") {
+        "max" => Aggregate::Max,
+        "sum" => Aggregate::Sum,
+        other => return Err(format!("unknown aggregate '{other}' (max|sum)")),
+    };
+    let phi: f64 = get(opts, "phi", 0.5);
+    let seed: u64 = get(opts, "seed", 1);
+    let mut rng = fannr::workload::rng(seed);
+    let p = fannr::workload::points::uniform_data_points(&g, get(opts, "p-density", 0.01), &mut rng);
+    let q = fannr::workload::points::uniform_query_points(&g, get(opts, "q-size", 16), get(opts, "coverage", 0.3), &mut rng);
+    let query = FannQuery::new(&p, &q, phi, agg);
+    query.validate(&g).map_err(|e| e.to_string())?;
+    let answer = match agg {
+        Aggregate::Max => exact_max(&g, &query),
+        Aggregate::Sum => r_list(&g, &query, &InePhi::new(&g, &q)),
+    };
+    let mut scene = SvgScene::new(&g).data_points(&p).query_points(&q);
+    if let Some(a) = &answer {
+        scene = scene.answer(a.p_star, &a.subset);
+        println!("answer: p* = node {}, d* = {}", a.p_star, a.dist);
+    } else {
+        println!("no answer (insufficient reachability); rendering sets only");
+    }
+    std::fs::write(&out, scene.render()).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    println!("{}", fannr::roadnet::stats::graph_stats(&g));
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # fannr — Flexible Aggregate Nearest Neighbor queries in road networks
+//!
+//! Facade crate re-exporting the full public API of the workspace, a Rust
+//! reproduction of *"Flexible Aggregate Nearest Neighbor Queries in Road
+//! Networks"* (Yao, Chen, Gao, Shang, Ma, Guo — ICDE 2018).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fannr::prelude::*;
+//!
+//! // A tiny synthetic road network plus uniformly placed P and Q.
+//! let mut rng = fannr::workload::rng(42);
+//! let graph = fannr::workload::synth::grid_network(8, 8, 0.2, &mut rng);
+//! let p = fannr::workload::points::uniform_data_points(&graph, 0.3, &mut rng);
+//! let q = fannr::workload::points::uniform_query_points(&graph, 4, 0.5, &mut rng);
+//!
+//! // max-FANN_R with phi = 0.5 via the index-free Exact-max algorithm.
+//! let query = FannQuery::new(&p, &q, 0.5, Aggregate::Max);
+//! assert!(query.validate(&graph).is_ok());
+//! let answer = exact_max(&graph, &query).expect("connected network");
+//! assert_eq!(answer.subset.len(), query.subset_size());
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the harnesses regenerating the paper's evaluation.
+
+pub use fann_core as fann;
+pub use gtree;
+pub use hublabel;
+pub use roadnet;
+pub use spatial_rtree as rtree;
+pub use workload;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use fann_core::algo::apx_sum::apx_sum;
+    pub use fann_core::algo::exact_max::exact_max;
+    pub use fann_core::algo::gd::gd;
+    pub use fann_core::algo::ier::ier_knn;
+    pub use fann_core::algo::rlist::r_list;
+    pub use fann_core::gphi::GPhi;
+    pub use fann_core::{Aggregate, FannAnswer, FannQuery};
+    pub use roadnet::{Graph, GraphBuilder, NodeId};
+}

@@ -1,0 +1,52 @@
+//! End-to-end test of the §II-A edge-object reduction: objects that lie
+//! on edges participate in FANN_R queries through graph augmentation
+//! (`roadnet::embed`), exactly as the paper's Fig. 1 places q1 and q2 on
+//! the edges (p2, p3) and (p3, p6).
+
+use fannr::fann::algo::{brute_force, exact_max};
+use fannr::fann::{Aggregate, FannQuery};
+use fannr::roadnet::{embed_edge_points, EdgePoint, NodeId};
+
+#[test]
+fn edge_located_query_objects() {
+    let graph = fannr::workload::synth::road_network(800, &mut fannr::workload::rng(31));
+    // Take some existing edges and drop query objects onto their middles.
+    let edges: Vec<(NodeId, NodeId, u32)> =
+        graph.edges().filter(|&(_, _, w)| w >= 4).take(6).collect();
+    assert!(edges.len() >= 4, "generator produced too few heavy edges");
+    let points: Vec<EdgePoint> = edges
+        .iter()
+        .map(|&(u, v, w)| EdgePoint { u, v, offset: w / 2 })
+        .collect();
+    let (aug, q_on_edges) = embed_edge_points(&graph, &points).unwrap();
+
+    // P stays on original vertices; Q are the edge-located objects.
+    let mut rng = fannr::workload::rng(32);
+    let p = fannr::workload::points::uniform_data_points(&graph, 0.05, &mut rng);
+    let query = FannQuery::new(&p, &q_on_edges, 0.5, Aggregate::Max);
+    let truth = brute_force(&aug, &query).unwrap();
+    let got = exact_max(&aug, &query).unwrap();
+    assert_eq!(got.dist, truth.dist);
+    // The winner is an original vertex, and original ids are preserved.
+    assert!((got.p_star as usize) < graph.num_nodes());
+}
+
+#[test]
+fn edge_located_data_objects() {
+    // Candidate sites on edge midpoints (e.g. plots along a road).
+    let graph = fannr::workload::synth::road_network(600, &mut fannr::workload::rng(33));
+    let edges: Vec<(NodeId, NodeId, u32)> =
+        graph.edges().filter(|&(_, _, w)| w >= 4).take(8).collect();
+    let points: Vec<EdgePoint> = edges
+        .iter()
+        .map(|&(u, v, w)| EdgePoint { u, v, offset: w / 2 })
+        .collect();
+    let (aug, p_on_edges) = embed_edge_points(&graph, &points).unwrap();
+    let mut rng = fannr::workload::rng(34);
+    let q = fannr::workload::points::uniform_query_points(&aug, 10, 0.5, &mut rng);
+    let query = FannQuery::new(&p_on_edges, &q, 0.6, Aggregate::Max);
+    let truth = brute_force(&aug, &query).unwrap();
+    let got = exact_max(&aug, &query).unwrap();
+    assert_eq!(got.dist, truth.dist);
+    assert!(p_on_edges.contains(&got.p_star));
+}

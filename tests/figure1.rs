@@ -1,0 +1,103 @@
+//! The paper's worked example (Fig. 1) against EVERY algorithm: the
+//! max-ANN answer is p2 (d = 16), sum-ANN is p2 (d = 52); with phi = 50%
+//! the max-FANN answer is p3 (d = 2) and sum-FANN is p3 (d = 4) with
+//! Q*_phi = {q1, q2}.
+
+use fannr::fann::algo::ier::build_p_rtree;
+use fannr::fann::algo::topk::{exact_max_topk, gd_topk, ier_topk, rlist_topk};
+use fannr::fann::algo::{apx_sum, exact_max, gd, ier_knn, r_list};
+use fannr::fann::gphi::ine::InePhi;
+use fannr::fann::{Aggregate, FannQuery};
+use fannr::roadnet::{Graph, GraphBuilder};
+
+/// Fig. 1 rebuilt (same construction as the fann-core unit tests):
+/// p1..p9 -> ids 0..8, q1 -> 9, q2 -> 10, q3 = p4 (3), q4 = p5 (4).
+fn figure1() -> (Graph, Vec<u32>, Vec<u32>) {
+    let mut b = GraphBuilder::new();
+    for i in 0..9 {
+        b.add_node(i as f64, 0.0);
+    }
+    b.add_node(2.5, 0.0); // q1
+    b.add_node(3.5, 0.0); // q2
+    b.add_edge(1, 9, 10);
+    b.add_edge(9, 2, 2);
+    b.add_edge(2, 10, 2);
+    b.add_edge(10, 5, 9);
+    b.add_edge(1, 3, 12);
+    b.add_edge(1, 4, 16);
+    b.add_edge(0, 1, 30);
+    b.add_edge(5, 6, 25);
+    b.add_edge(6, 7, 25);
+    b.add_edge(7, 8, 25);
+    (b.build(), (0..9).collect(), vec![9, 10, 3, 4])
+}
+
+#[test]
+fn every_algorithm_reproduces_figure1() {
+    let (g, p, q) = figure1();
+    let rtree = build_p_rtree(&g, &p);
+
+    // (phi, agg, expected p*, expected d*)
+    let cases = [
+        (1.0, Aggregate::Max, 1u32, 16u64),
+        (1.0, Aggregate::Sum, 1, 52),
+        (0.5, Aggregate::Max, 2, 2),
+        (0.5, Aggregate::Sum, 2, 4),
+    ];
+    for (phi, agg, want_p, want_d) in cases {
+        let query = FannQuery::new(&p, &q, phi, agg);
+        let ine = InePhi::new(&g, &q);
+        let checks = [
+            ("GD", gd(&query, &ine)),
+            ("R-List", r_list(&g, &query, &ine)),
+            ("IER-kNN", ier_knn(&g, &query, &rtree, &ine)),
+        ];
+        for (name, a) in checks {
+            let a = a.unwrap();
+            assert_eq!((a.p_star, a.dist), (want_p, want_d), "{name} phi={phi} {agg}");
+        }
+        if agg == Aggregate::Max {
+            let a = exact_max(&g, &query).unwrap();
+            assert_eq!((a.p_star, a.dist), (want_p, want_d), "Exact-max phi={phi}");
+        } else {
+            // APX-sum: exact on the paper's §IV-B running example
+            // (phi = 0.5, candidates {p3, p4, p5} contain the optimum);
+            // at phi = 1 the optimum p2 is not a candidate, so only the
+            // Theorem 1 bound holds (it returns p3 with sum 56 <= 3*52).
+            let a = apx_sum(&g, &query, &ine).unwrap();
+            if phi == 0.5 {
+                assert_eq!((a.p_star, a.dist), (want_p, want_d), "APX-sum phi={phi}");
+            } else {
+                assert!(a.dist >= want_d && a.dist <= 3 * want_d, "APX-sum phi={phi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn figure1_flexible_subset_is_q1_q2() {
+    let (g, p, q) = figure1();
+    let query = FannQuery::new(&p, &q, 0.5, Aggregate::Sum);
+    let ine = InePhi::new(&g, &q);
+    let a = gd(&query, &ine).unwrap();
+    let mut subset = a.subset;
+    subset.sort_unstable();
+    assert_eq!(subset, vec![9, 10]); // q1, q2
+}
+
+#[test]
+fn figure1_topk_ranks_p3_first() {
+    let (g, p, q) = figure1();
+    let query = FannQuery::new(&p, &q, 0.5, Aggregate::Max);
+    let ine = InePhi::new(&g, &q);
+    let rtree = build_p_rtree(&g, &p);
+    for (name, ans) in [
+        ("gd", gd_topk(&query, &ine, 3)),
+        ("rlist", rlist_topk(&g, &query, &ine, 3)),
+        ("ier", ier_topk(&g, &query, &rtree, &ine, 3)),
+        ("exact-max", exact_max_topk(&g, &query, 3)),
+    ] {
+        assert_eq!(ans[0], (2, 2), "{name}: p3 must rank first");
+        assert!(ans.windows(2).all(|w| w[0].1 <= w[1].1), "{name}: sorted");
+    }
+}

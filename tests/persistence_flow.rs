@@ -1,0 +1,56 @@
+//! Persistence round-trips through real files: the build-once / ship-index
+//! deployment story (hub labels and G-tree), plus Engine integration.
+
+use fannr::fann::engine::Engine;
+use fannr::fann::Aggregate;
+use fannr::gtree::{GTree, GTreeParams};
+use fannr::hublabel::HubLabels;
+
+#[test]
+fn labels_survive_disk_roundtrip_and_power_engine() {
+    let graph = fannr::workload::synth::road_network(900, &mut fannr::workload::rng(77));
+    let labels = HubLabels::build(&graph);
+
+    let dir = std::env::temp_dir().join(format!("fannr-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("labels.bin");
+    std::fs::write(&path, labels.to_bytes()).unwrap();
+    let loaded = HubLabels::from_bytes(&std::fs::read(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut rng = fannr::workload::rng(78);
+    let p = fannr::workload::points::uniform_data_points(&graph, 0.05, &mut rng);
+    let q = fannr::workload::points::uniform_query_points(&graph, 10, 0.5, &mut rng);
+
+    let fresh = Engine::new(&graph).with_labels();
+    let revived = Engine::new(&graph).with_prebuilt_labels(loaded);
+    for agg in [Aggregate::Sum, Aggregate::Max] {
+        let a = fresh.query(&p, &q, 0.5, agg).unwrap().unwrap();
+        let b = revived.query(&p, &q, 0.5, agg).unwrap().unwrap();
+        assert_eq!(a.dist, b.dist, "{agg}");
+    }
+}
+
+#[test]
+fn gtree_survives_disk_roundtrip() {
+    let graph = fannr::workload::synth::road_network(700, &mut fannr::workload::rng(79));
+    let tree = GTree::build_with_params(
+        &graph,
+        GTreeParams {
+            fanout: 4,
+            leaf_cap: 32,
+        },
+    );
+    let dir = std::env::temp_dir().join(format!("fannr-test-gt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gtree.bin");
+    std::fs::write(&path, tree.to_bytes()).unwrap();
+    let loaded = GTree::from_bytes(&std::fs::read(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for s in (0..graph.num_nodes() as u32).step_by(37) {
+        for t in (0..graph.num_nodes() as u32).step_by(41) {
+            assert_eq!(loaded.dist(&graph, s, t), tree.dist(&graph, s, t));
+        }
+    }
+}

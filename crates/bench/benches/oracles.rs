@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
     );
     let ch = ch_index::Ch::build(&g);
     let oracles: Vec<Box<dyn DistanceOracle>> = vec![
-        Box::new(DijkstraOracle { graph: &g }),
+        Box::new(DijkstraOracle::new(&g)),
         Box::new(AStarOracle::new(&g)),
         Box::new(BidirOracle { graph: &g }),
         Box::new(LabelOracle { labels: &hl }),

@@ -1,0 +1,65 @@
+//! Batch throughput experiment: recycled scratch vs per-query setup.
+//!
+//! ```text
+//! cargo run --release -p fann-bench --bin throughput -- \
+//!     --nodes 20000 --queries 400 --p 12 --q 6 --phi 0.5 --workers 0
+//! ```
+//!
+//! Shape checks (`--check true`): reusing a backend across the stream must
+//! be at least 2x faster than constructing it per query for both index-free
+//! backends (INE, A*), and must not allocate more per query.
+
+use fann_bench::throughput::{run_throughput, CountingAlloc, ThroughputOpts};
+use fann_bench::Args;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let args = Args::parse();
+    let defaults = ThroughputOpts::default();
+    let opts = ThroughputOpts {
+        nodes: args.get("nodes", defaults.nodes),
+        queries: args.get("queries", defaults.queries),
+        p_size: args.get("p", defaults.p_size),
+        q_size: args.get("q", defaults.q_size),
+        phi: args.get("phi", defaults.phi),
+        workers: args.get("workers", defaults.workers),
+        seed: args.get("seed", defaults.seed),
+    };
+    let report = run_throughput(&opts);
+
+    if args.get("check", true) {
+        let ine_speedup = report.ine_reused.qps / report.ine_fresh.qps;
+        let astar_speedup = report.astar_reused.qps / report.astar_fresh.qps;
+        assert!(
+            ine_speedup >= 2.0,
+            "INE reused backend only {ine_speedup:.2}x faster than fresh (need >= 2x)"
+        );
+        assert!(
+            astar_speedup >= 2.0,
+            "A* reused backend only {astar_speedup:.2}x faster than fresh (need >= 2x)"
+        );
+        assert!(
+            report.ine_reused.allocs_per_query <= report.ine_fresh.allocs_per_query,
+            "INE reuse increased allocations/query: {} -> {}",
+            report.ine_fresh.allocs_per_query,
+            report.ine_reused.allocs_per_query,
+        );
+        assert!(
+            report.astar_reused.allocs_per_query <= report.astar_fresh.allocs_per_query,
+            "A* reuse increased allocations/query: {} -> {}",
+            report.astar_fresh.allocs_per_query,
+            report.astar_reused.allocs_per_query,
+        );
+        assert!(
+            report.engine_batch1.qps >= report.engine_seq.qps * 0.8,
+            "single-worker batch regressed vs sequential: {:.0} vs {:.0} q/s",
+            report.engine_batch1.qps,
+            report.engine_seq.qps,
+        );
+        println!(
+            "shape ok: INE {ine_speedup:.2}x, A* {astar_speedup:.2}x (>= 2x required)"
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //! crossovers fall) is asserted by each binary's shape checks and recorded
 //! in EXPERIMENTS.md.
 
+pub mod throughput;
+
 use fann_core::algo::{apx_sum, exact_max, gd, ier_knn, r_list};
 use fann_core::gphi::gtree_knn::GTreeKnnPhi;
 use fann_core::gphi::ier2::IerPhi;
@@ -99,10 +101,7 @@ impl<'e> QueryCtx<'e> {
         match name {
             "INE" => Box::new(InePhi::new(g, &self.q)),
             "A*" => Box::new(ScanPhi::new(
-                AStarOracle {
-                    graph: g,
-                    lb: self.env.lb,
-                },
+                AStarOracle::with_lb(g, self.env.lb),
                 &self.q,
             )),
             "PHL" => Box::new(ScanPhi::new(
@@ -114,10 +113,7 @@ impl<'e> QueryCtx<'e> {
             "GTree" => Box::new(GTreeKnnPhi::new(&self.env.gtree, g, &self.q)),
             "IER-A*" => Box::new(IerPhi::new(
                 g,
-                AStarOracle {
-                    graph: g,
-                    lb: self.env.lb,
-                },
+                AStarOracle::with_lb(g, self.env.lb),
                 &self.q,
             )),
             "IER-PHL" => Box::new(IerPhi::new(

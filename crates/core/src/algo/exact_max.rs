@@ -12,28 +12,33 @@
 
 use crate::gphi::GPhi;
 use crate::{Aggregate, FannAnswer, FannQuery};
-use roadnet::{Dist, Graph, NodeId, ObjectStreams};
+use roadnet::{Dist, Graph, NodeId, ObjectStreams, ScratchPool};
 use std::collections::HashMap;
 
 /// Run the counter loop; returns `(p*, hits)` where `hits` are the
 /// `(query_point, dist)` pairs that fired, or `None` if the queues exhaust
-/// before any counter reaches `k`.
+/// before any counter reaches `k`. Expansion scratches are drawn from (and
+/// returned to) `pool`.
 fn counter_loop(
     g: &Graph,
     query: &FannQuery,
+    pool: &mut ScratchPool,
 ) -> Option<(NodeId, Vec<(NodeId, Dist)>)> {
     let k = query.subset_size();
-    let mut streams = ObjectStreams::new(g, query.q, query.p);
+    let mut streams = ObjectStreams::with_pool(g, query.q, query.p, pool);
     let mut hits: HashMap<NodeId, Vec<(NodeId, Dist)>> = HashMap::new();
-    loop {
-        let (i, pnode, d) = streams.min_head()?;
+    let mut fired = None;
+    while let Some((i, pnode, d)) = streams.min_head() {
         let entry = hits.entry(pnode).or_default();
         entry.push((query.q[i], d));
         if entry.len() >= k {
-            return Some((pnode, hits.remove(&pnode).expect("just inserted")));
+            fired = Some((pnode, hits.remove(&pnode).expect("just inserted")));
+            break;
         }
         streams.pop(i);
     }
+    streams.recycle_into(pool);
+    fired
 }
 
 /// Exact max-FANN_R. The optimal subset is recovered from the counter
@@ -43,12 +48,25 @@ fn counter_loop(
 /// # Panics
 /// If the query aggregate is not [`Aggregate::Max`].
 pub fn exact_max(g: &Graph, query: &FannQuery) -> Option<FannAnswer> {
+    exact_max_pooled(g, query, &mut ScratchPool::new())
+}
+
+/// [`exact_max`] drawing the `|Q|` expansion scratches from `pool` — the
+/// batch-engine entry point (see [`crate::algo::rlist::r_list_pooled`]).
+///
+/// # Panics
+/// If the query aggregate is not [`Aggregate::Max`].
+pub fn exact_max_pooled(
+    g: &Graph,
+    query: &FannQuery,
+    pool: &mut ScratchPool,
+) -> Option<FannAnswer> {
     assert_eq!(
         query.agg,
         Aggregate::Max,
         "Exact-max answers max-FANN_R only (see the Table II counter-example)"
     );
-    let (p_star, hits) = counter_loop(g, query)?;
+    let (p_star, hits) = counter_loop(g, query, pool)?;
     let dist = hits.iter().map(|&(_, d)| d).max().expect("k >= 1");
     Some(FannAnswer {
         p_star,
@@ -73,7 +91,7 @@ pub fn exact_max_with_gphi(
         Aggregate::Max,
         "Exact-max answers max-FANN_R only (see the Table II counter-example)"
     );
-    let (p_star, _) = counter_loop(g, query)?;
+    let (p_star, _) = counter_loop(g, query, &mut ScratchPool::new())?;
     let r = gphi
         .eval(p_star, query.subset_size(), Aggregate::Max)
         .expect("p* reached k query points during the counter loop");
@@ -184,7 +202,7 @@ mod tests {
         // The counter loop (ignoring the aggregate) would fire on p2 = id 1
         // first, whose true sum distance is 14 > 13 — hence max-only.
         let max_query = FannQuery::new(&p, &q, 0.4, Aggregate::Max);
-        let (fired, _) = counter_loop(&g, &max_query).unwrap();
+        let (fired, _) = counter_loop(&g, &max_query, &mut ScratchPool::new()).unwrap();
         assert_eq!(fired, 1); // p2 fires first...
         let sum_of_fired =
             crate::algo::brute::brute_force_point(&g, &query, fired).unwrap();

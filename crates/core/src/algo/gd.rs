@@ -12,6 +12,10 @@ use crate::{FannAnswer, FannQuery};
 
 /// Exact FANN_R by enumerating `P`. `None` when no data point reaches
 /// `ceil(phi |Q|)` query points.
+///
+/// Ties on `d*` resolve to the smallest node id, so the reported `p*` is
+/// deterministic regardless of the order of `P` (and agrees with
+/// [`crate::algo::parallel::gd_parallel`] for any worker count).
 pub fn gd(query: &FannQuery, gphi: &dyn GPhi) -> Option<FannAnswer> {
     let k = query.subset_size();
     let mut best: Option<FannAnswer> = None;
@@ -19,7 +23,10 @@ pub fn gd(query: &FannQuery, gphi: &dyn GPhi) -> Option<FannAnswer> {
         let Some(r) = gphi.eval(p, k, query.agg) else {
             continue;
         };
-        if best.as_ref().is_none_or(|b| r.dist < b.dist) {
+        if best
+            .as_ref()
+            .is_none_or(|b| (r.dist, p) < (b.dist, b.p_star))
+        {
             best = Some(FannAnswer {
                 p_star: p,
                 subset: r.subset_nodes(),

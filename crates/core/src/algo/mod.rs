@@ -26,9 +26,9 @@ pub mod topk;
 
 pub use apx_sum::apx_sum;
 pub use brute::brute_force;
-pub use exact_max::{exact_max, exact_max_with_gphi};
+pub use exact_max::{exact_max, exact_max_pooled, exact_max_with_gphi};
 pub use gd::gd;
 pub use ier::{ier_knn, ier_knn_with_bound, IerBound};
 pub use omp::{flexible_omp, omp};
 pub use parallel::gd_parallel;
-pub use rlist::r_list;
+pub use rlist::{r_list, r_list_pooled};

@@ -10,8 +10,9 @@ use crate::{FannAnswer, FannQuery};
 use std::sync::Mutex;
 
 /// Exact FANN_R by enumerating `P` across `threads` workers. Equivalent to
-/// [`crate::algo::gd::gd`] (ties may resolve to a different co-optimal
-/// `p*`; `d*` is identical).
+/// [`crate::algo::gd::gd`] bit-for-bit: ties on `d*` resolve to the
+/// smallest node id in both, so `p*` does not depend on the worker count
+/// or on which worker reports first.
 ///
 /// `make_gphi` is invoked once per worker thread.
 pub fn gd_parallel<'q, B, F>(
@@ -37,7 +38,10 @@ where
                 let mut local: Option<FannAnswer> = None;
                 for &p in part {
                     if let Some(r) = gphi.eval(p, k, query.agg) {
-                        if local.as_ref().is_none_or(|b| r.dist < b.dist) {
+                        if local
+                            .as_ref()
+                            .is_none_or(|b| (r.dist, p) < (b.dist, b.p_star))
+                        {
                             local = Some(FannAnswer {
                                 p_star: p,
                                 subset: r.subset_nodes(),
@@ -48,7 +52,10 @@ where
                 }
                 if let Some(l) = local {
                     let mut guard = best.lock().expect("no poisoned workers");
-                    if guard.as_ref().is_none_or(|b| l.dist < b.dist) {
+                    if guard
+                        .as_ref()
+                        .is_none_or(|b| (l.dist, l.p_star) < (b.dist, b.p_star))
+                    {
                         *guard = Some(l);
                     }
                 }
@@ -99,6 +106,7 @@ mod tests {
                 let par =
                     gd_parallel(&query, || InePhi::new(&g, &q), threads).unwrap();
                 assert_eq!(par.dist, serial.dist, "threads={threads} {agg}");
+                assert_eq!(par.p_star, serial.p_star, "threads={threads} {agg}");
             }
         }
     }

@@ -16,14 +16,27 @@
 
 use crate::gphi::GPhi;
 use crate::{FannAnswer, FannQuery};
-use roadnet::{Dist, Graph, ObjectStreams, INF};
+use roadnet::{Dist, Graph, ObjectStreams, ScratchPool, INF};
 use std::collections::HashSet;
 
 /// Exact FANN_R with threshold-based early termination. Universal
 /// (both `sum` and `max`).
 pub fn r_list(g: &Graph, query: &FannQuery, gphi: &dyn GPhi) -> Option<FannAnswer> {
+    r_list_pooled(g, query, gphi, &mut ScratchPool::new())
+}
+
+/// [`r_list`] drawing the `|Q|` expansion scratches from `pool` — the
+/// batch-engine entry point: a worker keeps one pool across its whole query
+/// stream, so the per-query `O(|Q||V|)` distance-array allocation happens
+/// only while the pool warms up.
+pub fn r_list_pooled(
+    g: &Graph,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    pool: &mut ScratchPool,
+) -> Option<FannAnswer> {
     let k = query.subset_size();
-    let mut streams = ObjectStreams::new(g, query.q, query.p);
+    let mut streams = ObjectStreams::with_pool(g, query.q, query.p, pool);
     let mut seen: HashSet<roadnet::NodeId> = HashSet::new();
     let mut best: Option<FannAnswer> = None;
 
@@ -55,6 +68,7 @@ pub fn r_list(g: &Graph, query: &FannQuery, gphi: &dyn GPhi) -> Option<FannAnswe
             }
         }
     }
+    streams.recycle_into(pool);
     best
 }
 

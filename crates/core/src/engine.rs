@@ -23,15 +23,16 @@
 //! ```
 
 use crate::algo::ier::build_p_rtree;
-use crate::algo::{apx_sum, exact_max, ier_knn, r_list};
+use crate::algo::{apx_sum, exact_max, exact_max_pooled, ier_knn, r_list, r_list_pooled};
 use crate::algo::topk::{exact_max_topk, ier_topk, rlist_topk};
 use crate::gphi::ier2::IerPhi;
 use crate::gphi::ine::InePhi;
 use crate::gphi::oracle::LabelOracle;
-use crate::gphi::GPhi;
+use crate::gphi::{GPhi, ReusableGPhi};
 use crate::{Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
 use hublabel::HubLabels;
-use roadnet::{Graph, NodeId};
+use roadnet::{Graph, NodeId, ScratchPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which strategy [`Engine::query`] selected (observable for logging and
 /// for the engine tests).
@@ -162,6 +163,68 @@ impl<'g> Engine<'g> {
         Ok(answer)
     }
 
+    /// Answer a stream of queries over a fixed worker pool, recycling
+    /// per-worker search state across the stream. Results come back in
+    /// input order, each bit-identical to what [`Engine::query`] returns
+    /// for the same query.
+    ///
+    /// `workers = 0` means "use the machine's available parallelism".
+    pub fn query_batch(
+        &self,
+        queries: &[BatchQuery],
+        workers: usize,
+    ) -> Vec<Result<Option<FannAnswer>, QueryError>> {
+        self.batch_runner(workers).run(queries)
+    }
+
+    /// A reusable handle for running query batches (see
+    /// [`Engine::query_batch`]).
+    pub fn batch_runner(&self, workers: usize) -> BatchRunner<'_, 'g> {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        BatchRunner {
+            engine: self,
+            workers,
+        }
+    }
+
+    /// One query of a batch, answered with this worker's recycled state.
+    /// Dispatch mirrors [`Engine::query`] strategy-for-strategy, so the
+    /// answers are identical; only the allocation behavior differs.
+    fn query_with_state(
+        &self,
+        bq: &BatchQuery,
+        state: &mut WorkerState<'g>,
+    ) -> Result<Option<FannAnswer>, QueryError> {
+        let query = FannQuery {
+            p: &bq.p,
+            q: &bq.q,
+            phi: bq.phi,
+            agg: bq.agg,
+        };
+        query.validate(self.graph)?;
+        let WorkerState { pool, ine } = state;
+        let answer = match self.strategy_for(bq.agg) {
+            Strategy::IerKnnLabels => {
+                let labels = self.labels.as_ref().expect("strategy implies labels");
+                let rtree = build_p_rtree(self.graph, &bq.p);
+                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, &bq.q);
+                ier_knn(self.graph, &query, &rtree, &gphi)
+            }
+            Strategy::ExactMax => exact_max_pooled(self.graph, &query, pool),
+            Strategy::RListIne => {
+                r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, &bq.q), pool)
+            }
+            Strategy::ApxSumIne => {
+                apx_sum(self.graph, &query, rebind_ine(ine, self.graph, &bq.q))
+            }
+        };
+        Ok(answer)
+    }
+
     /// Evaluate `g_phi(p, Q)` directly with the best available backend
     /// (Definition 1 as a public operation).
     pub fn g_phi(
@@ -178,6 +241,116 @@ impl<'g> Engine<'g> {
             }
             None => InePhi::new(self.graph, q).eval(p, k, agg),
         }
+    }
+}
+
+/// One query of a batch stream: an owned `(P, Q, phi, g)` quadruple
+/// (the graph is the engine's).
+#[derive(Debug, Clone)]
+pub struct BatchQuery {
+    pub p: Vec<NodeId>,
+    pub q: Vec<NodeId>,
+    pub phi: f64,
+    pub agg: Aggregate,
+}
+
+impl BatchQuery {
+    pub fn new(p: Vec<NodeId>, q: Vec<NodeId>, phi: f64, agg: Aggregate) -> Self {
+        BatchQuery { p, q, phi, agg }
+    }
+}
+
+/// Per-worker recycled state: a scratch pool for the multi-expansion
+/// algorithms and one long-lived INE backend, rebound per query.
+struct WorkerState<'g> {
+    pool: ScratchPool,
+    ine: Option<InePhi<'g>>,
+}
+
+/// Rebind the worker's long-lived INE backend to `q` (constructing it on
+/// first use), returning it ready for evaluation.
+fn rebind_ine<'s, 'g>(
+    ine: &'s mut Option<InePhi<'g>>,
+    graph: &'g Graph,
+    q: &[NodeId],
+) -> &'s InePhi<'g> {
+    match ine {
+        Some(backend) => backend.rebind(q),
+        None => *ine = Some(InePhi::new(graph, q)),
+    }
+    ine.as_ref().expect("just ensured")
+}
+
+/// Drives a stream of queries over a fixed pool of worker threads, one
+/// long-lived backend + scratch pool per worker (the batch/throughput
+/// layer; obtained from [`Engine::batch_runner`]).
+///
+/// Queries are pulled from a shared atomic cursor, so workers self-balance
+/// on skewed workloads; results are returned in input order.
+pub struct BatchRunner<'e, 'g> {
+    engine: &'e Engine<'g>,
+    workers: usize,
+}
+
+impl BatchRunner<'_, '_> {
+    /// Worker threads this runner will spawn (before clamping to the
+    /// batch size).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Answer every query; `results[i]` corresponds to `queries[i]` and is
+    /// exactly what [`Engine::query`] would return for it.
+    pub fn run(&self, queries: &[BatchQuery]) -> Vec<Result<Option<FannAnswer>, QueryError>> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.clamp(1, n);
+        if workers == 1 {
+            // Single worker: answer inline, no thread overhead.
+            let mut state = WorkerState {
+                pool: ScratchPool::new(),
+                ine: None,
+            };
+            return queries
+                .iter()
+                .map(|bq| self.engine.query_with_state(bq, &mut state))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<Option<FannAnswer>, QueryError>>> = vec![None; n];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut state = WorkerState {
+                            pool: ScratchPool::new(),
+                            ine: None,
+                        };
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, self.engine.query_with_state(&queries[i], &mut state)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("batch worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
     }
 }
 
@@ -267,6 +440,78 @@ mod tests {
             let db: Vec<u64> = b.iter().map(|&(_, d)| d).collect();
             assert_eq!(da, db, "{agg}");
         }
+    }
+
+    fn mixed_batch(n: usize) -> Vec<BatchQuery> {
+        // Deterministic workload mixing aggregates, phi, and query sets.
+        (0..n)
+            .map(|i| {
+                let p: Vec<u32> = (0..49).step_by(2 + i % 3).collect();
+                let q: Vec<u32> = vec![
+                    (i % 49) as u32,
+                    ((i * 7 + 11) % 49) as u32,
+                    ((i * 13 + 23) % 49) as u32,
+                ];
+                let agg = if i % 2 == 0 {
+                    Aggregate::Max
+                } else {
+                    Aggregate::Sum
+                };
+                BatchQuery::new(p, q, 0.34 + 0.33 * (i % 3) as f64, agg)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let g = grid(7, 7);
+        let batch = mixed_batch(12);
+        for engine in [Engine::new(&g), Engine::new(&g).with_labels()] {
+            let sequential: Vec<_> = batch
+                .iter()
+                .map(|b| engine.query(&b.p, &b.q, b.phi, b.agg).unwrap().unwrap())
+                .collect();
+            for workers in [1usize, 3] {
+                let got = engine.query_batch(&batch, workers);
+                for (i, (got, want)) in got.iter().zip(&sequential).enumerate() {
+                    let got = got.as_ref().unwrap().as_ref().unwrap();
+                    assert_eq!(got.dist, want.dist, "query {i}, workers={workers}");
+                    assert_eq!(got.p_star, want.p_star, "query {i}, workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_and_singleton_streams() {
+        let g = grid(4, 4);
+        let engine = Engine::new(&g);
+        for workers in [0usize, 1, 2, 8] {
+            assert!(engine.query_batch(&[], workers).is_empty());
+            let one = vec![BatchQuery::new(vec![0, 5, 15], vec![10], 1.0, Aggregate::Max)];
+            let got = engine.query_batch(&one, workers);
+            assert_eq!(got.len(), 1);
+            let want = engine.query(&[0, 5, 15], &[10], 1.0, Aggregate::Max).unwrap();
+            assert_eq!(
+                got[0].as_ref().unwrap().as_ref().map(|a| a.dist),
+                want.as_ref().map(|a| a.dist)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_propagates_per_query_errors() {
+        let g = grid(3, 3);
+        let engine = Engine::new(&g);
+        let batch = vec![
+            BatchQuery::new(vec![0, 4], vec![8], 1.0, Aggregate::Max),
+            BatchQuery::new(vec![99], vec![0], 0.5, Aggregate::Max),
+            BatchQuery::new(vec![2], vec![6], 2.0, Aggregate::Sum),
+        ];
+        let got = engine.query_batch(&batch, 2);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(QueryError::NodeOutOfRange(99))));
+        assert!(matches!(got[2], Err(QueryError::PhiOutOfRange)));
     }
 
     #[test]

@@ -137,7 +137,7 @@ mod tests {
         );
         let ine = InePhi::new(&g, &q);
         let backends: Vec<Box<dyn GPhi + '_>> = vec![
-            Box::new(IerPhi::new(&g, DijkstraOracle { graph: &g }, &q)),
+            Box::new(IerPhi::new(&g, DijkstraOracle::new(&g), &q)),
             Box::new(IerPhi::new(&g, AStarOracle::new(&g), &q)),
             Box::new(IerPhi::new(&g, LabelOracle { labels: &hl }, &q)),
             Box::new(IerPhi::new(
@@ -175,7 +175,7 @@ mod tests {
             "IER-A*"
         );
         assert_eq!(
-            IerPhi::new(&g, DijkstraOracle { graph: &g }, &q).name(),
+            IerPhi::new(&g, DijkstraOracle::new(&g), &q).name(),
             "IER-Dijkstra"
         );
     }
@@ -190,7 +190,7 @@ mod tests {
         b.add_edge(2, 3, 10);
         let g = b.build();
         let q = [1u32, 3];
-        let ier = IerPhi::new(&g, DijkstraOracle { graph: &g }, &q);
+        let ier = IerPhi::new(&g, DijkstraOracle::new(&g), &q);
         assert!(ier.eval(0, 2, Aggregate::Sum).is_none());
         assert_eq!(ier.eval(0, 1, Aggregate::Sum).unwrap().dist, 10);
     }

@@ -7,16 +7,23 @@
 //! `Baseline` and the default `g_phi` of the index-free experiments
 //! (Fig. 4b).
 
-use super::{GPhi, GPhiResult};
+use super::{GPhi, GPhiResult, ReusableGPhi};
 use crate::Aggregate;
 use roadnet::multisource::membership;
-use roadnet::{DijkstraIter, Graph, NodeId};
+use roadnet::{DijkstraIter, Graph, NodeId, QueryScratch};
+use std::cell::RefCell;
 
 /// INE backend: captures the graph and a membership mask over `Q`.
+///
+/// The backend owns a recycled [`QueryScratch`], so successive `eval` calls
+/// (GD probes many candidate points per query) are allocation-free, and
+/// [`ReusableGPhi::rebind`] repoints it at a new `Q` in `O(|Q|)` — the
+/// long-lived per-worker backend of the batch engine.
 pub struct InePhi<'g> {
     graph: &'g Graph,
     is_query: Vec<bool>,
-    num_query: usize,
+    q_nodes: Vec<NodeId>,
+    scratch: RefCell<QueryScratch>,
 }
 
 impl<'g> InePhi<'g> {
@@ -24,28 +31,51 @@ impl<'g> InePhi<'g> {
         InePhi {
             graph,
             is_query: membership(graph.num_nodes(), q),
-            num_query: q.len(),
+            q_nodes: q.to_vec(),
+            scratch: RefCell::new(QueryScratch::new()),
         }
     }
 }
 
 impl GPhi for InePhi<'_> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
-        assert!(k >= 1 && k <= self.num_query, "invalid subset size {k}");
+        assert!(k >= 1 && k <= self.q_nodes.len(), "invalid subset size {k}");
         let mut subset = Vec::with_capacity(k);
-        for (v, d) in DijkstraIter::new(self.graph, p) {
+        let mut it = DijkstraIter::with_scratch(self.graph, p, self.scratch.take());
+        for (v, d) in it.by_ref() {
             if self.is_query[v as usize] {
                 subset.push((v, d));
                 if subset.len() == k {
-                    return Some(GPhiResult::from_knn(subset, agg));
+                    break;
                 }
             }
         }
-        None // expansion exhausted before finding k query points
+        // Hand the buffers back for the next eval before returning.
+        self.scratch.replace(it.into_scratch());
+        if subset.len() == k {
+            Some(GPhiResult::from_knn(subset, agg))
+        } else {
+            None // expansion exhausted before finding k query points
+        }
     }
 
     fn name(&self) -> &'static str {
         "INE"
+    }
+}
+
+impl ReusableGPhi for InePhi<'_> {
+    fn rebind(&mut self, q: &[NodeId]) {
+        for &old in &self.q_nodes {
+            self.is_query[old as usize] = false;
+        }
+        let n = self.graph.num_nodes();
+        for &p in q {
+            assert!((p as usize) < n, "query node {p} out of range (n = {n})");
+            self.is_query[p as usize] = true;
+        }
+        self.q_nodes.clear();
+        self.q_nodes.extend_from_slice(q);
     }
 }
 
@@ -119,5 +149,33 @@ mod tests {
         let g = path5();
         let q = [0u32];
         let _ = InePhi::new(&g, &q).eval(1, 0, Aggregate::Sum);
+    }
+
+    #[test]
+    fn rebind_matches_fresh_backend() {
+        let g = path5();
+        let mut phi = InePhi::new(&g, &[0u32, 3, 4]);
+        phi.rebind(&[1, 2]);
+        let fresh = InePhi::new(&g, &[1u32, 2]);
+        for p in 0..5 {
+            for k in 1..=2 {
+                assert_eq!(
+                    phi.eval(p, k, Aggregate::Sum),
+                    fresh.eval(p, k, Aggregate::Sum),
+                    "mismatch at p={p}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_evals_reuse_scratch() {
+        let g = path5();
+        let q = [0u32, 4];
+        let phi = InePhi::new(&g, &q);
+        // Same eval twice must be identical (scratch fully reset between).
+        let a = phi.eval(2, 2, Aggregate::Sum);
+        let b = phi.eval(2, 2, Aggregate::Sum);
+        assert_eq!(a, b);
     }
 }

@@ -69,6 +69,19 @@ pub trait GPhi {
     fn name(&self) -> &'static str;
 }
 
+/// A backend that can be *repointed* at a new query set without rebuilding
+/// its internal buffers — the contract the batch engine relies on to keep
+/// one long-lived backend per worker across a whole query stream.
+///
+/// After `rebind(q)`, the backend must answer exactly as a freshly
+/// constructed backend over `q` would (the scratch-reuse soundness property
+/// checked in `tests/properties.rs`).
+pub trait ReusableGPhi: GPhi {
+    /// Repoint at a new query set `Q`. `O(|Q_old| + |Q_new|)`; no
+    /// graph-sized work.
+    fn rebind(&mut self, q: &[NodeId]);
+}
+
 /// Select the `k` smallest `(node, dist)` pairs from an unsorted iterator,
 /// ascending. Returns `None` if fewer than `k` finite entries exist.
 pub(crate) fn select_k_smallest<I>(iter: I, k: usize) -> Option<Vec<(NodeId, Dist)>>

@@ -9,7 +9,11 @@
 use ch_index::Ch;
 use gtree::GTree;
 use hublabel::HubLabels;
-use roadnet::{astar_pair, bidirectional_pair, dijkstra_pair, Dist, Graph, LowerBound, NodeId};
+use roadnet::{
+    astar_pair_with, bidirectional_pair, dijkstra_pair_with, Dist, Graph, LowerBound, NodeId,
+    QueryScratch,
+};
+use std::cell::RefCell;
 
 /// An exact point-to-point network distance oracle.
 pub trait DistanceOracle {
@@ -20,38 +24,70 @@ pub trait DistanceOracle {
     fn name(&self) -> &'static str;
 }
 
-/// Plain Dijkstra with early termination.
+/// A reference to an oracle is an oracle: lets a long-lived oracle (with
+/// its recycled scratch) back many short-lived [`super::scan::ScanPhi`]s
+/// across a query stream.
+impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        (**self).dist(s, t)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Plain Dijkstra with early termination. Holds a recycled
+/// [`QueryScratch`], so repeated `dist` calls on one oracle are
+/// allocation-free after the first.
 pub struct DijkstraOracle<'g> {
-    pub graph: &'g Graph,
+    graph: &'g Graph,
+    scratch: RefCell<QueryScratch>,
+}
+
+impl<'g> DijkstraOracle<'g> {
+    pub fn new(graph: &'g Graph) -> Self {
+        DijkstraOracle {
+            graph,
+            scratch: RefCell::new(QueryScratch::new()),
+        }
+    }
 }
 
 impl DistanceOracle for DijkstraOracle<'_> {
     fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
-        dijkstra_pair(self.graph, s, t)
+        dijkstra_pair_with(self.graph, s, t, &mut self.scratch.borrow_mut())
     }
     fn name(&self) -> &'static str {
         "Dijkstra"
     }
 }
 
-/// A\* with an admissible Euclidean lower bound.
+/// A\* with an admissible Euclidean lower bound. Like [`DijkstraOracle`],
+/// carries its own recycled [`QueryScratch`].
 pub struct AStarOracle<'g> {
-    pub graph: &'g Graph,
-    pub lb: LowerBound,
+    graph: &'g Graph,
+    lb: LowerBound,
+    scratch: RefCell<QueryScratch>,
 }
 
 impl<'g> AStarOracle<'g> {
     pub fn new(graph: &'g Graph) -> Self {
+        Self::with_lb(graph, LowerBound::for_graph(graph))
+    }
+
+    /// Reuse a precomputed lower bound (workload environments build it once).
+    pub fn with_lb(graph: &'g Graph, lb: LowerBound) -> Self {
         AStarOracle {
             graph,
-            lb: LowerBound::for_graph(graph),
+            lb,
+            scratch: RefCell::new(QueryScratch::new()),
         }
     }
 }
 
 impl DistanceOracle for AStarOracle<'_> {
     fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
-        astar_pair(self.graph, &self.lb, s, t)
+        astar_pair_with(self.graph, &self.lb, s, t, &mut self.scratch.borrow_mut())
     }
     fn name(&self) -> &'static str {
         "A*"
@@ -119,7 +155,7 @@ impl DistanceOracle for ChOracle<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roadnet::GraphBuilder;
+    use roadnet::{dijkstra_pair, GraphBuilder};
 
     fn diamond() -> Graph {
         let mut b = GraphBuilder::new();
@@ -141,7 +177,7 @@ mod tests {
         let gt = GTree::build(&g);
         let ch = Ch::build(&g);
         let oracles: Vec<Box<dyn DistanceOracle + '_>> = vec![
-            Box::new(DijkstraOracle { graph: &g }),
+            Box::new(DijkstraOracle::new(&g)),
             Box::new(AStarOracle::new(&g)),
             Box::new(BidirOracle { graph: &g }),
             Box::new(LabelOracle { labels: &hl }),
@@ -168,7 +204,7 @@ mod tests {
         let gt = GTree::build(&g);
         let ch = Ch::build(&g);
         let names = [
-            DijkstraOracle { graph: &g }.name(),
+            DijkstraOracle::new(&g).name(),
             AStarOracle::new(&g).name(),
             BidirOracle { graph: &g }.name(),
             LabelOracle { labels: &hl }.name(),

@@ -73,7 +73,7 @@ mod tests {
         let q: Vec<u32> = vec![0, 6, 12, 18, 24, 3, 21];
         let hl = HubLabels::build(&g);
         let ine = InePhi::new(&g, &q);
-        let scan_dij = ScanPhi::new(DijkstraOracle { graph: &g }, &q);
+        let scan_dij = ScanPhi::new(DijkstraOracle::new(&g), &q);
         let scan_astar = ScanPhi::new(AStarOracle::new(&g), &q);
         let scan_label = ScanPhi::new(LabelOracle { labels: &hl }, &q);
         for p in 0..25u32 {
@@ -98,7 +98,7 @@ mod tests {
         b.add_edge(2, 3, 1);
         let g = b.build();
         let q = [1u32, 3];
-        let scan = ScanPhi::new(DijkstraOracle { graph: &g }, &q);
+        let scan = ScanPhi::new(DijkstraOracle::new(&g), &q);
         assert!(scan.eval(0, 2, Aggregate::Sum).is_none());
         assert_eq!(scan.eval(0, 1, Aggregate::Sum).unwrap().dist, 1);
     }
@@ -107,7 +107,7 @@ mod tests {
     fn name_comes_from_oracle() {
         let g = grid(2, 2);
         let q = [0u32];
-        let scan = ScanPhi::new(DijkstraOracle { graph: &g }, &q);
+        let scan = ScanPhi::new(DijkstraOracle::new(&g), &q);
         assert_eq!(scan.name(), "Dijkstra");
     }
 }

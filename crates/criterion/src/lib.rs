@@ -1,0 +1,207 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the `criterion` API subset its benches use: `Criterion::benchmark_group`,
+//! group configuration (`sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` with a [`Bencher::iter`] closure, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — warm up for the configured
+//! duration, run timed samples until the measurement budget or sample count
+//! is reached, and print mean / min / max per benchmark. No outlier
+//! analysis, HTML reports, or regression tracking; the figure binaries in
+//! `crates/bench/src/bin` remain the canonical experiment harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Ungrouped benchmark (upstream convenience; used rarely).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`: warm up, then collect samples until the measurement budget
+    /// or the configured sample count is exhausted (at least one sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        self.samples.clear();
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if self.samples.len() >= self.sample_size
+                || measure_start.elapsed() >= self.measurement
+            {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples — bencher.iter never called)");
+            return;
+        }
+        let n = self.samples.len();
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{label:<40} mean {:>10} (min {}, max {}, n={n})",
+            fmt(mean),
+            fmt(min),
+            fmt(max),
+        );
+    }
+}
+
+fn fmt(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "closure ran {runs} times");
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert!(fmt(2e-9).ends_with("ns"));
+        assert!(fmt(2e-5).ends_with("us"));
+        assert!(fmt(2e-2).ends_with("ms"));
+        assert!(fmt(2.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the small `rand` API subset it actually uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] / [`Rng::gen_bool`],
+//! and [`seq::SliceRandom::shuffle`]. The generator is SplitMix64 — fast,
+//! well distributed, and deterministic per seed, which is all the workload
+//! generators and tests require. Streams differ from upstream `rand` (the
+//! experiments only need *reproducibility*, not byte compatibility) and
+//! integer ranges use simple modulo reduction, whose bias is negligible for
+//! the range sizes used here (≤ a few million).
+
+/// A source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`Range` or `RangeInclusive`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map a `u64` to `[0, 1)` with 53 bits of precision.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seeding, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniform sample.
+    pub trait SampleRange<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u128 - lo as u128 + 1) as u64;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            let x = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            if x >= self.end {
+                self.start
+            } else {
+                x
+            }
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range");
+            lo + unit_f64(rng.next_u64()) * (hi - lo)
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&y));
+            let z = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left 50 elements in order");
+    }
+}

@@ -6,26 +6,36 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::lowerbound::LowerBound;
-use crate::{Dist, INF};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::scratch::QueryScratch;
+use crate::Dist;
 
 /// A* search from `s` to `t` using lower bound `lb`; `None` if unreachable.
 ///
 /// With an admissible (never over-estimating) heuristic this returns the
 /// exact shortest-path distance, settling no more nodes than Dijkstra.
 pub fn astar_pair(g: &Graph, lb: &LowerBound, s: NodeId, t: NodeId) -> Option<Dist> {
+    astar_pair_with(g, lb, s, t, &mut QueryScratch::new())
+}
+
+/// [`astar_pair`] reusing `scratch`'s buffers — the throughput entry point:
+/// no `O(|V|)` allocation or refill per query once the scratch has grown to
+/// `|V|`. The scratch's distance slots hold g-values; the heap is keyed by
+/// f = g + h.
+pub fn astar_pair_with(
+    g: &Graph,
+    lb: &LowerBound,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut QueryScratch,
+) -> Option<Dist> {
     if s == t {
         return Some(0);
     }
-    let n = g.num_nodes();
-    let mut dist = vec![INF; n];
-    // Heap keyed by f = g + h; ties broken arbitrarily.
-    let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
-    dist[s as usize] = 0;
-    heap.push((Reverse(lb.bound(g, s, t)), s));
-    while let Some((Reverse(f), v)) = heap.pop() {
-        let d = dist[v as usize];
+    scratch.begin(g.num_nodes());
+    scratch.set_dist(s, 0);
+    scratch.push(lb.bound(g, s, t), s);
+    while let Some((f, v)) = scratch.pop() {
+        let d = scratch.dist(v);
         if v == t {
             return Some(d);
         }
@@ -35,9 +45,9 @@ pub fn astar_pair(g: &Graph, lb: &LowerBound, s: NodeId, t: NodeId) -> Option<Di
         }
         for (nb, w) in g.neighbors(v) {
             let nd = d + w as Dist;
-            if nd < dist[nb as usize] {
-                dist[nb as usize] = nd;
-                heap.push((Reverse(nd + lb.bound(g, nb, t)), nb));
+            if nd < scratch.dist(nb) {
+                scratch.set_dist(nb, nd);
+                scratch.push(nd + lb.bound(g, nb, t), nb);
             }
         }
     }
@@ -81,6 +91,22 @@ mod tests {
                 assert_eq!(
                     astar_pair(&g, &lb, s, t),
                     dijkstra_pair(&g, s, t),
+                    "mismatch for {s}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn astar_with_recycled_scratch_matches_fresh() {
+        let g = grid();
+        let lb = LowerBound::for_graph(&g);
+        let mut scratch = QueryScratch::new();
+        for s in 0..9 {
+            for t in 0..9 {
+                assert_eq!(
+                    astar_pair_with(&g, &lb, s, t, &mut scratch),
+                    astar_pair(&g, &lb, s, t),
                     "mismatch for {s}->{t}"
                 );
             }

@@ -1,6 +1,7 @@
 //! Single-source and point-to-point Dijkstra search.
 
 use crate::graph::{Graph, NodeId};
+use crate::scratch::QueryScratch;
 use crate::{Dist, INF};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -32,25 +33,36 @@ pub fn dijkstra_all(g: &Graph, src: NodeId) -> Vec<Dist> {
 /// Point-to-point shortest-path distance; `None` when `t` is unreachable.
 /// Terminates as soon as `t` is settled.
 pub fn dijkstra_pair(g: &Graph, s: NodeId, t: NodeId) -> Option<Dist> {
+    dijkstra_pair_with(g, s, t, &mut QueryScratch::new())
+}
+
+/// [`dijkstra_pair`] reusing `scratch`'s buffers — the throughput entry
+/// point: no `O(|V|)` allocation or refill per query once the scratch has
+/// grown to `|V|`.
+pub fn dijkstra_pair_with(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut QueryScratch,
+) -> Option<Dist> {
     if s == t {
         return Some(0);
     }
-    let mut dist = vec![INF; g.num_nodes()];
-    let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
-    dist[s as usize] = 0;
-    heap.push((Reverse(0), s));
-    while let Some((Reverse(d), v)) = heap.pop() {
+    scratch.begin(g.num_nodes());
+    scratch.set_dist(s, 0);
+    scratch.push(0, s);
+    while let Some((d, v)) = scratch.pop() {
         if v == t {
             return Some(d);
         }
-        if d > dist[v as usize] {
+        if d > scratch.dist(v) {
             continue;
         }
         for (nb, w) in g.neighbors(v) {
             let nd = d + w as Dist;
-            if nd < dist[nb as usize] {
-                dist[nb as usize] = nd;
-                heap.push((Reverse(nd), nb));
+            if nd < scratch.dist(nb) {
+                scratch.set_dist(nb, nd);
+                scratch.push(nd, nb);
             }
         }
     }
@@ -126,6 +138,21 @@ mod tests {
         let g = path();
         assert_eq!(dijkstra_pair(&g, 0, 3), Some(6));
         assert_eq!(dijkstra_pair(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn pair_with_recycled_scratch_matches_fresh() {
+        let g = path();
+        let mut scratch = QueryScratch::new();
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(
+                    dijkstra_pair_with(&g, s, t, &mut scratch),
+                    dijkstra_pair(&g, s, t),
+                    "mismatch for {s}->{t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,14 +4,15 @@
 //! suspended and resumed at any point: all search state lives in the struct,
 //! so `|Q|` expansions can be interleaved — the "switchable" multi-source
 //! Dijkstra the paper's `R-List` and `Exact-max` need (§IV-A implementation
-//! details). Distance state is kept in hash maps, so memory is proportional
-//! to the *explored* region, not `|V|`, keeping the practical footprint of
-//! `|Q|` concurrent expansions far below the `O(|Q||V|)` worst case.
+//! details). Search state lives in a recycled [`QueryScratch`] (epoch-stamped
+//! arrays plus a reusable heap), so a long stream of expansions over the same
+//! graph is allocation-free after warm-up: construct via
+//! [`DijkstraIter::with_scratch`], recover the buffers afterwards with
+//! [`DijkstraIter::into_scratch`], and hand them to the next query.
 
 use crate::graph::{Graph, NodeId};
+use crate::scratch::QueryScratch;
 use crate::Dist;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// A lazily-advancing Dijkstra expansion from a single source.
 ///
@@ -20,49 +21,53 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 /// each node at most once.
 pub struct DijkstraIter<'g> {
     graph: &'g Graph,
-    dist: HashMap<NodeId, Dist>,
-    settled: HashSet<NodeId>,
-    heap: BinaryHeap<(Reverse<Dist>, NodeId)>,
+    scratch: QueryScratch,
 }
 
 impl<'g> DijkstraIter<'g> {
     pub fn new(graph: &'g Graph, source: NodeId) -> Self {
+        Self::with_scratch(graph, source, QueryScratch::new())
+    }
+
+    /// Start an expansion reusing `scratch`'s buffers (no per-query
+    /// allocation once the scratch has grown to `|V|`). Get the buffers
+    /// back with [`DijkstraIter::into_scratch`] when the expansion is done.
+    pub fn with_scratch(graph: &'g Graph, source: NodeId, mut scratch: QueryScratch) -> Self {
         assert!(
             (source as usize) < graph.num_nodes(),
             "source {source} out of range"
         );
-        let mut dist = HashMap::new();
-        dist.insert(source, 0);
-        let mut heap = BinaryHeap::new();
-        heap.push((Reverse(0), source));
-        DijkstraIter {
-            graph,
-            dist,
-            settled: HashSet::new(),
-            heap,
-        }
+        scratch.begin(graph.num_nodes());
+        scratch.set_dist(source, 0);
+        scratch.push(0, source);
+        DijkstraIter { graph, scratch }
+    }
+
+    /// Recover the scratch for reuse by a later expansion.
+    pub fn into_scratch(self) -> QueryScratch {
+        self.scratch
     }
 
     /// Distance of the next node that would be settled, without settling it.
     pub fn peek_dist(&mut self) -> Option<Dist> {
         self.skip_stale();
-        self.heap.peek().map(|&(Reverse(d), _)| d)
+        self.scratch.peek().map(|(d, _)| d)
     }
 
     /// Number of nodes settled so far.
     pub fn settled_count(&self) -> usize {
-        self.settled.len()
+        self.scratch.settled_count()
     }
 
     /// Whether `v` has already been settled, and at what distance.
     pub fn settled_dist(&self, v: NodeId) -> Option<Dist> {
-        self.settled.contains(&v).then(|| self.dist[&v])
+        self.scratch.is_settled(v).then(|| self.scratch.dist(v))
     }
 
     fn skip_stale(&mut self) {
-        while let Some(&(Reverse(d), v)) = self.heap.peek() {
-            if self.settled.contains(&v) || self.dist.get(&v).is_none_or(|&cur| d > cur) {
-                self.heap.pop();
+        while let Some((d, v)) = self.scratch.peek() {
+            if self.scratch.is_settled(v) || d > self.scratch.dist(v) {
+                self.scratch.pop_discard();
             } else {
                 break;
             }
@@ -75,17 +80,16 @@ impl Iterator for DijkstraIter<'_> {
 
     fn next(&mut self) -> Option<(NodeId, Dist)> {
         self.skip_stale();
-        let (Reverse(d), v) = self.heap.pop()?;
-        self.settled.insert(v);
+        let (d, v) = self.scratch.pop()?;
+        self.scratch.mark_settled(v);
         for (nb, w) in self.graph.neighbors(v) {
-            if self.settled.contains(&nb) {
+            if self.scratch.is_settled(nb) {
                 continue;
             }
             let nd = d + w as Dist;
-            let entry = self.dist.entry(nb).or_insert(Dist::MAX);
-            if nd < *entry {
-                *entry = nd;
-                self.heap.push((Reverse(nd), nb));
+            if nd < self.scratch.dist(nb) {
+                self.scratch.set_dist(nb, nd);
+                self.scratch.push(nd, nb);
             }
         }
         Some((v, d))
@@ -171,6 +175,31 @@ mod tests {
         assert_eq!(it.settled_dist(3), Some(2));
         assert_eq!(it.settled_dist(2), None);
         assert_eq!(it.settled_count(), 3);
+    }
+
+    #[test]
+    fn recycled_scratch_gives_identical_expansion() {
+        let g = diamond();
+        let baseline: Vec<Vec<_>> = (0..4).map(|s| DijkstraIter::new(&g, s).collect()).collect();
+        let mut scratch = QueryScratch::new();
+        for s in 0..4u32 {
+            let mut it = DijkstraIter::with_scratch(&g, s, scratch);
+            let order: Vec<_> = it.by_ref().collect();
+            assert_eq!(order, baseline[s as usize], "source {s}");
+            scratch = it.into_scratch();
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_partial_expansion_is_clean() {
+        let g = diamond();
+        // Abandon an expansion midway; the next query must be unaffected.
+        let mut it = DijkstraIter::new(&g, 0);
+        it.by_ref().take(2).for_each(drop);
+        let scratch = it.into_scratch();
+        let order: Vec<_> = DijkstraIter::with_scratch(&g, 2, scratch).collect();
+        let fresh: Vec<_> = DijkstraIter::new(&g, 2).collect();
+        assert_eq!(order, fresh);
     }
 
     #[test]

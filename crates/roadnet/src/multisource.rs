@@ -8,6 +8,7 @@
 
 use crate::expansion::DijkstraIter;
 use crate::graph::{Graph, NodeId};
+use crate::scratch::ScratchPool;
 use crate::Dist;
 
 /// Build a node-indexed membership mask for a set of object nodes.
@@ -31,15 +32,7 @@ struct ObjectStream<'g> {
     exhausted: bool,
 }
 
-impl<'g> ObjectStream<'g> {
-    fn new(graph: &'g Graph, source: NodeId) -> Self {
-        ObjectStream {
-            expansion: DijkstraIter::new(graph, source),
-            head: None,
-            exhausted: false,
-        }
-    }
-
+impl ObjectStream<'_> {
     /// Ensure `head` holds the next object (advancing the expansion).
     fn fill(&mut self, is_object: &[bool]) {
         if self.head.is_some() || self.exhausted {
@@ -64,12 +57,38 @@ pub struct ObjectStreams<'g> {
 impl<'g> ObjectStreams<'g> {
     /// One stream per source in `sources`, yielding members of `objects`.
     pub fn new(graph: &'g Graph, sources: &[NodeId], objects: &[NodeId]) -> Self {
+        let mut pool = ScratchPool::new();
+        Self::with_pool(graph, sources, objects, &mut pool)
+    }
+
+    /// [`ObjectStreams::new`] drawing the `|Q|` expansion scratches from
+    /// `pool` instead of allocating fresh ones — the throughput entry point.
+    /// Pair with [`ObjectStreams::recycle_into`] to return the scratches
+    /// once the query is answered.
+    pub fn with_pool(
+        graph: &'g Graph,
+        sources: &[NodeId],
+        objects: &[NodeId],
+        pool: &mut ScratchPool,
+    ) -> Self {
         let is_object = membership(graph.num_nodes(), objects);
         let streams = sources
             .iter()
-            .map(|&q| ObjectStream::new(graph, q))
+            .map(|&q| ObjectStream {
+                expansion: DijkstraIter::with_scratch(graph, q, pool.take()),
+                head: None,
+                exhausted: false,
+            })
             .collect();
         ObjectStreams { streams, is_object }
+    }
+
+    /// Tear down the streams and return every expansion scratch to `pool`
+    /// for the next query.
+    pub fn recycle_into(self, pool: &mut ScratchPool) {
+        for s in self.streams {
+            pool.put(s.expansion.into_scratch());
+        }
     }
 
     /// Number of streams (`|Q|`).
@@ -207,6 +226,24 @@ mod tests {
         }
         assert_eq!(got[0], vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
         assert_eq!(got[1], vec![(4, 0), (3, 1), (2, 2), (1, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn pooled_streams_match_fresh_and_recycle() {
+        let g = path5();
+        let mut pool = ScratchPool::new();
+        for _ in 0..3 {
+            let mut s = ObjectStreams::with_pool(&g, &[0, 4], &[0, 1, 2, 3, 4], &mut pool);
+            let mut fresh = ObjectStreams::new(&g, &[0, 4], &[0, 1, 2, 3, 4]);
+            while let Some(head) = s.min_head() {
+                assert_eq!(Some(head), fresh.min_head());
+                s.pop(head.0);
+                fresh.pop(head.0);
+            }
+            assert_eq!(fresh.min_head(), None);
+            s.recycle_into(&mut pool);
+            assert_eq!(pool.idle_count(), 2, "both scratches returned");
+        }
     }
 
     #[test]

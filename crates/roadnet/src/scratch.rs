@@ -1,0 +1,238 @@
+//! Recycled per-query search state (the batch/throughput substrate).
+//!
+//! Every Dijkstra-family search needs a distance array, a settled set and a
+//! priority queue. Allocating them per query (`vec![INF; n]`, fresh
+//! `BinaryHeap`, hash maps) dominates query cost on large networks once the
+//! algorithmic work per query is small — the classic throughput killer for
+//! query streams. [`QueryScratch`] keeps those buffers alive across queries
+//! and resets them in `O(1)` via *epoch stamping*: each slot carries the
+//! epoch in which it was last written, and a slot is only valid when its
+//! stamp equals the current epoch. Starting the next query is a single
+//! epoch increment plus clearing the (already drained) heap — no `O(|V|)`
+//! refill, no rehashing, and no allocation once the buffers have grown to
+//! `|V|`.
+//!
+//! [`ScratchPool`] holds idle scratches for algorithms that run several
+//! concurrent expansions (`ObjectStreams` keeps one per query point) so a
+//! worker thread can recycle all of them across a whole query stream.
+
+use crate::{Dist, NodeId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable buffers for one Dijkstra/A\*/INE search.
+///
+/// Obtain one with [`QueryScratch::new`], hand it to the `*_with` search
+/// entry points (or [`crate::DijkstraIter::with_scratch`]), and keep
+/// reusing it: each search calls [`QueryScratch::begin`] internally, which
+/// invalidates all previous state without touching the buffers.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Current epoch; slot `v` is live iff its stamp equals this.
+    epoch: u32,
+    dist_stamp: Vec<u32>,
+    dist: Vec<Dist>,
+    settled_stamp: Vec<u32>,
+    /// Keyed by the search's priority (g for Dijkstra, f = g + h for A\*).
+    heap: BinaryHeap<(Reverse<Dist>, NodeId)>,
+    settled: usize,
+}
+
+impl QueryScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size for a graph with `n` nodes (optional; `begin` grows lazily).
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::default();
+        s.grow(n);
+        s
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.dist_stamp.len() < n {
+            self.dist_stamp.resize(n, 0);
+            self.dist.resize(n, INF);
+            self.settled_stamp.resize(n, 0);
+        }
+    }
+
+    /// Start a fresh search over a graph with `n` nodes: bump the epoch
+    /// (invalidating every distance and settled mark) and clear the heap.
+    /// Amortized `O(1)`; allocation-free once grown to `n`.
+    pub fn begin(&mut self, n: usize) {
+        self.grow(n);
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once per 2^32 queries): hard-reset the stamps.
+            self.dist_stamp.fill(0);
+            self.settled_stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+        self.settled = 0;
+    }
+
+    /// Tentative distance of `v` in the current search ([`INF`] if untouched).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        if self.dist_stamp[v as usize] == self.epoch {
+            self.dist[v as usize]
+        } else {
+            INF
+        }
+    }
+
+    #[inline]
+    pub fn set_dist(&mut self, v: NodeId, d: Dist) {
+        self.dist_stamp[v as usize] = self.epoch;
+        self.dist[v as usize] = d;
+    }
+
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settled_stamp[v as usize] == self.epoch
+    }
+
+    #[inline]
+    pub fn mark_settled(&mut self, v: NodeId) {
+        debug_assert!(!self.is_settled(v), "node {v} settled twice");
+        self.settled_stamp[v as usize] = self.epoch;
+        self.settled += 1;
+    }
+
+    /// Nodes settled since the last [`QueryScratch::begin`].
+    #[inline]
+    pub fn settled_count(&self) -> usize {
+        self.settled
+    }
+
+    /// Push a heap entry keyed by `key` (g-value for Dijkstra, f for A\*).
+    #[inline]
+    pub fn push(&mut self, key: Dist, v: NodeId) {
+        self.heap.push((Reverse(key), v));
+    }
+
+    /// Pop the minimum-key entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Dist, NodeId)> {
+        self.heap.pop().map(|(Reverse(k), v)| (k, v))
+    }
+
+    /// Minimum key + node without popping.
+    #[inline]
+    pub fn peek(&self) -> Option<(Dist, NodeId)> {
+        self.heap.peek().map(|&(Reverse(k), v)| (k, v))
+    }
+
+    /// Drop a stale heap top (caller decides staleness).
+    #[inline]
+    pub fn pop_discard(&mut self) {
+        self.heap.pop();
+    }
+}
+
+/// A stash of idle [`QueryScratch`]es for multi-expansion algorithms.
+///
+/// `ObjectStreams` runs `|Q|` concurrent expansions, each needing its own
+/// scratch; a worker keeps one pool and the streams borrow from / return to
+/// it between queries, so a stream of thousands of queries touches the
+/// allocator only while the pool is warming up.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    idle: Vec<QueryScratch>,
+}
+
+impl ScratchPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take an idle scratch, or create a fresh one if the pool is empty.
+    pub fn take(&mut self) -> QueryScratch {
+        self.idle.pop().unwrap_or_default()
+    }
+
+    /// Return a scratch for later reuse.
+    pub fn put(&mut self, scratch: QueryScratch) {
+        self.idle.push(scratch);
+    }
+
+    /// Number of idle scratches currently pooled.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_invalidates_previous_state() {
+        let mut s = QueryScratch::new();
+        s.begin(4);
+        s.set_dist(2, 7);
+        s.mark_settled(2);
+        s.push(7, 2);
+        assert_eq!(s.dist(2), 7);
+        assert!(s.is_settled(2));
+        s.begin(4);
+        assert_eq!(s.dist(2), INF);
+        assert!(!s.is_settled(2));
+        assert_eq!(s.peek(), None);
+        assert_eq!(s.settled_count(), 0);
+    }
+
+    #[test]
+    fn grows_to_larger_graphs() {
+        let mut s = QueryScratch::new();
+        s.begin(2);
+        s.set_dist(1, 3);
+        s.begin(10);
+        assert_eq!(s.dist(9), INF);
+        s.set_dist(9, 1);
+        assert_eq!(s.dist(9), 1);
+    }
+
+    #[test]
+    fn heap_orders_by_key() {
+        let mut s = QueryScratch::new();
+        s.begin(5);
+        s.push(5, 0);
+        s.push(1, 1);
+        s.push(3, 2);
+        assert_eq!(s.pop(), Some((1, 1)));
+        assert_eq!(s.peek(), Some((3, 2)));
+        assert_eq!(s.pop(), Some((3, 2)));
+        assert_eq!(s.pop(), Some((5, 0)));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut s = QueryScratch::with_capacity(3);
+        s.epoch = u32::MAX - 1;
+        s.begin(3);
+        s.set_dist(0, 42);
+        assert_eq!(s.epoch, u32::MAX);
+        s.begin(3); // wraps
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.dist(0), INF, "stale value must not leak across wrap");
+    }
+
+    #[test]
+    fn pool_recycles() {
+        let mut pool = ScratchPool::new();
+        let mut a = pool.take();
+        a.begin(8);
+        a.set_dist(3, 9);
+        pool.put(a);
+        assert_eq!(pool.idle_count(), 1);
+        let mut b = pool.take();
+        assert_eq!(pool.idle_count(), 0);
+        b.begin(8);
+        assert_eq!(b.dist(3), INF, "recycled scratch must start clean");
+    }
+}

@@ -11,8 +11,11 @@
 //!
 //! `query` generates `P`/`Q` with the §VI-A generators (deterministic per
 //! `--seed`) and prints the answer; `--routes` additionally materializes
-//! the winning shortest paths.
+//! the winning shortest paths. `bench-batch` runs the batch/throughput
+//! experiment (recycled scratch vs per-query setup, sequential vs
+//! `Engine::query_batch`).
 
+use fannr::bench::throughput::{run_throughput, CountingAlloc, ThroughputOpts};
 use fannr::fann::algo::ier::build_p_rtree;
 use fannr::fann::algo::topk::{exact_max_topk, gd_topk, ier_topk, rlist_topk};
 use fannr::fann::algo::{apx_sum, exact_max, gd, ier_knn, r_list};
@@ -26,6 +29,10 @@ use fannr::roadnet::io::{read_compact, write_compact};
 use fannr::roadnet::{shortest_path, Graph};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+// Count heap allocations so `bench-batch` can report allocations/query.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&opts),
         "render" => cmd_render(&opts),
         "stats" => cmd_stats(&opts),
+        "bench-batch" => cmd_bench_batch(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -66,6 +74,8 @@ commands:
              --labels, --k, --routes)
   render     draw a query answer as SVG          (query options + --out)
   stats      describe a network                  (--graph)
+  bench-batch  measure batch throughput          (--nodes, --queries,
+             --p-size, --q-size, --phi, --workers, --seed)
 algorithms:  gd | r-list | ier-knn | exact-max | apx-sum";
 
 fn parse_opts(args: impl Iterator<Item = String>) -> HashMap<String, String> {
@@ -275,5 +285,28 @@ fn cmd_render(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(opts)?;
     println!("{}", fannr::roadnet::stats::graph_stats(&g));
+    Ok(())
+}
+
+fn cmd_bench_batch(opts: &HashMap<String, String>) -> Result<(), String> {
+    let defaults = ThroughputOpts::default();
+    let nodes: usize = get(opts, "nodes", defaults.nodes);
+    let queries: usize = get(opts, "queries", defaults.queries);
+    if nodes < 4 {
+        return Err(format!("--nodes must be at least 4, got {nodes}"));
+    }
+    if queries == 0 {
+        return Err("--queries must be at least 1".to_string());
+    }
+    let topts = ThroughputOpts {
+        nodes,
+        queries,
+        p_size: get(opts, "p-size", defaults.p_size),
+        q_size: get(opts, "q-size", defaults.q_size),
+        phi: get(opts, "phi", defaults.phi),
+        workers: get(opts, "workers", defaults.workers),
+        seed: get(opts, "seed", defaults.seed),
+    };
+    run_throughput(&topts);
     Ok(())
 }

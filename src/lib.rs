@@ -25,6 +25,7 @@
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harnesses regenerating the paper's evaluation.
 
+pub use fann_bench as bench;
 pub use fann_core as fann;
 pub use gtree;
 pub use hublabel;

@@ -1,0 +1,199 @@
+//! Batch-layer integration tests: the recycled-scratch query path must be
+//! observationally identical to the per-query path.
+//!
+//! Three angles:
+//! * cross-validation — [`Engine::query_batch`] returns bit-identical
+//!   answers to a sequential [`Engine::query`] loop for every strategy,
+//!   aggregate, and phi;
+//! * scratch-reuse soundness (property) — one long-lived backend answering
+//!   `q_1..q_n` sequentially equals `n` fresh backends;
+//! * concurrency — worker counts 1/2/8 agree, and degenerate streams
+//!   (empty, singleton) neither deadlock nor misbehave.
+
+use fannr::fann::engine::{BatchQuery, Engine};
+use fannr::fann::gphi::ine::InePhi;
+use fannr::fann::gphi::oracle::{AStarOracle, DijkstraOracle, DistanceOracle};
+use fannr::fann::gphi::{GPhi, ReusableGPhi};
+use fannr::fann::Aggregate;
+use fannr::roadnet::dijkstra::dijkstra_pair;
+use fannr::roadnet::{Graph, NodeId};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A connected-ish synthetic road network plus a deterministic mixed query
+/// stream over it (both aggregates, several phi values, varying P/Q).
+fn workload(seed: u64, nodes: usize, queries: usize) -> (Graph, Vec<BatchQuery>) {
+    let mut rng = fannr::workload::rng(seed);
+    let g = fannr::workload::synth::road_network(nodes, &mut rng);
+    let all_p = fannr::workload::points::uniform_data_points(&g, 0.1, &mut rng);
+    let stream = (0..queries)
+        .map(|i| {
+            let mut p = all_p.clone();
+            p.shuffle(&mut rng);
+            p.truncate(4 + i % 5);
+            let q = fannr::workload::points::uniform_query_points(&g, 3 + i % 4, 0.5, &mut rng);
+            let phi = [0.25, 0.5, 0.75, 1.0][i % 4];
+            let agg = if i % 2 == 0 {
+                Aggregate::Max
+            } else {
+                Aggregate::Sum
+            };
+            BatchQuery::new(p, q, phi, agg)
+        })
+        .collect();
+    (g, stream)
+}
+
+/// `query_batch` must be indistinguishable from a `query` loop — same
+/// `d*`, same `p*`, same subset — under every strategy the engine selects
+/// (Exact-max, R-List/INE, APX-sum/INE, IER-kNN/labels).
+#[test]
+fn batch_cross_validates_sequential_for_every_strategy() {
+    let (g, stream) = workload(11, 500, 24);
+    let engines = [
+        Engine::new(&g),
+        Engine::new(&g).allow_approx_sum(true),
+        Engine::new(&g).with_labels(),
+    ];
+    for engine in &engines {
+        let sequential: Vec<_> = stream
+            .iter()
+            .map(|b| engine.query(&b.p, &b.q, b.phi, b.agg).unwrap())
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let batch = engine.query_batch(&stream, workers);
+            assert_eq!(batch.len(), sequential.len());
+            for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
+                let got = got.as_ref().unwrap();
+                assert_eq!(
+                    got, want,
+                    "query {i} diverged (workers={workers}, labels={}, agg={})",
+                    engine.has_labels(),
+                    stream[i].agg,
+                );
+            }
+        }
+    }
+}
+
+/// Worker counts must not change answers, only wall-clock: all of 1, 2,
+/// and 8 workers produce the same result vector.
+#[test]
+fn worker_counts_agree() {
+    let (g, stream) = workload(12, 400, 30);
+    let engine = Engine::new(&g);
+    let baseline = engine.query_batch(&stream, 1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            engine.query_batch(&stream, workers),
+            baseline,
+            "workers={workers}"
+        );
+    }
+}
+
+/// Degenerate streams: empty input returns an empty vector and a
+/// single-query stream works for every worker count (more workers than
+/// queries must clamp, not hang).
+#[test]
+fn degenerate_streams_terminate() {
+    let (g, stream) = workload(13, 300, 1);
+    let engine = Engine::new(&g);
+    for workers in [0usize, 1, 2, 8] {
+        assert!(engine.query_batch(&[], workers).is_empty());
+        let got = engine.query_batch(&stream, workers);
+        assert_eq!(got.len(), 1);
+        let want = engine
+            .query(&stream[0].p, &stream[0].q, stream[0].phi, stream[0].agg)
+            .unwrap();
+        assert_eq!(got[0].as_ref().unwrap(), &want, "workers={workers}");
+    }
+}
+
+/// Invalid queries fail individually without poisoning the rest of the
+/// stream or the worker's recycled state.
+#[test]
+fn per_query_errors_leave_state_clean() {
+    let (g, mut stream) = workload(14, 300, 8);
+    let bad = BatchQuery::new(vec![u32::MAX], vec![0], 0.5, Aggregate::Max);
+    stream.insert(3, bad);
+    let engine = Engine::new(&g);
+    for workers in [1usize, 4] {
+        let got = engine.query_batch(&stream, workers);
+        for (i, r) in got.iter().enumerate() {
+            if i == 3 {
+                assert!(r.is_err(), "bad query must error");
+            } else {
+                let want = engine
+                    .query(&stream[i].p, &stream[i].q, stream[i].phi, stream[i].agg)
+                    .unwrap();
+                assert_eq!(r.as_ref().unwrap(), &want, "query {i} after error");
+            }
+        }
+    }
+}
+
+/// Draw a small connected network and a sequence of eval requests on it.
+fn arb_eval_sequence() -> impl Strategy<Value = (Graph, Vec<(Vec<NodeId>, NodeId, usize)>)> {
+    (any::<u64>(), 20usize..80, 2usize..10).prop_map(|(seed, nodes, evals)| {
+        let mut rng = fannr::workload::rng(seed);
+        let g = fannr::workload::synth::road_network(nodes, &mut rng);
+        let n = g.num_nodes() as u32;
+        let seq = (0..evals)
+            .map(|_| {
+                let qlen = rng.gen_range(1usize..6);
+                let mut q: Vec<NodeId> = (0..qlen).map(|_| rng.gen_range(0..n)).collect();
+                q.sort_unstable();
+                q.dedup();
+                let p = rng.gen_range(0..n);
+                let k = rng.gen_range(1usize..=q.len());
+                (q, p, k)
+            })
+            .collect();
+        (g, seq)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scratch-reuse soundness: one long-lived INE backend rebound across
+    /// an arbitrary eval sequence answers exactly like a fresh backend
+    /// built for each request (same distance, same subset).
+    #[test]
+    fn reused_ine_backend_equals_fresh_backends((g, seq) in arb_eval_sequence()) {
+        let mut reused = InePhi::new(&g, &seq[0].0);
+        for (q, p, k) in &seq {
+            reused.rebind(q);
+            let fresh = InePhi::new(&g, q);
+            for agg in [Aggregate::Max, Aggregate::Sum] {
+                let a = reused.eval(*p, *k, agg);
+                let b = fresh.eval(*p, *k, agg);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.dist, b.dist);
+                        prop_assert_eq!(a.subset_nodes(), b.subset_nodes());
+                    }
+                    (a, b) => panic!("reachability diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    /// Oracle scratch reuse: one long-lived Dijkstra/A* oracle answering an
+    /// arbitrary (s, t) sequence equals the textbook per-pair search.
+    #[test]
+    fn reused_oracles_equal_fresh_searches((g, seq) in arb_eval_sequence()) {
+        let dij = DijkstraOracle::new(&g);
+        let ast = AStarOracle::new(&g);
+        for (q, p, _) in &seq {
+            for &t in q {
+                let want = dijkstra_pair(&g, *p, t);
+                prop_assert_eq!(dij.dist(*p, t), want);
+                prop_assert_eq!(ast.dist(*p, t), want);
+            }
+        }
+    }
+}

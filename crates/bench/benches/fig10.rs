@@ -17,12 +17,27 @@ fn bench(c: &mut Criterion) {
             .measurement_time(Duration::from_millis(800));
         for k in [1usize, 5, 10] {
             group.bench_function(format!("k={k}"), |b| {
-                let ctx = make_ctx(&env, 10, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+                let ctx = make_ctx(
+                    &env,
+                    10,
+                    cfg.d,
+                    cfg.m,
+                    cfg.a,
+                    cfg.c,
+                    cfg.phi,
+                    Aggregate::Max,
+                );
                 let query = ctx.query();
                 b.iter(|| match algo {
                     "GD" => gd_topk(&query, ctx.gphi("PHL").as_ref(), k),
                     "R-List" => rlist_topk(&env.graph, &query, ctx.gphi("PHL").as_ref(), k),
-                    "IER-kNN" => ier_topk(&env.graph, &query, &ctx.rtree_p, ctx.gphi("IER-PHL").as_ref(), k),
+                    "IER-kNN" => ier_topk(
+                        &env.graph,
+                        &query,
+                        &ctx.rtree_p,
+                        ctx.gphi("IER-PHL").as_ref(),
+                        k,
+                    ),
                     "Exact-max" => exact_max_topk(&env.graph, &query, k),
                     _ => unreachable!(),
                 });

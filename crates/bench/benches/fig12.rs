@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
     let p = generate_poi(&env.graph, PoiKind::FastFood, &mut rng);
     let q = generate_poi(&env.graph, PoiKind::Hospitals, &mut rng);
     for (algo, gphi) in ALL_ALGOS {
-        let agg = if algo == "APX-sum" { Aggregate::Sum } else { Aggregate::Max };
+        let agg = if algo == "APX-sum" {
+            Aggregate::Sum
+        } else {
+            Aggregate::Max
+        };
         group.bench_function(format!("FF-HOS/{algo}"), |b| {
             let ctx = QueryCtx::new(&env, p.clone(), q.clone(), cfg.phi, agg);
             b.iter(|| ctx.run(algo, gphi));

@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     for (algo, gphi) in ALL_ALGOS {
-        let agg = if algo == "APX-sum" { Aggregate::Sum } else { Aggregate::Max };
+        let agg = if algo == "APX-sum" {
+            Aggregate::Sum
+        } else {
+            Aggregate::Max
+        };
         group.bench_function(format!("{algo}({gphi})"), |b| {
             let ctx = make_ctx(&env, 2, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, agg);
             b.iter(|| ctx.run(algo, gphi));

@@ -9,7 +9,14 @@ fn bench(c: &mut Criterion) {
     let cfg = Defaults::small();
     let env = cfg.env();
     for (algo, gphi) in [("IER-kNN", "IER-PHL"), ("Exact-max", "")] {
-        let mut group = c.benchmark_group(format!("fig7/{}", if algo == "Exact-max" { "Exact-max" } else { algo }));
+        let mut group = c.benchmark_group(format!(
+            "fig7/{}",
+            if algo == "Exact-max" {
+                "Exact-max"
+            } else {
+                algo
+            }
+        ));
         group
             .sample_size(10)
             .warm_up_time(Duration::from_millis(200))

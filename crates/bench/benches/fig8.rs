@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let cfg = Defaults::small();
     let env = cfg.env();
     for (algo, gphi) in [("IER-kNN", "IER-A*"), ("IER-kNN", "A*"), ("R-List", "PHL")] {
-        let mut group = c.benchmark_group(format!("fig8/{algo}-{}", if gphi.is_empty() { "none" } else { gphi }));
+        let mut group = c.benchmark_group(format!(
+            "fig8/{algo}-{}",
+            if gphi.is_empty() { "none" } else { gphi }
+        ));
         group
             .sample_size(10)
             .warm_up_time(Duration::from_millis(200))

@@ -15,7 +15,15 @@ fn bench(c: &mut Criterion) {
     for spec in workload::datasets::DATASETS.iter().take(2) {
         let g = spec.synthesize_scaled(0.5);
         group.bench_function(format!("gtree/{}", spec.name), |b| {
-            b.iter(|| GTree::build_with_params(&g, GTreeParams { fanout: 4, leaf_cap: spec.gtree_leaf_cap }));
+            b.iter(|| {
+                GTree::build_with_params(
+                    &g,
+                    GTreeParams {
+                        fanout: 4,
+                        leaf_cap: spec.gtree_leaf_cap,
+                    },
+                )
+            });
         });
         group.bench_function(format!("labels/{}", spec.name), |b| {
             b.iter(|| HubLabels::build(&g));

@@ -16,7 +16,16 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     for gphi in GPHI_NAMES {
         group.bench_function(gphi, |b| {
-            let ctx = make_ctx(&env, 13, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+            let ctx = make_ctx(
+                &env,
+                13,
+                cfg.d,
+                cfg.m,
+                cfg.a,
+                cfg.c,
+                cfg.phi,
+                Aggregate::Max,
+            );
             b.iter(|| ctx.run("Exact-max-gphi", gphi));
         });
     }

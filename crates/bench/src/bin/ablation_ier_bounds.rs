@@ -19,27 +19,69 @@ fn main() {
         .chain(phis.iter().map(|p| format!("phi={p}")))
         .collect();
     let mut rows = Vec::new();
-    for (label, bound) in [("flexible g^eps_phi", IerBound::Flexible), ("cheap d(p,Q)", IerBound::MbrOfQ)] {
+    for (label, bound) in [
+        ("flexible g^eps_phi", IerBound::Flexible),
+        ("cheap d(p,Q)", IerBound::MbrOfQ),
+    ] {
         let mut row = vec![label.to_string()];
         for &phi in &phis {
             let secs = run_cell(cfg.budget, cfg.queries, |i| {
-                let ctx = make_ctx(&env, 15_000 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, phi, Aggregate::Max);
+                let ctx = make_ctx(
+                    &env,
+                    15_000 + i as u64,
+                    cfg.d,
+                    cfg.m,
+                    cfg.a,
+                    cfg.c,
+                    phi,
+                    Aggregate::Max,
+                );
                 let query = ctx.query();
                 let gphi = ctx.gphi("IER-PHL");
-                time(|| ier_knn_with_bound(&env.graph, &query, &ctx.rtree_p, gphi.as_ref(), bound)).1
+                time(|| ier_knn_with_bound(&env.graph, &query, &ctx.rtree_p, gphi.as_ref(), bound))
+                    .1
             });
             row.push(fmt_secs(secs));
         }
         rows.push(row);
     }
-    print_table("Ablation: IER-kNN pruning bound, varying phi", &header, &rows);
+    print_table(
+        "Ablation: IER-kNN pruning bound, varying phi",
+        &header,
+        &rows,
+    );
 
     // Sanity: both bounds agree on the answer.
-    let ctx = make_ctx(&env, 15_999, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+    let ctx = make_ctx(
+        &env,
+        15_999,
+        cfg.d,
+        cfg.m,
+        cfg.a,
+        cfg.c,
+        cfg.phi,
+        Aggregate::Max,
+    );
     let query = ctx.query();
     let gphi = ctx.gphi("IER-PHL");
-    let a = ier_knn_with_bound(&env.graph, &query, &ctx.rtree_p, gphi.as_ref(), IerBound::Flexible);
-    let b = ier_knn_with_bound(&env.graph, &query, &ctx.rtree_p, gphi.as_ref(), IerBound::MbrOfQ);
-    assert_eq!(a.map(|x| x.dist), b.map(|x| x.dist), "bounds disagree on d*");
+    let a = ier_knn_with_bound(
+        &env.graph,
+        &query,
+        &ctx.rtree_p,
+        gphi.as_ref(),
+        IerBound::Flexible,
+    );
+    let b = ier_knn_with_bound(
+        &env.graph,
+        &query,
+        &ctx.rtree_p,
+        gphi.as_ref(),
+        IerBound::MbrOfQ,
+    );
+    assert_eq!(
+        a.map(|x| x.dist),
+        b.map(|x| x.dist),
+        "bounds disagree on d*"
+    );
     println!("[shape] both bounds return identical d* (exactness preserved)");
 }

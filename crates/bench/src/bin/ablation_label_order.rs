@@ -32,7 +32,9 @@ fn main() {
     sizes.push(hl.total_label_entries());
 
     let (ch, ch_secs) = time(|| ch_index::Ch::build(&g));
-    let ranks: Vec<u64> = (0..g.num_nodes() as u32).map(|v| ch.rank(v) as u64).collect();
+    let ranks: Vec<u64> = (0..g.num_nodes() as u32)
+        .map(|v| ch.rank(v) as u64)
+        .collect();
     let order = order_by_importance(&ranks);
     let (hl, secs) = time(|| HubLabels::build_with_order(&g, &order));
     rows.push(row(
@@ -47,7 +49,11 @@ fn main() {
         "[shape] CH-rank labels are {:.1}x smaller than input order, {:.1}x vs degree ({})",
         sizes[0] as f64 / sizes[2] as f64,
         sizes[1] as f64 / sizes[2] as f64,
-        if sizes[2] <= sizes[1] { "OK: importance order wins" } else { "WARN" }
+        if sizes[2] <= sizes[1] {
+            "OK: importance order wins"
+        } else {
+            "WARN"
+        }
     );
 }
 

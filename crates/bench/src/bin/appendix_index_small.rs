@@ -14,12 +14,28 @@ fn main() {
     let args = Args::parse();
     let cfg = Defaults::from_args(&args);
     let count = args.get("count", 4);
-    let header: Vec<String> = ["dataset", "|P|", "|Q|", "rtree-size", "rtree-build", "occ-size", "occ-build"]
-        .iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = [
+        "dataset",
+        "|P|",
+        "|Q|",
+        "rtree-size",
+        "rtree-build",
+        "occ-size",
+        "occ-build",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for spec in DATASETS.iter().take(count) {
         let g = spec.load();
-        let gt = GTree::build_with_params(&g, GTreeParams { fanout: 4, leaf_cap: spec.gtree_leaf_cap });
+        let gt = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: spec.gtree_leaf_cap,
+            },
+        );
         let mut rng = workload::rng(0xA11);
         let p = workload::points::uniform_data_points(&g, cfg.d, &mut rng);
         let q = workload::points::uniform_query_points(&g, cfg.m, cfg.a, &mut rng);

@@ -13,13 +13,24 @@ fn main() {
     let cfg = Defaults::from_args(&args);
     let env = cfg.env();
     let header: Vec<String> = ["algorithm", "max", "sum", "sum/max"]
-        .iter().map(|s| s.to_string()).collect();
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     let mut worst: f64 = 1.0;
     for (algo, gphi) in [("GD", "PHL"), ("R-List", "PHL"), ("IER-kNN", "IER-PHL")] {
         let run = |agg: Aggregate| -> Option<f64> {
             run_cell(cfg.budget, cfg.queries, |i| {
-                let ctx = make_ctx(&env, 14_000 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, agg);
+                let ctx = make_ctx(
+                    &env,
+                    14_000 + i as u64,
+                    cfg.d,
+                    cfg.m,
+                    cfg.a,
+                    cfg.c,
+                    cfg.phi,
+                    agg,
+                );
                 time(|| ctx.run(algo, gphi)).1
             })
         };
@@ -32,7 +43,12 @@ fn main() {
             }
             _ => "-".to_string(),
         };
-        rows.push(vec![format!("{algo}({gphi})"), fmt_secs(mx), fmt_secs(sm), ratio]);
+        rows.push(vec![
+            format!("{algo}({gphi})"),
+            fmt_secs(mx),
+            fmt_secs(sm),
+            ratio,
+        ]);
     }
     print_table("Appendix C: sum vs max runtime parity", &header, &rows);
     println!(

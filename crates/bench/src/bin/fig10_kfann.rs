@@ -23,12 +23,27 @@ fn main() {
         let mut row = vec![algo.to_string()];
         for &k in &ks {
             let secs = run_cell(cfg.budget, cfg.queries, |i| {
-                let ctx = make_ctx(&env, 10_000 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+                let ctx = make_ctx(
+                    &env,
+                    10_000 + i as u64,
+                    cfg.d,
+                    cfg.m,
+                    cfg.a,
+                    cfg.c,
+                    cfg.phi,
+                    Aggregate::Max,
+                );
                 let query = ctx.query();
                 time(|| match algo {
                     "GD" => gd_topk(&query, ctx.gphi("PHL").as_ref(), k),
                     "R-List" => rlist_topk(&env.graph, &query, ctx.gphi("PHL").as_ref(), k),
-                    "IER-kNN" => ier_topk(&env.graph, &query, &ctx.rtree_p, ctx.gphi("IER-PHL").as_ref(), k),
+                    "IER-kNN" => ier_topk(
+                        &env.graph,
+                        &query,
+                        &ctx.rtree_p,
+                        ctx.gphi("IER-PHL").as_ref(),
+                        k,
+                    ),
                     "Exact-max" => exact_max_topk(&env.graph, &query, k),
                     _ => unreachable!(),
                 })

@@ -10,7 +10,16 @@ use fann_core::algo::{apx_sum, gd};
 use fann_core::Aggregate;
 
 #[allow(clippy::too_many_arguments)]
-fn ratio_cell(env: &Env, cfg: &Defaults, seed: u64, d: f64, m: usize, a: f64, c: usize, phi: f64) -> (f64, f64) {
+fn ratio_cell(
+    env: &Env,
+    cfg: &Defaults,
+    seed: u64,
+    d: f64,
+    m: usize,
+    a: f64,
+    c: usize,
+    phi: f64,
+) -> (f64, f64) {
     let mut ratios = Vec::new();
     for i in 0..cfg.queries.max(3) {
         let ctx = make_ctx(env, seed + i as u64, d, m, a, c, phi, Aggregate::Sum);
@@ -23,7 +32,10 @@ fn ratio_cell(env: &Env, cfg: &Defaults, seed: u64, d: f64, m: usize, a: f64, c:
             continue;
         };
         assert!(approx.dist >= exact.dist, "approx beat exact");
-        assert!(approx.dist <= 3 * exact.dist.max(1), "3-approx bound violated");
+        assert!(
+            approx.dist <= 3 * exact.dist.max(1),
+            "3-approx bound violated"
+        );
         ratios.push(approx.dist as f64 / exact.dist.max(1) as f64);
     }
     mean_std(&ratios)
@@ -43,7 +55,11 @@ fn main() {
             worst = worst.max(mean + std);
             rows.push(vec![label, format!("{mean:.4}"), format!("{std:.4}")]);
         }
-        print_table(&format!("Fig. 11 / App. B: APX-sum ratio, varying {name}"), &header, &rows);
+        print_table(
+            &format!("Fig. 11 / App. B: APX-sum ratio, varying {name}"),
+            &header,
+            &rows,
+        );
         worst
     };
 
@@ -67,7 +83,16 @@ fn main() {
             "A",
             [0.01, 0.05, 0.10, 0.15, 0.20]
                 .into_iter()
-                .map(|a| (format!("{:.0}%", a * 100.0), cfg.d, cfg.m, a, cfg.c, cfg.phi))
+                .map(|a| {
+                    (
+                        format!("{:.0}%", a * 100.0),
+                        cfg.d,
+                        cfg.m,
+                        a,
+                        cfg.c,
+                        cfg.phi,
+                    )
+                })
                 .collect(),
         ));
         worst = worst.max(sweep(
@@ -87,6 +112,10 @@ fn main() {
     }
     println!(
         "[shape] worst mean+std ratio observed: {worst:.4} ({}; paper: always < 1.2)",
-        if worst < 1.2 { "OK" } else { "WARN: above the paper's empirical bound" }
+        if worst < 1.2 {
+            "OK"
+        } else {
+            "WARN: above the paper's empirical bound"
+        }
     );
 }

@@ -20,12 +20,18 @@ fn main() {
     // (a) Efficiency per algorithm per combo.
     let header: Vec<String> = std::iter::once("algorithm".to_string())
         .chain(p_kinds.iter().flat_map(|pk| {
-            q_kinds.iter().map(move |qk| format!("{}/{}", pk.code(), qk.code()))
+            q_kinds
+                .iter()
+                .map(move |qk| format!("{}/{}", pk.code(), qk.code()))
         }))
         .collect();
     let mut rows = Vec::new();
     for (algo, gphi) in ALL_ALGOS {
-        let agg = if algo == "APX-sum" { Aggregate::Sum } else { Aggregate::Max };
+        let agg = if algo == "APX-sum" {
+            Aggregate::Sum
+        } else {
+            Aggregate::Max
+        };
         let mut row = vec![format!("{algo}({gphi})")];
         for pk in p_kinds {
             for qk in q_kinds {
@@ -41,7 +47,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Fig. 12(a): efficiency on POIs (P/Q combos)", &header, &rows);
+    print_table(
+        "Fig. 12(a): efficiency on POIs (P/Q combos)",
+        &header,
+        &rows,
+    );
 
     // (b) APX-sum ratio per combo.
     let mut rows = Vec::new();

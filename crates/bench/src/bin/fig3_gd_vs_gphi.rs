@@ -70,11 +70,14 @@ fn main() {
     let at = |key: &str| means[&(key.to_string(), 1usize)];
     let mut ok = true;
     for framework in ["GD", "IER-kNN"] {
-        if let (Some(phl), Some(astar)) =
-            (at(&format!("{framework}/PHL")), at(&format!("{framework}/A*")))
-        {
+        if let (Some(phl), Some(astar)) = (
+            at(&format!("{framework}/PHL")),
+            at(&format!("{framework}/A*")),
+        ) {
             if phl > astar {
-                eprintln!("[shape] WARN: {framework}: PHL ({phl:.4}s) slower than A* ({astar:.4}s)");
+                eprintln!(
+                    "[shape] WARN: {framework}: PHL ({phl:.4}s) slower than A* ({astar:.4}s)"
+                );
                 ok = false;
             }
         }
@@ -84,7 +87,10 @@ fn main() {
             eprintln!("[shape] WARN: IER-kNN ({ier:.4}s) slower than GD ({gd:.4}s)");
             ok = false;
         } else {
-            println!("[shape] IER-kNN/IER-PHL is {:.1}x faster than GD/PHL at d=0.001", gd / ier);
+            println!(
+                "[shape] IER-kNN/IER-PHL is {:.1}x faster than GD/PHL at d=0.001",
+                gd / ier
+            );
         }
     }
     println!(

@@ -52,7 +52,11 @@ fn main() {
     // (b) R-List vs Baseline (GD), both INE.
     let mut rows = Vec::new();
     for algo in ["GD", "R-List"] {
-        let label = if algo == "GD" { "Baseline(INE)" } else { "R-List(INE)" };
+        let label = if algo == "GD" {
+            "Baseline(INE)"
+        } else {
+            "R-List(INE)"
+        };
         let mut row = vec![label.to_string()];
         let mut dead = false;
         for &d in &densities {

@@ -21,7 +21,10 @@ fn main() {
     let matrix = sweep_tables(&env, &cfg, "5", "A", &points, 5000);
     // Shape: INE/A* slope steeper than PHL slope.
     let slope = |row: &Vec<Option<f64>>| -> Option<f64> {
-        match (row.first().copied().flatten(), row.last().copied().flatten()) {
+        match (
+            row.first().copied().flatten(),
+            row.last().copied().flatten(),
+        ) {
             (Some(a), Some(b)) if a > 0.0 => Some(b / a),
             _ => None,
         }
@@ -31,7 +34,11 @@ fn main() {
     if let (Some(i), Some(p)) = (ine, phl) {
         println!(
             "[shape] growth A=1%..20%: INE x{i:.1} vs PHL x{p:.1} ({})",
-            if i >= p { "OK: expanding backends steeper" } else { "WARN: unexpected" }
+            if i >= p {
+                "OK: expanding backends steeper"
+            } else {
+                "WARN: unexpected"
+            }
         );
     }
 }

@@ -26,7 +26,16 @@ fn main() {
     // Shape: APX-sum cost grows with M.
     let apx = |m: usize| -> Option<f64> {
         run_cell(cfg.budget, cfg.queries, |i| {
-            let ctx = make_ctx(&env, 6500 + i as u64, cfg.d, m, cfg.a, cfg.c, cfg.phi, Aggregate::Sum);
+            let ctx = make_ctx(
+                &env,
+                6500 + i as u64,
+                cfg.d,
+                m,
+                cfg.a,
+                cfg.c,
+                cfg.phi,
+                Aggregate::Sum,
+            );
             time(|| ctx.run("APX-sum", "PHL")).1
         })
     };
@@ -35,7 +44,11 @@ fn main() {
             "[shape] APX-sum M=64: {} vs M=1024: {} ({})",
             fmt_secs(Some(small)),
             fmt_secs(Some(big)),
-            if big > small { "OK: grows with M" } else { "WARN: did not grow" }
+            if big > small {
+                "OK: grows with M"
+            } else {
+                "WARN: did not grow"
+            }
         );
     }
 }

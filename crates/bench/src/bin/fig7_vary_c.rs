@@ -25,7 +25,16 @@ fn main() {
     // IER-A* 2.16s uniform vs 2.37s at C=8).
     let cell = |c: usize| -> Option<f64> {
         run_cell(cfg.budget, cfg.queries, |i| {
-            let ctx = make_ctx(&env, 7600 + i as u64, cfg.d, cfg.m, cfg.a, c, cfg.phi, Aggregate::Max);
+            let ctx = make_ctx(
+                &env,
+                7600 + i as u64,
+                cfg.d,
+                cfg.m,
+                cfg.a,
+                c,
+                cfg.phi,
+                Aggregate::Max,
+            );
             time(|| ctx.run("IER-kNN", "IER-A*")).1
         })
     };

@@ -25,7 +25,16 @@ fn main() {
     // Shape: IER-A* improvement over A* shrinks as phi -> 1.
     let cell = |gphi: &str, phi: f64| -> Option<f64> {
         run_cell(cfg.budget, cfg.queries, |i| {
-            let ctx = make_ctx(&env, 8600 + i as u64, cfg.d, cfg.m, cfg.a, cfg.c, phi, Aggregate::Max);
+            let ctx = make_ctx(
+                &env,
+                8600 + i as u64,
+                cfg.d,
+                cfg.m,
+                cfg.a,
+                cfg.c,
+                phi,
+                Aggregate::Max,
+            );
             time(|| ctx.run("IER-kNN", gphi)).1
         })
     };
@@ -38,7 +47,11 @@ fn main() {
     if let (Some(low), Some(high)) = (improvement(0.1), improvement(1.0)) {
         println!(
             "[shape] IER speedup over A*: phi=0.1 -> {low:.2}x, phi=1.0 -> {high:.2}x ({})",
-            if low >= high { "OK: R-tree on Q helps most at small phi" } else { "WARN" }
+            if low >= high {
+                "OK: R-tree on Q helps most at small phi"
+            } else {
+                "WARN"
+            }
         );
     }
 }

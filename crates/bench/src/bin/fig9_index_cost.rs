@@ -16,21 +16,43 @@ use workload::datasets::DATASETS;
 
 fn main() {
     let args = Args::parse();
-    let count = if args.flag("all") { 7 } else { args.get("count", 4) };
+    let count = if args.flag("all") {
+        7
+    } else {
+        args.get("count", 4)
+    };
     // Label budget: entries beyond ~600 x |V| count as "out of memory",
     // calibrated so the two largest datasets fail like the paper's PHL.
     let label_budget_factor: usize = args.get("label-budget", 600);
 
-    let header: Vec<String> = ["dataset", "nodes", "edges",
-        "gtree-size", "label-size", "gtree-build", "label-build"]
-        .iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = [
+        "dataset",
+        "nodes",
+        "edges",
+        "gtree-size",
+        "label-size",
+        "gtree-build",
+        "label-build",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut shapes = Vec::new();
     for spec in DATASETS.iter().take(count) {
-        eprintln!("[fig9] building {} (~{} nodes)...", spec.name, spec.target_nodes);
+        eprintln!(
+            "[fig9] building {} (~{} nodes)...",
+            spec.name, spec.target_nodes
+        );
         let g = spec.load();
         let (gt, gt_secs) = time(|| {
-            GTree::build_with_params(&g, GTreeParams { fanout: 4, leaf_cap: spec.gtree_leaf_cap })
+            GTree::build_with_params(
+                &g,
+                GTreeParams {
+                    fanout: 4,
+                    leaf_cap: spec.gtree_leaf_cap,
+                },
+            )
         });
         let budget = label_budget_factor * g.num_nodes();
         let (hl, hl_secs) = time(|| HubLabels::build_with_limit(&g, budget));
@@ -38,7 +60,11 @@ fn main() {
             Some(h) => (fmt_bytes(h.memory_bytes()), fmt_secs(Some(hl_secs))),
             None => ("OOM".to_string(), "fail".to_string()),
         };
-        shapes.push((spec.name, gt.memory_bytes(), hl.as_ref().map(|h| h.memory_bytes())));
+        shapes.push((
+            spec.name,
+            gt.memory_bytes(),
+            hl.as_ref().map(|h| h.memory_bytes()),
+        ));
         rows.push(vec![
             spec.name.to_string(),
             g.num_nodes().to_string(),
@@ -49,7 +75,11 @@ fn main() {
             label_build,
         ]);
     }
-    print_table("Fig. 9: index size and construction time per dataset", &header, &rows);
+    print_table(
+        "Fig. 9: index size and construction time per dataset",
+        &header,
+        &rows,
+    );
 
     let smaller = shapes
         .iter()
@@ -62,7 +92,11 @@ fn main() {
          (paper: G-tree costs less storage than PHL)"
     );
     if count == 7 {
-        let failed: Vec<&str> = shapes.iter().filter(|&&(_, _, h)| h.is_none()).map(|&(n, _, _)| n).collect();
+        let failed: Vec<&str> = shapes
+            .iter()
+            .filter(|&&(_, _, h)| h.is_none())
+            .map(|&(n, _, _)| n)
+            .collect();
         println!("[shape] label oracle failed on: {failed:?} (paper: PHL fails on CTR, USA)");
     }
 }

@@ -22,7 +22,10 @@ fn main() {
         eprintln!("unknown dataset {name}");
         std::process::exit(1);
     });
-    eprintln!("[scale] generating {} (~{} nodes)...", spec.name, spec.target_nodes);
+    eprintln!(
+        "[scale] generating {} (~{} nodes)...",
+        spec.name, spec.target_nodes
+    );
     let (g, gen_secs) = time(|| spec.load());
     println!(
         "dataset {}: {} nodes, {} edges (generated in {:.1}s, zero index build)",
@@ -65,7 +68,11 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Scale test: index-free FANN_R on {} ({} nodes)", spec.name, g.num_nodes()),
+        &format!(
+            "Scale test: index-free FANN_R on {} ({} nodes)",
+            spec.name,
+            g.num_nodes()
+        ),
         &header,
         &rows,
     );

@@ -23,7 +23,16 @@ fn main() {
         let mut row = vec![gphi.to_string()];
         for (di, &d) in densities.iter().enumerate() {
             let secs = run_cell(cfg.budget, cfg.queries, |i| {
-                let ctx = make_ctx(&env, 13_000 + i as u64, d, cfg.m, cfg.a, cfg.c, cfg.phi, Aggregate::Max);
+                let ctx = make_ctx(
+                    &env,
+                    13_000 + i as u64,
+                    d,
+                    cfg.m,
+                    cfg.a,
+                    cfg.c,
+                    cfg.phi,
+                    Aggregate::Max,
+                );
                 time(|| ctx.run("Exact-max-gphi", gphi)).1
             });
             if di == 1 {
@@ -35,7 +44,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Table V: Exact-max with different g_phi, varying d", &header, &rows);
+    print_table(
+        "Table V: Exact-max with different g_phi, varying d",
+        &header,
+        &rows,
+    );
 
     if spread.len() >= 2 {
         let max = spread.iter().cloned().fold(f64::MIN, f64::max);

@@ -58,8 +58,6 @@ fn main() {
             report.engine_batch1.qps,
             report.engine_seq.qps,
         );
-        println!(
-            "shape ok: INE {ine_speedup:.2}x, A* {astar_speedup:.2}x (>= 2x required)"
-        );
+        println!("shape ok: INE {ine_speedup:.2}x, A* {astar_speedup:.2}x (>= 2x required)");
     }
 }

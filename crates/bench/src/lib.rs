@@ -100,10 +100,7 @@ impl<'e> QueryCtx<'e> {
         let g = &self.env.graph;
         match name {
             "INE" => Box::new(InePhi::new(g, &self.q)),
-            "A*" => Box::new(ScanPhi::new(
-                AStarOracle::with_lb(g, self.env.lb),
-                &self.q,
-            )),
+            "A*" => Box::new(ScanPhi::new(AStarOracle::with_lb(g, self.env.lb), &self.q)),
             "PHL" => Box::new(ScanPhi::new(
                 LabelOracle {
                     labels: &self.env.labels,
@@ -287,7 +284,10 @@ impl Args {
     }
 
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     pub fn flag(&self, key: &str) -> bool {

@@ -167,11 +167,7 @@ fn percentile(sorted_us: &[f64], q: f64) -> f64 {
 }
 
 /// Time `one(i)` for every query index, collecting per-query latency.
-fn measure_sequential(
-    label: &str,
-    n: usize,
-    mut one: impl FnMut(usize),
-) -> ModeStats {
+fn measure_sequential(label: &str, n: usize, mut one: impl FnMut(usize)) -> ModeStats {
     let allocs0 = allocation_count();
     let mut lat_us = Vec::with_capacity(n);
     let t0 = Instant::now();
@@ -305,13 +301,9 @@ pub fn run_throughput(opts: &ThroughputOpts) -> ThroughputReport {
         engine.query_batch(&stream, 1);
     });
     let batch_workers = engine.batch_runner(opts.workers).workers();
-    let engine_batch_n = measure_bulk(
-        &format!("Engine::query_batch w={batch_workers}"),
-        n,
-        || {
-            engine.query_batch(&stream, opts.workers);
-        },
-    );
+    let engine_batch_n = measure_bulk(&format!("Engine::query_batch w={batch_workers}"), n, || {
+        engine.query_batch(&stream, opts.workers);
+    });
 
     let report = ThroughputReport {
         ine_fresh,
@@ -339,7 +331,11 @@ pub fn run_throughput(opts: &ThroughputOpts) -> ThroughputReport {
     .iter()
     .map(|s| fmt_stat(s))
     .collect();
-    print_table("batch throughput: recycled scratch vs per-query setup", &header, &rows);
+    print_table(
+        "batch throughput: recycled scratch vs per-query setup",
+        &header,
+        &rows,
+    );
     println!(
         "speedup (reused/fresh): INE {:.2}x, A* {:.2}x; batch w={} vs sequential {:.2}x",
         report.ine_reused.qps / report.ine_fresh.qps,

@@ -81,11 +81,7 @@ pub fn exact_max_pooled(
 ///
 /// # Panics
 /// If the query aggregate is not [`Aggregate::Max`].
-pub fn exact_max_with_gphi(
-    g: &Graph,
-    query: &FannQuery,
-    gphi: &dyn GPhi,
-) -> Option<FannAnswer> {
+pub fn exact_max_with_gphi(g: &Graph, query: &FannQuery, gphi: &dyn GPhi) -> Option<FannAnswer> {
     assert_eq!(
         query.agg,
         Aggregate::Max,
@@ -189,8 +185,8 @@ mod tests {
         b.add_edge(7, 0, 11); // q3 - p1
         b.add_edge(8, 3, 14); // q4 - p4
         b.add_edge(9, 1, 15); // q5 - p2
-        // Link q1 and q2 so q1-p3 = 12 via q1-q2... keep it simple with a
-        // direct edge q2 - p2 making d(q2,p2)=10 and q1-p3 = 12 direct.
+                              // Link q1 and q2 so q1-p3 = 12 via q1-q2... keep it simple with a
+                              // direct edge q2 - p2 making d(q2,p2)=10 and q1-p3 = 12 direct.
         b.add_edge(6, 1, 10); // q2 - p2
         b.add_edge(5, 2, 12); // q1 - p3
         let g = b.build();
@@ -199,13 +195,12 @@ mod tests {
         let query = FannQuery::new(&p, &q, 0.4, Aggregate::Sum); // k = 2
         let want = brute_force(&g, &query).unwrap();
         assert_eq!((want.p_star, want.dist), (0, 13)); // p1, 2 + 11
-        // The counter loop (ignoring the aggregate) would fire on p2 = id 1
-        // first, whose true sum distance is 14 > 13 — hence max-only.
+                                                       // The counter loop (ignoring the aggregate) would fire on p2 = id 1
+                                                       // first, whose true sum distance is 14 > 13 — hence max-only.
         let max_query = FannQuery::new(&p, &q, 0.4, Aggregate::Max);
         let (fired, _) = counter_loop(&g, &max_query, &mut ScratchPool::new()).unwrap();
         assert_eq!(fired, 1); // p2 fires first...
-        let sum_of_fired =
-            crate::algo::brute::brute_force_point(&g, &query, fired).unwrap();
+        let sum_of_fired = crate::algo::brute::brute_force_point(&g, &query, fired).unwrap();
         assert_eq!(sum_of_fired, 14); // ...but is not the sum-optimum.
     }
 

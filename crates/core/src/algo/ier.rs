@@ -96,8 +96,7 @@ pub fn ier_knn_with_bound(
     };
 
     // Heap of (Reverse(bound), seq, entry); seq breaks ties deterministically.
-    let mut heap: BinaryHeap<(Reverse<Dist>, u64, Entry<'_, roadnet::NodeId>)> =
-        BinaryHeap::new();
+    let mut heap: BinaryHeap<(Reverse<Dist>, u64, Entry<'_, roadnet::NodeId>)> = BinaryHeap::new();
     let mut seq = 0u64;
     let root = rtree.root()?;
     heap.push((Reverse(bound_of(&root.mbr())), seq, Entry::Node(root)));
@@ -174,8 +173,7 @@ mod tests {
                 let ine = InePhi::new(&g, &q);
                 let want = brute_force(&g, &query).unwrap();
                 for bound in [IerBound::Flexible, IerBound::MbrOfQ] {
-                    let got =
-                        ier_knn_with_bound(&g, &query, &rtree, &ine, bound).unwrap();
+                    let got = ier_knn_with_bound(&g, &query, &rtree, &ine, bound).unwrap();
                     assert_eq!(got.dist, want.dist, "phi={phi} {agg} {bound:?}");
                 }
             }

@@ -40,12 +40,7 @@ pub fn omp(g: &Graph, q: &[NodeId], agg: Aggregate) -> Option<(NodeId, Dist)> {
 ///
 /// Returns the winning vertex, the chosen participants sorted by distance,
 /// and the aggregate — an [`FannAnswer`] for API uniformity.
-pub fn flexible_omp(
-    g: &Graph,
-    q: &[NodeId],
-    phi: f64,
-    agg: Aggregate,
-) -> Option<FannAnswer> {
+pub fn flexible_omp(g: &Graph, q: &[NodeId], phi: f64, agg: Aggregate) -> Option<FannAnswer> {
     assert!(!q.is_empty(), "Q must be non-empty");
     assert!(phi > 0.0 && phi <= 1.0, "phi must lie in (0, 1]");
     let k = ((phi * q.len() as f64).ceil() as usize).clamp(1, q.len());

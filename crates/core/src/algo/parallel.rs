@@ -103,8 +103,7 @@ mod tests {
             for agg in [Aggregate::Sum, Aggregate::Max] {
                 let query = FannQuery::new(&p, &q, 0.6, agg);
                 let serial = gd(&query, &InePhi::new(&g, &q)).unwrap();
-                let par =
-                    gd_parallel(&query, || InePhi::new(&g, &q), threads).unwrap();
+                let par = gd_parallel(&query, || InePhi::new(&g, &q), threads).unwrap();
                 assert_eq!(par.dist, serial.dist, "threads={threads} {agg}");
                 assert_eq!(par.p_star, serial.p_star, "threads={threads} {agg}");
             }

@@ -71,12 +71,7 @@ pub fn gd_topk(query: &FannQuery, gphi: &dyn GPhi, k_out: usize) -> KFannAnswer 
 
 /// `k`-FANN_R with `R-List`: terminate once the threshold exceeds the
 /// k-th smallest evaluated distance.
-pub fn rlist_topk(
-    g: &Graph,
-    query: &FannQuery,
-    gphi: &dyn GPhi,
-    k_out: usize,
-) -> KFannAnswer {
+pub fn rlist_topk(g: &Graph, query: &FannQuery, gphi: &dyn GPhi, k_out: usize) -> KFannAnswer {
     let k = query.subset_size();
     let mut streams = ObjectStreams::new(g, query.q, query.p);
     let mut seen: HashSet<NodeId> = HashSet::new();
@@ -221,19 +216,14 @@ mod tests {
     }
 
     /// Brute-force k-FANN: all flexible aggregate distances, sorted.
-    fn brute_topk(
-        g: &roadnet::Graph,
-        query: &FannQuery,
-        k_out: usize,
-    ) -> Vec<Dist> {
+    fn brute_topk(g: &roadnet::Graph, query: &FannQuery, k_out: usize) -> Vec<Dist> {
         let from_q: Vec<Vec<Dist>> = query.q.iter().map(|&q| dijkstra_all(g, q)).collect();
         let k = query.subset_size();
         let mut all: Vec<Dist> = query
             .p
             .iter()
             .filter_map(|&p| {
-                let mut ds: Vec<Dist> =
-                    from_q.iter().map(|row| row[p as usize]).collect();
+                let mut ds: Vec<Dist> = from_q.iter().map(|row| row[p as usize]).collect();
                 ds.sort_unstable();
                 (ds[k - 1] != INF).then(|| query.agg.of_sorted(&ds[..k]))
             })
@@ -270,11 +260,7 @@ mod tests {
                     "ier {agg}"
                 );
                 if agg == Aggregate::Max {
-                    assert_eq!(
-                        dists(&exact_max_topk(&g, &query, k_out)),
-                        want,
-                        "exact-max"
-                    );
+                    assert_eq!(dists(&exact_max_topk(&g, &query, k_out)), want, "exact-max");
                 }
             }
         }

@@ -23,8 +23,8 @@
 //! ```
 
 use crate::algo::ier::build_p_rtree;
-use crate::algo::{apx_sum, exact_max, exact_max_pooled, ier_knn, r_list, r_list_pooled};
 use crate::algo::topk::{exact_max_topk, ier_topk, rlist_topk};
+use crate::algo::{apx_sum, exact_max, exact_max_pooled, ier_knn, r_list, r_list_pooled};
 use crate::gphi::ier2::IerPhi;
 use crate::gphi::ine::InePhi;
 use crate::gphi::oracle::LabelOracle;
@@ -218,9 +218,7 @@ impl<'g> Engine<'g> {
             Strategy::RListIne => {
                 r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, &bq.q), pool)
             }
-            Strategy::ApxSumIne => {
-                apx_sum(self.graph, &query, rebind_ine(ine, self.graph, &bq.q))
-            }
+            Strategy::ApxSumIne => apx_sum(self.graph, &query, rebind_ine(ine, self.graph, &bq.q)),
         };
         Ok(answer)
     }
@@ -236,9 +234,7 @@ impl<'g> Engine<'g> {
     ) -> Option<crate::gphi::GPhiResult> {
         let k = ((phi * q.len() as f64).ceil() as usize).clamp(1, q.len());
         match self.labels.as_ref() {
-            Some(labels) => {
-                IerPhi::new(self.graph, LabelOracle { labels }, q).eval(p, k, agg)
-            }
+            Some(labels) => IerPhi::new(self.graph, LabelOracle { labels }, q).eval(p, k, agg),
             None => InePhi::new(self.graph, q).eval(p, k, agg),
         }
     }
@@ -488,10 +484,17 @@ mod tests {
         let engine = Engine::new(&g);
         for workers in [0usize, 1, 2, 8] {
             assert!(engine.query_batch(&[], workers).is_empty());
-            let one = vec![BatchQuery::new(vec![0, 5, 15], vec![10], 1.0, Aggregate::Max)];
+            let one = vec![BatchQuery::new(
+                vec![0, 5, 15],
+                vec![10],
+                1.0,
+                Aggregate::Max,
+            )];
             let got = engine.query_batch(&one, workers);
             assert_eq!(got.len(), 1);
-            let want = engine.query(&[0, 5, 15], &[10], 1.0, Aggregate::Max).unwrap();
+            let want = engine
+                .query(&[0, 5, 15], &[10], 1.0, Aggregate::Max)
+                .unwrap();
             assert_eq!(
                 got[0].as_ref().unwrap().as_ref().map(|a| a.dist),
                 want.as_ref().map(|a| a.dist)

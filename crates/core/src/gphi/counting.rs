@@ -110,7 +110,10 @@ mod tests {
         let ier_calls = counting.calls();
 
         assert_eq!(gd_calls, 100);
-        assert!(rlist_calls < gd_calls, "R-List did not prune: {rlist_calls}");
+        assert!(
+            rlist_calls < gd_calls,
+            "R-List did not prune: {rlist_calls}"
+        );
         assert!(ier_calls < gd_calls, "IER-kNN did not prune: {ier_calls}");
     }
 

@@ -170,10 +170,7 @@ mod tests {
     fn names_reflect_oracle() {
         let g = metric_grid(2, 2);
         let q = [0u32];
-        assert_eq!(
-            IerPhi::new(&g, AStarOracle::new(&g), &q).name(),
-            "IER-A*"
-        );
+        assert_eq!(IerPhi::new(&g, AStarOracle::new(&g), &q).name(), "IER-A*");
         assert_eq!(
             IerPhi::new(&g, DijkstraOracle::new(&g), &q).name(),
             "IER-Dijkstra"

@@ -156,10 +156,19 @@ mod tests {
         let p = [0u32];
         let q = [0u32, 1, 2, 3];
         assert_eq!(FannQuery::new(&p, &q, 0.5, Aggregate::Max).subset_size(), 2);
-        assert_eq!(FannQuery::new(&p, &q, 0.26, Aggregate::Max).subset_size(), 2);
-        assert_eq!(FannQuery::new(&p, &q, 0.25, Aggregate::Max).subset_size(), 1);
+        assert_eq!(
+            FannQuery::new(&p, &q, 0.26, Aggregate::Max).subset_size(),
+            2
+        );
+        assert_eq!(
+            FannQuery::new(&p, &q, 0.25, Aggregate::Max).subset_size(),
+            1
+        );
         assert_eq!(FannQuery::new(&p, &q, 1.0, Aggregate::Max).subset_size(), 4);
-        assert_eq!(FannQuery::new(&p, &q, 0.01, Aggregate::Max).subset_size(), 1);
+        assert_eq!(
+            FannQuery::new(&p, &q, 0.01, Aggregate::Max).subset_size(),
+            1
+        );
     }
 
     #[test]

@@ -115,8 +115,7 @@ impl Bencher {
             let t0 = Instant::now();
             black_box(f());
             self.samples.push(t0.elapsed().as_secs_f64());
-            if self.samples.len() >= self.sample_size
-                || measure_start.elapsed() >= self.measurement
+            if self.samples.len() >= self.sample_size || measure_start.elapsed() >= self.measurement
             {
                 break;
             }

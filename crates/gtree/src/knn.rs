@@ -249,8 +249,8 @@ mod tests {
     use super::*;
     use crate::tree::GTreeParams;
     use roadnet::dijkstra::dijkstra_all;
-    use roadnet::GraphBuilder;
     use roadnet::Graph;
+    use roadnet::GraphBuilder;
 
     fn grid(w: u32, h: u32) -> Graph {
         let mut b = GraphBuilder::new();

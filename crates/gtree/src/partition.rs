@@ -59,12 +59,7 @@ pub fn partition_graph(g: &Graph, fanout: usize, leaf_cap: usize) -> PartitionNo
     split_recursive(g, all, fanout, leaf_cap)
 }
 
-fn split_recursive(
-    g: &Graph,
-    verts: Vec<NodeId>,
-    fanout: usize,
-    leaf_cap: usize,
-) -> PartitionNode {
+fn split_recursive(g: &Graph, verts: Vec<NodeId>, fanout: usize, leaf_cap: usize) -> PartitionNode {
     if verts.len() <= leaf_cap {
         return PartitionNode {
             children: Vec::new(),
@@ -128,9 +123,7 @@ fn bisect(g: &Graph, mut verts: Vec<NodeId>) -> (Vec<NodeId>, Vec<NodeId>) {
         }
     };
     let mid = verts.len() / 2;
-    verts.select_nth_unstable_by(mid, |&a, &b| {
-        key(a).total_cmp(&key(b)).then(a.cmp(&b))
-    });
+    verts.select_nth_unstable_by(mid, |&a, &b| key(a).total_cmp(&key(b)).then(a.cmp(&b)));
     let right: Vec<NodeId> = verts.split_off(mid);
     let left = verts;
     refine_cut(g, left, right)
@@ -231,7 +224,11 @@ mod tests {
         let p = partition_graph(&g, 4, 10);
         fn check(n: &PartitionNode, cap: usize) {
             if n.is_leaf() {
-                assert!(n.vertices.len() <= cap, "leaf too big: {}", n.vertices.len());
+                assert!(
+                    n.vertices.len() <= cap,
+                    "leaf too big: {}",
+                    n.vertices.len()
+                );
             } else {
                 for c in &n.children {
                     check(c, cap);

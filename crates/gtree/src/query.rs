@@ -12,14 +12,22 @@ impl GTree {
     /// Lowest common ancestor of two arena nodes.
     pub(crate) fn lca(&self, mut a: u32, mut b: u32) -> u32 {
         while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
-            a = self.nodes[a as usize].parent.expect("deeper node has parent");
+            a = self.nodes[a as usize]
+                .parent
+                .expect("deeper node has parent");
         }
         while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
-            b = self.nodes[b as usize].parent.expect("deeper node has parent");
+            b = self.nodes[b as usize]
+                .parent
+                .expect("deeper node has parent");
         }
         while a != b {
-            a = self.nodes[a as usize].parent.expect("distinct roots impossible");
-            b = self.nodes[b as usize].parent.expect("distinct roots impossible");
+            a = self.nodes[a as usize]
+                .parent
+                .expect("distinct roots impossible");
+            b = self.nodes[b as usize]
+                .parent
+                .expect("distinct roots impossible");
         }
         a
     }
@@ -40,7 +48,9 @@ impl GTree {
             .map(|bi| leaf.lmat(bi, vp))
             .collect();
         loop {
-            let parent = self.nodes[cur as usize].parent.expect("stop is an ancestor");
+            let parent = self.nodes[cur as usize]
+                .parent
+                .expect("stop is an ancestor");
             if parent == stop {
                 return (cur, dv);
             }

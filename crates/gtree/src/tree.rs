@@ -154,12 +154,7 @@ impl GTree {
 
     /// Recursively instantiate arena nodes from the partition hierarchy.
     /// Returns the arena index of the created node.
-    fn instantiate(
-        &mut self,
-        part: &PartitionNode,
-        parent: Option<u32>,
-        depth: u32,
-    ) -> u32 {
+    fn instantiate(&mut self, part: &PartitionNode, parent: Option<u32>, depth: u32) -> u32 {
         let idx = self.nodes.len() as u32;
         self.nodes.push(GNode {
             parent,
@@ -178,11 +173,7 @@ impl GTree {
             // Leaf verts = its vertices, sorted for determinism.
             let mut vs = part.vertices.clone();
             vs.sort_unstable();
-            let vert_pos = vs
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i as u32))
-                .collect();
+            let vert_pos = vs.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
             self.nodes[idx as usize].verts = vs;
             self.nodes[idx as usize].vert_pos = vert_pos;
         } else {
@@ -358,11 +349,7 @@ impl GTree {
             heap.clear();
         }
 
-        let border_pos = self.nodes[xi]
-            .borders
-            .iter()
-            .map(|b| vert_pos[b])
-            .collect();
+        let border_pos = self.nodes[xi].borders.iter().map(|b| vert_pos[b]).collect();
         let n = &mut self.nodes[xi];
         n.verts = verts;
         n.vert_pos = vert_pos;
@@ -452,11 +439,7 @@ impl GTree {
 
 /// Dijkstra from `src` restricted to the vertices present in `pos`
 /// (a leaf's vertex set); returns distances aligned with `pos` values.
-pub(crate) fn restricted_dijkstra(
-    g: &Graph,
-    src: NodeId,
-    pos: &HashMap<NodeId, u32>,
-) -> Vec<Dist> {
+pub(crate) fn restricted_dijkstra(g: &Graph, src: NodeId, pos: &HashMap<NodeId, u32>) -> Vec<Dist> {
     let mut dist = vec![INF; pos.len()];
     let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
     dist[pos[&src] as usize] = 0;

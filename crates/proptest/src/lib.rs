@@ -204,13 +204,13 @@ pub mod collection {
 }
 
 pub mod prelude {
+    /// Upstream `proptest::prelude` exposes the crate root as `prop`
+    /// (`prop::collection::vec`, ...); mirror that.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
         Strategy,
     };
-    /// Upstream `proptest::prelude` exposes the crate root as `prop`
-    /// (`prop::collection::vec`, ...); mirror that.
-    pub use crate as prop;
 }
 
 /// The property-test macro. Supports the shapes used in this workspace:

@@ -30,14 +30,22 @@ pub enum EmbedError {
     /// The referenced edge does not exist.
     NoSuchEdge(NodeId, NodeId),
     /// Offset is zero or >= the edge weight.
-    BadOffset { edge: (NodeId, NodeId), offset: Weight, weight: Weight },
+    BadOffset {
+        edge: (NodeId, NodeId),
+        offset: Weight,
+        weight: Weight,
+    },
 }
 
 impl std::fmt::Display for EmbedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EmbedError::NoSuchEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
-            EmbedError::BadOffset { edge, offset, weight } => write!(
+            EmbedError::BadOffset {
+                edge,
+                offset,
+                weight,
+            } => write!(
                 f,
                 "offset {offset} invalid for edge {edge:?} of weight {weight}"
             ),
@@ -102,10 +110,7 @@ pub fn embed_edge_points(
                 let mut prev_off: Weight = 0;
                 for &(off, idx) in splits.iter() {
                     let t = off as f64 / w as f64;
-                    let id = b.add_node(
-                        cu.x + (cv.x - cu.x) * t,
-                        cu.y + (cv.y - cu.y) * t,
-                    );
+                    let id = b.add_node(cu.x + (cv.x - cu.x) * t, cu.y + (cv.y - cu.y) * t);
                     new_ids[idx] = id;
                     // Coincident points on the same edge get weight-0
                     // segments clamped to 1 by the builder; reject instead
@@ -160,8 +165,16 @@ mod tests {
         let (g2, ids) = embed_edge_points(
             &g,
             &[
-                EdgePoint { u: 0, v: 1, offset: 3 },
-                EdgePoint { u: 2, v: 3, offset: 6 },
+                EdgePoint {
+                    u: 0,
+                    v: 1,
+                    offset: 3,
+                },
+                EdgePoint {
+                    u: 2,
+                    v: 3,
+                    offset: 6,
+                },
             ],
         )
         .unwrap();
@@ -188,8 +201,16 @@ mod tests {
         let (g2, ids) = embed_edge_points(
             &g,
             &[
-                EdgePoint { u: 0, v: 1, offset: 7 },
-                EdgePoint { u: 0, v: 1, offset: 2 },
+                EdgePoint {
+                    u: 0,
+                    v: 1,
+                    offset: 7,
+                },
+                EdgePoint {
+                    u: 0,
+                    v: 1,
+                    offset: 2,
+                },
             ],
         )
         .unwrap();
@@ -203,8 +224,15 @@ mod tests {
     fn reversed_endpoint_order_is_equivalent() {
         let g = square();
         // Offset measured from v=1 side.
-        let (g2, ids) =
-            embed_edge_points(&g, &[EdgePoint { u: 1, v: 0, offset: 4 }]).unwrap();
+        let (g2, ids) = embed_edge_points(
+            &g,
+            &[EdgePoint {
+                u: 1,
+                v: 0,
+                offset: 4,
+            }],
+        )
+        .unwrap();
         assert_eq!(dijkstra_pair(&g2, 1, ids[0]), Some(4));
         assert_eq!(dijkstra_pair(&g2, 0, ids[0]), Some(6));
     }
@@ -214,8 +242,15 @@ mod tests {
         // A query object on an edge participates via both endpoints,
         // exactly the paper's q1-on-(p2, p3) situation.
         let g = square();
-        let (g2, ids) =
-            embed_edge_points(&g, &[EdgePoint { u: 0, v: 1, offset: 5 }]).unwrap();
+        let (g2, ids) = embed_edge_points(
+            &g,
+            &[EdgePoint {
+                u: 0,
+                v: 1,
+                offset: 5,
+            }],
+        )
+        .unwrap();
         let q = ids[0];
         // delta(2, q) = min(delta(2,0) + 5, delta(2,1) + 5) = 15.
         assert_eq!(dijkstra_pair(&g2, 2, q), Some(15));
@@ -225,15 +260,36 @@ mod tests {
     fn errors_are_reported() {
         let g = square();
         assert!(matches!(
-            embed_edge_points(&g, &[EdgePoint { u: 0, v: 2, offset: 1 }]),
+            embed_edge_points(
+                &g,
+                &[EdgePoint {
+                    u: 0,
+                    v: 2,
+                    offset: 1
+                }]
+            ),
             Err(EmbedError::NoSuchEdge(0, 2))
         ));
         assert!(matches!(
-            embed_edge_points(&g, &[EdgePoint { u: 0, v: 1, offset: 0 }]),
+            embed_edge_points(
+                &g,
+                &[EdgePoint {
+                    u: 0,
+                    v: 1,
+                    offset: 0
+                }]
+            ),
             Err(EmbedError::BadOffset { .. })
         ));
         assert!(matches!(
-            embed_edge_points(&g, &[EdgePoint { u: 0, v: 1, offset: 10 }]),
+            embed_edge_points(
+                &g,
+                &[EdgePoint {
+                    u: 0,
+                    v: 1,
+                    offset: 10
+                }]
+            ),
             Err(EmbedError::BadOffset { .. })
         ));
     }

@@ -160,9 +160,7 @@ pub fn write_compact(g: &Graph) -> String {
 /// Parse the compact text format produced by [`write_compact`].
 pub fn read_compact(text: &str) -> Result<Graph, IoError> {
     let mut lines = text.lines().enumerate();
-    let (lno, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(0, "empty input"))?;
+    let (lno, header) = lines.next().ok_or_else(|| parse_err(0, "empty input"))?;
     let mut it = header.split_ascii_whitespace();
     let n: usize = it
         .next()
@@ -272,10 +270,7 @@ mod tests {
         let g2 = read_compact(&text).unwrap();
         assert_eq!(g2.num_nodes(), g.num_nodes());
         assert_eq!(g2.num_edges(), g.num_edges());
-        assert_eq!(
-            dijkstra_pair(&g2, 0, 2),
-            dijkstra_pair(&g, 0, 2)
-        );
+        assert_eq!(dijkstra_pair(&g2, 0, 2), dijkstra_pair(&g, 0, 2));
     }
 
     #[test]

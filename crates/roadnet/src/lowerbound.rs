@@ -100,10 +100,7 @@ mod tests {
             let d = dijkstra_all(&g, s);
             for t in 0..3 {
                 if d[t as usize] != crate::INF {
-                    assert!(
-                        lb.bound(&g, s, t) <= d[t as usize],
-                        "lb({s},{t}) > delta"
-                    );
+                    assert!(lb.bound(&g, s, t) <= d[t as usize], "lb({s},{t}) > delta");
                 }
             }
         }

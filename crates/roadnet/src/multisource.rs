@@ -141,7 +141,10 @@ impl<'g> ObjectStreams<'g> {
     /// Total nodes settled across all streams — the expansion work metric
     /// reported by the efficiency experiments.
     pub fn total_settled(&self) -> usize {
-        self.streams.iter().map(|s| s.expansion.settled_count()).sum()
+        self.streams
+            .iter()
+            .map(|s| s.expansion.settled_count())
+            .sum()
     }
 }
 

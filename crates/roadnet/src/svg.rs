@@ -115,11 +115,7 @@ impl<'g> SvgScene<'g> {
             o.width, height, o.width, height
         );
         if o.draw_edges {
-            let _ = writeln!(
-                out,
-                "<g stroke=\"{}\" stroke-width=\"0.7\">",
-                o.edge_color
-            );
+            let _ = writeln!(out, "<g stroke=\"{}\" stroke-width=\"0.7\">", o.edge_color);
             for (u, v, _) in g.edges() {
                 let pu = g.coord(u);
                 let pv = g.coord(v);
@@ -176,11 +172,7 @@ impl<'g> SvgScene<'g> {
         marker(&self.query_points, o.query_color, 4.0);
         if let Some((p_star, subset)) = &self.answer {
             let hl: HashSet<NodeId> = subset.iter().copied().collect();
-            marker(
-                &hl.into_iter().collect::<Vec<_>>(),
-                o.route_color,
-                4.5,
-            );
+            marker(&hl.into_iter().collect::<Vec<_>>(), o.route_color, 4.5);
             marker(&[*p_star], o.answer_color, 6.0);
         }
         out.push_str("</svg>\n");

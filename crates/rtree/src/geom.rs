@@ -108,8 +108,12 @@ impl Mbr {
     /// `mindist(b, b')`: minimum Euclidean distance between two MBRs
     /// (0 when they intersect).
     pub fn mindist_mbr(&self, other: &Mbr) -> f64 {
-        let dx = (self.min_x - other.max_x).max(other.min_x - self.max_x).max(0.0);
-        let dy = (self.min_y - other.max_y).max(other.min_y - self.max_y).max(0.0);
+        let dx = (self.min_x - other.max_x)
+            .max(other.min_x - self.max_x)
+            .max(0.0);
+        let dy = (self.min_y - other.max_y)
+            .max(other.min_y - self.max_y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 

@@ -222,8 +222,7 @@ impl<T> RTree<T> {
             })
             .collect();
         while nodes.len() > 1 {
-            let groups =
-                Self::str_tile(nodes, fanout, |n| n.mbr.center().x, |n| n.mbr.center().y);
+            let groups = Self::str_tile(nodes, fanout, |n| n.mbr.center().x, |n| n.mbr.center().y);
             nodes = groups
                 .into_iter()
                 .map(|g| {
@@ -392,8 +391,7 @@ mod tests {
         let items = grid_items(100);
         let t = RTree::bulk_load(items.clone());
         let q = Pt::new(3.7, 6.2);
-        let mut by_scan: Vec<(f64, usize)> =
-            items.iter().map(|(p, i)| (p.dist(&q), *i)).collect();
+        let mut by_scan: Vec<(f64, usize)> = items.iter().map(|(p, i)| (p.dist(&q), *i)).collect();
         by_scan.sort_by(|a, b| a.0.total_cmp(&b.0));
         let by_tree: Vec<(f64, usize)> = t.nearest_iter(q).map(|(d, &i)| (d, i)).collect();
         assert_eq!(by_tree.len(), 100);

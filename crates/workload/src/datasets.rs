@@ -108,10 +108,9 @@ impl DatasetSpec {
 
     /// The synthetic substitute (deterministic per dataset name).
     pub fn synthesize(&self) -> Graph {
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xF4_A2_77_01u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let seed = self.name.bytes().fold(0xF4_A2_77_01u64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        });
         road_network(self.target_nodes, &mut crate::rng(seed))
     }
 
@@ -120,10 +119,9 @@ impl DatasetSpec {
     pub fn synthesize_scaled(&self, factor: f64) -> Graph {
         assert!(factor > 0.0 && factor <= 1.0);
         let n = ((self.target_nodes as f64 * factor) as usize).max(16);
-        let seed = self
-            .name
-            .bytes()
-            .fold(0x9E_37_79_B9u64, |h, b| h.wrapping_mul(33).wrapping_add(b as u64));
+        let seed = self.name.bytes().fold(0x9E_37_79_B9u64, |h, b| {
+            h.wrapping_mul(33).wrapping_add(b as u64)
+        });
         road_network(n, &mut crate::rng(seed))
     }
 }
@@ -137,7 +135,9 @@ mod tests {
         let names: Vec<&str> = DATASETS.iter().map(|d| d.name).collect();
         assert_eq!(names, vec!["DE", "ME", "COL", "NW", "E", "CTR", "USA"]);
         // Strictly increasing sizes, like the paper.
-        assert!(DATASETS.windows(2).all(|w| w[0].paper_nodes < w[1].paper_nodes));
+        assert!(DATASETS
+            .windows(2)
+            .all(|w| w[0].paper_nodes < w[1].paper_nodes));
         assert!(DATASETS
             .windows(2)
             .all(|w| w[0].target_nodes < w[1].target_nodes));

@@ -11,8 +11,8 @@
 //!   per-dataset G-tree leaf capacities of §VI-A.
 
 pub mod datasets;
-pub mod points;
 pub mod poi;
+pub mod points;
 pub mod synth;
 
 use rand::rngs::StdRng;

@@ -116,8 +116,7 @@ mod tests {
 
     #[test]
     fn codes_unique() {
-        let set: std::collections::HashSet<_> =
-            PoiKind::ALL.iter().map(|k| k.code()).collect();
+        let set: std::collections::HashSet<_> = PoiKind::ALL.iter().map(|k| k.code()).collect();
         assert_eq!(set.len(), PoiKind::ALL.len());
     }
 

@@ -106,7 +106,11 @@ mod tests {
     fn generates_connected_network() {
         let mut rng = crate::rng(7);
         let g = grid_network(20, 15, 0.1, &mut rng);
-        assert!(g.num_nodes() > 250, "lost too many nodes: {}", g.num_nodes());
+        assert!(
+            g.num_nodes() > 250,
+            "lost too many nodes: {}",
+            g.num_nodes()
+        );
         let ex = largest_connected_component(&g);
         assert_eq!(ex.graph.num_nodes(), g.num_nodes(), "not connected");
     }

@@ -17,8 +17,11 @@ fn main() {
     let graph = fannr::workload::synth::road_network(8000, &mut rng);
 
     // 25 venues, 60 members spread over most of the city.
-    let venues =
-        fannr::workload::points::uniform_data_points(&graph, 25.0 / graph.num_nodes() as f64, &mut rng);
+    let venues = fannr::workload::points::uniform_data_points(
+        &graph,
+        25.0 / graph.num_nodes() as f64,
+        &mut rng,
+    );
     let members = fannr::workload::points::uniform_query_points(&graph, 60, 0.8, &mut rng);
     println!(
         "city: {} road nodes | {} venues | {} members",
@@ -54,8 +57,16 @@ fn main() {
 
     // The flexible quorum saves real travel: compare phi = 0.5 vs 1.0.
     let ine = InePhi::new(&graph, &members);
-    let half = gd(&FannQuery::new(&venues, &members, 0.5, Aggregate::Sum), &ine).unwrap();
-    let all = gd(&FannQuery::new(&venues, &members, 1.0, Aggregate::Sum), &ine).unwrap();
+    let half = gd(
+        &FannQuery::new(&venues, &members, 0.5, Aggregate::Sum),
+        &ine,
+    )
+    .unwrap();
+    let all = gd(
+        &FannQuery::new(&venues, &members, 1.0, Aggregate::Sum),
+        &ine,
+    )
+    .unwrap();
     println!(
         "\nhalf-quorum meeting costs {:.1}% of the full-attendance optimum",
         100.0 * half.dist as f64 / all.dist as f64

@@ -19,7 +19,11 @@ fn main() {
 
     // 40 candidate construction sites, 24 camps concentrated in two war
     // zones (clustered query points).
-    let sites = fannr::workload::points::uniform_data_points(&graph, 40.0 / graph.num_nodes() as f64, &mut rng);
+    let sites = fannr::workload::points::uniform_data_points(
+        &graph,
+        40.0 / graph.num_nodes() as f64,
+        &mut rng,
+    );
     let camps = fannr::workload::points::clustered_query_points(&graph, 24, 0.6, 2, &mut rng);
     println!(
         "map: {} road nodes | {} candidate sites | {} camps in 2 clusters",

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fannr::fann::algo::{apx_sum, brute_force, exact_max, gd, ier_knn, r_list};
 use fannr::fann::algo::ier::build_p_rtree;
+use fannr::fann::algo::{apx_sum, brute_force, exact_max, gd, ier_knn, r_list};
 use fannr::fann::gphi::ine::InePhi;
 use fannr::fann::{Aggregate, FannQuery};
 

@@ -16,7 +16,11 @@ use fannr::roadnet::DynamicNetwork;
 fn main() {
     let mut rng = fannr::workload::rng(66);
     let base = fannr::workload::synth::road_network(6000, &mut rng);
-    let depots = fannr::workload::points::uniform_data_points(&base, 30.0 / base.num_nodes() as f64, &mut rng);
+    let depots = fannr::workload::points::uniform_data_points(
+        &base,
+        30.0 / base.num_nodes() as f64,
+        &mut rng,
+    );
     let stops = fannr::workload::points::uniform_query_points(&base, 20, 0.4, &mut rng);
     println!(
         "network: {} nodes | {} depots | {} stops (serve any 70%)",
@@ -45,13 +49,18 @@ fn main() {
     let snapshot = live.snapshot();
     let mut jammed = 0;
     for (u, v, _) in snapshot.edges() {
-        let close = snapshot.euclid(u, morning.p_star).min(snapshot.euclid(v, morning.p_star));
+        let close = snapshot
+            .euclid(u, morning.p_star)
+            .min(snapshot.euclid(v, morning.p_star));
         if close < 800.0 {
             live.scale_weight(u, v, 6.0).expect("edge exists");
             jammed += 1;
         }
     }
-    println!("\n17:30 — rush hour: {jammed} road segments around depot {} now 6x slower", morning.p_star);
+    println!(
+        "\n17:30 — rush hour: {jammed} road segments around depot {} now 6x slower",
+        morning.p_star
+    );
 
     let t0 = std::time::Instant::now();
     let evening = query(&live.snapshot());

@@ -94,7 +94,9 @@ fn parse_opts(args: impl Iterator<Item = String>) -> HashMap<String, String> {
 }
 
 fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
-    opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn require(opts: &HashMap<String, String>, key: &str) -> Result<String, String> {
@@ -233,7 +235,10 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let elapsed = t0.elapsed();
     let Some(ans) = answer else {
-        println!("no answer: no data point reaches {} query points", query.subset_size());
+        println!(
+            "no answer: no data point reaches {} query points",
+            query.subset_size()
+        );
         return Ok(());
     };
     println!(
@@ -262,8 +267,14 @@ fn cmd_render(opts: &HashMap<String, String>) -> Result<(), String> {
     let phi: f64 = get(opts, "phi", 0.5);
     let seed: u64 = get(opts, "seed", 1);
     let mut rng = fannr::workload::rng(seed);
-    let p = fannr::workload::points::uniform_data_points(&g, get(opts, "p-density", 0.01), &mut rng);
-    let q = fannr::workload::points::uniform_query_points(&g, get(opts, "q-size", 16), get(opts, "coverage", 0.3), &mut rng);
+    let p =
+        fannr::workload::points::uniform_data_points(&g, get(opts, "p-density", 0.01), &mut rng);
+    let q = fannr::workload::points::uniform_query_points(
+        &g,
+        get(opts, "q-size", 16),
+        get(opts, "coverage", 0.3),
+        &mut rng,
+    );
     let query = FannQuery::new(&p, &q, phi, agg);
     query.validate(&g).map_err(|e| e.to_string())?;
     let answer = match agg {

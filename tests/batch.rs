@@ -67,7 +67,8 @@ fn batch_cross_validates_sequential_for_every_strategy() {
             for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
                 let got = got.as_ref().unwrap();
                 assert_eq!(
-                    got, want,
+                    got,
+                    want,
                     "query {i} diverged (workers={workers}, labels={}, agg={})",
                     engine.has_labels(),
                     stream[i].agg,

@@ -16,7 +16,11 @@ fn edge_located_query_objects() {
     assert!(edges.len() >= 4, "generator produced too few heavy edges");
     let points: Vec<EdgePoint> = edges
         .iter()
-        .map(|&(u, v, w)| EdgePoint { u, v, offset: w / 2 })
+        .map(|&(u, v, w)| EdgePoint {
+            u,
+            v,
+            offset: w / 2,
+        })
         .collect();
     let (aug, q_on_edges) = embed_edge_points(&graph, &points).unwrap();
 
@@ -39,7 +43,11 @@ fn edge_located_data_objects() {
         graph.edges().filter(|&(_, _, w)| w >= 4).take(8).collect();
     let points: Vec<EdgePoint> = edges
         .iter()
-        .map(|&(u, v, w)| EdgePoint { u, v, offset: w / 2 })
+        .map(|&(u, v, w)| EdgePoint {
+            u,
+            v,
+            offset: w / 2,
+        })
         .collect();
     let (aug, p_on_edges) = embed_edge_points(&graph, &points).unwrap();
     let mut rng = fannr::workload::rng(34);

@@ -54,7 +54,11 @@ fn every_algorithm_reproduces_figure1() {
         ];
         for (name, a) in checks {
             let a = a.unwrap();
-            assert_eq!((a.p_star, a.dist), (want_p, want_d), "{name} phi={phi} {agg}");
+            assert_eq!(
+                (a.p_star, a.dist),
+                (want_p, want_d),
+                "{name} phi={phi} {agg}"
+            );
         }
         if agg == Aggregate::Max {
             let a = exact_max(&g, &query).unwrap();
@@ -68,7 +72,10 @@ fn every_algorithm_reproduces_figure1() {
             if phi == 0.5 {
                 assert_eq!((a.p_star, a.dist), (want_p, want_d), "APX-sum phi={phi}");
             } else {
-                assert!(a.dist >= want_d && a.dist <= 3 * want_d, "APX-sum phi={phi}");
+                assert!(
+                    a.dist >= want_d && a.dist <= 3 * want_d,
+                    "APX-sum phi={phi}"
+                );
             }
         }
     }

@@ -8,6 +8,11 @@
 //! Shape checks (`--check true`): reusing a backend across the stream must
 //! be at least 2x faster than constructing it per query for both index-free
 //! backends (INE, A*), and must not allocate more per query.
+//!
+//! `--smoke true` shrinks the workload to CI size and skips the timing
+//! shape checks (too noisy on a tiny graph) while keeping the correctness
+//! ones: traced answers match untraced (asserted inside `run_throughput`)
+//! and the per-strategy stats are non-empty.
 
 use fann_bench::throughput::{run_throughput, CountingAlloc, ThroughputOpts};
 use fann_bench::Args;
@@ -17,7 +22,16 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args = Args::parse();
-    let defaults = ThroughputOpts::default();
+    let smoke = args.get("smoke", false);
+    let defaults = if smoke {
+        ThroughputOpts {
+            nodes: 3_000,
+            queries: 60,
+            ..ThroughputOpts::default()
+        }
+    } else {
+        ThroughputOpts::default()
+    };
     let opts = ThroughputOpts {
         nodes: args.get("nodes", defaults.nodes),
         queries: args.get("queries", defaults.queries),
@@ -28,6 +42,26 @@ fn main() {
         seed: args.get("seed", defaults.seed),
     };
     let report = run_throughput(&opts);
+
+    if smoke {
+        let traced = &report.traced;
+        assert!(
+            traced.total_queries() == opts.queries as u64,
+            "traced pass covered {} of {} queries",
+            traced.total_queries(),
+            opts.queries,
+        );
+        assert!(
+            !traced.total_stats().is_empty(),
+            "traced pass recorded no work"
+        );
+        for (s, r) in traced.active() {
+            assert!(!r.stats.is_empty(), "{s} recorded no work");
+            assert_eq!(r.latency.count(), r.queries, "{s} latency samples");
+        }
+        println!("smoke ok: traced == untraced, stats recorded for every strategy");
+        return;
+    }
 
     if args.get("check", true) {
         let ine_speedup = report.ine_reused.qps / report.ine_fresh.qps;

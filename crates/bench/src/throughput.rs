@@ -20,7 +20,7 @@
 
 use crate::print_table;
 use fann_core::algo::gd;
-use fann_core::engine::{BatchQuery, Engine};
+use fann_core::engine::{BatchQuery, BatchReport, Engine};
 use fann_core::gphi::ine::InePhi;
 use fann_core::gphi::oracle::AStarOracle;
 use fann_core::gphi::scan::ScanPhi;
@@ -118,6 +118,12 @@ pub struct ThroughputReport {
     pub engine_seq: ModeStats,
     pub engine_batch1: ModeStats,
     pub engine_batch_n: ModeStats,
+    /// The instrumented pass ([`Engine::query_batch_traced`], one worker),
+    /// so the table shows what tracing costs relative to `engine_batch1`.
+    pub engine_traced: ModeStats,
+    /// Per-strategy work counters + latency histograms from the traced
+    /// pass; answers are asserted identical to the untraced batch.
+    pub traced: BatchReport,
     pub batch_workers: usize,
 }
 
@@ -305,6 +311,25 @@ pub fn run_throughput(opts: &ThroughputOpts) -> ThroughputReport {
         engine.query_batch(&stream, opts.workers);
     });
 
+    // -- Instrumented pass: identical answers + per-strategy counters -----
+    let mut traced_results = Vec::new();
+    let mut traced = BatchReport::default();
+    let engine_traced = measure_bulk("Engine::query_batch_traced w=1", n, || {
+        let (r, b) = engine.query_batch_traced(&stream, 1);
+        traced_results = r;
+        traced = b;
+    });
+    let plain = engine.query_batch(&stream, 1);
+    for (i, (a, b)) in plain.iter().zip(traced_results.iter()).enumerate() {
+        let a = a.as_ref().expect("stream queries are valid");
+        let b = b.as_ref().expect("stream queries are valid");
+        assert_eq!(
+            a.as_ref().map(|x| (x.p_star, x.dist)),
+            b.as_ref().map(|x| (x.p_star, x.dist)),
+            "traced answer diverged from untraced at query {i}"
+        );
+    }
+
     let report = ThroughputReport {
         ine_fresh,
         ine_reused,
@@ -313,6 +338,8 @@ pub fn run_throughput(opts: &ThroughputOpts) -> ThroughputReport {
         engine_seq,
         engine_batch1,
         engine_batch_n,
+        engine_traced,
+        traced,
         batch_workers,
     };
     let header: Vec<String> = ["mode", "q/s", "p50", "p99", "allocs/query"]
@@ -327,6 +354,7 @@ pub fn run_throughput(opts: &ThroughputOpts) -> ThroughputReport {
         &report.engine_seq,
         &report.engine_batch1,
         &report.engine_batch_n,
+        &report.engine_traced,
     ]
     .iter()
     .map(|s| fmt_stat(s))
@@ -343,6 +371,11 @@ pub fn run_throughput(opts: &ThroughputOpts) -> ThroughputReport {
         report.batch_workers,
         report.engine_batch_n.qps / report.engine_seq.qps,
     );
+    println!("per-strategy work (traced pass, answers verified against untraced):");
+    for (s, r) in report.traced.active() {
+        println!("  {:<12} n={:<4} {}", s.name(), r.queries, r.stats);
+        println!("  {:<12} {}", "", r.latency);
+    }
     report
 }
 

@@ -9,24 +9,36 @@
 
 use crate::algo::gd::gd;
 use crate::gphi::GPhi;
+use crate::metrics::Recorder;
 use crate::{Aggregate, FannAnswer, FannQuery};
 use roadnet::multisource::membership;
-use roadnet::{DijkstraIter, Graph, NodeId};
+use roadnet::{DijkstraIter, Graph, NodeId, QueryScratch};
 
 /// Nearest member of `P` (given as a mask) to `q`, by network expansion.
-fn nearest_data_point(g: &Graph, is_data: &[bool], q: NodeId) -> Option<NodeId> {
-    DijkstraIter::new(g, q)
+fn nearest_data_point<R: Recorder>(
+    g: &Graph,
+    is_data: &[bool],
+    q: NodeId,
+    rec: R,
+) -> Option<NodeId> {
+    DijkstraIter::recorded(g, q, QueryScratch::new(), rec)
         .find(|&(v, _)| is_data[v as usize])
         .map(|(v, _)| v)
 }
 
 /// The candidate set of Algorithm 3 (deduplicated, sorted).
 pub fn apx_sum_candidates(g: &Graph, query: &FannQuery) -> Vec<NodeId> {
+    apx_sum_candidates_traced(g, query, ())
+}
+
+/// [`apx_sum_candidates`] with a live [`Recorder`] observing the `|Q|`
+/// nearest-neighbor expansions.
+pub fn apx_sum_candidates_traced<R: Recorder>(g: &Graph, query: &FannQuery, rec: R) -> Vec<NodeId> {
     let is_data = membership(g.num_nodes(), query.p);
     let mut cand: Vec<NodeId> = query
         .q
         .iter()
-        .filter_map(|&q| nearest_data_point(g, &is_data, q))
+        .filter_map(|&q| nearest_data_point(g, &is_data, q, rec))
         .collect();
     cand.sort_unstable();
     cand.dedup();
@@ -41,12 +53,32 @@ pub fn apx_sum_candidates(g: &Graph, query: &FannQuery) -> Vec<NodeId> {
 /// If the query aggregate is not [`Aggregate::Sum`] — the proof of
 /// Theorem 1 is specific to `sum`.
 pub fn apx_sum(g: &Graph, query: &FannQuery, gphi: &dyn GPhi) -> Option<FannAnswer> {
+    apx_sum_traced(g, query, gphi, ())
+}
+
+/// [`apx_sum`] with a live [`Recorder`]: the candidate-finding expansions
+/// report their work, and data points excluded from the candidate set are
+/// reported as pruned. Pass a backend built `with_recorder` to also count
+/// the `g_phi` side. The `()` recorder makes this identical to the
+/// untraced path.
+///
+/// # Panics
+/// If the query aggregate is not [`Aggregate::Sum`].
+pub fn apx_sum_traced<R: Recorder>(
+    g: &Graph,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    rec: R,
+) -> Option<FannAnswer> {
     assert_eq!(
         query.agg,
         Aggregate::Sum,
         "APX-sum answers sum-FANN_R only (Theorem 1)"
     );
-    let cand = apx_sum_candidates(g, query);
+    let cand = apx_sum_candidates_traced(g, query, rec);
+    // Candidate reduction is the whole point of Algorithm 3: everything
+    // outside the candidate set is pruned (duplicate-free P).
+    rec.pruned(query.p.len().saturating_sub(cand.len()) as u64);
     if cand.is_empty() {
         return None;
     }

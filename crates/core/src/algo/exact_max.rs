@@ -11,6 +11,7 @@
 //! the counting argument fails for `sum`.
 
 use crate::gphi::GPhi;
+use crate::metrics::Recorder;
 use crate::{Aggregate, FannAnswer, FannQuery};
 use roadnet::{Dist, Graph, NodeId, ObjectStreams, ScratchPool};
 use std::collections::HashMap;
@@ -18,14 +19,16 @@ use std::collections::HashMap;
 /// Run the counter loop; returns `(p*, hits)` where `hits` are the
 /// `(query_point, dist)` pairs that fired, or `None` if the queues exhaust
 /// before any counter reaches `k`. Expansion scratches are drawn from (and
-/// returned to) `pool`.
-fn counter_loop(
+/// returned to) `pool`. Data points whose counter never started before the
+/// winner fired are reported to `rec` as pruned.
+fn counter_loop<R: Recorder>(
     g: &Graph,
     query: &FannQuery,
     pool: &mut ScratchPool,
+    rec: R,
 ) -> Option<(NodeId, Vec<(NodeId, Dist)>)> {
     let k = query.subset_size();
-    let mut streams = ObjectStreams::with_pool(g, query.q, query.p, pool);
+    let mut streams = ObjectStreams::with_pool_recorded(g, query.q, query.p, pool, rec);
     let mut hits: HashMap<NodeId, Vec<(NodeId, Dist)>> = HashMap::new();
     let mut fired = None;
     while let Some((i, pnode, d)) = streams.min_head() {
@@ -37,6 +40,9 @@ fn counter_loop(
         }
         streams.pop(i);
     }
+    // Data points whose counter never started (duplicate-free P).
+    let touched = hits.len() + usize::from(fired.is_some());
+    rec.pruned(query.p.len().saturating_sub(touched) as u64);
     streams.recycle_into(pool);
     fired
 }
@@ -61,12 +67,27 @@ pub fn exact_max_pooled(
     query: &FannQuery,
     pool: &mut ScratchPool,
 ) -> Option<FannAnswer> {
+    exact_max_traced(g, query, pool, ())
+}
+
+/// [`exact_max_pooled`] with a live [`Recorder`] observing the counter
+/// loop's expansion work and pruned data points; the `()` recorder makes
+/// this identical to the untraced path.
+///
+/// # Panics
+/// If the query aggregate is not [`Aggregate::Max`].
+pub fn exact_max_traced<R: Recorder>(
+    g: &Graph,
+    query: &FannQuery,
+    pool: &mut ScratchPool,
+    rec: R,
+) -> Option<FannAnswer> {
     assert_eq!(
         query.agg,
         Aggregate::Max,
         "Exact-max answers max-FANN_R only (see the Table II counter-example)"
     );
-    let (p_star, hits) = counter_loop(g, query, pool)?;
+    let (p_star, hits) = counter_loop(g, query, pool, rec)?;
     let dist = hits.iter().map(|&(_, d)| d).max().expect("k >= 1");
     Some(FannAnswer {
         p_star,
@@ -87,7 +108,7 @@ pub fn exact_max_with_gphi(g: &Graph, query: &FannQuery, gphi: &dyn GPhi) -> Opt
         Aggregate::Max,
         "Exact-max answers max-FANN_R only (see the Table II counter-example)"
     );
-    let (p_star, _) = counter_loop(g, query, &mut ScratchPool::new())?;
+    let (p_star, _) = counter_loop(g, query, &mut ScratchPool::new(), ())?;
     let r = gphi
         .eval(p_star, query.subset_size(), Aggregate::Max)
         .expect("p* reached k query points during the counter loop");
@@ -198,7 +219,7 @@ mod tests {
                                                        // The counter loop (ignoring the aggregate) would fire on p2 = id 1
                                                        // first, whose true sum distance is 14 > 13 — hence max-only.
         let max_query = FannQuery::new(&p, &q, 0.4, Aggregate::Max);
-        let (fired, _) = counter_loop(&g, &max_query, &mut ScratchPool::new()).unwrap();
+        let (fired, _) = counter_loop(&g, &max_query, &mut ScratchPool::new(), ()).unwrap();
         assert_eq!(fired, 1); // p2 fires first...
         let sum_of_fired = crate::algo::brute::brute_force_point(&g, &query, fired).unwrap();
         assert_eq!(sum_of_fired, 14); // ...but is not the sum-optimum.

@@ -12,6 +12,7 @@
 //! as [`IerBound::MbrOfQ`] for the ablation study.
 
 use crate::gphi::GPhi;
+use crate::metrics::Recorder;
 use crate::{Aggregate, FannAnswer, FannQuery};
 use roadnet::{Dist, Graph, LowerBound};
 use spatial_rtree::{Entry, Mbr, Pt, RTree};
@@ -58,6 +59,22 @@ pub fn ier_knn_with_bound(
     gphi: &dyn GPhi,
     bound: IerBound,
 ) -> Option<FannAnswer> {
+    ier_knn_traced(g, query, rtree, gphi, bound, ())
+}
+
+/// [`ier_knn_with_bound`] with a live [`Recorder`]: R-tree node accesses
+/// of the best-first traversal are counted, and data points never resolved
+/// with `g_phi` because Lemma 1 terminated the scan are reported as
+/// pruned. Pass a backend built `with_recorder` to also count the `g_phi`
+/// side. The `()` recorder makes this identical to the untraced path.
+pub fn ier_knn_traced<R: Recorder>(
+    g: &Graph,
+    query: &FannQuery,
+    rtree: &RTree<roadnet::NodeId>,
+    gphi: &dyn GPhi,
+    bound: IerBound,
+    rec: R,
+) -> Option<FannAnswer> {
     let k = query.subset_size();
     let lb = LowerBound::for_graph(g);
     let q_pts: Vec<Pt> = query
@@ -101,6 +118,7 @@ pub fn ier_knn_with_bound(
     let root = rtree.root()?;
     heap.push((Reverse(bound_of(&root.mbr())), seq, Entry::Node(root)));
     let mut best: Option<FannAnswer> = None;
+    let mut evaluated = 0u64;
 
     while let Some((Reverse(b), _, entry)) = heap.pop() {
         if let Some(cur) = &best {
@@ -110,6 +128,7 @@ pub fn ier_knn_with_bound(
         }
         match entry {
             Entry::Node(node) => {
+                rec.rtree_nodes(1);
                 for child in node.children() {
                     seq += 1;
                     heap.push((Reverse(bound_of(&child.mbr())), seq, child));
@@ -117,6 +136,7 @@ pub fn ier_knn_with_bound(
             }
             Entry::Item(item) => {
                 let p = item.data;
+                evaluated += 1;
                 if let Some(r) = gphi.eval(p, k, query.agg) {
                     if best.as_ref().is_none_or(|cur| r.dist < cur.dist) {
                         best = Some(FannAnswer {
@@ -129,6 +149,8 @@ pub fn ier_knn_with_bound(
             }
         }
     }
+    // Data points Lemma 1 let us skip (duplicate-free P).
+    rec.pruned((rtree.len() as u64).saturating_sub(evaluated));
     best
 }
 

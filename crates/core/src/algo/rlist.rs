@@ -15,6 +15,7 @@
 //! smallest distances pointwise dominate the k smallest heads.
 
 use crate::gphi::GPhi;
+use crate::metrics::Recorder;
 use crate::{FannAnswer, FannQuery};
 use roadnet::{Dist, Graph, ObjectStreams, ScratchPool, INF};
 use std::collections::HashSet;
@@ -35,8 +36,24 @@ pub fn r_list_pooled(
     gphi: &dyn GPhi,
     pool: &mut ScratchPool,
 ) -> Option<FannAnswer> {
+    r_list_traced(g, query, gphi, pool, ())
+}
+
+/// [`r_list_pooled`] with a live [`Recorder`]: the `|Q|` expansions report
+/// their search work, and data points never evaluated because the
+/// threshold fired are reported as pruned. Note the recorder only sees the
+/// *expansion* side — pass a backend built `with_recorder` to also count
+/// the `g_phi` side. The `()` recorder makes this identical to the
+/// untraced path.
+pub fn r_list_traced<R: Recorder>(
+    g: &Graph,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    pool: &mut ScratchPool,
+    rec: R,
+) -> Option<FannAnswer> {
     let k = query.subset_size();
-    let mut streams = ObjectStreams::with_pool(g, query.q, query.p, pool);
+    let mut streams = ObjectStreams::with_pool_recorded(g, query.q, query.p, pool, rec);
     let mut seen: HashSet<roadnet::NodeId> = HashSet::new();
     let mut best: Option<FannAnswer> = None;
 
@@ -69,6 +86,8 @@ pub fn r_list_pooled(
         }
     }
     streams.recycle_into(pool);
+    // Data points the threshold let us skip entirely (duplicate-free P).
+    rec.pruned(query.p.len().saturating_sub(seen.len()) as u64);
     best
 }
 

@@ -24,15 +24,21 @@
 
 use crate::algo::ier::build_p_rtree;
 use crate::algo::topk::{exact_max_topk, ier_topk, rlist_topk};
-use crate::algo::{apx_sum, exact_max, exact_max_pooled, ier_knn, r_list, r_list_pooled};
+use crate::algo::{
+    apx_sum, apx_sum_traced, exact_max, exact_max_pooled, exact_max_traced, ier_knn,
+    ier_knn_traced, r_list, r_list_pooled, r_list_traced, IerBound,
+};
 use crate::gphi::ier2::IerPhi;
 use crate::gphi::ine::InePhi;
 use crate::gphi::oracle::LabelOracle;
 use crate::gphi::{GPhi, ReusableGPhi};
+use crate::metrics::{LatencyHistogram, SearchStats, StatsSink};
 use crate::{Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
 use hublabel::HubLabels;
 use roadnet::{Graph, NodeId, ScratchPool};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Which strategy [`Engine::query`] selected (observable for logging and
 /// for the engine tests).
@@ -46,6 +52,61 @@ pub enum Strategy {
     RListIne,
     /// Index-free approximate sum: `APX-sum` with INE.
     ApxSumIne,
+}
+
+impl Strategy {
+    /// All strategies, in [`Strategy::index`] order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::IerKnnLabels,
+        Strategy::ExactMax,
+        Strategy::RListIne,
+        Strategy::ApxSumIne,
+    ];
+
+    /// Name as used in reports and figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::IerKnnLabels => "IER-kNN/PHL",
+            Strategy::ExactMax => "Exact-max",
+            Strategy::RListIne => "R-List/INE",
+            Strategy::ApxSumIne => "APX-sum/INE",
+        }
+    }
+
+    /// Dense index into [`Strategy::ALL`] (for per-strategy accumulators).
+    pub fn index(&self) -> usize {
+        match self {
+            Strategy::IerKnnLabels => 0,
+            Strategy::ExactMax => 1,
+            Strategy::RListIne => 2,
+            Strategy::ApxSumIne => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Duplicate-free copy of `ids` (first occurrence kept), or `None` when
+/// `ids` is already duplicate-free. `P` and `Q` are sets (see
+/// [`FannQuery`]); the engine dedupes so every strategy agrees on
+/// multiplicity — and the common no-duplicate case stays allocation-free.
+fn deduped(ids: &[NodeId]) -> Option<Vec<NodeId>> {
+    let has_dup = if ids.len() <= 64 {
+        ids.iter().enumerate().any(|(i, v)| ids[..i].contains(v))
+    } else {
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == w[1])
+    };
+    if !has_dup {
+        return None;
+    }
+    let mut seen = HashSet::with_capacity(ids.len());
+    Some(ids.iter().copied().filter(|&v| seen.insert(v)).collect())
 }
 
 /// A road network plus optional indexes, with automatic algorithm choice.
@@ -107,6 +168,10 @@ impl<'g> Engine<'g> {
 
     /// Answer an FANN_R query with the §VII decision rule. `Ok(None)`
     /// when no data point reaches `ceil(phi |Q|)` query points.
+    ///
+    /// `P` and `Q` are treated as sets: duplicate ids are dropped (first
+    /// occurrence kept) before validation and dispatch, so every strategy
+    /// sees the same duplicate-free query.
     pub fn query(
         &self,
         p: &[NodeId],
@@ -114,8 +179,11 @@ impl<'g> Engine<'g> {
         phi: f64,
         agg: Aggregate,
     ) -> Result<Option<FannAnswer>, QueryError> {
-        let query = FannQuery { p, q, phi, agg };
-        query.validate(self.graph)?;
+        let p_dedup = deduped(p);
+        let p = p_dedup.as_deref().unwrap_or(p);
+        let q_dedup = deduped(q);
+        let q = q_dedup.as_deref().unwrap_or(q);
+        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
         let answer = match self.strategy_for(agg) {
             Strategy::IerKnnLabels => {
                 let labels = self.labels.as_ref().expect("strategy implies labels");
@@ -136,6 +204,48 @@ impl<'g> Engine<'g> {
         Ok(answer)
     }
 
+    /// [`Engine::query`] with live instrumentation: returns the identical
+    /// answer plus a [`SearchStats`] snapshot of the work performed
+    /// (graph-expansion effort, `g_phi`/oracle/label activity, R-tree node
+    /// accesses, pruned candidates).
+    ///
+    /// The untraced [`Engine::query`] path pays nothing for this: tracing
+    /// is a separate monomorphization over `&StatsSink`.
+    pub fn query_traced(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
+        let p_dedup = deduped(p);
+        let p = p_dedup.as_deref().unwrap_or(p);
+        let q_dedup = deduped(q);
+        let q = q_dedup.as_deref().unwrap_or(q);
+        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
+        let sink = StatsSink::new();
+        let answer = match self.strategy_for(agg) {
+            Strategy::IerKnnLabels => {
+                let labels = self.labels.as_ref().expect("strategy implies labels");
+                let rtree = build_p_rtree(self.graph, p);
+                let gphi = IerPhi::with_recorder(self.graph, LabelOracle { labels }, q, &sink);
+                ier_knn_traced(self.graph, &query, &rtree, &gphi, IerBound::Flexible, &sink)
+            }
+            Strategy::ExactMax => {
+                exact_max_traced(self.graph, &query, &mut ScratchPool::new(), &sink)
+            }
+            Strategy::RListIne => {
+                let gphi = InePhi::with_recorder(self.graph, q, &sink);
+                r_list_traced(self.graph, &query, &gphi, &mut ScratchPool::new(), &sink)
+            }
+            Strategy::ApxSumIne => {
+                let gphi = InePhi::with_recorder(self.graph, q, &sink);
+                apx_sum_traced(self.graph, &query, &gphi, &sink)
+            }
+        };
+        Ok((answer, sink.snapshot()))
+    }
+
     /// Answer a `k`-FANN_R query (§V). Always exact; `APX-sum` has no
     /// top-k adaptation (per the paper), so index-free sum uses `R-List`.
     pub fn query_topk(
@@ -146,8 +256,11 @@ impl<'g> Engine<'g> {
         agg: Aggregate,
         k: usize,
     ) -> Result<KFannAnswer, QueryError> {
-        let query = FannQuery { p, q, phi, agg };
-        query.validate(self.graph)?;
+        let p_dedup = deduped(p);
+        let p = p_dedup.as_deref().unwrap_or(p);
+        let q_dedup = deduped(q);
+        let q = q_dedup.as_deref().unwrap_or(q);
+        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
         let answer = match (self.labels.as_ref(), agg) {
             (Some(labels), _) => {
                 let rtree = build_p_rtree(self.graph, p);
@@ -177,6 +290,17 @@ impl<'g> Engine<'g> {
         self.batch_runner(workers).run(queries)
     }
 
+    /// [`Engine::query_batch`] with instrumentation: identical answers plus
+    /// a per-strategy [`BatchReport`] (work counters and a latency
+    /// histogram per strategy, merged across workers).
+    pub fn query_batch_traced(
+        &self,
+        queries: &[BatchQuery],
+        workers: usize,
+    ) -> (Vec<Result<Option<FannAnswer>, QueryError>>, BatchReport) {
+        self.batch_runner(workers).run_traced(queries)
+    }
+
     /// A reusable handle for running query batches (see
     /// [`Engine::query_batch`]).
     pub fn batch_runner(&self, workers: usize) -> BatchRunner<'_, 'g> {
@@ -199,44 +323,50 @@ impl<'g> Engine<'g> {
         bq: &BatchQuery,
         state: &mut WorkerState<'g>,
     ) -> Result<Option<FannAnswer>, QueryError> {
-        let query = FannQuery {
-            p: &bq.p,
-            q: &bq.q,
-            phi: bq.phi,
-            agg: bq.agg,
-        };
-        query.validate(self.graph)?;
+        let p_dedup = deduped(&bq.p);
+        let p = p_dedup.as_deref().unwrap_or(&bq.p);
+        let q_dedup = deduped(&bq.q);
+        let q = q_dedup.as_deref().unwrap_or(&bq.q);
+        let query = FannQuery::checked(p, q, bq.phi, bq.agg, self.graph)?;
         let WorkerState { pool, ine } = state;
         let answer = match self.strategy_for(bq.agg) {
             Strategy::IerKnnLabels => {
                 let labels = self.labels.as_ref().expect("strategy implies labels");
-                let rtree = build_p_rtree(self.graph, &bq.p);
-                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, &bq.q);
+                let rtree = build_p_rtree(self.graph, p);
+                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, q);
                 ier_knn(self.graph, &query, &rtree, &gphi)
             }
             Strategy::ExactMax => exact_max_pooled(self.graph, &query, pool),
             Strategy::RListIne => {
-                r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, &bq.q), pool)
+                r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, q), pool)
             }
-            Strategy::ApxSumIne => apx_sum(self.graph, &query, rebind_ine(ine, self.graph, &bq.q)),
+            Strategy::ApxSumIne => apx_sum(self.graph, &query, rebind_ine(ine, self.graph, q)),
         };
         Ok(answer)
     }
 
     /// Evaluate `g_phi(p, Q)` directly with the best available backend
-    /// (Definition 1 as a public operation).
+    /// (Definition 1 as a public operation). The inputs pass through the
+    /// same validation as [`Engine::query`] — `phi = 0`, `phi = NaN`, an
+    /// empty `Q`, or out-of-range node ids are a [`QueryError`], never a
+    /// panic. `Ok(None)` means `p` cannot reach `ceil(phi |Q|)` query
+    /// points.
     pub fn g_phi(
         &self,
         p: NodeId,
         q: &[NodeId],
         phi: f64,
         agg: Aggregate,
-    ) -> Option<crate::gphi::GPhiResult> {
-        let k = ((phi * q.len() as f64).ceil() as usize).clamp(1, q.len());
-        match self.labels.as_ref() {
+    ) -> Result<Option<crate::gphi::GPhiResult>, QueryError> {
+        let q_dedup = deduped(q);
+        let q = q_dedup.as_deref().unwrap_or(q);
+        let p_slice = [p];
+        let query = FannQuery::checked(&p_slice, q, phi, agg, self.graph)?;
+        let k = query.subset_size();
+        Ok(match self.labels.as_ref() {
             Some(labels) => IerPhi::new(self.graph, LabelOracle { labels }, q).eval(p, k, agg),
             None => InePhi::new(self.graph, q).eval(p, k, agg),
-        }
+        })
     }
 }
 
@@ -253,6 +383,72 @@ pub struct BatchQuery {
 impl BatchQuery {
     pub fn new(p: Vec<NodeId>, q: Vec<NodeId>, phi: f64, agg: Aggregate) -> Self {
         BatchQuery { p, q, phi, agg }
+    }
+}
+
+/// Aggregated observability for one strategy across a traced batch:
+/// how many queries it answered, their summed work counters, and their
+/// latency distribution.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyReport {
+    /// Queries answered by this strategy (errors excluded).
+    pub queries: u64,
+    /// Work counters summed over those queries.
+    pub stats: SearchStats,
+    /// Per-query latency distribution (p50/p90/p99 via
+    /// [`LatencyHistogram::quantile_ns`]).
+    pub latency: LatencyHistogram,
+}
+
+/// Per-strategy breakdown of a traced batch, returned by
+/// [`BatchRunner::run_traced`]. Indexed by [`Strategy::index`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    per_strategy: [StrategyReport; 4],
+}
+
+impl BatchReport {
+    /// The report slot for one strategy.
+    pub fn strategy(&self, s: Strategy) -> &StrategyReport {
+        &self.per_strategy[s.index()]
+    }
+
+    /// Strategies that answered at least one query, with their reports.
+    pub fn active(&self) -> impl Iterator<Item = (Strategy, &StrategyReport)> {
+        Strategy::ALL
+            .iter()
+            .copied()
+            .zip(self.per_strategy.iter())
+            .filter(|(_, r)| r.queries > 0)
+    }
+
+    /// Work counters summed over every strategy.
+    pub fn total_stats(&self) -> SearchStats {
+        let mut total = SearchStats::default();
+        for r in &self.per_strategy {
+            total.add(&r.stats);
+        }
+        total
+    }
+
+    /// Queries answered across all strategies (errors excluded).
+    pub fn total_queries(&self) -> u64 {
+        self.per_strategy.iter().map(|r| r.queries).sum()
+    }
+
+    fn record(&mut self, s: Strategy, stats: &SearchStats, elapsed: std::time::Duration) {
+        let slot = &mut self.per_strategy[s.index()];
+        slot.queries += 1;
+        slot.stats.add(stats);
+        slot.latency.record(elapsed);
+    }
+
+    fn merge(&mut self, other: &BatchReport) {
+        for (a, b) in self.per_strategy.iter_mut().zip(other.per_strategy.iter()) {
+            a.queries += b.queries;
+            a.stats.add(&b.stats);
+            a.latency.merge(&b.latency);
+        }
     }
 }
 
@@ -347,6 +543,74 @@ impl BatchRunner<'_, '_> {
             .into_iter()
             .map(|r| r.expect("every index claimed exactly once"))
             .collect()
+    }
+
+    /// [`BatchRunner::run`] with instrumentation: each query goes through
+    /// [`Engine::query_traced`] and is timed; counters and latencies are
+    /// aggregated per strategy, worker-locally, then merged. Answers are
+    /// identical to the untraced batch (and to [`Engine::query`]).
+    pub fn run_traced(
+        &self,
+        queries: &[BatchQuery],
+    ) -> (Vec<Result<Option<FannAnswer>, QueryError>>, BatchReport) {
+        let n = queries.len();
+        if n == 0 {
+            return (Vec::new(), BatchReport::default());
+        }
+        let trace_one = |bq: &BatchQuery, report: &mut BatchReport| {
+            let strategy = self.engine.strategy_for(bq.agg);
+            let t0 = Instant::now();
+            let res = self.engine.query_traced(&bq.p, &bq.q, bq.phi, bq.agg);
+            let elapsed = t0.elapsed();
+            res.map(|(answer, stats)| {
+                report.record(strategy, &stats, elapsed);
+                answer
+            })
+        };
+        let workers = self.workers.clamp(1, n);
+        if workers == 1 {
+            let mut report = BatchReport::default();
+            let results = queries
+                .iter()
+                .map(|bq| trace_one(bq, &mut report))
+                .collect();
+            return (results, report);
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<Option<FannAnswer>, QueryError>>> = vec![None; n];
+        let mut report = BatchReport::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let trace_one = &trace_one;
+                    scope.spawn(move || {
+                        let mut local = BatchReport::default();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, trace_one(&queries[i], &mut local)));
+                        }
+                        (out, local)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (out, local) = h.join().expect("traced batch worker panicked");
+                for (i, r) in out {
+                    results[i] = Some(r);
+                }
+                report.merge(&local);
+            }
+        });
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect();
+        (results, report)
     }
 }
 
@@ -538,9 +802,180 @@ mod tests {
         let bare = Engine::new(&g);
         let indexed = Engine::new(&g).with_labels();
         for v in 0..25 {
-            let a = bare.g_phi(v, &q, 0.67, Aggregate::Sum).unwrap();
-            let b = indexed.g_phi(v, &q, 0.67, Aggregate::Sum).unwrap();
+            let a = bare.g_phi(v, &q, 0.67, Aggregate::Sum).unwrap().unwrap();
+            let b = indexed.g_phi(v, &q, 0.67, Aggregate::Sum).unwrap().unwrap();
             assert_eq!(a.dist, b.dist);
+        }
+    }
+
+    #[test]
+    fn g_phi_validates_instead_of_panicking() {
+        let g = grid(3, 3);
+        let engine = Engine::new(&g);
+        assert!(matches!(
+            engine.g_phi(0, &[], 0.5, Aggregate::Sum),
+            Err(QueryError::EmptyQ)
+        ));
+        assert!(matches!(
+            engine.g_phi(0, &[1, 2], 0.0, Aggregate::Sum),
+            Err(QueryError::PhiOutOfRange)
+        ));
+        assert!(matches!(
+            engine.g_phi(0, &[1, 2], f64::NAN, Aggregate::Max),
+            Err(QueryError::PhiOutOfRange)
+        ));
+        assert!(matches!(
+            engine.g_phi(99, &[1, 2], 0.5, Aggregate::Max),
+            Err(QueryError::NodeOutOfRange(99))
+        ));
+        assert!(matches!(
+            engine.g_phi(0, &[99], 0.5, Aggregate::Max),
+            Err(QueryError::NodeOutOfRange(99))
+        ));
+    }
+
+    #[test]
+    fn query_rejects_zero_and_nan_phi() {
+        let g = grid(3, 3);
+        let engine = Engine::new(&g);
+        for phi in [0.0, -0.5, f64::NAN, 1.5] {
+            assert!(matches!(
+                engine.query(&[0, 4], &[8], phi, Aggregate::Max),
+                Err(QueryError::PhiOutOfRange)
+            ));
+            assert!(matches!(
+                engine.query_topk(&[0, 4], &[8], phi, Aggregate::Max, 2),
+                Err(QueryError::PhiOutOfRange)
+            ));
+        }
+        assert!(matches!(
+            engine.query(&[0, 4], &[], 0.5, Aggregate::Max),
+            Err(QueryError::EmptyQ)
+        ));
+    }
+
+    #[test]
+    fn duplicates_in_p_and_q_answer_like_the_deduped_query() {
+        let g = grid(6, 6);
+        let p = vec![0u32, 7, 14, 7, 21, 0, 28];
+        let q = vec![3u32, 33, 3, 18];
+        let p_set = vec![0u32, 7, 14, 21, 28];
+        let q_set = vec![3u32, 33, 18];
+        for engine in [Engine::new(&g), Engine::new(&g).with_labels()] {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                // phi interacts with |Q|: dup-laden Q must use the deduped
+                // cardinality, or k differs.
+                for phi in [0.34, 0.67, 1.0] {
+                    let got = engine.query(&p, &q, phi, agg).unwrap().unwrap();
+                    let want = engine.query(&p_set, &q_set, phi, agg).unwrap().unwrap();
+                    assert_eq!(got.dist, want.dist, "{agg} phi={phi}");
+                    assert_eq!(got.p_star, want.p_star, "{agg} phi={phi}");
+                    assert_eq!(got.subset.len(), want.subset.len(), "{agg} phi={phi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_with_unreachable_query_point_saturates_instead_of_wrapping() {
+        // One isolated query node keeps its expansion head at INF, so the
+        // R-List threshold is a *saturated* sum. An unsaturated sum would
+        // wrap around to a tiny threshold and terminate the scan with a
+        // bogus answer (or return Some for an infeasible query).
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 7);
+        b.add_edge(1, 2, 9);
+        // Node 4 is isolated.
+        let g = b.build();
+        let engine = Engine::new(&g);
+        // phi = 1 requires all of Q; q = 4 is unreachable -> no answer.
+        assert_eq!(
+            engine.query(&[0, 2], &[1, 4], 1.0, Aggregate::Sum).unwrap(),
+            None
+        );
+        // phi = 0.5 needs k = 1: the reachable query point answers.
+        let a = engine
+            .query(&[0, 2], &[1, 4], 0.5, Aggregate::Sum)
+            .unwrap()
+            .unwrap();
+        assert_eq!((a.p_star, a.dist), (0, 7));
+    }
+
+    #[test]
+    fn sum_of_near_max_weights_stays_exact() {
+        // Three maximum-weight edges: the sum exceeds u32 but fits u64
+        // exactly — no saturation, no wrap.
+        const W: u32 = u32::MAX;
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, W);
+        b.add_edge(0, 2, W);
+        b.add_edge(0, 3, W);
+        let g = b.build();
+        let engine = Engine::new(&g);
+        let a = engine
+            .query(&[0], &[1, 2, 3], 1.0, Aggregate::Sum)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.dist, 3 * W as u64);
+    }
+
+    #[test]
+    fn traced_matches_untraced_and_counts_work() {
+        let g = grid(7, 7);
+        let p: Vec<u32> = (0..49).step_by(3).collect();
+        let q: Vec<u32> = vec![4, 18, 30, 44];
+        let engines = [
+            Engine::new(&g),
+            Engine::new(&g).allow_approx_sum(true),
+            Engine::new(&g).with_labels(),
+        ];
+        for engine in &engines {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                let want = engine.query(&p, &q, 0.5, agg).unwrap().unwrap();
+                let (got, stats) = engine.query_traced(&p, &q, 0.5, agg).unwrap();
+                let got = got.unwrap();
+                assert_eq!(got.dist, want.dist, "{}", engine.strategy_for(agg));
+                assert_eq!(got.p_star, want.p_star, "{}", engine.strategy_for(agg));
+                assert!(
+                    !stats.is_empty(),
+                    "{} recorded no work",
+                    engine.strategy_for(agg)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_batch_and_reports_per_strategy() {
+        let g = grid(7, 7);
+        let batch = mixed_batch(10);
+        let engine = Engine::new(&g);
+        for workers in [1usize, 3] {
+            let plain = engine.query_batch(&batch, workers);
+            let (traced, report) = engine.query_batch_traced(&batch, workers);
+            assert_eq!(plain.len(), traced.len());
+            for (a, b) in plain.iter().zip(traced.iter()) {
+                let a = a.as_ref().unwrap().as_ref().unwrap();
+                let b = b.as_ref().unwrap().as_ref().unwrap();
+                assert_eq!(a.dist, b.dist);
+                assert_eq!(a.p_star, b.p_star);
+            }
+            // The mixed workload alternates max/sum, so both index-free
+            // strategies must show up with work and latency samples.
+            assert_eq!(report.total_queries(), batch.len() as u64);
+            let active: Vec<Strategy> = report.active().map(|(s, _)| s).collect();
+            assert_eq!(active, vec![Strategy::ExactMax, Strategy::RListIne]);
+            for (s, r) in report.active() {
+                assert!(!r.stats.is_empty(), "{s} recorded no work");
+                assert_eq!(r.latency.count(), r.queries);
+            }
+            assert!(!report.total_stats().is_empty());
         }
     }
 }

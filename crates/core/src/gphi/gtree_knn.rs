@@ -5,25 +5,38 @@
 //! `k = phi|Q|` (§III-C; \[11\], \[21\]).
 
 use super::{GPhi, GPhiResult};
+use crate::metrics::Recorder;
 use crate::Aggregate;
 use gtree::{GTree, Occurrence};
 use roadnet::{Graph, NodeId};
 
 /// G-tree kNN backend: captures the tree, graph, and `Occ` over `Q`.
-pub struct GTreeKnnPhi<'t, 'g> {
+/// The `R` parameter is a [`Recorder`] instrumentation hook; the default
+/// `()` records nothing and costs nothing.
+pub struct GTreeKnnPhi<'t, 'g, R: Recorder = ()> {
     tree: &'t GTree,
     graph: &'g Graph,
     occ: Occurrence,
     num_query: usize,
+    rec: R,
 }
 
 impl<'t, 'g> GTreeKnnPhi<'t, 'g> {
     pub fn new(tree: &'t GTree, graph: &'g Graph, q: &[NodeId]) -> Self {
+        Self::with_recorder(tree, graph, q, ())
+    }
+}
+
+impl<'t, 'g, R: Recorder> GTreeKnnPhi<'t, 'g, R> {
+    /// [`GTreeKnnPhi::new`] with a live [`Recorder`] observing every
+    /// `g_phi` evaluation (each one G-tree kNN search).
+    pub fn with_recorder(tree: &'t GTree, graph: &'g Graph, q: &[NodeId], rec: R) -> Self {
         GTreeKnnPhi {
             tree,
             graph,
             occ: Occurrence::build(tree, q),
             num_query: q.len(),
+            rec,
         }
     }
 
@@ -33,9 +46,12 @@ impl<'t, 'g> GTreeKnnPhi<'t, 'g> {
     }
 }
 
-impl GPhi for GTreeKnnPhi<'_, '_> {
+impl<R: Recorder> GPhi for GTreeKnnPhi<'_, '_, R> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
         assert!(k >= 1 && k <= self.num_query, "invalid subset size {k}");
+        self.rec.gphi_eval();
+        // One kNN search = one oracle-style index probe.
+        self.rec.oracle_call();
         let knn = self.tree.knn(self.graph, &self.occ, p, k);
         if knn.len() < k {
             return None;

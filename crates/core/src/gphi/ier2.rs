@@ -10,23 +10,36 @@
 
 use super::oracle::DistanceOracle;
 use super::{GPhi, GPhiResult};
+use crate::metrics::Recorder;
 use crate::Aggregate;
 use roadnet::{Dist, Graph, LowerBound, NodeId, INF};
 use spatial_rtree::{Pt, RTree};
 use std::collections::BinaryHeap;
 
 /// IER backend over a fixed query set, generic in the distance oracle.
-pub struct IerPhi<'g, O> {
+/// The `R` parameter is a [`Recorder`] instrumentation hook; the default
+/// `()` records nothing and costs nothing.
+pub struct IerPhi<'g, O, R: Recorder = ()> {
     oracle: O,
     graph: &'g Graph,
     rtree: RTree<NodeId>,
     lb: LowerBound,
     num_query: usize,
     name: &'static str,
+    rec: R,
+    is_label: bool,
 }
 
 impl<'g, O: DistanceOracle> IerPhi<'g, O> {
     pub fn new(graph: &'g Graph, oracle: O, q: &[NodeId]) -> Self {
+        Self::with_recorder(graph, oracle, q, ())
+    }
+}
+
+impl<'g, O: DistanceOracle, R: Recorder> IerPhi<'g, O, R> {
+    /// [`IerPhi::new`] with a live [`Recorder`] observing every R-tree node
+    /// access, oracle probe, and `g_phi` evaluation.
+    pub fn with_recorder(graph: &'g Graph, oracle: O, q: &[NodeId], rec: R) -> Self {
         let items: Vec<(Pt, NodeId)> = q
             .iter()
             .map(|&v| {
@@ -42,6 +55,7 @@ impl<'g, O: DistanceOracle> IerPhi<'g, O> {
             "BiDijkstra" => "IER-BiDijkstra",
             _ => "IER-?",
         };
+        let is_label = oracle.name() == "PHL";
         IerPhi {
             oracle,
             graph,
@@ -49,22 +63,33 @@ impl<'g, O: DistanceOracle> IerPhi<'g, O> {
             lb: LowerBound::for_graph(graph),
             num_query: q.len(),
             name,
+            rec,
+            is_label,
         }
     }
 }
 
-impl<O: DistanceOracle> GPhi for IerPhi<'_, O> {
+impl<O: DistanceOracle, R: Recorder> GPhi for IerPhi<'_, O, R> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
         assert!(k >= 1 && k <= self.num_query, "invalid subset size {k}");
+        self.rec.gphi_eval();
         let c = self.graph.coord(p);
         let mut best: BinaryHeap<(Dist, NodeId)> = BinaryHeap::new();
-        for (euclid, &qnode) in self.rtree.nearest_iter(Pt::new(c.x, c.y)) {
+        let mut it = self.rtree.nearest_iter(Pt::new(c.x, c.y));
+        // `while let` (not `for`) keeps `it` borrowable after the early
+        // break so the node-access count can be read out.
+        #[allow(clippy::while_let_on_iterator)]
+        while let Some((euclid, &qnode)) = it.next() {
             let bound = self.lb.bound_euclid(euclid);
             if best.len() == k {
                 let worst = best.peek().expect("heap full").0;
                 if bound >= worst {
                     break; // no later candidate can improve the k-th best
                 }
+            }
+            self.rec.oracle_call();
+            if self.is_label {
+                self.rec.label_lookup();
             }
             let d = self.oracle.dist(p, qnode).unwrap_or(INF);
             if d == INF {
@@ -79,6 +104,7 @@ impl<O: DistanceOracle> GPhi for IerPhi<'_, O> {
                 }
             }
         }
+        self.rec.rtree_nodes(it.nodes_visited());
         if best.len() < k {
             return None;
         }

@@ -8,6 +8,7 @@
 //! (Fig. 4b).
 
 use super::{GPhi, GPhiResult, ReusableGPhi};
+use crate::metrics::Recorder;
 use crate::Aggregate;
 use roadnet::multisource::membership;
 use roadnet::{DijkstraIter, Graph, NodeId, QueryScratch};
@@ -18,30 +19,43 @@ use std::cell::RefCell;
 /// The backend owns a recycled [`QueryScratch`], so successive `eval` calls
 /// (GD probes many candidate points per query) are allocation-free, and
 /// [`ReusableGPhi::rebind`] repoints it at a new `Q` in `O(|Q|)` — the
-/// long-lived per-worker backend of the batch engine.
-pub struct InePhi<'g> {
+/// long-lived per-worker backend of the batch engine. The `R` parameter is
+/// a [`Recorder`] instrumentation hook; the default `()` records nothing
+/// and costs nothing.
+pub struct InePhi<'g, R: Recorder = ()> {
     graph: &'g Graph,
     is_query: Vec<bool>,
     q_nodes: Vec<NodeId>,
     scratch: RefCell<QueryScratch>,
+    rec: R,
 }
 
 impl<'g> InePhi<'g> {
     pub fn new(graph: &'g Graph, q: &[NodeId]) -> Self {
+        Self::with_recorder(graph, q, ())
+    }
+}
+
+impl<'g, R: Recorder> InePhi<'g, R> {
+    /// [`InePhi::new`] with a live [`Recorder`] observing every expansion
+    /// step and `g_phi` evaluation.
+    pub fn with_recorder(graph: &'g Graph, q: &[NodeId], rec: R) -> Self {
         InePhi {
             graph,
             is_query: membership(graph.num_nodes(), q),
             q_nodes: q.to_vec(),
             scratch: RefCell::new(QueryScratch::new()),
+            rec,
         }
     }
 }
 
-impl GPhi for InePhi<'_> {
+impl<R: Recorder> GPhi for InePhi<'_, R> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
         assert!(k >= 1 && k <= self.q_nodes.len(), "invalid subset size {k}");
+        self.rec.gphi_eval();
         let mut subset = Vec::with_capacity(k);
-        let mut it = DijkstraIter::with_scratch(self.graph, p, self.scratch.take());
+        let mut it = DijkstraIter::recorded(self.graph, p, self.scratch.take(), self.rec);
         for (v, d) in it.by_ref() {
             if self.is_query[v as usize] {
                 subset.push((v, d));
@@ -64,7 +78,7 @@ impl GPhi for InePhi<'_> {
     }
 }
 
-impl ReusableGPhi for InePhi<'_> {
+impl<R: Recorder> ReusableGPhi for InePhi<'_, R> {
     fn rebind(&mut self, q: &[NodeId]) {
         for &old in &self.q_nodes {
             self.is_query[old as usize] = false;

@@ -6,12 +6,13 @@
 //! \[11\]) behind one trait so [`super::scan::ScanPhi`] and
 //! [`super::ier2::IerPhi`] are generic over them.
 
+use crate::metrics::Recorder;
 use ch_index::Ch;
 use gtree::GTree;
 use hublabel::HubLabels;
 use roadnet::{
-    astar_pair_with, bidirectional_pair, dijkstra_pair_with, Dist, Graph, LowerBound, NodeId,
-    QueryScratch,
+    astar_pair_recorded, bidirectional_pair, dijkstra_pair_recorded, Dist, Graph, LowerBound,
+    NodeId, QueryScratch,
 };
 use std::cell::RefCell;
 
@@ -38,24 +39,36 @@ impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
 
 /// Plain Dijkstra with early termination. Holds a recycled
 /// [`QueryScratch`], so repeated `dist` calls on one oracle are
-/// allocation-free after the first.
-pub struct DijkstraOracle<'g> {
+/// allocation-free after the first. The `R` parameter is a [`Recorder`]
+/// instrumentation hook; the default `()` records nothing and costs
+/// nothing.
+pub struct DijkstraOracle<'g, R: Recorder = ()> {
     graph: &'g Graph,
     scratch: RefCell<QueryScratch>,
+    rec: R,
 }
 
 impl<'g> DijkstraOracle<'g> {
     pub fn new(graph: &'g Graph) -> Self {
+        Self::with_recorder(graph, ())
+    }
+}
+
+impl<'g, R: Recorder> DijkstraOracle<'g, R> {
+    /// [`DijkstraOracle::new`] with a live [`Recorder`] observing every
+    /// settle/push/pop of each point-to-point search.
+    pub fn with_recorder(graph: &'g Graph, rec: R) -> Self {
         DijkstraOracle {
             graph,
             scratch: RefCell::new(QueryScratch::new()),
+            rec,
         }
     }
 }
 
-impl DistanceOracle for DijkstraOracle<'_> {
+impl<R: Recorder> DistanceOracle for DijkstraOracle<'_, R> {
     fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
-        dijkstra_pair_with(self.graph, s, t, &mut self.scratch.borrow_mut())
+        dijkstra_pair_recorded(self.graph, s, t, &mut self.scratch.borrow_mut(), self.rec)
     }
     fn name(&self) -> &'static str {
         "Dijkstra"
@@ -63,11 +76,12 @@ impl DistanceOracle for DijkstraOracle<'_> {
 }
 
 /// A\* with an admissible Euclidean lower bound. Like [`DijkstraOracle`],
-/// carries its own recycled [`QueryScratch`].
-pub struct AStarOracle<'g> {
+/// carries its own recycled [`QueryScratch`] and an optional [`Recorder`].
+pub struct AStarOracle<'g, R: Recorder = ()> {
     graph: &'g Graph,
     lb: LowerBound,
     scratch: RefCell<QueryScratch>,
+    rec: R,
 }
 
 impl<'g> AStarOracle<'g> {
@@ -77,17 +91,33 @@ impl<'g> AStarOracle<'g> {
 
     /// Reuse a precomputed lower bound (workload environments build it once).
     pub fn with_lb(graph: &'g Graph, lb: LowerBound) -> Self {
+        Self::with_recorder(graph, lb, ())
+    }
+}
+
+impl<'g, R: Recorder> AStarOracle<'g, R> {
+    /// [`AStarOracle::with_lb`] with a live [`Recorder`] observing every
+    /// settle/push/pop of each point-to-point search.
+    pub fn with_recorder(graph: &'g Graph, lb: LowerBound, rec: R) -> Self {
         AStarOracle {
             graph,
             lb,
             scratch: RefCell::new(QueryScratch::new()),
+            rec,
         }
     }
 }
 
-impl DistanceOracle for AStarOracle<'_> {
+impl<R: Recorder> DistanceOracle for AStarOracle<'_, R> {
     fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
-        astar_pair_with(self.graph, &self.lb, s, t, &mut self.scratch.borrow_mut())
+        astar_pair_recorded(
+            self.graph,
+            &self.lb,
+            s,
+            t,
+            &mut self.scratch.borrow_mut(),
+            self.rec,
+        )
     }
     fn name(&self) -> &'static str {
         "A*"

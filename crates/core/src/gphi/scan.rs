@@ -7,28 +7,53 @@
 
 use super::oracle::DistanceOracle;
 use super::{select_k_smallest, GPhi, GPhiResult};
+use crate::metrics::Recorder;
 use crate::Aggregate;
 use roadnet::{NodeId, INF};
 
-/// Oracle-scanning backend over a fixed query set.
-pub struct ScanPhi<'q, O> {
+/// Oracle-scanning backend over a fixed query set. The `R` parameter is a
+/// [`Recorder`] instrumentation hook; the default `()` records nothing and
+/// costs nothing.
+pub struct ScanPhi<'q, O, R: Recorder = ()> {
     oracle: O,
     q: &'q [NodeId],
+    rec: R,
+    /// Whether the oracle is the hub-label ("PHL") backend, so oracle
+    /// calls also count as label lookups.
+    is_label: bool,
 }
 
 impl<'q, O: DistanceOracle> ScanPhi<'q, O> {
     pub fn new(oracle: O, q: &'q [NodeId]) -> Self {
-        ScanPhi { oracle, q }
+        Self::with_recorder(oracle, q, ())
     }
 }
 
-impl<O: DistanceOracle> GPhi for ScanPhi<'_, O> {
+impl<'q, O: DistanceOracle, R: Recorder> ScanPhi<'q, O, R> {
+    /// [`ScanPhi::new`] with a live [`Recorder`] observing every oracle
+    /// probe and `g_phi` evaluation.
+    pub fn with_recorder(oracle: O, q: &'q [NodeId], rec: R) -> Self {
+        let is_label = oracle.name() == "PHL";
+        ScanPhi {
+            oracle,
+            q,
+            rec,
+            is_label,
+        }
+    }
+}
+
+impl<O: DistanceOracle, R: Recorder> GPhi for ScanPhi<'_, O, R> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
         assert!(k >= 1 && k <= self.q.len(), "invalid subset size {k}");
-        let dists = self
-            .q
-            .iter()
-            .map(|&q| (q, self.oracle.dist(p, q).unwrap_or(INF)));
+        self.rec.gphi_eval();
+        let dists = self.q.iter().map(|&q| {
+            self.rec.oracle_call();
+            if self.is_label {
+                self.rec.label_lookup();
+            }
+            (q, self.oracle.dist(p, q).unwrap_or(INF))
+        });
         let knn = select_k_smallest(dists, k)?;
         Some(GPhiResult::from_knn(knn, agg))
     }

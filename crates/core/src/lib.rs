@@ -21,6 +21,7 @@
 pub mod algo;
 pub mod engine;
 pub mod gphi;
+pub mod metrics;
 
 use roadnet::{Dist, Graph, NodeId};
 use std::fmt;
@@ -52,9 +53,46 @@ impl fmt::Display for Aggregate {
     }
 }
 
+/// The flexible subset size `k = ceil(phi * m)`, computed FP-robustly.
+///
+/// The naive `(phi * m as f64).ceil()` drifts at exact boundaries: when
+/// `phi` was itself produced by a division `j / m`, the product `phi * m`
+/// can land an ulp above `j` (yielding `j + 1`) or below `j - 1 + 1` —
+/// e.g. `0.3 * 10` is not representable and historically rounded to `4`
+/// instead of `3` on some `(phi, m)` pairs. This routine instead returns
+/// the smallest `k in [1, m]` with `(k as f64) / (m as f64) >= phi`, which
+/// is exact whenever `phi` is any `f64` in `((k-1)/m, k/m]` — in
+/// particular `flex_k(j as f64 / m as f64, m) == j` for every `j`.
+pub fn flex_k(phi: f64, m: usize) -> usize {
+    assert!(m > 0, "Q must be non-empty");
+    assert!(phi > 0.0 && phi <= 1.0, "phi must lie in (0, 1], got {phi}");
+    let mf = m as f64;
+    let mut k = ((phi * mf).ceil() as usize).clamp(1, m);
+    // Snap to the true boundary: the f64 guess is off by at most one ulp,
+    // so each loop runs at most once or twice.
+    while k > 1 && ((k - 1) as f64) / mf >= phi {
+        k -= 1;
+    }
+    while k < m && (k as f64) / mf < phi {
+        k += 1;
+    }
+    k
+}
+
 /// An FANN_R query: data points `P`, query points `Q`, flexibility
 /// `phi in (0, 1]`, and aggregate `g` (Definition 2). The graph is passed
 /// to each algorithm separately so one query can run on many backends.
+///
+/// # Duplicate node ids
+///
+/// `P` and `Q` are **sets**: duplicate node ids carry no multiplicity.
+/// [`engine::Engine`] enforces this by deduplicating both slices (first
+/// occurrence kept) before dispatching, so every strategy sees the same
+/// effective query. Algorithms and `g_phi` backends invoked directly assume
+/// duplicate-free input — with duplicates they can legitimately disagree,
+/// because expansion-based backends (INE's membership mask) collapse a
+/// repeated query node into one stream while scan-based backends count each
+/// occurrence toward `k = ceil(phi * |Q|)`.
 #[derive(Debug, Clone)]
 pub struct FannQuery<'a> {
     pub p: &'a [NodeId],
@@ -98,9 +136,25 @@ impl<'a> FannQuery<'a> {
         FannQuery { p, q, phi, agg }
     }
 
-    /// `ceil(phi * |Q|)` — the size of the flexible subset `Q_phi`.
+    /// Construct a query validated against `g` — the fallible counterpart
+    /// of [`FannQuery::new`], returning every [`QueryError`] instead of
+    /// panicking. All [`engine::Engine`] entry points go through this.
+    pub fn checked(
+        p: &'a [NodeId],
+        q: &'a [NodeId],
+        phi: f64,
+        agg: Aggregate,
+        g: &Graph,
+    ) -> Result<Self, QueryError> {
+        let query = FannQuery { p, q, phi, agg };
+        query.validate(g)?;
+        Ok(query)
+    }
+
+    /// `ceil(phi * |Q|)` — the size of the flexible subset `Q_phi`
+    /// ([`flex_k`], FP-robust at `phi = j / |Q|` boundaries).
     pub fn subset_size(&self) -> usize {
-        ((self.phi * self.q.len() as f64).ceil() as usize).clamp(1, self.q.len())
+        flex_k(self.phi, self.q.len())
     }
 
     /// Check the query against a graph.
@@ -169,6 +223,51 @@ mod tests {
             FannQuery::new(&p, &q, 0.01, Aggregate::Max).subset_size(),
             1
         );
+    }
+
+    #[test]
+    fn flex_k_exact_at_all_rational_boundaries() {
+        // phi = j/m must select exactly j, for every m up to 64 — the f64
+        // product phi * m drifts above/below j on many of these pairs.
+        for m in 1..=64usize {
+            for j in 1..=m {
+                let phi = j as f64 / m as f64;
+                assert_eq!(flex_k(phi, m), j, "phi = {j}/{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn flex_k_just_above_boundary_rounds_up() {
+        for m in 2..=64usize {
+            for j in 1..m {
+                let phi = (j as f64 / m as f64).next_up();
+                assert_eq!(flex_k(phi, m), j + 1, "phi = {j}/{m} + ulp");
+            }
+        }
+    }
+
+    #[test]
+    fn flex_k_monotone_in_phi() {
+        for m in [1usize, 3, 7, 10, 33, 64] {
+            let mut last = 0;
+            for i in 1..=1000 {
+                let k = flex_k(i as f64 / 1000.0, m);
+                assert!(k >= last, "flex_k not monotone at phi={i}/1000, m={m}");
+                last = k;
+            }
+            assert_eq!(last, m, "phi = 1.0 must select all of Q");
+        }
+    }
+
+    #[test]
+    fn flex_k_known_drift_case() {
+        // (7.0/25.0) * 25.0 == 7.000000000000001 in f64; naive ceil gives 8.
+        assert_eq!(flex_k(7.0 / 25.0, 25), 7);
+        let p = [0u32];
+        let q: Vec<u32> = (0..25).collect();
+        let query = FannQuery::new(&p, &q, 7.0 / 25.0, Aggregate::Sum);
+        assert_eq!(query.subset_size(), 7);
     }
 
     #[test]

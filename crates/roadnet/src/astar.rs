@@ -6,6 +6,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::lowerbound::LowerBound;
+use crate::recorder::SearchRecorder;
 use crate::scratch::QueryScratch;
 use crate::Dist;
 
@@ -28,26 +29,45 @@ pub fn astar_pair_with(
     t: NodeId,
     scratch: &mut QueryScratch,
 ) -> Option<Dist> {
+    astar_pair_recorded(g, lb, s, t, scratch, ())
+}
+
+/// [`astar_pair_with`] with a live [`SearchRecorder`]; the `()` recorder
+/// makes this identical to the untraced path.
+pub fn astar_pair_recorded<R: SearchRecorder>(
+    g: &Graph,
+    lb: &LowerBound,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut QueryScratch,
+    rec: R,
+) -> Option<Dist> {
     if s == t {
         return Some(0);
     }
     scratch.begin(g.num_nodes());
     scratch.set_dist(s, 0);
     scratch.push(lb.bound(g, s, t), s);
+    rec.heap_push();
     while let Some((f, v)) = scratch.pop() {
+        rec.heap_pop();
         let d = scratch.dist(v);
         if v == t {
+            rec.node_settled();
             return Some(d);
         }
         // Stale check: recompute f from the current g-value.
         if f > d.saturating_add(lb.bound(g, v, t)) {
             continue;
         }
+        rec.node_settled();
         for (nb, w) in g.neighbors(v) {
+            rec.edge_relaxed();
             let nd = d + w as Dist;
             if nd < scratch.dist(nb) {
                 scratch.set_dist(nb, nd);
                 scratch.push(nd + lb.bound(g, nb, t), nb);
+                rec.heap_push();
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Single-source and point-to-point Dijkstra search.
 
 use crate::graph::{Graph, NodeId};
+use crate::recorder::SearchRecorder;
 use crate::scratch::QueryScratch;
 use crate::{Dist, INF};
 use std::cmp::Reverse;
@@ -45,24 +46,42 @@ pub fn dijkstra_pair_with(
     t: NodeId,
     scratch: &mut QueryScratch,
 ) -> Option<Dist> {
+    dijkstra_pair_recorded(g, s, t, scratch, ())
+}
+
+/// [`dijkstra_pair_with`] with a live [`SearchRecorder`]; the `()` recorder
+/// makes this identical to the untraced path.
+pub fn dijkstra_pair_recorded<R: SearchRecorder>(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut QueryScratch,
+    rec: R,
+) -> Option<Dist> {
     if s == t {
         return Some(0);
     }
     scratch.begin(g.num_nodes());
     scratch.set_dist(s, 0);
     scratch.push(0, s);
+    rec.heap_push();
     while let Some((d, v)) = scratch.pop() {
+        rec.heap_pop();
         if v == t {
+            rec.node_settled();
             return Some(d);
         }
         if d > scratch.dist(v) {
             continue;
         }
+        rec.node_settled();
         for (nb, w) in g.neighbors(v) {
+            rec.edge_relaxed();
             let nd = d + w as Dist;
             if nd < scratch.dist(nb) {
                 scratch.set_dist(nb, nd);
                 scratch.push(nd, nb);
+                rec.heap_push();
             }
         }
     }

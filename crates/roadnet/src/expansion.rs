@@ -11,6 +11,7 @@
 //! [`DijkstraIter::into_scratch`], and hand them to the next query.
 
 use crate::graph::{Graph, NodeId};
+use crate::recorder::SearchRecorder;
 use crate::scratch::QueryScratch;
 use crate::Dist;
 
@@ -18,10 +19,12 @@ use crate::Dist;
 ///
 /// `next()` settles and returns the next nearest unsettled node as
 /// `(node, dist)`; nodes are produced in non-decreasing distance order and
-/// each node at most once.
-pub struct DijkstraIter<'g> {
+/// each node at most once. The `R` parameter is a [`SearchRecorder`]
+/// instrumentation hook; the default `()` records nothing and costs nothing.
+pub struct DijkstraIter<'g, R: SearchRecorder = ()> {
     graph: &'g Graph,
     scratch: QueryScratch,
+    rec: R,
 }
 
 impl<'g> DijkstraIter<'g> {
@@ -32,7 +35,15 @@ impl<'g> DijkstraIter<'g> {
     /// Start an expansion reusing `scratch`'s buffers (no per-query
     /// allocation once the scratch has grown to `|V|`). Get the buffers
     /// back with [`DijkstraIter::into_scratch`] when the expansion is done.
-    pub fn with_scratch(graph: &'g Graph, source: NodeId, mut scratch: QueryScratch) -> Self {
+    pub fn with_scratch(graph: &'g Graph, source: NodeId, scratch: QueryScratch) -> Self {
+        Self::recorded(graph, source, scratch, ())
+    }
+}
+
+impl<'g, R: SearchRecorder> DijkstraIter<'g, R> {
+    /// [`DijkstraIter::with_scratch`] with a live [`SearchRecorder`] that
+    /// observes every settle/push/pop/relaxation of the expansion.
+    pub fn recorded(graph: &'g Graph, source: NodeId, mut scratch: QueryScratch, rec: R) -> Self {
         assert!(
             (source as usize) < graph.num_nodes(),
             "source {source} out of range"
@@ -40,7 +51,12 @@ impl<'g> DijkstraIter<'g> {
         scratch.begin(graph.num_nodes());
         scratch.set_dist(source, 0);
         scratch.push(0, source);
-        DijkstraIter { graph, scratch }
+        rec.heap_push();
+        DijkstraIter {
+            graph,
+            scratch,
+            rec,
+        }
     }
 
     /// Recover the scratch for reuse by a later expansion.
@@ -68,6 +84,7 @@ impl<'g> DijkstraIter<'g> {
         while let Some((d, v)) = self.scratch.peek() {
             if self.scratch.is_settled(v) || d > self.scratch.dist(v) {
                 self.scratch.pop_discard();
+                self.rec.heap_pop();
             } else {
                 break;
             }
@@ -75,14 +92,17 @@ impl<'g> DijkstraIter<'g> {
     }
 }
 
-impl Iterator for DijkstraIter<'_> {
+impl<R: SearchRecorder> Iterator for DijkstraIter<'_, R> {
     type Item = (NodeId, Dist);
 
     fn next(&mut self) -> Option<(NodeId, Dist)> {
         self.skip_stale();
         let (d, v) = self.scratch.pop()?;
+        self.rec.heap_pop();
         self.scratch.mark_settled(v);
+        self.rec.node_settled();
         for (nb, w) in self.graph.neighbors(v) {
+            self.rec.edge_relaxed();
             if self.scratch.is_settled(nb) {
                 continue;
             }
@@ -90,6 +110,7 @@ impl Iterator for DijkstraIter<'_> {
             if nd < self.scratch.dist(nb) {
                 self.scratch.set_dist(nb, nd);
                 self.scratch.push(nd, nb);
+                self.rec.heap_push();
             }
         }
         Some((v, d))

@@ -33,14 +33,17 @@ pub mod io;
 pub mod lowerbound;
 pub mod multisource;
 pub mod path;
+pub mod recorder;
 pub mod scratch;
 pub mod stats;
 pub mod svg;
 
-pub use astar::{astar_pair, astar_pair_with};
+pub use astar::{astar_pair, astar_pair_recorded, astar_pair_with};
 pub use bidirectional::bidirectional_pair;
 pub use components::largest_connected_component;
-pub use dijkstra::{dijkstra_all, dijkstra_bounded, dijkstra_pair, dijkstra_pair_with};
+pub use dijkstra::{
+    dijkstra_all, dijkstra_bounded, dijkstra_pair, dijkstra_pair_recorded, dijkstra_pair_with,
+};
 pub use dynamic::DynamicNetwork;
 pub use embed::{embed_edge_points, snap_to_vertex, EdgePoint};
 pub use expansion::DijkstraIter;
@@ -48,6 +51,7 @@ pub use graph::{Graph, GraphBuilder, NodeId, Point, Weight};
 pub use lowerbound::LowerBound;
 pub use multisource::ObjectStreams;
 pub use path::shortest_path;
+pub use recorder::SearchRecorder;
 pub use scratch::{QueryScratch, ScratchPool};
 
 /// A network (shortest-path) distance. `u64` so that sums of many `u32`

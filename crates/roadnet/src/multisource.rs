@@ -8,6 +8,7 @@
 
 use crate::expansion::DijkstraIter;
 use crate::graph::{Graph, NodeId};
+use crate::recorder::SearchRecorder;
 use crate::scratch::ScratchPool;
 use crate::Dist;
 
@@ -25,14 +26,14 @@ pub fn membership(num_nodes: usize, objects: &[NodeId]) -> Vec<bool> {
 }
 
 /// One from-near-to-far stream of data objects around a single source.
-struct ObjectStream<'g> {
-    expansion: DijkstraIter<'g>,
+struct ObjectStream<'g, R: SearchRecorder = ()> {
+    expansion: DijkstraIter<'g, R>,
     /// Lookahead: the next unreported object, if any.
     head: Option<(NodeId, Dist)>,
     exhausted: bool,
 }
 
-impl ObjectStream<'_> {
+impl<R: SearchRecorder> ObjectStream<'_, R> {
     /// Ensure `head` holds the next object (advancing the expansion).
     fn fill(&mut self, is_object: &[bool]) {
         if self.head.is_some() || self.exhausted {
@@ -49,8 +50,8 @@ impl ObjectStream<'_> {
 }
 
 /// `|Q|` interleaved object streams over a common object set.
-pub struct ObjectStreams<'g> {
-    streams: Vec<ObjectStream<'g>>,
+pub struct ObjectStreams<'g, R: SearchRecorder = ()> {
+    streams: Vec<ObjectStream<'g, R>>,
     is_object: Vec<bool>,
 }
 
@@ -71,11 +72,26 @@ impl<'g> ObjectStreams<'g> {
         objects: &[NodeId],
         pool: &mut ScratchPool,
     ) -> Self {
+        Self::with_pool_recorded(graph, sources, objects, pool, ())
+    }
+}
+
+impl<'g, R: SearchRecorder> ObjectStreams<'g, R> {
+    /// [`ObjectStreams::with_pool`] with a live [`SearchRecorder`] observing
+    /// every underlying expansion; the `()` recorder makes this identical to
+    /// the untraced path.
+    pub fn with_pool_recorded(
+        graph: &'g Graph,
+        sources: &[NodeId],
+        objects: &[NodeId],
+        pool: &mut ScratchPool,
+        rec: R,
+    ) -> Self {
         let is_object = membership(graph.num_nodes(), objects);
         let streams = sources
             .iter()
             .map(|&q| ObjectStream {
-                expansion: DijkstraIter::with_scratch(graph, q, pool.take()),
+                expansion: DijkstraIter::recorded(graph, q, pool.take(), rec),
                 head: None,
                 exhausted: false,
             })

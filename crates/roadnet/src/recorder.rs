@@ -1,0 +1,80 @@
+//! Zero-cost search instrumentation hooks.
+//!
+//! Every Dijkstra-family primitive in this crate is generic over a
+//! [`SearchRecorder`] — a tiny `Copy` handle whose methods are invoked at
+//! the interesting points of a search (node settled, heap push/pop, edge
+//! relaxed). The unit type `()` is the default recorder and every one of
+//! its methods is an empty `#[inline(always)]` body, so the untraced entry
+//! points (`DijkstraIter::new`, `dijkstra_pair`, …) monomorphize to exactly
+//! the code they compiled to before instrumentation existed: no branches,
+//! no fields, no allocation.
+//!
+//! A real recorder (e.g. `fann-core`'s `StatsSink`, used via `&StatsSink`)
+//! implements the same trait with `Cell` bumps; callers opt in through the
+//! `*_recorded` constructors and free functions.
+
+/// Hooks called by graph searches as they do work.
+///
+/// Implementors must be cheap to copy (they are passed by value into every
+/// search); shared-counter recorders implement the trait on `&Self`.
+pub trait SearchRecorder: Copy {
+    /// A node was settled (popped with its final distance).
+    #[inline(always)]
+    fn node_settled(self) {}
+
+    /// An entry was pushed onto the search priority queue.
+    #[inline(always)]
+    fn heap_push(self) {}
+
+    /// An entry was popped from the search priority queue (settled or stale).
+    #[inline(always)]
+    fn heap_pop(self) {}
+
+    /// An outgoing edge was examined during relaxation.
+    #[inline(always)]
+    fn edge_relaxed(self) {}
+}
+
+/// The no-op recorder: compiles to nothing.
+impl SearchRecorder for () {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[derive(Default)]
+    struct Counts {
+        settled: Cell<u64>,
+        pushes: Cell<u64>,
+    }
+
+    impl SearchRecorder for &Counts {
+        fn node_settled(self) {
+            self.settled.set(self.settled.get() + 1);
+        }
+        fn heap_push(self) {
+            self.pushes.set(self.pushes.get() + 1);
+        }
+    }
+
+    #[test]
+    fn unit_recorder_is_callable() {
+        ().node_settled();
+        ().heap_push();
+        ().heap_pop();
+        ().edge_relaxed();
+    }
+
+    #[test]
+    fn shared_recorder_counts() {
+        let c = Counts::default();
+        let r = &c;
+        r.node_settled();
+        r.node_settled();
+        r.heap_push();
+        r.heap_pop(); // default no-op
+        assert_eq!(c.settled.get(), 2);
+        assert_eq!(c.pushes.get(), 1);
+    }
+}

@@ -248,7 +248,11 @@ impl<T> RTree<T> {
                 HeapEntry::Node(root),
             ));
         }
-        NearestIter { q, heap }
+        NearestIter {
+            q,
+            heap,
+            nodes_visited: 0,
+        }
     }
 
     /// The `k` nearest items to `q` as `(distance, &data)`.
@@ -311,6 +315,15 @@ impl<T> Ord for HeapEntry<'_, T> {
 pub struct NearestIter<'a, T> {
     q: Pt,
     heap: BinaryHeap<(Reverse<OrdF64>, HeapEntry<'a, T>)>,
+    nodes_visited: u64,
+}
+
+impl<T> NearestIter<'_, T> {
+    /// Tree nodes (leaf or internal) expanded so far — the classic
+    /// machine-independent "node accesses" cost of best-first NN search.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes_visited
+    }
 }
 
 impl<'a, T> Iterator for NearestIter<'a, T> {
@@ -322,6 +335,7 @@ impl<'a, T> Iterator for NearestIter<'a, T> {
                 HeapEntry::Item(it) => return Some((d, &it.data)),
                 HeapEntry::Node(n) => match &n.kind {
                     NodeKind::Leaf(items) => {
+                        self.nodes_visited += 1;
                         for it in items {
                             self.heap.push((
                                 Reverse(OrdF64(it.point.dist(&self.q))),
@@ -330,6 +344,7 @@ impl<'a, T> Iterator for NearestIter<'a, T> {
                         }
                     }
                     NodeKind::Internal(ns) => {
+                        self.nodes_visited += 1;
                         for c in ns {
                             self.heap.push((
                                 Reverse(OrdF64(c.mbr.mindist_point(self.q))),

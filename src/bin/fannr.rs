@@ -18,15 +18,19 @@
 use fannr::bench::throughput::{run_throughput, CountingAlloc, ThroughputOpts};
 use fannr::fann::algo::ier::build_p_rtree;
 use fannr::fann::algo::topk::{exact_max_topk, gd_topk, ier_topk, rlist_topk};
-use fannr::fann::algo::{apx_sum, exact_max, gd, ier_knn, r_list};
+use fannr::fann::algo::{
+    apx_sum, apx_sum_traced, exact_max, exact_max_traced, gd, ier_knn, ier_knn_traced, r_list,
+    r_list_traced, IerBound,
+};
 use fannr::fann::gphi::ier2::IerPhi;
 use fannr::fann::gphi::ine::InePhi;
 use fannr::fann::gphi::oracle::LabelOracle;
 use fannr::fann::gphi::GPhi;
+use fannr::fann::metrics::{SearchStats, StatsSink};
 use fannr::fann::{Aggregate, FannAnswer, FannQuery};
 use fannr::hublabel::HubLabels;
 use fannr::roadnet::io::{read_compact, write_compact};
-use fannr::roadnet::{shortest_path, Graph};
+use fannr::roadnet::{shortest_path, Graph, ScratchPool};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&opts),
         "index" => cmd_index(&opts),
         "query" => cmd_query(&opts),
+        "explain" => cmd_explain(&opts),
         "render" => cmd_render(&opts),
         "stats" => cmd_stats(&opts),
         "bench-batch" => cmd_bench_batch(&opts),
@@ -72,6 +77,9 @@ commands:
   query      run an FANN_R query                 (--graph, --algo, --agg,
              --phi, --p-density, --q-size, --coverage, --clusters, --seed,
              --labels, --k, --routes)
+  explain    run one query through every applicable strategy and print a
+             per-strategy work breakdown         (query options; builds
+             hub labels in-process unless --labels is given)
   render     draw a query answer as SVG          (query options + --out)
   stats      describe a network                  (--graph)
   bench-batch  measure batch throughput          (--nodes, --queries,
@@ -182,8 +190,7 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     } else {
         fannr::workload::points::clustered_query_points(&g, m, a, c, &mut rng)
     };
-    let query = FannQuery::new(&p, &q, phi, agg);
-    query.validate(&g).map_err(|e| e.to_string())?;
+    let query = FannQuery::checked(&p, &q, phi, agg, &g).map_err(|e| e.to_string())?;
     println!(
         "graph: {} nodes | |P| = {} | |Q| = {} | phi = {phi} ({}) | g = {agg}",
         g.num_nodes(),
@@ -255,6 +262,127 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the same query through every strategy applicable to its aggregate,
+/// with a live recorder, and print one work-breakdown row per strategy.
+fn cmd_explain(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let agg = match opts.get("agg").map(String::as_str).unwrap_or("max") {
+        "max" => Aggregate::Max,
+        "sum" => Aggregate::Sum,
+        other => return Err(format!("unknown aggregate '{other}' (max|sum)")),
+    };
+    let phi: f64 = get(opts, "phi", 0.5);
+    let seed: u64 = get(opts, "seed", 1);
+    let mut rng = fannr::workload::rng(seed);
+    let p =
+        fannr::workload::points::uniform_data_points(&g, get(opts, "p-density", 0.01), &mut rng);
+    let q = fannr::workload::points::uniform_query_points(
+        &g,
+        get(opts, "q-size", 32),
+        get(opts, "coverage", 0.2),
+        &mut rng,
+    );
+    let query = FannQuery::checked(&p, &q, phi, agg, &g).map_err(|e| e.to_string())?;
+    println!(
+        "graph: {} nodes | |P| = {} | |Q| = {} | phi = {phi} (k = {}) | g = {agg}",
+        g.num_nodes(),
+        p.len(),
+        q.len(),
+        query.subset_size()
+    );
+
+    // The indexed strategy needs labels; load them if given, else build.
+    let labels = match opts.get("labels") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            HubLabels::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            let t0 = std::time::Instant::now();
+            let l = HubLabels::build(&g);
+            println!(
+                "(built hub labels in {:.1}s; pass --labels to reuse a persisted index)",
+                t0.elapsed().as_secs_f64()
+            );
+            l
+        }
+    };
+    let rtree = build_p_rtree(&g, &p);
+
+    let strategies: &[&str] = match agg {
+        Aggregate::Max => &["Exact-max", "R-List/INE", "IER-kNN/PHL"],
+        Aggregate::Sum => &["R-List/INE", "APX-sum/INE", "IER-kNN/PHL"],
+    };
+    let mut rows: Vec<(&str, std::time::Duration, Option<FannAnswer>, SearchStats)> = Vec::new();
+    for &name in strategies {
+        let sink = StatsSink::new();
+        let t0 = std::time::Instant::now();
+        let ans = match name {
+            "Exact-max" => exact_max_traced(&g, &query, &mut ScratchPool::new(), &sink),
+            "R-List/INE" => {
+                let gphi = InePhi::with_recorder(&g, &q, &sink);
+                r_list_traced(&g, &query, &gphi, &mut ScratchPool::new(), &sink)
+            }
+            "APX-sum/INE" => {
+                let gphi = InePhi::with_recorder(&g, &q, &sink);
+                apx_sum_traced(&g, &query, &gphi, &sink)
+            }
+            "IER-kNN/PHL" => {
+                let gphi = IerPhi::with_recorder(&g, LabelOracle { labels: &labels }, &q, &sink);
+                ier_knn_traced(&g, &query, &rtree, &gphi, IerBound::Flexible, &sink)
+            }
+            _ => unreachable!("strategy list is fixed above"),
+        };
+        rows.push((name, t0.elapsed(), ans, sink.snapshot()));
+    }
+
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>6} {:>7}",
+        "strategy",
+        "time",
+        "d*",
+        "settled",
+        "pushes",
+        "pops",
+        "edges",
+        "g_phi",
+        "oracle",
+        "labels",
+        "rtree",
+        "pruned"
+    );
+    for (name, elapsed, ans, s) in &rows {
+        let dist = ans.as_ref().map_or("-".to_string(), |a| a.dist.to_string());
+        println!(
+            "{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>6} {:>7}",
+            name,
+            format!("{:.1?}", elapsed),
+            dist,
+            s.nodes_settled,
+            s.heap_pushes,
+            s.heap_pops,
+            s.edges_relaxed,
+            s.gphi_evals,
+            s.oracle_calls,
+            s.label_lookups,
+            s.rtree_nodes,
+            s.candidates_pruned,
+        );
+    }
+    // Exact strategies must agree; APX-sum may legitimately differ.
+    let exact_dists: Vec<_> = rows
+        .iter()
+        .filter(|(name, ..)| *name != "APX-sum/INE")
+        .filter_map(|(_, _, ans, _)| ans.as_ref().map(|a| a.dist))
+        .collect();
+    if exact_dists.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!(
+            "exact strategies disagree on d*: {exact_dists:?} (this is a bug)"
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_render(opts: &HashMap<String, String>) -> Result<(), String> {
     use fannr::roadnet::svg::SvgScene;
     let g = load_graph(opts)?;
@@ -275,8 +403,7 @@ fn cmd_render(opts: &HashMap<String, String>) -> Result<(), String> {
         get(opts, "coverage", 0.3),
         &mut rng,
     );
-    let query = FannQuery::new(&p, &q, phi, agg);
-    query.validate(&g).map_err(|e| e.to_string())?;
+    let query = FannQuery::checked(&p, &q, phi, agg, &g).map_err(|e| e.to_string())?;
     let answer = match agg {
         Aggregate::Max => exact_max(&g, &query),
         Aggregate::Sum => r_list(&g, &query, &InePhi::new(&g, &q)),

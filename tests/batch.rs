@@ -135,6 +135,48 @@ fn per_query_errors_leave_state_clean() {
     }
 }
 
+/// Duplicate ids in `P`/`Q` are set semantics everywhere: a dup-laden
+/// stream answers exactly like its deduplicated twin (first occurrence
+/// kept), sequentially and batched, with and without labels. This pins
+/// the contract documented on [`fannr::fann::FannQuery`] — `phi` applies
+/// to the *set* cardinality of `Q`, never the multiset length.
+#[test]
+fn duplicate_ids_cross_validate_against_deduped_stream() {
+    let (g, stream) = workload(15, 400, 12);
+    // Duplicate some of P and Q in every query (keeping first-occurrence
+    // order so the deduped twin is exactly the original).
+    let dup_stream: Vec<BatchQuery> = stream
+        .iter()
+        .map(|b| {
+            let mut p = b.p.clone();
+            p.insert(1, b.p[0]);
+            p.push(*b.p.last().expect("non-empty P"));
+            let mut q = b.q.clone();
+            q.extend_from_slice(&b.q);
+            BatchQuery::new(p, q, b.phi, b.agg)
+        })
+        .collect();
+    for engine in [Engine::new(&g), Engine::new(&g).with_labels()] {
+        for (i, (dup, clean)) in dup_stream.iter().zip(&stream).enumerate() {
+            let got = engine.query(&dup.p, &dup.q, dup.phi, dup.agg).unwrap();
+            let want = engine
+                .query(&clean.p, &clean.q, clean.phi, clean.agg)
+                .unwrap();
+            assert_eq!(got, want, "query {i}, labels={}", engine.has_labels());
+        }
+        for workers in [1usize, 4] {
+            let got = engine.query_batch(&dup_stream, workers);
+            let want = engine.query_batch(&stream, workers);
+            assert_eq!(
+                got,
+                want,
+                "workers={workers}, labels={}",
+                engine.has_labels()
+            );
+        }
+    }
+}
+
 /// Draw a small connected network and a sequence of eval requests on it.
 fn arb_eval_sequence() -> impl Strategy<Value = (Graph, Vec<(Vec<NodeId>, NodeId, usize)>)> {
     (any::<u64>(), 20usize..80, 2usize..10).prop_map(|(seed, nodes, evals)| {

@@ -1,0 +1,467 @@
+//! `loadgen` — open-loop load generator for `fannr serve`.
+//!
+//! Regenerates the same synthetic network as the server (`--nodes`,
+//! `--seed` must match the `fannr serve` invocation) so it can produce
+//! valid query workloads, then drives the server at a fixed arrival rate
+//! and reports achieved QPS, shed rate, and client-observed p50/p90/p99.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7878 --nodes 10000 --seed 7 \
+//!         --rate 200 --duration-s 10 --conns 2 [--deadline-ms 50] [--shutdown]
+//! loadgen --addr 127.0.0.1:7878 --nodes 2000 --seed 7 --smoke
+//! ```
+//!
+//! Open loop means the send schedule never adapts to response latency —
+//! requests go out on their ticks whether or not earlier ones have been
+//! answered, which is what exposes queueing and shedding behaviour.
+//!
+//! `--smoke` is the CI mode: sequential queries cross-validated against a
+//! local [`Engine`], a forced-cancellation probe, a metrics check, and a
+//! clean wire shutdown. Exit code 0 means ≥1 success, 0 wrong answers,
+//! and an orderly drain.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fann_core::engine::Engine;
+use fann_core::metrics::LatencyHistogram;
+use fann_core::Aggregate;
+use fannr_serve::{Body, Client, Op, QuerySpec, Request};
+use roadnet::Graph;
+
+fn parse_opts(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), val);
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A fixed pool of valid (P, Q, phi, agg) workloads, cycled round-robin.
+struct QueryPool {
+    specs: Vec<QuerySpec>,
+}
+
+impl QueryPool {
+    fn generate(graph: &Graph, seed: u64, size: usize, deadline_ms: Option<u64>) -> QueryPool {
+        let mut rng = workload::rng(seed.wrapping_add(0x10adc0de));
+        let specs = (0..size)
+            .map(|i| {
+                let p = workload::points::uniform_data_points(graph, 0.01, &mut rng);
+                let q = workload::points::uniform_query_points(graph, 4 + i % 8, 0.5, &mut rng);
+                QuerySpec {
+                    p,
+                    q,
+                    phi: [0.25, 0.5, 0.75, 1.0][i % 4],
+                    agg: if i % 2 == 0 {
+                        Aggregate::Max
+                    } else {
+                        Aggregate::Sum
+                    },
+                    deadline_ms,
+                }
+            })
+            .collect();
+        QueryPool { specs }
+    }
+
+    fn spec(&self, i: usize) -> &QuerySpec {
+        &self.specs[i % self.specs.len()]
+    }
+}
+
+/// Connect with retries so loadgen can be launched alongside the server.
+fn connect_with_retry(addr: &str, budget: Duration) -> Result<Client, String> {
+    let start = Instant::now();
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if start.elapsed() < budget => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts(std::env::args().skip(1));
+    let addr: String = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let nodes: usize = get(&opts, "nodes", 10_000);
+    let seed: u64 = get(&opts, "seed", 7);
+    let deadline_ms: Option<u64> = opts.get("deadline-ms").and_then(|v| v.parse().ok());
+
+    eprintln!("loadgen: regenerating network ({nodes} nodes, seed {seed})");
+    let graph = workload::synth::road_network(nodes, &mut workload::rng(seed));
+    let pool = QueryPool::generate(&graph, seed, 32, deadline_ms);
+
+    let result = if opts.contains_key("smoke") {
+        smoke(&addr, &graph, &pool)
+    } else {
+        open_loop(
+            &addr,
+            &pool,
+            get(&opts, "rate", 100.0),
+            Duration::from_secs_f64(get(&opts, "duration-s", 5.0)),
+            get(&opts, "conns", 1usize),
+            opts.contains_key("shutdown"),
+        )
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// CI smoke: bounded, deterministic, verifies answers against a local
+/// engine and finishes with a clean wire shutdown.
+fn smoke(addr: &str, graph: &Graph, pool: &QueryPool) -> Result<(), String> {
+    let engine = Engine::new(graph);
+    let mut client = connect_with_retry(addr, Duration::from_secs(20))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+
+    // The server must be alive and not draining.
+    let resp = client
+        .call(&Request {
+            id: Some("h".into()),
+            op: Op::Health,
+        })
+        .map_err(|e| format!("health: {e}"))?;
+    match resp.body {
+        Body::Health(h) if !h.draining => {}
+        other => return Err(format!("unhealthy server: {other:?}")),
+    }
+
+    // Sequential queries, each cross-validated against the local engine.
+    let mut ok = 0u64;
+    let mut empty = 0u64;
+    for i in 0..16 {
+        let spec = pool.spec(i).clone();
+        let expected = engine
+            .query(&spec.p, &spec.q, spec.phi, spec.agg)
+            .map_err(|e| format!("local engine rejected smoke query {i}: {e}"))?;
+        let req = Request {
+            id: Some(format!("s{i}")),
+            op: Op::Query(QuerySpec {
+                deadline_ms: None,
+                ..spec
+            }),
+        };
+        let resp = client.call(&req).map_err(|e| format!("query {i}: {e}"))?;
+        match (&resp.body, &expected) {
+            (
+                Body::Ok {
+                    p_star,
+                    dist,
+                    subset,
+                    ..
+                },
+                Some(want),
+            ) => {
+                if *p_star != want.p_star || *dist != want.dist || *subset != want.subset {
+                    return Err(format!(
+                        "WRONG ANSWER on query {i}: got (p*={p_star}, d*={dist}), \
+                         expected (p*={}, d*={})",
+                        want.p_star, want.dist
+                    ));
+                }
+                ok += 1;
+            }
+            (Body::Empty, None) => empty += 1,
+            (body, want) => {
+                return Err(format!(
+                    "WRONG ANSWER on query {i}: got {body:?}, expected {want:?}"
+                ))
+            }
+        }
+    }
+    if ok == 0 {
+        return Err("no query succeeded".to_string());
+    }
+
+    // A pre-expired deadline must cancel, never answer wrongly.
+    let spec = pool.spec(0).clone();
+    let resp = client
+        .call(&Request {
+            id: Some("doomed".into()),
+            op: Op::Query(QuerySpec {
+                deadline_ms: Some(0),
+                ..spec
+            }),
+        })
+        .map_err(|e| format!("deadline probe: {e}"))?;
+    if resp.body != Body::Cancelled {
+        return Err(format!("expected cancelled for 0ms deadline, got {resp:?}"));
+    }
+
+    // Metrics must reflect the traffic we just generated.
+    let resp = client
+        .call(&Request {
+            id: None,
+            op: Op::Metrics,
+        })
+        .map_err(|e| format!("metrics: {e}"))?;
+    match resp.body {
+        Body::Metrics(m) if m.ok >= ok && m.cancelled >= 1 => {
+            eprintln!(
+                "loadgen: server metrics: {} admitted, {} ok, {} cancelled, {} shed",
+                m.requests, m.ok, m.cancelled, m.shed
+            );
+        }
+        other => return Err(format!("inconsistent metrics: {other:?}")),
+    }
+
+    // Clean drain over the wire.
+    let resp = client
+        .call(&Request {
+            id: Some("bye".into()),
+            op: Op::Shutdown,
+        })
+        .map_err(|e| format!("shutdown: {e}"))?;
+    if resp.body != Body::Bye {
+        return Err(format!("expected bye, got {resp:?}"));
+    }
+
+    println!("SMOKE PASS: {ok} ok, {empty} empty, 0 wrong answers, clean drain");
+    Ok(())
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    empty: AtomicU64,
+    cancelled: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Fixed-rate open loop across `conns` connections.
+fn open_loop(
+    addr: &str,
+    pool: &QueryPool,
+    rate: f64,
+    duration: Duration,
+    conns: usize,
+    send_shutdown: bool,
+) -> Result<(), String> {
+    if rate.is_nan() || rate <= 0.0 {
+        return Err("--rate must be positive".to_string());
+    }
+    let conns = conns.max(1);
+    let per_conn_interval = Duration::from_secs_f64(conns as f64 / rate);
+    let tally = Tally::default();
+    let latency = Mutex::new(LatencyHistogram::default());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for conn in 0..conns {
+            let tally = &tally;
+            let latency = &latency;
+            let addr = addr.to_string();
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                run_connection(
+                    &addr,
+                    conn,
+                    pool,
+                    per_conn_interval,
+                    duration,
+                    tally,
+                    latency,
+                )
+            }));
+        }
+        for h in handles {
+            h.join().expect("connection thread")?;
+        }
+        Ok(())
+    })?;
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let sent = tally.sent.load(Ordering::Relaxed);
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let empty = tally.empty.load(Ordering::Relaxed);
+    let cancelled = tally.cancelled.load(Ordering::Relaxed);
+    let shed = tally.shed.load(Ordering::Relaxed);
+    let errors = tally.errors.load(Ordering::Relaxed);
+    let answered = ok + empty;
+    let hist = latency.lock().unwrap();
+    println!(
+        "offered {:.1} qps | achieved {:.1} qps | sent {sent} | ok {ok} | empty {empty} | \
+         cancelled {cancelled} | shed {shed} ({:.1}%) | errors {errors}",
+        rate,
+        answered as f64 / elapsed,
+        100.0 * shed as f64 / sent.max(1) as f64,
+    );
+    println!(
+        "latency (answered): p50 {}us | p90 {}us | p99 {}us | max {}us",
+        hist.p50_ns() / 1_000,
+        hist.p90_ns() / 1_000,
+        hist.p99_ns() / 1_000,
+        hist.max_ns() / 1_000,
+    );
+    drop(hist);
+
+    if send_shutdown {
+        let mut client = connect_with_retry(addr, Duration::from_secs(5))?;
+        client
+            .call(&Request {
+                id: None,
+                op: Op::Shutdown,
+            })
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+    if errors > 0 {
+        return Err(format!("{errors} requests failed"));
+    }
+    Ok(())
+}
+
+/// One connection: a paced writer thread plus this (reader) thread
+/// matching responses back to send timestamps by id.
+fn run_connection(
+    addr: &str,
+    conn: usize,
+    pool: &QueryPool,
+    interval: Duration,
+    duration: Duration,
+    tally: &Tally,
+    latency: &Mutex<LatencyHistogram>,
+) -> Result<(), String> {
+    let client = connect_with_retry(addr, Duration::from_secs(20))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let (mut rx, mut tx) = client.split();
+    let sent_at: Mutex<HashMap<String, Instant>> = Mutex::new(HashMap::new());
+    let writer_done = AtomicU64::new(0); // 0 = running, else final sent count + 1
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        // Writer: one request per tick, never waiting for responses.
+        let sent_at_ref = &sent_at;
+        let writer_done_ref = &writer_done;
+        let writer = scope.spawn(move || -> Result<u64, String> {
+            let start = Instant::now();
+            let mut seq = 0u64;
+            loop {
+                let tick = interval.mul_f64(seq as f64);
+                if tick >= duration {
+                    break;
+                }
+                if let Some(sleep) = tick.checked_sub(start.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+                let id = format!("c{conn}-{seq}");
+                let spec = pool.spec(conn.wrapping_add(seq as usize)).clone();
+                sent_at_ref
+                    .lock()
+                    .unwrap()
+                    .insert(id.clone(), Instant::now());
+                tx.send(&Request {
+                    id: Some(id),
+                    op: Op::Query(spec),
+                })
+                .map_err(|e| format!("send: {e}"))?;
+                seq += 1;
+                tally.sent.fetch_add(1, Ordering::Relaxed);
+            }
+            writer_done_ref.store(seq + 1, Ordering::Release);
+            Ok(seq)
+        });
+
+        // Reader: this thread. Drain until every sent id is answered.
+        let mut received = 0u64;
+        let mut idle_timeouts = 0u32;
+        loop {
+            let done = writer_done.load(Ordering::Acquire);
+            if done != 0 && received >= done - 1 {
+                break;
+            }
+            let resp = match rx.recv() {
+                Ok(r) => {
+                    idle_timeouts = 0;
+                    r
+                }
+                // A read timeout with nothing outstanding just means the
+                // writer is still pacing (or the box is starved); keep
+                // waiting, but not forever.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) && sent_at.lock().unwrap().is_empty()
+                        && idle_timeouts < 4 =>
+                {
+                    idle_timeouts += 1;
+                    continue;
+                }
+                Err(e) => {
+                    // Count everything still outstanding as an error.
+                    let outstanding = sent_at.lock().unwrap().len() as u64;
+                    tally
+                        .errors
+                        .fetch_add(outstanding.max(1), Ordering::Relaxed);
+                    eprintln!(
+                        "loadgen: conn {conn}: read failed with {outstanding} outstanding: {e}"
+                    );
+                    break;
+                }
+            };
+            let when = resp
+                .id
+                .as_ref()
+                .and_then(|id| sent_at.lock().unwrap().remove(id));
+            match resp.body {
+                Body::Ok { .. } | Body::Empty => {
+                    if let Some(t0) = when {
+                        latency.lock().unwrap().record(t0.elapsed());
+                    }
+                    match resp.body {
+                        Body::Ok { .. } => tally.ok.fetch_add(1, Ordering::Relaxed),
+                        _ => tally.empty.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+                Body::Cancelled => {
+                    tally.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                Body::Shed => {
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                other => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("loadgen: conn {conn}: unexpected response {other:?}");
+                }
+            }
+            received += 1;
+        }
+
+        writer.join().expect("writer thread")?;
+        Ok(())
+    })
+}

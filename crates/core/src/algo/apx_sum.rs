@@ -7,21 +7,24 @@
 //! `2 d*` when `Q ⊆ P`. Both bounds are enforced by property tests; in
 //! practice the ratio stays below 1.2 (Fig. 11).
 
-use crate::algo::gd::gd;
+use crate::algo::gd::gd_cancellable;
 use crate::gphi::GPhi;
 use crate::metrics::Recorder;
 use crate::{Aggregate, FannAnswer, FannQuery};
+use roadnet::cancel::{CancelCheck, Cancelled};
 use roadnet::multisource::membership;
 use roadnet::{DijkstraIter, Graph, NodeId, QueryScratch};
 
 /// Nearest member of `P` (given as a mask) to `q`, by network expansion.
-fn nearest_data_point<R: Recorder>(
+/// A cancelled expansion yields `None`; callers re-check the token.
+fn nearest_data_point<R: Recorder, C: CancelCheck>(
     g: &Graph,
     is_data: &[bool],
     q: NodeId,
     rec: R,
+    cancel: C,
 ) -> Option<NodeId> {
-    DijkstraIter::recorded(g, q, QueryScratch::new(), rec)
+    DijkstraIter::cancellable(g, q, QueryScratch::new(), rec, cancel)
         .find(|&(v, _)| is_data[v as usize])
         .map(|(v, _)| v)
 }
@@ -34,11 +37,20 @@ pub fn apx_sum_candidates(g: &Graph, query: &FannQuery) -> Vec<NodeId> {
 /// [`apx_sum_candidates`] with a live [`Recorder`] observing the `|Q|`
 /// nearest-neighbor expansions.
 pub fn apx_sum_candidates_traced<R: Recorder>(g: &Graph, query: &FannQuery, rec: R) -> Vec<NodeId> {
+    candidates_cancellable(g, query, rec, ())
+}
+
+fn candidates_cancellable<R: Recorder, C: CancelCheck>(
+    g: &Graph,
+    query: &FannQuery,
+    rec: R,
+    cancel: C,
+) -> Vec<NodeId> {
     let is_data = membership(g.num_nodes(), query.p);
     let mut cand: Vec<NodeId> = query
         .q
         .iter()
-        .filter_map(|&q| nearest_data_point(g, &is_data, q, rec))
+        .filter_map(|&q| nearest_data_point(g, &is_data, q, rec, cancel))
         .collect();
     cand.sort_unstable();
     cand.dedup();
@@ -70,17 +82,41 @@ pub fn apx_sum_traced<R: Recorder>(
     gphi: &dyn GPhi,
     rec: R,
 ) -> Option<FannAnswer> {
+    match apx_sum_cancellable(g, query, gphi, rec, ()) {
+        Ok(a) => a,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+/// [`apx_sum_traced`] with a live [`CancelCheck`] polled by the candidate
+/// expansions and the reduced GD scan; the `()` check makes this identical
+/// to the uncancellable path.
+///
+/// # Panics
+/// If the query aggregate is not [`Aggregate::Sum`].
+pub fn apx_sum_cancellable<R: Recorder, C: CancelCheck>(
+    g: &Graph,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    rec: R,
+    cancel: C,
+) -> Result<Option<FannAnswer>, Cancelled> {
     assert_eq!(
         query.agg,
         Aggregate::Sum,
         "APX-sum answers sum-FANN_R only (Theorem 1)"
     );
-    let cand = apx_sum_candidates_traced(g, query, rec);
+    let cand = candidates_cancellable(g, query, rec, cancel);
+    // A cancelled expansion above silently shrinks the candidate set;
+    // re-check exactly before trusting it.
+    if cancel.cancelled_now() {
+        return Err(Cancelled);
+    }
     // Candidate reduction is the whole point of Algorithm 3: everything
     // outside the candidate set is pruned (duplicate-free P).
     rec.pruned(query.p.len().saturating_sub(cand.len()) as u64);
     if cand.is_empty() {
-        return None;
+        return Ok(None);
     }
     let reduced = FannQuery {
         p: &cand,
@@ -88,7 +124,7 @@ pub fn apx_sum_traced<R: Recorder>(
         phi: query.phi,
         agg: Aggregate::Sum,
     };
-    gd(&reduced, gphi)
+    gd_cancellable(&reduced, gphi, cancel)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 use crate::gphi::GPhi;
 use crate::metrics::Recorder;
 use crate::{Aggregate, FannAnswer, FannQuery};
+use roadnet::cancel::{CancelCheck, Cancelled};
 use roadnet::{Dist, Graph, NodeId, ObjectStreams, ScratchPool};
 use std::collections::HashMap;
 
@@ -21,17 +22,38 @@ use std::collections::HashMap;
 /// before any counter reaches `k`. Expansion scratches are drawn from (and
 /// returned to) `pool`. Data points whose counter never started before the
 /// winner fired are reported to `rec` as pruned.
+/// A fired counter: the winning data point plus its `k` nearest query
+/// points with their distances.
+type Fired = Option<(NodeId, Vec<(NodeId, Dist)>)>;
+
 fn counter_loop<R: Recorder>(
     g: &Graph,
     query: &FannQuery,
     pool: &mut ScratchPool,
     rec: R,
-) -> Option<(NodeId, Vec<(NodeId, Dist)>)> {
+) -> Fired {
+    match counter_loop_cancellable(g, query, pool, rec, ()) {
+        Ok(fired) => fired,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+fn counter_loop_cancellable<R: Recorder, C: CancelCheck>(
+    g: &Graph,
+    query: &FannQuery,
+    pool: &mut ScratchPool,
+    rec: R,
+    cancel: C,
+) -> Result<Fired, Cancelled> {
     let k = query.subset_size();
-    let mut streams = ObjectStreams::with_pool_recorded(g, query.q, query.p, pool, rec);
+    let mut streams = ObjectStreams::with_pool_cancellable(g, query.q, query.p, pool, rec, cancel);
     let mut hits: HashMap<NodeId, Vec<(NodeId, Dist)>> = HashMap::new();
     let mut fired = None;
     while let Some((i, pnode, d)) = streams.min_head() {
+        if cancel.poll_cancelled() {
+            streams.recycle_into(pool);
+            return Err(Cancelled);
+        }
         let entry = hits.entry(pnode).or_default();
         entry.push((query.q[i], d));
         if entry.len() >= k {
@@ -44,7 +66,12 @@ fn counter_loop<R: Recorder>(
     let touched = hits.len() + usize::from(fired.is_some());
     rec.pruned(query.p.len().saturating_sub(touched) as u64);
     streams.recycle_into(pool);
-    fired
+    // A cancelled stream looks exhausted — `fired = None` here could mean
+    // "unreachable" or "truncated". Re-check exactly before trusting it.
+    if cancel.cancelled_now() {
+        return Err(Cancelled);
+    }
+    Ok(fired)
 }
 
 /// Exact max-FANN_R. The optimal subset is recovered from the counter
@@ -82,18 +109,39 @@ pub fn exact_max_traced<R: Recorder>(
     pool: &mut ScratchPool,
     rec: R,
 ) -> Option<FannAnswer> {
+    match exact_max_cancellable(g, query, pool, rec, ()) {
+        Ok(a) => a,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+/// [`exact_max_traced`] with a live [`CancelCheck`] polled by the `|Q|`
+/// expansions and the counter loop; the `()` check makes this identical to
+/// the uncancellable path.
+///
+/// # Panics
+/// If the query aggregate is not [`Aggregate::Max`].
+pub fn exact_max_cancellable<R: Recorder, C: CancelCheck>(
+    g: &Graph,
+    query: &FannQuery,
+    pool: &mut ScratchPool,
+    rec: R,
+    cancel: C,
+) -> Result<Option<FannAnswer>, Cancelled> {
     assert_eq!(
         query.agg,
         Aggregate::Max,
         "Exact-max answers max-FANN_R only (see the Table II counter-example)"
     );
-    let (p_star, hits) = counter_loop(g, query, pool, rec)?;
+    let Some((p_star, hits)) = counter_loop_cancellable(g, query, pool, rec, cancel)? else {
+        return Ok(None);
+    };
     let dist = hits.iter().map(|&(_, d)| d).max().expect("k >= 1");
-    Some(FannAnswer {
+    Ok(Some(FannAnswer {
         p_star,
         subset: hits.into_iter().map(|(q, _)| q).collect(),
         dist,
-    })
+    }))
 }
 
 /// Algorithm 2 exactly as printed: identify `p*` by counters, then invoke

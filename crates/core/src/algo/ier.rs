@@ -14,6 +14,7 @@
 use crate::gphi::GPhi;
 use crate::metrics::Recorder;
 use crate::{Aggregate, FannAnswer, FannQuery};
+use roadnet::cancel::{CancelCheck, Cancelled};
 use roadnet::{Dist, Graph, LowerBound};
 use spatial_rtree::{Entry, Mbr, Pt, RTree};
 use std::cmp::Reverse;
@@ -75,6 +76,25 @@ pub fn ier_knn_traced<R: Recorder>(
     bound: IerBound,
     rec: R,
 ) -> Option<FannAnswer> {
+    match ier_knn_cancellable(g, query, rtree, gphi, bound, rec, ()) {
+        Ok(a) => a,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+/// [`ier_knn_traced`] with a live [`CancelCheck`] polled once per
+/// priority-queue pop; pair with a `g_phi` backend built over the same
+/// token so the per-candidate resolutions are cancellable too. The `()`
+/// check makes this identical to the uncancellable path.
+pub fn ier_knn_cancellable<R: Recorder, C: CancelCheck>(
+    g: &Graph,
+    query: &FannQuery,
+    rtree: &RTree<roadnet::NodeId>,
+    gphi: &dyn GPhi,
+    bound: IerBound,
+    rec: R,
+    cancel: C,
+) -> Result<Option<FannAnswer>, Cancelled> {
     let k = query.subset_size();
     let lb = LowerBound::for_graph(g);
     let q_pts: Vec<Pt> = query
@@ -115,12 +135,17 @@ pub fn ier_knn_traced<R: Recorder>(
     // Heap of (Reverse(bound), seq, entry); seq breaks ties deterministically.
     let mut heap: BinaryHeap<(Reverse<Dist>, u64, Entry<'_, roadnet::NodeId>)> = BinaryHeap::new();
     let mut seq = 0u64;
-    let root = rtree.root()?;
+    let Some(root) = rtree.root() else {
+        return Ok(None);
+    };
     heap.push((Reverse(bound_of(&root.mbr())), seq, Entry::Node(root)));
     let mut best: Option<FannAnswer> = None;
     let mut evaluated = 0u64;
 
     while let Some((Reverse(b), _, entry)) = heap.pop() {
+        if cancel.poll_cancelled() {
+            return Err(Cancelled);
+        }
         if let Some(cur) = &best {
             if b >= cur.dist {
                 break; // Lemma 1: no remaining entry can contain a better p
@@ -149,9 +174,14 @@ pub fn ier_knn_traced<R: Recorder>(
             }
         }
     }
+    // A cancelled `g_phi` eval looks unreachable, so `best` may reflect a
+    // truncated scan — re-check exactly before trusting it.
+    if cancel.cancelled_now() {
+        return Err(Cancelled);
+    }
     // Data points Lemma 1 let us skip (duplicate-free P).
     rec.pruned((rtree.len() as u64).saturating_sub(evaluated));
-    best
+    Ok(best)
 }
 
 #[cfg(test)]

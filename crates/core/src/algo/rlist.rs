@@ -17,6 +17,7 @@
 use crate::gphi::GPhi;
 use crate::metrics::Recorder;
 use crate::{FannAnswer, FannQuery};
+use roadnet::cancel::{CancelCheck, Cancelled};
 use roadnet::{Dist, Graph, ObjectStreams, ScratchPool, INF};
 use std::collections::HashSet;
 
@@ -52,13 +53,35 @@ pub fn r_list_traced<R: Recorder>(
     pool: &mut ScratchPool,
     rec: R,
 ) -> Option<FannAnswer> {
+    match r_list_cancellable(g, query, gphi, pool, rec, ()) {
+        Ok(a) => a,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+/// [`r_list_traced`] with a live [`CancelCheck`] polled by the `|Q|`
+/// expansions and the threshold loop; pair with a `g_phi` backend built
+/// over the same token. The `()` check makes this identical to the
+/// uncancellable path.
+pub fn r_list_cancellable<R: Recorder, C: CancelCheck>(
+    g: &Graph,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    pool: &mut ScratchPool,
+    rec: R,
+    cancel: C,
+) -> Result<Option<FannAnswer>, Cancelled> {
     let k = query.subset_size();
-    let mut streams = ObjectStreams::with_pool_recorded(g, query.q, query.p, pool, rec);
+    let mut streams = ObjectStreams::with_pool_cancellable(g, query.q, query.p, pool, rec, cancel);
     let mut seen: HashSet<roadnet::NodeId> = HashSet::new();
     let mut best: Option<FannAnswer> = None;
 
     // Until every queue is exhausted (then every reachable point was seen).
     while let Some((i, pnode, _)) = streams.min_head() {
+        if cancel.poll_cancelled() {
+            streams.recycle_into(pool);
+            return Err(Cancelled);
+        }
         // Threshold over current heads (before popping).
         let mut heads: Vec<Dist> = streams
             .head_dists()
@@ -86,9 +109,15 @@ pub fn r_list_traced<R: Recorder>(
         }
     }
     streams.recycle_into(pool);
+    // A cancelled stream looks exhausted and a cancelled `g_phi` eval
+    // looks unreachable, either of which could have truncated the scan —
+    // re-check exactly before trusting `best`.
+    if cancel.cancelled_now() {
+        return Err(Cancelled);
+    }
     // Data points the threshold let us skip entirely (duplicate-free P).
     rec.pruned(query.p.len().saturating_sub(seen.len()) as u64);
-    best
+    Ok(best)
 }
 
 #[cfg(test)]

@@ -25,8 +25,9 @@
 use crate::algo::ier::build_p_rtree;
 use crate::algo::topk::{exact_max_topk, ier_topk, rlist_topk};
 use crate::algo::{
-    apx_sum, apx_sum_traced, exact_max, exact_max_pooled, exact_max_traced, ier_knn,
-    ier_knn_traced, r_list, r_list_pooled, r_list_traced, IerBound,
+    apx_sum, apx_sum_cancellable, apx_sum_traced, exact_max, exact_max_cancellable,
+    exact_max_pooled, exact_max_traced, ier_knn, ier_knn_cancellable, ier_knn_traced, r_list,
+    r_list_cancellable, r_list_pooled, r_list_traced, IerBound,
 };
 use crate::gphi::ier2::IerPhi;
 use crate::gphi::ine::InePhi;
@@ -35,6 +36,7 @@ use crate::gphi::{GPhi, ReusableGPhi};
 use crate::metrics::{LatencyHistogram, SearchStats, StatsSink};
 use crate::{Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
 use hublabel::HubLabels;
+use roadnet::cancel::{CancelCheck, CancelToken, Cancelled};
 use roadnet::{Graph, NodeId, ScratchPool};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -338,11 +340,103 @@ impl<'g> Engine<'g> {
             }
             Strategy::ExactMax => exact_max_pooled(self.graph, &query, pool),
             Strategy::RListIne => {
-                r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, q), pool)
+                r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, q, ()), pool)
             }
-            Strategy::ApxSumIne => apx_sum(self.graph, &query, rebind_ine(ine, self.graph, q)),
+            Strategy::ApxSumIne => apx_sum(self.graph, &query, rebind_ine(ine, self.graph, q, ())),
         };
         Ok(answer)
+    }
+
+    /// [`Engine::query`] under a [`CancelToken`]: the search cooperatively
+    /// polls the token and returns [`QueryError::Cancelled`] — never a
+    /// partial or wrong answer — once the token's deadline passes or
+    /// [`CancelToken::cancel`] is called. With a live (unexpired,
+    /// uncancelled) token the answer is identical to [`Engine::query`].
+    ///
+    /// For a stream of requests, prefer [`Engine::session`], which keeps
+    /// the search scratch state across queries.
+    pub fn query_cancellable(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+        token: &CancelToken,
+    ) -> Result<Option<FannAnswer>, QueryError> {
+        self.session(token).query(p, q, phi, agg)
+    }
+
+    /// [`Engine::query_cancellable`] with live instrumentation: the
+    /// cancellable answer plus a [`SearchStats`] snapshot, composing the
+    /// [`Engine::query_traced`] recorder with the cooperative token. The
+    /// serving layer uses this so `/metricsz`-style dumps can aggregate
+    /// search effort across requests.
+    pub fn query_traced_cancellable(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+        token: &CancelToken,
+    ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
+        let p_dedup = deduped(p);
+        let p = p_dedup.as_deref().unwrap_or(p);
+        let q_dedup = deduped(q);
+        let q = q_dedup.as_deref().unwrap_or(q);
+        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
+        let sink = StatsSink::new();
+        let answer = match self.strategy_for(agg) {
+            Strategy::IerKnnLabels => {
+                let labels = self.labels.as_ref().expect("strategy implies labels");
+                let rtree = build_p_rtree(self.graph, p);
+                let gphi = IerPhi::with_recorder(self.graph, LabelOracle { labels }, q, &sink);
+                ier_knn_cancellable(
+                    self.graph,
+                    &query,
+                    &rtree,
+                    &gphi,
+                    IerBound::Flexible,
+                    &sink,
+                    token,
+                )
+            }
+            Strategy::ExactMax => {
+                exact_max_cancellable(self.graph, &query, &mut ScratchPool::new(), &sink, token)
+            }
+            Strategy::RListIne => {
+                let gphi = InePhi::with_recorder_cancel(self.graph, q, &sink, token);
+                r_list_cancellable(
+                    self.graph,
+                    &query,
+                    &gphi,
+                    &mut ScratchPool::new(),
+                    &sink,
+                    token,
+                )
+            }
+            Strategy::ApxSumIne => {
+                let gphi = InePhi::with_recorder_cancel(self.graph, q, &sink, token);
+                apx_sum_cancellable(self.graph, &query, &gphi, &sink, token)
+            }
+        };
+        match answer {
+            Ok(a) => Ok((a, sink.snapshot())),
+            Err(Cancelled) => Err(QueryError::Cancelled),
+        }
+    }
+
+    /// A long-lived handle for answering a stream of cancellable queries:
+    /// one recycled scratch pool and INE backend (like the batch layer's
+    /// per-worker state), plus a borrowed [`CancelToken`] polled by every
+    /// search. The serving worker re-arms the token per request
+    /// ([`CancelToken::arm`]) and keeps the session for its lifetime.
+    pub fn session<'t>(&self, token: &'t CancelToken) -> QuerySession<'_, 'g, 't> {
+        QuerySession {
+            engine: self,
+            token,
+            pool: ScratchPool::new(),
+            ine: None,
+        }
     }
 
     /// Evaluate `g_phi(p, Q)` directly with the best available backend
@@ -461,16 +555,88 @@ struct WorkerState<'g> {
 
 /// Rebind the worker's long-lived INE backend to `q` (constructing it on
 /// first use), returning it ready for evaluation.
-fn rebind_ine<'s, 'g>(
-    ine: &'s mut Option<InePhi<'g>>,
+fn rebind_ine<'s, 'g, C: CancelCheck>(
+    ine: &'s mut Option<InePhi<'g, (), C>>,
     graph: &'g Graph,
     q: &[NodeId],
-) -> &'s InePhi<'g> {
+    cancel: C,
+) -> &'s InePhi<'g, (), C> {
     match ine {
         Some(backend) => backend.rebind(q),
-        None => *ine = Some(InePhi::new(graph, q)),
+        None => *ine = Some(InePhi::with_recorder_cancel(graph, q, (), cancel)),
     }
     ine.as_ref().expect("just ensured")
+}
+
+/// A serving-oriented query handle: [`Engine::query`] semantics plus
+/// cooperative cancellation and recycled per-session search state
+/// (obtained from [`Engine::session`]).
+///
+/// The session borrows one [`CancelToken`] for its lifetime; the owner
+/// re-arms it between requests. Every search dispatched through
+/// [`QuerySession::query`] polls that token and the whole query resolves
+/// to [`QueryError::Cancelled`] if it fires — by construction a session
+/// never reports an answer derived from a truncated search.
+pub struct QuerySession<'e, 'g, 't> {
+    engine: &'e Engine<'g>,
+    token: &'t CancelToken,
+    pool: ScratchPool,
+    ine: Option<InePhi<'g, (), &'t CancelToken>>,
+}
+
+impl<'g> QuerySession<'_, 'g, '_> {
+    /// The token every search of this session polls.
+    pub fn token(&self) -> &CancelToken {
+        self.token
+    }
+
+    /// Answer one query under the session's token. Strategy dispatch
+    /// mirrors [`Engine::query`] exactly; with a live token the answer is
+    /// identical, otherwise [`QueryError::Cancelled`].
+    pub fn query(
+        &mut self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Result<Option<FannAnswer>, QueryError> {
+        let engine = self.engine;
+        let p_dedup = deduped(p);
+        let p = p_dedup.as_deref().unwrap_or(p);
+        let q_dedup = deduped(q);
+        let q = q_dedup.as_deref().unwrap_or(q);
+        let query = FannQuery::checked(p, q, phi, agg, engine.graph)?;
+        let answer = match engine.strategy_for(agg) {
+            Strategy::IerKnnLabels => {
+                let labels = engine.labels.as_ref().expect("strategy implies labels");
+                let rtree = build_p_rtree(engine.graph, p);
+                // Each IerPhi eval is a bounded |Q|-label scan, so polling
+                // between evals (inside ier_knn_cancellable) is enough.
+                let gphi = IerPhi::new(engine.graph, LabelOracle { labels }, q);
+                ier_knn_cancellable(
+                    engine.graph,
+                    &query,
+                    &rtree,
+                    &gphi,
+                    IerBound::Flexible,
+                    (),
+                    self.token,
+                )
+            }
+            Strategy::ExactMax => {
+                exact_max_cancellable(engine.graph, &query, &mut self.pool, (), self.token)
+            }
+            Strategy::RListIne => {
+                let gphi = rebind_ine(&mut self.ine, engine.graph, q, self.token);
+                r_list_cancellable(engine.graph, &query, gphi, &mut self.pool, (), self.token)
+            }
+            Strategy::ApxSumIne => {
+                let gphi = rebind_ine(&mut self.ine, engine.graph, q, self.token);
+                apx_sum_cancellable(engine.graph, &query, gphi, (), self.token)
+            }
+        };
+        answer.map_err(|Cancelled| QueryError::Cancelled)
+    }
 }
 
 /// Drives a stream of queries over a fixed pool of worker threads, one

@@ -10,6 +10,7 @@
 use super::{GPhi, GPhiResult, ReusableGPhi};
 use crate::metrics::Recorder;
 use crate::Aggregate;
+use roadnet::cancel::CancelCheck;
 use roadnet::multisource::membership;
 use roadnet::{DijkstraIter, Graph, NodeId, QueryScratch};
 use std::cell::RefCell;
@@ -20,14 +21,20 @@ use std::cell::RefCell;
 /// (GD probes many candidate points per query) are allocation-free, and
 /// [`ReusableGPhi::rebind`] repoints it at a new `Q` in `O(|Q|)` — the
 /// long-lived per-worker backend of the batch engine. The `R` parameter is
-/// a [`Recorder`] instrumentation hook; the default `()` records nothing
+/// a [`Recorder`] instrumentation hook; `C` is a [`CancelCheck`]
+/// cancellation hook. The default `()` for both records/cancels nothing
 /// and costs nothing.
-pub struct InePhi<'g, R: Recorder = ()> {
+///
+/// A cancelled `eval` returns `None`, indistinguishable here from an
+/// exhausted expansion — cancellable drivers re-check the token exactly
+/// before trusting any `None`.
+pub struct InePhi<'g, R: Recorder = (), C: CancelCheck = ()> {
     graph: &'g Graph,
     is_query: Vec<bool>,
     q_nodes: Vec<NodeId>,
     scratch: RefCell<QueryScratch>,
     rec: R,
+    cancel: C,
 }
 
 impl<'g> InePhi<'g> {
@@ -40,22 +47,33 @@ impl<'g, R: Recorder> InePhi<'g, R> {
     /// [`InePhi::new`] with a live [`Recorder`] observing every expansion
     /// step and `g_phi` evaluation.
     pub fn with_recorder(graph: &'g Graph, q: &[NodeId], rec: R) -> Self {
+        Self::with_recorder_cancel(graph, q, rec, ())
+    }
+}
+
+impl<'g, R: Recorder, C: CancelCheck> InePhi<'g, R, C> {
+    /// [`InePhi::with_recorder`] with a live [`CancelCheck`] polled by
+    /// every expansion; the `()` check makes this identical to the
+    /// uncancellable path.
+    pub fn with_recorder_cancel(graph: &'g Graph, q: &[NodeId], rec: R, cancel: C) -> Self {
         InePhi {
             graph,
             is_query: membership(graph.num_nodes(), q),
             q_nodes: q.to_vec(),
             scratch: RefCell::new(QueryScratch::new()),
             rec,
+            cancel,
         }
     }
 }
 
-impl<R: Recorder> GPhi for InePhi<'_, R> {
+impl<R: Recorder, C: CancelCheck> GPhi for InePhi<'_, R, C> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
         assert!(k >= 1 && k <= self.q_nodes.len(), "invalid subset size {k}");
         self.rec.gphi_eval();
         let mut subset = Vec::with_capacity(k);
-        let mut it = DijkstraIter::recorded(self.graph, p, self.scratch.take(), self.rec);
+        let mut it =
+            DijkstraIter::cancellable(self.graph, p, self.scratch.take(), self.rec, self.cancel);
         for (v, d) in it.by_ref() {
             if self.is_query[v as usize] {
                 subset.push((v, d));
@@ -78,7 +96,7 @@ impl<R: Recorder> GPhi for InePhi<'_, R> {
     }
 }
 
-impl<R: Recorder> ReusableGPhi for InePhi<'_, R> {
+impl<R: Recorder, C: CancelCheck> ReusableGPhi for InePhi<'_, R, C> {
     fn rebind(&mut self, q: &[NodeId]) {
         for &old in &self.q_nodes {
             self.is_query[old as usize] = false;

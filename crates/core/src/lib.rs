@@ -108,6 +108,9 @@ pub enum QueryError {
     EmptyQ,
     PhiOutOfRange,
     NodeOutOfRange(NodeId),
+    /// The query was cancelled (deadline exceeded or revoked) before an
+    /// answer was established; no partial result is reported.
+    Cancelled,
 }
 
 impl fmt::Display for QueryError {
@@ -117,6 +120,7 @@ impl fmt::Display for QueryError {
             QueryError::EmptyQ => write!(f, "Q must be non-empty"),
             QueryError::PhiOutOfRange => write!(f, "phi must lie in (0, 1]"),
             QueryError::NodeOutOfRange(v) => write!(f, "node {v} is not in the graph"),
+            QueryError::Cancelled => write!(f, "query cancelled before completion"),
         }
     }
 }

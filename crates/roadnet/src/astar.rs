@@ -4,6 +4,7 @@
 //! Admissibility is provided by [`crate::LowerBound`], which scales raw
 //! Euclidean distances so they never exceed network distances.
 
+use crate::cancel::{CancelCheck, Cancelled};
 use crate::graph::{Graph, NodeId};
 use crate::lowerbound::LowerBound;
 use crate::recorder::SearchRecorder;
@@ -42,8 +43,26 @@ pub fn astar_pair_recorded<R: SearchRecorder>(
     scratch: &mut QueryScratch,
     rec: R,
 ) -> Option<Dist> {
+    match astar_pair_cancellable(g, lb, s, t, scratch, rec, ()) {
+        Ok(d) => d,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+/// [`astar_pair_recorded`] with a live [`CancelCheck`] polled once per
+/// settled node (see [`crate::dijkstra::dijkstra_pair_cancellable`]). The
+/// `()` check makes this identical to the uncancellable path.
+pub fn astar_pair_cancellable<R: SearchRecorder, C: CancelCheck>(
+    g: &Graph,
+    lb: &LowerBound,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut QueryScratch,
+    rec: R,
+    cancel: C,
+) -> Result<Option<Dist>, Cancelled> {
     if s == t {
-        return Some(0);
+        return Ok(Some(0));
     }
     scratch.begin(g.num_nodes());
     scratch.set_dist(s, 0);
@@ -54,11 +73,14 @@ pub fn astar_pair_recorded<R: SearchRecorder>(
         let d = scratch.dist(v);
         if v == t {
             rec.node_settled();
-            return Some(d);
+            return Ok(Some(d));
         }
         // Stale check: recompute f from the current g-value.
         if f > d.saturating_add(lb.bound(g, v, t)) {
             continue;
+        }
+        if cancel.poll_cancelled() {
+            return Err(Cancelled);
         }
         rec.node_settled();
         for (nb, w) in g.neighbors(v) {
@@ -71,7 +93,7 @@ pub fn astar_pair_recorded<R: SearchRecorder>(
             }
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]

@@ -1,0 +1,267 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A query on a large network can settle hundreds of thousands of nodes;
+//! a serving process cannot let one runaway request hold a worker hostage.
+//! [`CancelToken`] is a shared deadline/flag that search loops poll
+//! cooperatively: the settle loops of [`crate::dijkstra`], [`crate::astar`],
+//! [`crate::expansion::DijkstraIter`] and [`crate::multisource`] check it
+//! once per settled node, so a cancelled search stops within one node
+//! expansion of the deadline.
+//!
+//! Like [`crate::recorder::SearchRecorder`], the hook is a generic
+//! [`CancelCheck`] parameter whose unit implementation `()` never cancels
+//! and compiles to nothing — the uncancellable entry points monomorphize to
+//! exactly the code they compiled to before cancellation existed. Live
+//! cancellation is opted into by passing `&CancelToken`.
+//!
+//! Polling cost: the flag is one relaxed atomic load per settle; the
+//! deadline clock is only consulted every [`POLL_STRIDE`] polls (and on the
+//! very first poll after [`CancelToken::arm`], so pre-expired deadlines
+//! fire immediately).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A search was cancelled (deadline exceeded or explicitly revoked) before
+/// it completed. Carried as the `Err` of every `*_cancellable` search; the
+/// partial state of a cancelled search must not be interpreted as an
+/// answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "search cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// How often the deadline clock is consulted, in polls. Between clock
+/// reads a poll is a single relaxed load of the sticky flag.
+pub const POLL_STRIDE: u32 = 64;
+
+/// Sentinel for "no deadline" in [`TokenState::deadline_ns`].
+const NO_DEADLINE: u64 = u64::MAX;
+
+struct TokenState {
+    /// Sticky cancellation flag: set by [`CancelToken::cancel`] or by the
+    /// first poll past the deadline; cleared only by [`CancelToken::arm`].
+    flag: AtomicBool,
+    /// Clock origin; deadlines are stored as nanoseconds after this.
+    base: Instant,
+    /// Deadline in nanoseconds after `base` ([`NO_DEADLINE`] = none).
+    deadline_ns: AtomicU64,
+    /// Amortization counter for clock reads.
+    polls: AtomicU32,
+}
+
+/// A shared cancellation handle: an explicit flag plus an optional
+/// deadline. Cheap to clone (an `Arc` bump); all clones observe the same
+/// state, so one token can be held by a serving worker, registered with a
+/// shutdown broadcaster, and polled inside a search simultaneously.
+///
+/// A token is *re-armable*: a long-lived worker keeps one token and calls
+/// [`CancelToken::arm`] at the start of each request, which clears the
+/// flag and installs the new deadline without reallocating.
+#[derive(Clone)]
+pub struct CancelToken {
+    state: Arc<TokenState>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            state: Arc::new(TokenState {
+                flag: AtomicBool::new(false),
+                base: Instant::now(),
+                deadline_ns: AtomicU64::new(NO_DEADLINE),
+                polls: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// A token that expires `timeout` from now. `Duration::ZERO` yields a
+    /// pre-expired token (useful for testing the cancelled path).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        let t = Self::new();
+        t.arm(Some(timeout));
+        t
+    }
+
+    /// Re-arm for a new request: clear the flag, reset the poll counter,
+    /// and install `timeout` from now as the deadline (`None` = none).
+    pub fn arm(&self, timeout: Option<Duration>) {
+        let ns = match timeout {
+            Some(t) => {
+                let dl = self.state.base.elapsed().saturating_add(t);
+                u64::try_from(dl.as_nanos()).unwrap_or(NO_DEADLINE - 1)
+            }
+            None => NO_DEADLINE,
+        };
+        self.state.deadline_ns.store(ns, Ordering::Relaxed);
+        self.state.polls.store(0, Ordering::Relaxed);
+        self.state.flag.store(false, Ordering::Release);
+    }
+
+    /// Revoke: every subsequent poll (on any clone) reports cancelled,
+    /// until the next [`CancelToken::arm`].
+    pub fn cancel(&self) {
+        self.state.flag.store(true, Ordering::Release);
+    }
+
+    /// Exact check: flag set, or deadline passed (which also sets the
+    /// sticky flag so the cheap polls observe it). Use this to validate a
+    /// result before trusting it; use the [`CancelCheck`] poll in loops.
+    pub fn is_cancelled(&self) -> bool {
+        if self.state.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        let deadline = self.state.deadline_ns.load(Ordering::Relaxed);
+        if deadline != NO_DEADLINE {
+            let now = u64::try_from(self.state.base.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if now >= deadline {
+                self.state.flag.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Time until the deadline (`None` when no deadline is armed;
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.state.deadline_ns.load(Ordering::Relaxed);
+        if deadline == NO_DEADLINE {
+            return None;
+        }
+        let now = u64::try_from(self.state.base.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Some(Duration::from_nanos(deadline.saturating_sub(now)))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.state.flag.load(Ordering::Relaxed))
+            .field("remaining", &self.remaining())
+            .finish()
+    }
+}
+
+/// Cancellation hook polled by search loops, mirroring
+/// [`crate::recorder::SearchRecorder`]: a tiny `Copy` handle passed by
+/// value. The unit implementation never cancels and costs nothing.
+pub trait CancelCheck: Copy {
+    /// Amortized poll, called once per settled node. May defer the clock
+    /// read but must eventually observe an expired deadline (within
+    /// [`POLL_STRIDE`] polls) and must observe a set flag immediately.
+    #[inline(always)]
+    fn poll_cancelled(self) -> bool {
+        false
+    }
+
+    /// Exact check, called before a derived result is trusted: if any
+    /// earlier poll in the same computation returned `true` (truncating a
+    /// sub-search), this must return `true` as well.
+    #[inline(always)]
+    fn cancelled_now(self) -> bool {
+        false
+    }
+}
+
+/// The never-cancelled check: compiles to nothing.
+impl CancelCheck for () {}
+
+impl CancelCheck for &CancelToken {
+    #[inline]
+    fn poll_cancelled(self) -> bool {
+        if self.state.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        // First poll after `arm` does an exact check (n starts at 0), so a
+        // pre-expired deadline fires before any work is trusted.
+        let n = self.state.polls.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(POLL_STRIDE) {
+            return self.is_cancelled();
+        }
+        false
+    }
+
+    #[inline]
+    fn cancelled_now(self) -> bool {
+        self.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!(&t).poll_cancelled());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_sticky_until_rearm() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!((&t).poll_cancelled());
+        t.arm(None);
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn pre_expired_deadline_fires_on_first_poll() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!((&t).poll_cancelled());
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_observed_within_stride() {
+        let t = CancelToken::with_timeout(Duration::from_millis(1));
+        // Burn the first (exact) poll, then sleep past the deadline.
+        let _ = (&t).poll_cancelled();
+        std::thread::sleep(Duration::from_millis(5));
+        let fired = (0..=POLL_STRIDE).any(|_| (&t).poll_cancelled());
+        assert!(fired, "expired deadline not observed within one stride");
+    }
+
+    #[test]
+    fn unit_check_never_cancels() {
+        assert!(!().poll_cancelled());
+        assert!(!().cancelled_now());
+    }
+
+    #[test]
+    fn far_future_deadline_stays_live() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        for _ in 0..(POLL_STRIDE * 3) {
+            assert!(!(&t).poll_cancelled());
+        }
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

@@ -1,5 +1,6 @@
 //! Single-source and point-to-point Dijkstra search.
 
+use crate::cancel::{CancelCheck, Cancelled};
 use crate::graph::{Graph, NodeId};
 use crate::recorder::SearchRecorder;
 use crate::scratch::QueryScratch;
@@ -58,8 +59,27 @@ pub fn dijkstra_pair_recorded<R: SearchRecorder>(
     scratch: &mut QueryScratch,
     rec: R,
 ) -> Option<Dist> {
+    match dijkstra_pair_cancellable(g, s, t, scratch, rec, ()) {
+        Ok(d) => d,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
+}
+
+/// [`dijkstra_pair_recorded`] with a live [`CancelCheck`] polled once per
+/// settled node: the search stops within one node expansion of
+/// cancellation and reports [`Cancelled`] instead of a (possibly wrong)
+/// distance. The `()` check makes this identical to the uncancellable
+/// path.
+pub fn dijkstra_pair_cancellable<R: SearchRecorder, C: CancelCheck>(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut QueryScratch,
+    rec: R,
+    cancel: C,
+) -> Result<Option<Dist>, Cancelled> {
     if s == t {
-        return Some(0);
+        return Ok(Some(0));
     }
     scratch.begin(g.num_nodes());
     scratch.set_dist(s, 0);
@@ -69,10 +89,13 @@ pub fn dijkstra_pair_recorded<R: SearchRecorder>(
         rec.heap_pop();
         if v == t {
             rec.node_settled();
-            return Some(d);
+            return Ok(Some(d));
         }
         if d > scratch.dist(v) {
             continue;
+        }
+        if cancel.poll_cancelled() {
+            return Err(Cancelled);
         }
         rec.node_settled();
         for (nb, w) in g.neighbors(v) {
@@ -85,7 +108,7 @@ pub fn dijkstra_pair_recorded<R: SearchRecorder>(
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// Distances from `src` to all nodes within network radius `bound`

@@ -10,6 +10,7 @@
 //! [`DijkstraIter::with_scratch`], recover the buffers afterwards with
 //! [`DijkstraIter::into_scratch`], and hand them to the next query.
 
+use crate::cancel::CancelCheck;
 use crate::graph::{Graph, NodeId};
 use crate::recorder::SearchRecorder;
 use crate::scratch::QueryScratch;
@@ -20,11 +21,19 @@ use crate::Dist;
 /// `next()` settles and returns the next nearest unsettled node as
 /// `(node, dist)`; nodes are produced in non-decreasing distance order and
 /// each node at most once. The `R` parameter is a [`SearchRecorder`]
-/// instrumentation hook; the default `()` records nothing and costs nothing.
-pub struct DijkstraIter<'g, R: SearchRecorder = ()> {
+/// instrumentation hook; `C` is a [`CancelCheck`] cancellation hook. The
+/// default `()` for both records/cancels nothing and costs nothing.
+///
+/// A cancelled expansion yields `None` from `next()` exactly like an
+/// exhausted one; drivers must consult [`DijkstraIter::was_cancelled`] (or
+/// the token's exact check) before interpreting exhaustion as "no more
+/// reachable nodes".
+pub struct DijkstraIter<'g, R: SearchRecorder = (), C: CancelCheck = ()> {
     graph: &'g Graph,
     scratch: QueryScratch,
     rec: R,
+    cancel: C,
+    cancelled: bool,
 }
 
 impl<'g> DijkstraIter<'g> {
@@ -43,7 +52,23 @@ impl<'g> DijkstraIter<'g> {
 impl<'g, R: SearchRecorder> DijkstraIter<'g, R> {
     /// [`DijkstraIter::with_scratch`] with a live [`SearchRecorder`] that
     /// observes every settle/push/pop/relaxation of the expansion.
-    pub fn recorded(graph: &'g Graph, source: NodeId, mut scratch: QueryScratch, rec: R) -> Self {
+    pub fn recorded(graph: &'g Graph, source: NodeId, scratch: QueryScratch, rec: R) -> Self {
+        Self::cancellable(graph, source, scratch, rec, ())
+    }
+}
+
+impl<'g, R: SearchRecorder, C: CancelCheck> DijkstraIter<'g, R, C> {
+    /// [`DijkstraIter::recorded`] with a live [`CancelCheck`] polled once
+    /// per settled node; a cancelled expansion stops yielding and reports
+    /// through [`DijkstraIter::was_cancelled`]. The `()` check makes this
+    /// identical to the uncancellable path.
+    pub fn cancellable(
+        graph: &'g Graph,
+        source: NodeId,
+        mut scratch: QueryScratch,
+        rec: R,
+        cancel: C,
+    ) -> Self {
         assert!(
             (source as usize) < graph.num_nodes(),
             "source {source} out of range"
@@ -56,7 +81,15 @@ impl<'g, R: SearchRecorder> DijkstraIter<'g, R> {
             graph,
             scratch,
             rec,
+            cancel,
+            cancelled: false,
         }
+    }
+
+    /// Whether this expansion stopped because its [`CancelCheck`] fired
+    /// (as opposed to exhausting the reachable component).
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Recover the scratch for reuse by a later expansion.
@@ -92,10 +125,14 @@ impl<'g, R: SearchRecorder> DijkstraIter<'g, R> {
     }
 }
 
-impl<R: SearchRecorder> Iterator for DijkstraIter<'_, R> {
+impl<R: SearchRecorder, C: CancelCheck> Iterator for DijkstraIter<'_, R, C> {
     type Item = (NodeId, Dist);
 
     fn next(&mut self) -> Option<(NodeId, Dist)> {
+        if self.cancelled || self.cancel.poll_cancelled() {
+            self.cancelled = true;
+            return None;
+        }
         self.skip_stale();
         let (d, v) = self.scratch.pop()?;
         self.rec.heap_pop();

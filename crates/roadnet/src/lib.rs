@@ -23,6 +23,7 @@
 
 pub mod astar;
 pub mod bidirectional;
+pub mod cancel;
 pub mod components;
 pub mod dijkstra;
 pub mod dynamic;
@@ -38,11 +39,13 @@ pub mod scratch;
 pub mod stats;
 pub mod svg;
 
-pub use astar::{astar_pair, astar_pair_recorded, astar_pair_with};
+pub use astar::{astar_pair, astar_pair_cancellable, astar_pair_recorded, astar_pair_with};
 pub use bidirectional::bidirectional_pair;
+pub use cancel::{CancelCheck, CancelToken, Cancelled};
 pub use components::largest_connected_component;
 pub use dijkstra::{
-    dijkstra_all, dijkstra_bounded, dijkstra_pair, dijkstra_pair_recorded, dijkstra_pair_with,
+    dijkstra_all, dijkstra_bounded, dijkstra_pair, dijkstra_pair_cancellable,
+    dijkstra_pair_recorded, dijkstra_pair_with,
 };
 pub use dynamic::DynamicNetwork;
 pub use embed::{embed_edge_points, snap_to_vertex, EdgePoint};

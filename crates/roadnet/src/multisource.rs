@@ -6,6 +6,7 @@
 //! advanced *alternately* ("switchable"): all per-queue state persists while
 //! another queue runs. `R-List` and `Exact-max` are thin drivers on top.
 
+use crate::cancel::CancelCheck;
 use crate::expansion::DijkstraIter;
 use crate::graph::{Graph, NodeId};
 use crate::recorder::SearchRecorder;
@@ -26,14 +27,14 @@ pub fn membership(num_nodes: usize, objects: &[NodeId]) -> Vec<bool> {
 }
 
 /// One from-near-to-far stream of data objects around a single source.
-struct ObjectStream<'g, R: SearchRecorder = ()> {
-    expansion: DijkstraIter<'g, R>,
+struct ObjectStream<'g, R: SearchRecorder = (), C: CancelCheck = ()> {
+    expansion: DijkstraIter<'g, R, C>,
     /// Lookahead: the next unreported object, if any.
     head: Option<(NodeId, Dist)>,
     exhausted: bool,
 }
 
-impl<R: SearchRecorder> ObjectStream<'_, R> {
+impl<R: SearchRecorder, C: CancelCheck> ObjectStream<'_, R, C> {
     /// Ensure `head` holds the next object (advancing the expansion).
     fn fill(&mut self, is_object: &[bool]) {
         if self.head.is_some() || self.exhausted {
@@ -50,8 +51,13 @@ impl<R: SearchRecorder> ObjectStream<'_, R> {
 }
 
 /// `|Q|` interleaved object streams over a common object set.
-pub struct ObjectStreams<'g, R: SearchRecorder = ()> {
-    streams: Vec<ObjectStream<'g, R>>,
+///
+/// When built with a live [`CancelCheck`], a fired check makes every
+/// stream look exhausted; drivers must re-check the token exactly (its
+/// sticky flag is set by the fired poll) before treating exhaustion as
+/// "no further objects".
+pub struct ObjectStreams<'g, R: SearchRecorder = (), C: CancelCheck = ()> {
+    streams: Vec<ObjectStream<'g, R, C>>,
     is_object: Vec<bool>,
 }
 
@@ -87,11 +93,27 @@ impl<'g, R: SearchRecorder> ObjectStreams<'g, R> {
         pool: &mut ScratchPool,
         rec: R,
     ) -> Self {
+        Self::with_pool_cancellable(graph, sources, objects, pool, rec, ())
+    }
+}
+
+impl<'g, R: SearchRecorder, C: CancelCheck> ObjectStreams<'g, R, C> {
+    /// [`ObjectStreams::with_pool_recorded`] with a live [`CancelCheck`]
+    /// shared by every underlying expansion; the `()` check makes this
+    /// identical to the uncancellable path.
+    pub fn with_pool_cancellable(
+        graph: &'g Graph,
+        sources: &[NodeId],
+        objects: &[NodeId],
+        pool: &mut ScratchPool,
+        rec: R,
+        cancel: C,
+    ) -> Self {
         let is_object = membership(graph.num_nodes(), objects);
         let streams = sources
             .iter()
             .map(|&q| ObjectStream {
-                expansion: DijkstraIter::recorded(graph, q, pool.take(), rec),
+                expansion: DijkstraIter::cancellable(graph, q, pool.take(), rec, cancel),
                 head: None,
                 exhausted: false,
             })

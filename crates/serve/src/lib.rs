@@ -1,0 +1,35 @@
+//! `fannr-serve`: a std-only TCP query server for FANN_R queries.
+//!
+//! The paper's algorithms answer one query at a time; this crate turns the
+//! [`fann_core::engine::Engine`] into a network service with the load
+//! discipline a shared road-network index needs:
+//!
+//! - **Bounded admission** — a fixed-depth queue in front of the workers;
+//!   overload sheds immediately (`status:"shed"`) instead of buffering
+//!   without bound ([`server`]).
+//! - **Per-request deadlines** — each query carries `deadline_ms`
+//!   (measured from admission, so queue wait counts) enforced by
+//!   cooperative cancellation: the search kernels poll a
+//!   [`roadnet::CancelToken`] and return `cancelled` — never a partial or
+//!   wrong answer.
+//! - **Graceful drain** — SIGINT/SIGTERM, the wire `shutdown` op, or a
+//!   [`ShutdownHandle`] stop the acceptor, finish every admitted query,
+//!   and flush the final stats.
+//! - **Observability inline** — `health` and `metrics` requests are
+//!   answered by the reader thread, bypassing the queue, so they work even
+//!   when queries are being shed.
+//!
+//! The wire format is line-delimited JSON ([`protocol`]) with a hand-rolled
+//! parser/serializer ([`json`]) — no external dependencies anywhere in the
+//! crate. The same [`protocol::Response`] serializer backs
+//! `fannr query --json`, so CLI output and the wire protocol cannot drift.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientReader, ClientWriter};
+pub use json::{Json, JsonError};
+pub use protocol::{Body, HealthInfo, MetricsInfo, Op, QuerySpec, Request, Response};
+pub use server::{ServeConfig, ServeSummary, Server, ShutdownHandle};

@@ -1,0 +1,550 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order per
+//! connection (clients may pipeline; the optional `id` is echoed back so
+//! responses can be matched). Grammar:
+//!
+//! ```text
+//! request  = query | health | metrics | shutdown
+//! query    = {"op":"query", "p":[nodeid...], "q":[nodeid...],
+//!             "phi":number, "agg":"sum"|"max",
+//!             "deadline_ms":number?, "id":string?}
+//! health   = {"op":"health", "id":string?}
+//! metrics  = {"op":"metrics", "id":string?}
+//! shutdown = {"op":"shutdown", "id":string?}
+//!
+//! response = {"status":"ok", "id"?, "p_star":nodeid, "dist":number,
+//!             "subset":[nodeid...], "strategy":string, "micros":number}
+//!          | {"status":"empty", "id"?}          ; no p reaches k of Q
+//!          | {"status":"cancelled", "id"?}      ; deadline exceeded
+//!          | {"status":"shed", "id"?}           ; queue full, retry later
+//!          | {"status":"error", "id"?, "error":string}
+//!          | {"status":"health", "id"?, ...}
+//!          | {"status":"metrics", "id"?, ...}
+//!          | {"status":"bye", "id"?}            ; shutdown acknowledged
+//! ```
+//!
+//! The same serializer backs `fannr query --json`, so the CLI's output and
+//! the server's cannot drift.
+
+use crate::json::Json;
+use fann_core::metrics::{LatencyHistogram, SearchStats};
+use fann_core::{Aggregate, FannAnswer};
+use roadnet::{Dist, NodeId};
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<String>,
+    pub op: Op,
+}
+
+/// The request operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Query(QuerySpec),
+    Health,
+    Metrics,
+    Shutdown,
+}
+
+/// The payload of a `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    pub p: Vec<NodeId>,
+    pub q: Vec<NodeId>,
+    pub phi: f64,
+    pub agg: Aggregate,
+    /// Per-request deadline, measured from the moment the server admits
+    /// the request (queue wait counts). `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+}
+
+fn node_list(v: &Json, key: &'static str) -> Result<Vec<NodeId>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("'{key}' must be an array of node ids"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| NodeId::try_from(n).ok())
+                .ok_or_else(|| format!("'{key}' contains a non-node-id value"))
+        })
+        .collect()
+}
+
+impl Request {
+    /// Parse one request line. The error string is safe to echo back in an
+    /// `error` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = match v.get("id") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| "'id' must be a string".to_string())?
+                    .to_string(),
+            ),
+        };
+        let op = match v.get("op").and_then(Json::as_str) {
+            Some("query") => {
+                let phi = v
+                    .get("phi")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| "'phi' must be a number".to_string())?;
+                let agg = match v.get("agg").and_then(Json::as_str) {
+                    Some("sum") => Aggregate::Sum,
+                    Some("max") => Aggregate::Max,
+                    _ => return Err("'agg' must be \"sum\" or \"max\"".to_string()),
+                };
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(j.as_u64().ok_or_else(|| {
+                        "'deadline_ms' must be a non-negative integer".to_string()
+                    })?),
+                };
+                Op::Query(QuerySpec {
+                    p: node_list(&v, "p")?,
+                    q: node_list(&v, "q")?,
+                    phi,
+                    agg,
+                    deadline_ms,
+                })
+            }
+            Some("health") => Op::Health,
+            Some("metrics") => Op::Metrics,
+            Some("shutdown") => Op::Shutdown,
+            Some(other) => return Err(format!("unknown op '{other}'")),
+            None => return Err("'op' must be a string".to_string()),
+        };
+        Ok(Request { id, op })
+    }
+
+    /// Serialize to one request line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        let op = match &self.op {
+            Op::Query(_) => "query",
+            Op::Health => "health",
+            Op::Metrics => "metrics",
+            Op::Shutdown => "shutdown",
+        };
+        members.push(("op".into(), Json::from(op)));
+        if let Op::Query(spec) = &self.op {
+            members.push(("p".into(), ids_json(&spec.p)));
+            members.push(("q".into(), ids_json(&spec.q)));
+            members.push(("phi".into(), Json::Num(spec.phi)));
+            members.push(("agg".into(), Json::from(spec.agg.to_string().as_str())));
+            if let Some(ms) = spec.deadline_ms {
+                members.push(("deadline_ms".into(), Json::from(ms)));
+            }
+        }
+        if let Some(id) = &self.id {
+            members.push(("id".into(), Json::from(id.as_str())));
+        }
+        Json::Obj(members).to_json()
+    }
+}
+
+fn ids_json(ids: &[NodeId]) -> Json {
+    Json::Arr(ids.iter().map(|&v| Json::from(v as u64)).collect())
+}
+
+/// Point-in-time server health, served inline even under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthInfo {
+    pub uptime_ms: u64,
+    /// Queries currently executing on workers.
+    pub inflight: u64,
+    /// Queries admitted but not yet picked up.
+    pub queued: u64,
+    pub workers: u64,
+    /// True once shutdown began (accepting no new connections).
+    pub draining: bool,
+}
+
+/// Aggregate serving counters for a `metrics` response.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsInfo {
+    /// Requests admitted to the queue (sheds excluded).
+    pub requests: u64,
+    pub ok: u64,
+    pub empty: u64,
+    pub cancelled: u64,
+    pub shed: u64,
+    pub errors: u64,
+    pub latency: LatencyHistogram,
+    pub search: SearchStats,
+}
+
+// The histogram has no equality of its own; compare what the wire format
+// carries (counts + quantiles), which is also what tests assert on.
+impl PartialEq for MetricsInfo {
+    fn eq(&self, other: &Self) -> bool {
+        self.requests == other.requests
+            && self.ok == other.ok
+            && self.empty == other.empty
+            && self.cancelled == other.cancelled
+            && self.shed == other.shed
+            && self.errors == other.errors
+            && self.search == other.search
+            && self.latency.count() == other.latency.count()
+            && self.latency.p50_ns() == other.latency.p50_ns()
+            && self.latency.p90_ns() == other.latency.p90_ns()
+            && self.latency.p99_ns() == other.latency.p99_ns()
+            && self.latency.max_ns() == other.latency.max_ns()
+    }
+}
+
+/// One response line, matched to its request by the echoed `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub id: Option<String>,
+    pub body: Body,
+}
+
+/// The response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// The answer plus which strategy produced it and the service time.
+    Ok {
+        p_star: NodeId,
+        dist: Dist,
+        subset: Vec<NodeId>,
+        strategy: String,
+        micros: u64,
+    },
+    /// Valid query, but no data point reaches `ceil(phi |Q|)` query points.
+    Empty,
+    /// The deadline passed before an answer was established.
+    Cancelled,
+    /// Load shed at admission: the queue was full. The query never ran.
+    Shed,
+    Error {
+        error: String,
+    },
+    Health(HealthInfo),
+    Metrics(Box<MetricsInfo>),
+    /// Shutdown acknowledged; the server is draining.
+    Bye,
+}
+
+impl Response {
+    /// The `status` field value for this body.
+    pub fn status(&self) -> &'static str {
+        match &self.body {
+            Body::Ok { .. } => "ok",
+            Body::Empty => "empty",
+            Body::Cancelled => "cancelled",
+            Body::Shed => "shed",
+            Body::Error { .. } => "error",
+            Body::Health(_) => "health",
+            Body::Metrics(_) => "metrics",
+            Body::Bye => "bye",
+        }
+    }
+
+    /// Serialize to one response line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut members: Vec<(String, Json)> = vec![("status".into(), Json::from(self.status()))];
+        if let Some(id) = &self.id {
+            members.push(("id".into(), Json::from(id.as_str())));
+        }
+        match &self.body {
+            Body::Ok {
+                p_star,
+                dist,
+                subset,
+                strategy,
+                micros,
+            } => {
+                members.push(("p_star".into(), Json::from(*p_star as u64)));
+                members.push(("dist".into(), Json::from(*dist)));
+                members.push(("subset".into(), ids_json(subset)));
+                members.push(("strategy".into(), Json::from(strategy.as_str())));
+                members.push(("micros".into(), Json::from(*micros)));
+            }
+            Body::Empty | Body::Cancelled | Body::Shed | Body::Bye => {}
+            Body::Error { error } => {
+                members.push(("error".into(), Json::from(error.as_str())));
+            }
+            Body::Health(h) => {
+                members.push(("uptime_ms".into(), Json::from(h.uptime_ms)));
+                members.push(("inflight".into(), Json::from(h.inflight)));
+                members.push(("queued".into(), Json::from(h.queued)));
+                members.push(("workers".into(), Json::from(h.workers)));
+                members.push(("draining".into(), Json::Bool(h.draining)));
+            }
+            Body::Metrics(m) => {
+                members.push(("requests".into(), Json::from(m.requests)));
+                members.push(("ok".into(), Json::from(m.ok)));
+                members.push(("empty".into(), Json::from(m.empty)));
+                members.push(("cancelled".into(), Json::from(m.cancelled)));
+                members.push(("shed".into(), Json::from(m.shed)));
+                members.push(("errors".into(), Json::from(m.errors)));
+                members.push(("p50_us".into(), Json::from(m.latency.p50_ns() / 1_000)));
+                members.push(("p90_us".into(), Json::from(m.latency.p90_ns() / 1_000)));
+                members.push(("p99_us".into(), Json::from(m.latency.p99_ns() / 1_000)));
+                members.push(("max_us".into(), Json::from(m.latency.max_ns() / 1_000)));
+                let s = &m.search;
+                members.push((
+                    "search".into(),
+                    Json::Obj(vec![
+                        ("nodes_settled".into(), Json::from(s.nodes_settled)),
+                        ("heap_pushes".into(), Json::from(s.heap_pushes)),
+                        ("heap_pops".into(), Json::from(s.heap_pops)),
+                        ("edges_relaxed".into(), Json::from(s.edges_relaxed)),
+                        ("gphi_evals".into(), Json::from(s.gphi_evals)),
+                        ("oracle_calls".into(), Json::from(s.oracle_calls)),
+                        ("label_lookups".into(), Json::from(s.label_lookups)),
+                        ("rtree_nodes".into(), Json::from(s.rtree_nodes)),
+                        ("candidates_pruned".into(), Json::from(s.candidates_pruned)),
+                    ]),
+                ));
+            }
+        }
+        Json::Obj(members).to_json()
+    }
+
+    /// Parse one response line (the client side of the protocol).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = match v.get("id") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| "'id' must be a string".to_string())?
+                    .to_string(),
+            ),
+        };
+        let u64_field = |key: &'static str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("'{key}' must be a non-negative integer"))
+        };
+        let body = match v.get("status").and_then(Json::as_str) {
+            Some("ok") => Body::Ok {
+                p_star: u64_field("p_star")? as NodeId,
+                dist: u64_field("dist")?,
+                subset: node_list(&v, "subset")?,
+                strategy: v
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                micros: u64_field("micros")?,
+            },
+            Some("empty") => Body::Empty,
+            Some("cancelled") => Body::Cancelled,
+            Some("shed") => Body::Shed,
+            Some("error") => Body::Error {
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            },
+            Some("health") => Body::Health(HealthInfo {
+                uptime_ms: u64_field("uptime_ms")?,
+                inflight: u64_field("inflight")?,
+                queued: u64_field("queued")?,
+                workers: u64_field("workers")?,
+                draining: v
+                    .get("draining")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| "'draining' must be a bool".to_string())?,
+            }),
+            Some("metrics") => {
+                let mut m = MetricsInfo {
+                    requests: u64_field("requests")?,
+                    ok: u64_field("ok")?,
+                    empty: u64_field("empty")?,
+                    cancelled: u64_field("cancelled")?,
+                    shed: u64_field("shed")?,
+                    errors: u64_field("errors")?,
+                    ..Default::default()
+                };
+                // The histogram itself does not round-trip; carry the
+                // quantiles through as single samples so the client can
+                // still display them.
+                for key in ["p50_us", "p90_us", "p99_us"] {
+                    if let Some(us) = v.get(key).and_then(Json::as_u64) {
+                        m.latency.record_ns(us.saturating_mul(1_000));
+                    }
+                }
+                if let Some(s) = v.get("search") {
+                    let f = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    m.search = SearchStats {
+                        nodes_settled: f("nodes_settled"),
+                        heap_pushes: f("heap_pushes"),
+                        heap_pops: f("heap_pops"),
+                        edges_relaxed: f("edges_relaxed"),
+                        gphi_evals: f("gphi_evals"),
+                        oracle_calls: f("oracle_calls"),
+                        label_lookups: f("label_lookups"),
+                        rtree_nodes: f("rtree_nodes"),
+                        candidates_pruned: f("candidates_pruned"),
+                    };
+                }
+                Body::Metrics(Box::new(m))
+            }
+            Some("bye") => Body::Bye,
+            Some(other) => return Err(format!("unknown status '{other}'")),
+            None => return Err("'status' must be a string".to_string()),
+        };
+        Ok(Response { id, body })
+    }
+
+    /// Build the response body for an answered query — the single
+    /// serializer shared by the server and `fannr query --json`.
+    pub fn for_answer(
+        id: Option<String>,
+        answer: Option<&FannAnswer>,
+        strategy: &str,
+        micros: u64,
+    ) -> Response {
+        let body = match answer {
+            Some(a) => Body::Ok {
+                p_star: a.p_star,
+                dist: a.dist,
+                subset: a.subset.clone(),
+                strategy: strategy.to_string(),
+                micros,
+            },
+            None => Body::Empty,
+        };
+        Response { id, body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_request_roundtrips() {
+        let req = Request {
+            id: Some("r-1".into()),
+            op: Op::Query(QuerySpec {
+                p: vec![1, 2, 3],
+                q: vec![9, 10],
+                phi: 0.5,
+                agg: Aggregate::Max,
+                deadline_ms: Some(50),
+            }),
+        };
+        let line = req.to_json();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        for op in [Op::Health, Op::Metrics, Op::Shutdown] {
+            let req = Request { id: None, op };
+            assert_eq!(Request::parse(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_requests() {
+        for bad in [
+            "not json",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"query","p":[1],"q":[2],"phi":"x","agg":"max"}"#,
+            r#"{"op":"query","p":[1],"q":[2],"phi":0.5,"agg":"median"}"#,
+            r#"{"op":"query","p":[-1],"q":[2],"phi":0.5,"agg":"max"}"#,
+            r#"{"op":"query","p":[1],"q":[2],"phi":0.5,"agg":"max","deadline_ms":-5}"#,
+            r#"{"op":"health","id":7}"#,
+            r#"{"phi":0.5}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn ok_response_roundtrips() {
+        let resp = Response::for_answer(
+            Some("q7".into()),
+            Some(&FannAnswer {
+                p_star: 42,
+                subset: vec![1, 5],
+                dist: 1234,
+            }),
+            "Exact-max",
+            87,
+        );
+        let line = resp.to_json();
+        assert!(line.starts_with(r#"{"status":"ok","id":"q7""#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn empty_and_terminal_responses_roundtrip() {
+        for body in [Body::Empty, Body::Cancelled, Body::Shed, Body::Bye] {
+            let resp = Response {
+                id: Some("x".into()),
+                body,
+            };
+            assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn health_roundtrips() {
+        let resp = Response {
+            id: None,
+            body: Body::Health(HealthInfo {
+                uptime_ms: 12,
+                inflight: 2,
+                queued: 5,
+                workers: 4,
+                draining: true,
+            }),
+        };
+        assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+    }
+
+    #[test]
+    fn metrics_serializes_counters_and_quantiles() {
+        let mut m = MetricsInfo {
+            requests: 10,
+            ok: 8,
+            cancelled: 1,
+            shed: 1,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            m.latency.record_ns(2_000_000);
+        }
+        m.search.nodes_settled = 999;
+        let resp = Response {
+            id: None,
+            body: Body::Metrics(Box::new(m)),
+        };
+        let line = resp.to_json();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("requests").and_then(Json::as_u64), Some(10));
+        assert!(v.get("p50_us").and_then(Json::as_u64).unwrap() >= 1_000);
+        assert_eq!(
+            v.get("search")
+                .unwrap()
+                .get("nodes_settled")
+                .and_then(Json::as_u64),
+            Some(999)
+        );
+    }
+
+    #[test]
+    fn error_response_escapes_payload() {
+        let resp = Response {
+            id: None,
+            body: Body::Error {
+                error: "bad \"quote\"\nline".into(),
+            },
+        };
+        let parsed = Response::parse(&resp.to_json()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+}

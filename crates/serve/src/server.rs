@@ -1,0 +1,463 @@
+//! The serving loop: bounded admission, deadline enforcement, graceful drain.
+//!
+//! Thread layout (all scoped, all joined before [`Server::run`] returns):
+//!
+//! ```text
+//! acceptor (run's own thread, nonblocking accept + shutdown poll)
+//!   └─ reader thread per connection
+//!        ├─ health / metrics / shutdown answered inline (never queued,
+//!        │  so observability survives overload)
+//!        └─ query  ──try_send──▶ bounded queue ──▶ worker threads
+//!                     │                              each: re-armed
+//!                     └─ Full ⇒ "shed" response      CancelToken + Engine
+//!                        (admission control: the
+//!                        queue never grows unbounded)
+//! ```
+//!
+//! A request's deadline is measured from *admission* (queue wait counts):
+//! an overloaded server cancels stale work instead of burning CPU on
+//! answers nobody is waiting for. Shutdown — wire `shutdown` op, SIGINT /
+//! SIGTERM, or [`ShutdownHandle`] — stops the acceptor, lets readers
+//! close, drains every admitted query, then returns the final stats.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fann_core::engine::Engine;
+use fann_core::QueryError;
+use roadnet::CancelToken;
+
+use crate::protocol::{Body, HealthInfo, MetricsInfo, Op, QuerySpec, Request, Response};
+
+/// How the server behaves; see field docs for the knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878`. Port 0 picks a free port
+    /// (read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Query worker threads. Each holds its own [`CancelToken`].
+    pub workers: usize,
+    /// Bounded queue depth shared by all workers. A query arriving while
+    /// the queue is full is shed immediately with `status:"shed"`.
+    pub queue_depth: usize,
+    /// Deadline applied when a request carries no `deadline_ms`.
+    /// `None` means such requests run to completion.
+    pub default_deadline: Option<Duration>,
+    /// Install SIGINT/SIGTERM handlers that trigger graceful drain.
+    /// Leave off in tests (handlers are process-global).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            default_deadline: None,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Final report returned by [`Server::run`] after the drain completes.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    pub uptime: Duration,
+    pub connections: u64,
+    pub metrics: MetricsInfo,
+}
+
+/// Clonable remote control: trips the same flag as SIGTERM / the wire
+/// `shutdown` op.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // async-signal-safe: a single atomic store.
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn signalled() -> bool {
+        false
+    }
+}
+
+/// One admitted query travelling from a reader to a worker.
+struct Job {
+    id: Option<String>,
+    spec: QuerySpec,
+    admitted: Instant,
+    deadline: Option<Duration>,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// Counters shared by readers and workers. The histogram and search
+/// stats sit behind one mutex (touched once per finished query); the
+/// queue/inflight gauges are lock-free so `health` stays cheap.
+#[derive(Default)]
+struct Shared {
+    metrics: Mutex<MetricsInfo>,
+    queued: AtomicU64,
+    inflight: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A bound TCP server, not yet serving. Call [`Server::run`] to serve.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listening socket (so the port is known before serving).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.stop))
+    }
+
+    /// Serve until shutdown, then drain and return the final stats.
+    /// Blocks the calling thread; every spawned thread is joined before
+    /// this returns.
+    pub fn run(self, engine: &Engine<'_>) -> io::Result<ServeSummary> {
+        if self.config.handle_signals {
+            sig::install();
+        }
+        let started = Instant::now();
+        let shared = Shared::default();
+        let stop = &self.stop;
+        let config = &self.config;
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        // std's Receiver is single-consumer; workers share it via a mutex
+        // (held only for the blocking recv handoff, not while querying).
+        let rx = Mutex::new(rx);
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..config.workers.max(1) {
+                scope.spawn(|| worker_loop(engine, &rx, &shared));
+            }
+
+            loop {
+                if stop.load(Ordering::SeqCst) || sig::signalled() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        let tx = tx.clone();
+                        let shared = &shared;
+                        let stop = Arc::clone(stop);
+                        scope.spawn(move || {
+                            connection_loop(stream, tx, shared, &stop, config, started);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Drain: stop is visible to every reader (they exit within one
+            // read-timeout tick and drop their queue senders); dropping ours
+            // closes the queue once the last reader is gone, and workers
+            // finish whatever was admitted before exiting.
+            stop.store(true, Ordering::SeqCst);
+            drop(tx);
+            Ok(())
+        })?;
+
+        let metrics = shared.metrics.lock().unwrap().clone();
+        Ok(ServeSummary {
+            uptime: started.elapsed(),
+            connections: shared.connections.load(Ordering::Relaxed),
+            metrics,
+        })
+    }
+}
+
+/// Per-connection reader: parses request lines, answers control ops
+/// inline, admits queries onto the bounded queue (or sheds).
+fn connection_loop(
+    stream: TcpStream,
+    tx: SyncSender<Job>,
+    shared: &Shared,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+    started: Instant,
+) {
+    // The read timeout doubles as the shutdown poll interval.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .is_err()
+    {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed.
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(trimmed, &tx, &writer, shared, stop, config, started);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // Partial data (if any) stays in `line`; just poll shutdown.
+                if stop.load(Ordering::SeqCst) || sig::signalled() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_line(
+    trimmed: &str,
+    tx: &SyncSender<Job>,
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Shared,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+    started: Instant,
+) {
+    let req = match Request::parse(trimmed) {
+        Ok(r) => r,
+        Err(error) => {
+            shared.metrics.lock().unwrap().errors += 1;
+            write_response(
+                writer,
+                &Response {
+                    id: None,
+                    body: Body::Error { error },
+                },
+            );
+            return;
+        }
+    };
+    match req.op {
+        Op::Health => {
+            let body = Body::Health(HealthInfo {
+                uptime_ms: started.elapsed().as_millis() as u64,
+                inflight: shared.inflight.load(Ordering::Relaxed),
+                queued: shared.queued.load(Ordering::Relaxed),
+                workers: config.workers.max(1) as u64,
+                draining: stop.load(Ordering::SeqCst) || sig::signalled(),
+            });
+            write_response(writer, &Response { id: req.id, body });
+        }
+        Op::Metrics => {
+            let m = shared.metrics.lock().unwrap().clone();
+            write_response(
+                writer,
+                &Response {
+                    id: req.id,
+                    body: Body::Metrics(Box::new(m)),
+                },
+            );
+        }
+        Op::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            write_response(
+                writer,
+                &Response {
+                    id: req.id,
+                    body: Body::Bye,
+                },
+            );
+        }
+        Op::Query(spec) => {
+            if stop.load(Ordering::SeqCst) || sig::signalled() {
+                shared.metrics.lock().unwrap().shed += 1;
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        body: Body::Shed,
+                    },
+                );
+                return;
+            }
+            let deadline = spec
+                .deadline_ms
+                .map(Duration::from_millis)
+                .or(config.default_deadline);
+            let job = Job {
+                id: req.id,
+                spec,
+                admitted: Instant::now(),
+                deadline,
+                writer: Arc::clone(writer),
+            };
+            match tx.try_send(job) {
+                Ok(()) => {
+                    shared.queued.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.lock().unwrap().requests += 1;
+                }
+                Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                    shared.metrics.lock().unwrap().shed += 1;
+                    write_response(
+                        &job.writer,
+                        &Response {
+                            id: job.id,
+                            body: Body::Shed,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Query worker: owns one re-armable token; drains the queue to empty
+/// even after shutdown begins (admitted requests are never dropped).
+fn worker_loop(engine: &Engine<'_>, rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    let token = CancelToken::new();
+    loop {
+        let job = match rx.lock().unwrap().recv() {
+            Ok(j) => j,
+            Err(_) => return, // queue closed and empty: drain complete.
+        };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        shared.inflight.fetch_add(1, Ordering::Relaxed);
+        let resp = execute(engine, &token, &job, shared);
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        write_response(&job.writer, &resp);
+    }
+}
+
+fn execute(engine: &Engine<'_>, token: &CancelToken, job: &Job, shared: &Shared) -> Response {
+    let id = job.id.clone();
+    // The deadline clock started at admission: a query that sat in the
+    // queue past its deadline is cancelled without running.
+    let remaining = match job.deadline {
+        Some(d) => match d.checked_sub(job.admitted.elapsed()) {
+            Some(r) if !r.is_zero() => Some(Some(r)),
+            _ => None,
+        },
+        None => Some(None),
+    };
+    let Some(budget) = remaining else {
+        shared.metrics.lock().unwrap().cancelled += 1;
+        return Response {
+            id,
+            body: Body::Cancelled,
+        };
+    };
+    token.arm(budget);
+    let spec = &job.spec;
+    let outcome = engine.query_traced_cancellable(&spec.p, &spec.q, spec.phi, spec.agg, token);
+    let elapsed = job.admitted.elapsed();
+    let mut m = shared.metrics.lock().unwrap();
+    match outcome {
+        Ok((answer, stats)) => {
+            m.latency.record(elapsed);
+            m.search.add(&stats);
+            match answer {
+                Some(_) => m.ok += 1,
+                None => m.empty += 1,
+            }
+            drop(m);
+            let strategy = engine.strategy_for(spec.agg).name();
+            Response::for_answer(id, answer.as_ref(), strategy, elapsed.as_micros() as u64)
+        }
+        Err(QueryError::Cancelled) => {
+            m.cancelled += 1;
+            drop(m);
+            Response {
+                id,
+                body: Body::Cancelled,
+            }
+        }
+        Err(e) => {
+            m.errors += 1;
+            drop(m);
+            Response {
+                id,
+                body: Body::Error {
+                    error: e.to_string(),
+                },
+            }
+        }
+    }
+}
+
+/// Serialize + write one response line. Write errors mean the client is
+/// gone; the query result is simply dropped.
+fn write_response(writer: &Arc<Mutex<TcpStream>>, resp: &Response) {
+    let mut line = resp.to_json();
+    line.push('\n');
+    if let Ok(mut w) = writer.lock() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}

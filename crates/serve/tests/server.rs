@@ -1,0 +1,385 @@
+//! End-to-end server tests over a real TCP socket: round-trip answers
+//! cross-validated against the in-process engine, overload shedding,
+//! deadline cancellation, inline observability, and graceful drain.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use fann_core::engine::Engine;
+use fann_core::Aggregate;
+use fannr_serve::{Body, Client, Op, QuerySpec, Request, Response, ServeConfig, Server};
+use roadnet::Graph;
+
+fn test_graph(seed: u64, nodes: usize) -> Graph {
+    let mut rng = workload::rng(seed);
+    workload::synth::road_network(nodes, &mut rng)
+}
+
+fn pq(graph: &Graph, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = workload::rng(seed);
+    let p = workload::points::uniform_data_points(graph, 0.1, &mut rng);
+    let q = workload::points::uniform_query_points(graph, 4, 0.5, &mut rng);
+    (p, q)
+}
+
+fn query_req(id: &str, p: &[u32], q: &[u32], phi: f64, agg: Aggregate) -> Request {
+    Request {
+        id: Some(id.to_string()),
+        op: Op::Query(QuerySpec {
+            p: p.to_vec(),
+            q: q.to_vec(),
+            phi,
+            agg,
+            deadline_ms: None,
+        }),
+    }
+}
+
+/// Trips shutdown on drop so a panicking test body cannot leave the
+/// server thread running (which would deadlock `thread::scope`).
+struct ShutdownGuard(fannr_serve::ShutdownHandle);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Run `f` against a freshly served engine, then shut down and return the
+/// summary alongside `f`'s result.
+fn with_server<T>(
+    config: ServeConfig,
+    graph: &Graph,
+    f: impl FnOnce(std::net::SocketAddr) -> T,
+) -> (T, fannr_serve::ServeSummary) {
+    let engine = Engine::new(graph);
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let (out, summary) = thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine).expect("serve"));
+        let guard = ShutdownGuard(handle);
+        let out = f(addr);
+        drop(guard);
+        (out, serving.join().expect("server thread"))
+    });
+    (out, summary)
+}
+
+fn free_port_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    }
+}
+
+/// Answers over the wire are bit-identical to in-process `Engine::query`,
+/// for both aggregates, and responses match requests by id even when
+/// pipelined.
+#[test]
+fn round_trip_matches_in_process_engine() {
+    let graph = test_graph(7, 300);
+    let (p, q) = pq(&graph, 8);
+    let engine = Engine::new(&graph);
+
+    let cases: Vec<(String, f64, Aggregate)> = vec![
+        ("sum-half".into(), 0.5, Aggregate::Sum),
+        ("max-half".into(), 0.5, Aggregate::Max),
+        ("sum-all".into(), 1.0, Aggregate::Sum),
+        ("max-quarter".into(), 0.25, Aggregate::Max),
+    ];
+
+    let ((), _summary) = with_server(free_port_config(), &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        // Pipeline all requests before reading any response; workers may
+        // finish out of order, so match responses back up by id.
+        for (id, phi, agg) in &cases {
+            client
+                .send(&query_req(id, &p, &q, *phi, *agg))
+                .expect("send");
+        }
+        let mut by_id = std::collections::HashMap::new();
+        for _ in &cases {
+            let resp = client.recv().expect("recv");
+            let id = resp.id.clone().expect("response id");
+            assert!(by_id.insert(id, resp).is_none(), "duplicate response id");
+        }
+        for (id, phi, agg) in &cases {
+            let resp = &by_id[id.as_str()];
+            let expected = engine.query(&p, &q, *phi, *agg).expect("valid query");
+            match (&resp.body, expected) {
+                (
+                    Body::Ok {
+                        p_star,
+                        dist,
+                        subset,
+                        strategy,
+                        ..
+                    },
+                    Some(ans),
+                ) => {
+                    assert_eq!(*p_star, ans.p_star, "{id}");
+                    assert_eq!(*dist, ans.dist, "{id}");
+                    assert_eq!(*subset, ans.subset, "{id}");
+                    assert_eq!(strategy, engine.strategy_for(*agg).name());
+                }
+                (Body::Empty, None) => {}
+                (body, expected) => panic!("{id}: got {body:?}, expected {expected:?}"),
+            }
+        }
+    });
+}
+
+/// Malformed lines and invalid queries produce `error` responses without
+/// killing the connection.
+#[test]
+fn errors_are_reported_and_connection_survives() {
+    let graph = test_graph(9, 120);
+    let (p, q) = pq(&graph, 10);
+
+    with_server(free_port_config(), &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+
+        client.send_raw("this is not json").expect("send");
+        let resp = client.recv().expect("recv");
+        assert!(matches!(resp.body, Body::Error { .. }), "{resp:?}");
+
+        // Invalid phi (0 is out of range) — a protocol-level valid request
+        // that the engine rejects.
+        client
+            .send(&query_req("bad-phi", &p, &q, 0.0, Aggregate::Max))
+            .expect("send");
+        let resp = client.recv().expect("recv");
+        assert!(matches!(resp.body, Body::Error { .. }), "{resp:?}");
+
+        // The connection still answers real queries afterwards.
+        client
+            .send(&query_req("ok", &p, &q, 0.5, Aggregate::Max))
+            .expect("send");
+        let resp = client.recv().expect("recv");
+        assert!(matches!(resp.body, Body::Ok { .. }), "{resp:?}");
+    });
+}
+
+/// A pre-expired deadline yields `cancelled` — never a wrong answer — and
+/// the cancelled counter shows up in `metrics`.
+#[test]
+fn expired_deadline_cancels() {
+    let graph = test_graph(11, 200);
+    let (p, q) = pq(&graph, 12);
+
+    with_server(free_port_config(), &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let req = Request {
+            id: Some("doomed".into()),
+            op: Op::Query(QuerySpec {
+                p: p.clone(),
+                q: q.clone(),
+                phi: 0.5,
+                agg: Aggregate::Sum,
+                deadline_ms: Some(0),
+            }),
+        };
+        let resp = client.call(&req).expect("call");
+        assert_eq!(resp.body, Body::Cancelled, "{resp:?}");
+
+        let resp = client
+            .call(&Request {
+                id: None,
+                op: Op::Metrics,
+            })
+            .expect("metrics");
+        match resp.body {
+            Body::Metrics(m) => assert!(m.cancelled >= 1, "{m:?}"),
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    });
+}
+
+/// With one slow worker and a depth-1 queue, a burst of pipelined queries
+/// must shed some requests rather than buffer unboundedly — and every
+/// request still gets exactly one response.
+#[test]
+fn overload_sheds_instead_of_buffering() {
+    let graph = test_graph(13, 400);
+    let (p, q) = pq(&graph, 14);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+
+    const BURST: usize = 24;
+    let shed = AtomicUsize::new(0);
+    let answered = AtomicUsize::new(0);
+
+    let ((), summary) = with_server(config, &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        for i in 0..BURST {
+            client
+                .send(&query_req(&format!("b{i}"), &p, &q, 0.5, Aggregate::Sum))
+                .expect("send");
+        }
+        for _ in 0..BURST {
+            let resp = client.recv().expect("recv");
+            match resp.body {
+                Body::Shed => {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Body::Ok { .. } | Body::Empty => {
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    });
+
+    let shed = shed.load(Ordering::Relaxed);
+    let answered = answered.load(Ordering::Relaxed);
+    assert_eq!(shed + answered, BURST);
+    assert!(
+        shed > 0,
+        "burst of {BURST} through a depth-1 queue never shed"
+    );
+    assert!(answered > 0, "everything shed; nothing served");
+    assert_eq!(summary.metrics.shed, shed as u64);
+    assert_eq!(summary.metrics.ok + summary.metrics.empty, answered as u64);
+}
+
+/// `health` and `metrics` are answered inline, and the wire `shutdown` op
+/// drains the server: the run loop exits and in-flight work completes.
+#[test]
+fn health_metrics_and_wire_shutdown() {
+    let graph = test_graph(15, 150);
+    let (p, q) = pq(&graph, 16);
+    let engine = Engine::new(&graph);
+    let server = Server::bind(free_port_config()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    let handle = server.shutdown_handle();
+    let summary = thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine).expect("serve"));
+        let _guard = ShutdownGuard(handle);
+
+        let mut client = Client::connect(addr).expect("connect");
+        let resp = client
+            .call(&Request {
+                id: Some("h".into()),
+                op: Op::Health,
+            })
+            .expect("health");
+        match resp.body {
+            Body::Health(h) => {
+                assert!(!h.draining);
+                assert!(h.workers >= 1);
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+
+        let resp = client
+            .call(&query_req("warm", &p, &q, 0.5, Aggregate::Max))
+            .expect("query");
+        assert!(matches!(resp.body, Body::Ok { .. }), "{resp:?}");
+
+        let resp = client
+            .call(&Request {
+                id: None,
+                op: Op::Metrics,
+            })
+            .expect("metrics");
+        match resp.body {
+            Body::Metrics(m) => {
+                assert_eq!(m.requests, 1);
+                assert_eq!(m.ok, 1);
+                assert!(m.search.nodes_settled > 0, "search stats not aggregated");
+                // Client-side, the histogram is reconstructed from the
+                // wire quantiles — only presence is meaningful.
+                assert!(m.latency.count() > 0);
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+
+        let resp = client
+            .call(&Request {
+                id: Some("bye".into()),
+                op: Op::Shutdown,
+            })
+            .expect("shutdown");
+        assert_eq!(resp.body, Body::Bye);
+
+        serving.join().expect("server thread")
+    });
+
+    assert_eq!(summary.metrics.ok, 1);
+    assert_eq!(summary.connections, 1);
+}
+
+/// Queries admitted before shutdown are answered during the drain, not
+/// dropped: pipeline a batch, immediately request shutdown, and count
+/// exactly one response per request with no shed-after-admission.
+#[test]
+fn drain_completes_admitted_work() {
+    let graph = test_graph(17, 200);
+    let (p, q) = pq(&graph, 18);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(&graph);
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    const N: usize = 8;
+    let handle = server.shutdown_handle();
+    let summary = thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine).expect("serve"));
+        let _guard = ShutdownGuard(handle);
+
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        for i in 0..N {
+            client
+                .send(&query_req(&format!("d{i}"), &p, &q, 0.5, Aggregate::Sum))
+                .expect("send");
+        }
+        client
+            .send(&Request {
+                id: Some("stop".into()),
+                op: Op::Shutdown,
+            })
+            .expect("send shutdown");
+
+        let mut answered = 0;
+        let mut saw_bye = false;
+        for _ in 0..=N {
+            match client.recv() {
+                Ok(Response {
+                    body: Body::Bye, ..
+                }) => saw_bye = true,
+                Ok(Response {
+                    body: Body::Ok { .. } | Body::Empty | Body::Shed,
+                    ..
+                }) => answered += 1,
+                Ok(other) => panic!("unexpected {other:?}"),
+                Err(e) => panic!("lost responses during drain: {e}"),
+            }
+        }
+        assert!(saw_bye, "no bye response");
+        assert_eq!(answered, N);
+
+        serving.join().expect("server thread")
+    });
+
+    // Everything admitted was answered (some tail requests may have been
+    // shed if shutdown won the race, but nothing may be silently dropped).
+    assert_eq!(
+        summary.metrics.ok + summary.metrics.empty + summary.metrics.shed,
+        N as u64
+    );
+}

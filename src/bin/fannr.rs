@@ -22,6 +22,7 @@ use fannr::fann::algo::{
     apx_sum, apx_sum_traced, exact_max, exact_max_traced, gd, ier_knn, ier_knn_traced, r_list,
     r_list_traced, IerBound,
 };
+use fannr::fann::engine::Engine;
 use fannr::fann::gphi::ier2::IerPhi;
 use fannr::fann::gphi::ine::InePhi;
 use fannr::fann::gphi::oracle::LabelOracle;
@@ -31,6 +32,7 @@ use fannr::fann::{Aggregate, FannAnswer, FannQuery};
 use fannr::hublabel::HubLabels;
 use fannr::roadnet::io::{read_compact, write_compact};
 use fannr::roadnet::{shortest_path, Graph, ScratchPool};
+use fannr::serve::{Response, ServeConfig, Server};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -53,6 +55,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&opts),
         "render" => cmd_render(&opts),
         "stats" => cmd_stats(&opts),
+        "serve" => cmd_serve(&opts),
         "bench-batch" => cmd_bench_batch(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -76,12 +79,14 @@ commands:
   index      build + persist hub labels          (--graph, --out)
   query      run an FANN_R query                 (--graph, --algo, --agg,
              --phi, --p-density, --q-size, --coverage, --clusters, --seed,
-             --labels, --k, --routes)
+             --labels, --k, --routes, --json)
   explain    run one query through every applicable strategy and print a
              per-strategy work breakdown         (query options; builds
              hub labels in-process unless --labels is given)
   render     draw a query answer as SVG          (query options + --out)
   stats      describe a network                  (--graph)
+  serve      serve queries over TCP              (--graph | --nodes --seed,
+             --addr, --workers, --queue-depth, --deadline-ms, --labels)
   bench-batch  measure batch throughput          (--nodes, --queries,
              --p-size, --q-size, --phi, --workers, --seed)
 algorithms:  gd | r-list | ier-knn | exact-max | apx-sum";
@@ -190,14 +195,25 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     } else {
         fannr::workload::points::clustered_query_points(&g, m, a, c, &mut rng)
     };
+    // --json prints exactly one protocol line on stdout (the same
+    // `Response` serializer the server uses), so commentary goes to stderr.
+    let json = opts.contains_key("json");
+    if json && k > 1 {
+        return Err("--json has no top-k form (the wire protocol is single-answer)".to_string());
+    }
     let query = FannQuery::checked(&p, &q, phi, agg, &g).map_err(|e| e.to_string())?;
-    println!(
+    let info = format!(
         "graph: {} nodes | |P| = {} | |Q| = {} | phi = {phi} ({}) | g = {agg}",
         g.num_nodes(),
         p.len(),
         q.len(),
         query.subset_size()
     );
+    if json {
+        eprintln!("{info}");
+    } else {
+        println!("{info}");
+    }
 
     // Backend: persisted labels if provided, else index-free INE.
     let labels = match opts.get("labels") {
@@ -211,7 +227,11 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         Some(l) => Box::new(IerPhi::new(&g, LabelOracle { labels: l }, &q)),
         None => Box::new(InePhi::new(&g, &q)),
     };
-    println!("backend: {}", gphi.name());
+    if json {
+        eprintln!("backend: {}", gphi.name());
+    } else {
+        println!("backend: {}", gphi.name());
+    }
 
     let t0 = std::time::Instant::now();
     if k > 1 {
@@ -241,6 +261,11 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
     };
     let elapsed = t0.elapsed();
+    if json {
+        let resp = Response::for_answer(None, answer.as_ref(), algo, elapsed.as_micros() as u64);
+        println!("{}", resp.to_json());
+        return Ok(());
+    }
     let Some(ans) = answer else {
         println!(
             "no answer: no data point reaches {} query points",
@@ -423,6 +448,66 @@ fn cmd_render(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(opts)?;
     println!("{}", fannr::roadnet::stats::graph_stats(&g));
+    Ok(())
+}
+
+/// Serve FANN_R queries over TCP until SIGINT/SIGTERM or a wire
+/// `shutdown` op, then print the drain summary.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = if opts.contains_key("graph") {
+        load_graph(opts)?
+    } else {
+        let nodes: usize = get(opts, "nodes", 10_000);
+        let seed: u64 = get(opts, "seed", 7);
+        fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(seed))
+    };
+    let mut engine = Engine::new(&g);
+    if let Some(path) = opts.get("labels") {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let labels = HubLabels::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        engine = engine.with_prebuilt_labels(labels);
+    }
+    let config = ServeConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: get(opts, "workers", 2usize),
+        queue_depth: get(opts, "queue-depth", 64usize),
+        default_deadline: opts
+            .get("deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .map(std::time::Duration::from_millis),
+        handle_signals: true,
+    };
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {} nodes on {addr} ({} workers, queue depth {}, labels: {})",
+        g.num_nodes(),
+        get::<usize>(opts, "workers", 2),
+        get::<usize>(opts, "queue-depth", 64),
+        if engine.has_labels() { "yes" } else { "no" }
+    );
+    let summary = server.run(&engine).map_err(|e| e.to_string())?;
+    let m = &summary.metrics;
+    println!(
+        "drained after {:.1}s: {} conns | {} admitted ({} ok, {} empty, {} cancelled, {} errors) | {} shed | p50 {}us p90 {}us p99 {}us",
+        summary.uptime.as_secs_f64(),
+        summary.connections,
+        m.requests,
+        m.ok,
+        m.empty,
+        m.cancelled,
+        m.errors,
+        m.shed,
+        m.latency.p50_ns() / 1_000,
+        m.latency.p90_ns() / 1_000,
+        m.latency.p99_ns() / 1_000,
+    );
+    if !m.search.is_empty() {
+        println!("search totals: {}", m.search);
+    }
     Ok(())
 }
 

@@ -1,0 +1,187 @@
+//! Serving under mutation: the snapshot discipline.
+//!
+//! The engine borrows an immutable [`Graph`]; live updates go through
+//! [`DynamicNetwork`], and a serving process adopts them by draining the
+//! old server and starting a new one on a fresh snapshot. The invariant
+//! under test: a client issuing queries across a concurrent weight update
+//! never observes an answer inconsistent with *both* the pre-update and
+//! post-update snapshots — i.e. no torn state, no half-applied weights,
+//! no answer computed partly on each version.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use fannr::fann::engine::Engine;
+use fannr::fann::{Aggregate, FannAnswer};
+use fannr::roadnet::{DynamicNetwork, Graph};
+use fannr::serve::{Body, Client, Op, QuerySpec, Request, ServeConfig, Server};
+
+fn expected(engine: &Engine, spec: &QuerySpec) -> Option<FannAnswer> {
+    engine
+        .query(&spec.p, &spec.q, spec.phi, spec.agg)
+        .expect("valid query")
+}
+
+fn matches(body: &Body, want: &Option<FannAnswer>) -> bool {
+    match (body, want) {
+        (
+            Body::Ok {
+                p_star,
+                dist,
+                subset,
+                ..
+            },
+            Some(a),
+        ) => *p_star == a.p_star && *dist == a.dist && *subset == a.subset,
+        (Body::Empty, None) => true,
+        _ => false,
+    }
+}
+
+fn serve_on<'g>(graph: &'g Graph) -> (Server, std::net::SocketAddr, Engine<'g>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    (server, addr, Engine::new(graph))
+}
+
+#[test]
+fn concurrent_weight_update_never_yields_torn_answers() {
+    let mut rng = fannr::workload::rng(29);
+    let base = fannr::workload::synth::road_network(400, &mut rng);
+    let p = fannr::workload::points::uniform_data_points(&base, 0.08, &mut rng);
+    let q = fannr::workload::points::uniform_query_points(&base, 5, 0.5, &mut rng);
+
+    // The mutable network and its two immutable snapshots.
+    let mut net = DynamicNetwork::from_graph(&base);
+    let pre = net.snapshot();
+    // Inflate a third of all edge weights 8x — drastic enough that some
+    // answers must change between the snapshots.
+    let edges: Vec<(u32, u32, u32)> = {
+        let mut es = Vec::new();
+        for u in 0..pre.num_nodes() as u32 {
+            for (v, w) in pre.neighbors(u) {
+                if u < v {
+                    es.push((u, v, w));
+                }
+            }
+        }
+        es
+    };
+    for (i, &(u, v, w)) in edges.iter().enumerate() {
+        if i % 3 == 0 {
+            net.set_weight(u, v, w.saturating_mul(8).max(1))
+                .expect("edge exists");
+        }
+    }
+    let post = net.snapshot();
+    assert!(net.version() > 0, "mutations must bump the version");
+
+    let specs: Vec<QuerySpec> = [0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .flat_map(|&phi| {
+            [Aggregate::Max, Aggregate::Sum].map(|agg| QuerySpec {
+                p: p.clone(),
+                q: q.clone(),
+                phi,
+                agg,
+                deadline_ms: None,
+            })
+        })
+        .collect();
+
+    let engine_pre = Engine::new(&pre);
+    let engine_post = Engine::new(&post);
+    let want_pre: Vec<_> = specs.iter().map(|s| expected(&engine_pre, s)).collect();
+    let want_post: Vec<_> = specs.iter().map(|s| expected(&engine_post, s)).collect();
+    assert!(
+        want_pre != want_post,
+        "weight update changed no answer; the test would be vacuous"
+    );
+
+    // Serve the pre snapshot; hammer it from a client thread while the
+    // "operator" swaps in the post snapshot via drain + restart.
+    let (server1, addr1, engine1) = serve_on(&pre);
+    let (server2, addr2, engine2) = serve_on(&post);
+    let handle1 = server1.shutdown_handle();
+    let handle2 = server2.shutdown_handle();
+    let swapped = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        let s1 = scope.spawn(|| server1.run(&engine1).expect("server 1"));
+        let s2 = scope.spawn(|| server2.run(&engine2).expect("server 2"));
+
+        let swapped_ref = &swapped;
+        let specs_ref = &specs;
+        let want_pre_ref = &want_pre;
+        let want_post_ref = &want_post;
+        let client = scope.spawn(move || {
+            let mut checked = 0usize;
+            let mut conn = Client::connect(addr1).expect("connect pre");
+            for round in 0..40 {
+                // Follow the swap mid-stream, like a client reconnecting
+                // after the old endpoint drains.
+                if swapped_ref.load(Ordering::SeqCst) && round == 20 {
+                    conn = Client::connect(addr2).expect("connect post");
+                }
+                for (i, spec) in specs_ref.iter().enumerate() {
+                    let req = Request {
+                        id: Some(format!("r{round}-{i}")),
+                        op: Op::Query(spec.clone()),
+                    };
+                    let resp = match conn.call(&req) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // The pre server drained under us; reconnect
+                            // to the post endpoint and retry there.
+                            conn = Client::connect(addr2).expect("reconnect post");
+                            conn.call(&req).expect("retry on post")
+                        }
+                    };
+                    match &resp.body {
+                        Body::Ok { .. } | Body::Empty => {
+                            let pre_ok = matches(&resp.body, &want_pre_ref[i]);
+                            let post_ok = matches(&resp.body, &want_post_ref[i]);
+                            assert!(
+                                pre_ok || post_ok,
+                                "torn answer for spec {i}: {:?} matches neither snapshot",
+                                resp.body
+                            );
+                            checked += 1;
+                        }
+                        Body::Shed => {} // admission control, not an answer
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            }
+            checked
+        });
+
+        // Let some pre-snapshot traffic through, then swap.
+        thread::sleep(Duration::from_millis(100));
+        swapped.store(true, Ordering::SeqCst);
+        handle1.shutdown();
+        let summary1 = s1.join().expect("server 1 thread");
+        // Drain guarantee: everything the old server admitted was
+        // answered, not dropped on the floor.
+        assert_eq!(
+            summary1.metrics.requests,
+            summary1.metrics.ok
+                + summary1.metrics.empty
+                + summary1.metrics.cancelled
+                + summary1.metrics.errors
+        );
+
+        let checked = client.join().expect("client thread");
+        assert!(checked > 0, "no answers were verified");
+
+        handle2.shutdown();
+        s2.join().expect("server 2 thread");
+    });
+}

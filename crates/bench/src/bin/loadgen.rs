@@ -9,6 +9,8 @@
 //! loadgen --addr 127.0.0.1:7878 --nodes 10000 --seed 7 \
 //!         --rate 200 --duration-s 10 --conns 2 [--deadline-ms 50] [--shutdown]
 //! loadgen --addr 127.0.0.1:7878 --nodes 2000 --seed 7 --smoke
+//! loadgen --addr 127.0.0.1:7878 --nodes 2000 --seed 7 --smoke \
+//!         --update-rate 20 --bench-out results/BENCH_5.json
 //! ```
 //!
 //! Open loop means the send schedule never adapts to response latency —
@@ -19,10 +21,19 @@
 //! local [`Engine`], a forced-cancellation probe, a metrics check, and a
 //! clean wire shutdown. Exit code 0 means ≥1 success, 0 wrong answers,
 //! and an orderly drain.
+//!
+//! `--update-rate R` adds a live-mutation leg: a dedicated connection
+//! toggles one edge's weight at `R` updates/second (between its seed
+//! value and double it — always admissible) while queries keep flowing.
+//! In smoke mode the final update restores the seed weight, the client
+//! waits for the server's background label repair to converge, and then
+//! re-cross-validates against the local engine — so a wrong answer in the
+//! staleness window fails the run. `--bench-out FILE` writes a small JSON
+//! summary (qps, updates, latency quantiles) for CI artifacts.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -30,7 +41,7 @@ use fann_core::engine::Engine;
 use fann_core::metrics::LatencyHistogram;
 use fann_core::Aggregate;
 use fannr_serve::{Body, Client, Op, QuerySpec, Request};
-use roadnet::Graph;
+use roadnet::{Graph, WeightUpdate};
 
 fn parse_opts(args: impl Iterator<Item = String>) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -101,6 +112,64 @@ fn connect_with_retry(addr: &str, budget: Duration) -> Result<Client, String> {
     }
 }
 
+/// The edge the updater leg toggles: the first edge of node 0. Doubling a
+/// weight is always admissible (weights may only move *up* from the
+/// Euclidean floor), and restoring the seed value leaves the network
+/// identical to what a fresh `Engine::new(graph)` sees.
+fn mutation_edge(graph: &Graph) -> Result<(u32, u32, u32), String> {
+    graph
+        .neighbors(0)
+        .next()
+        .map(|(v, w)| (0, v, w))
+        .ok_or_else(|| "node 0 has no edges; cannot run the update leg".to_string())
+}
+
+/// Updater leg: its own connection, one single-edge `update` per tick,
+/// toggling between `2*w0` and `w0`. Always finishes on a restore of `w0`
+/// (if it sent anything at all) and returns `(updates_sent, last_epoch)`.
+fn updater_loop(
+    addr: &str,
+    (u, v, w0): (u32, u32, u32),
+    rate: f64,
+    stop: &AtomicBool,
+) -> Result<(u64, u64), String> {
+    let mut client = connect_with_retry(addr, Duration::from_secs(20))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+    let mut send = |seq: u64, w: u32| -> Result<u64, String> {
+        let resp = client
+            .call(&Request {
+                id: Some(format!("u{seq}")),
+                op: Op::Update(vec![WeightUpdate { u, v, w }]),
+            })
+            .map_err(|e| format!("update {seq}: {e}"))?;
+        match resp.body {
+            Body::Updated { epoch, .. } => Ok(epoch),
+            other => Err(format!("update {seq} rejected: {other:?}")),
+        }
+    };
+    let mut seq = 0u64;
+    let mut epoch = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let w = if seq.is_multiple_of(2) {
+            w0.saturating_mul(2)
+        } else {
+            w0
+        };
+        epoch = send(seq, w)?;
+        seq += 1;
+        std::thread::sleep(interval);
+    }
+    if seq % 2 == 1 {
+        // The last applied weight was the doubled one; restore the seed.
+        epoch = send(seq, w0)?;
+        seq += 1;
+    }
+    Ok((seq, epoch))
+}
+
 fn main() -> ExitCode {
     let opts = parse_opts(std::env::args().skip(1));
     let addr: String = opts
@@ -115,15 +184,20 @@ fn main() -> ExitCode {
     let graph = workload::synth::road_network(nodes, &mut workload::rng(seed));
     let pool = QueryPool::generate(&graph, seed, 32, deadline_ms);
 
+    let update_rate: f64 = get(&opts, "update-rate", 0.0);
+    let bench_out = opts.get("bench-out").cloned();
+
     let result = if opts.contains_key("smoke") {
-        smoke(&addr, &graph, &pool)
+        smoke(&addr, &graph, &pool, update_rate, bench_out.as_deref())
     } else {
         open_loop(
             &addr,
+            &graph,
             &pool,
             get(&opts, "rate", 100.0),
             Duration::from_secs_f64(get(&opts, "duration-s", 5.0)),
             get(&opts, "conns", 1usize),
+            update_rate,
             opts.contains_key("shutdown"),
         )
     };
@@ -137,8 +211,15 @@ fn main() -> ExitCode {
 }
 
 /// CI smoke: bounded, deterministic, verifies answers against a local
-/// engine and finishes with a clean wire shutdown.
-fn smoke(addr: &str, graph: &Graph, pool: &QueryPool) -> Result<(), String> {
+/// engine and finishes with a clean wire shutdown. With `update_rate > 0`
+/// a live-mutation leg runs between two cross-validated phases.
+fn smoke(
+    addr: &str,
+    graph: &Graph,
+    pool: &QueryPool,
+    update_rate: f64,
+    bench_out: Option<&str>,
+) -> Result<(), String> {
     let engine = Engine::new(graph);
     let mut client = connect_with_retry(addr, Duration::from_secs(20))?;
     client
@@ -158,50 +239,95 @@ fn smoke(addr: &str, graph: &Graph, pool: &QueryPool) -> Result<(), String> {
     }
 
     // Sequential queries, each cross-validated against the local engine.
-    let mut ok = 0u64;
-    let mut empty = 0u64;
-    for i in 0..16 {
-        let spec = pool.spec(i).clone();
-        let expected = engine
-            .query(&spec.p, &spec.q, spec.phi, spec.agg)
-            .map_err(|e| format!("local engine rejected smoke query {i}: {e}"))?;
-        let req = Request {
-            id: Some(format!("s{i}")),
-            op: Op::Query(QuerySpec {
-                deadline_ms: None,
-                ..spec
-            }),
-        };
-        let resp = client.call(&req).map_err(|e| format!("query {i}: {e}"))?;
-        match (&resp.body, &expected) {
-            (
-                Body::Ok {
-                    p_star,
-                    dist,
-                    subset,
-                    ..
-                },
-                Some(want),
-            ) => {
-                if *p_star != want.p_star || *dist != want.dist || *subset != want.subset {
-                    return Err(format!(
-                        "WRONG ANSWER on query {i}: got (p*={p_star}, d*={dist}), \
-                         expected (p*={}, d*={})",
-                        want.p_star, want.dist
-                    ));
-                }
-                ok += 1;
-            }
-            (Body::Empty, None) => empty += 1,
-            (body, want) => {
-                return Err(format!(
-                    "WRONG ANSWER on query {i}: got {body:?}, expected {want:?}"
-                ))
-            }
-        }
-    }
+    let (mut ok, mut empty) = cross_validate(&mut client, &engine, pool, 16, "s")?;
     if ok == 0 {
         return Err("no query succeeded".to_string());
+    }
+
+    // Live-mutation leg: an updater connection toggles one edge while this
+    // connection keeps querying. Mid-flight answers can't be compared to
+    // the static local engine (the weights are moving), so here we only
+    // require that every query is *answered* — zero shed, zero cancelled,
+    // zero errors attributable to the swap — and validate exactness after
+    // the final restore below.
+    let mut mixed = MixedStats::default();
+    if update_rate > 0.0 {
+        let edge = mutation_edge(graph)?;
+        let stop = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let (sent_updates, last_epoch) = std::thread::scope(|scope| {
+            let updater = scope.spawn(|| updater_loop(addr, edge, update_rate, &stop));
+            let run = (|| -> Result<(), String> {
+                for i in 0..MIXED_QUERIES {
+                    let spec = pool.spec(i).clone();
+                    let req = Request {
+                        id: Some(format!("m{i}")),
+                        op: Op::Query(QuerySpec {
+                            deadline_ms: None,
+                            ..spec
+                        }),
+                    };
+                    let sent = Instant::now();
+                    let resp = client
+                        .call(&req)
+                        .map_err(|e| format!("mixed query {i}: {e}"))?;
+                    match resp.body {
+                        Body::Ok { .. } => mixed.ok += 1,
+                        Body::Empty => mixed.empty += 1,
+                        other => {
+                            return Err(format!(
+                                "mixed query {i} not answered (got {other:?}); \
+                                 updates must never shed or fail reads"
+                            ))
+                        }
+                    }
+                    mixed.latency.record(sent.elapsed());
+                }
+                Ok(())
+            })();
+            stop.store(true, Ordering::Relaxed);
+            let upd = updater.join().expect("updater thread");
+            run.and(upd)
+        })?;
+        mixed.elapsed = t0.elapsed();
+        mixed.updates = sent_updates;
+        mixed.epoch = last_epoch;
+        if sent_updates == 0 {
+            return Err("update leg sent no updates (rate too low for the run)".to_string());
+        }
+        eprintln!(
+            "loadgen: mixed leg: {} queries with {} live updates ({} epochs), all answered",
+            mixed.ok + mixed.empty,
+            sent_updates,
+            last_epoch
+        );
+
+        // The final update restored the seed weight, so once the server's
+        // background repair converges the local engine is authoritative
+        // again. `stale` only clears for label-backed servers, but answers
+        // are exact either way — the wait just exercises the repair path.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let resp = client
+                .call(&Request {
+                    id: Some("h2".into()),
+                    op: Op::Health,
+                })
+                .map_err(|e| format!("health during repair: {e}"))?;
+            match resp.body {
+                Body::Health(h) if h.epoch == last_epoch && !h.stale => break,
+                Body::Health(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                other => return Err(format!("label repair never converged: {other:?}")),
+            }
+        }
+        let (ok2, empty2) = cross_validate(&mut client, &engine, pool, 8, "r")?;
+        if ok2 == 0 {
+            return Err("no post-update query succeeded".to_string());
+        }
+        ok += ok2;
+        empty += empty2;
     }
 
     // A pre-expired deadline must cancel, never answer wrongly.
@@ -227,13 +353,18 @@ fn smoke(addr: &str, graph: &Graph, pool: &QueryPool) -> Result<(), String> {
         })
         .map_err(|e| format!("metrics: {e}"))?;
     match resp.body {
-        Body::Metrics(m) if m.ok >= ok && m.cancelled >= 1 => {
+        Body::Metrics(m) if m.ok >= ok && m.cancelled >= 1 && m.updates >= mixed.updates => {
             eprintln!(
-                "loadgen: server metrics: {} admitted, {} ok, {} cancelled, {} shed",
-                m.requests, m.ok, m.cancelled, m.shed
+                "loadgen: server metrics: {} admitted, {} ok, {} cancelled, {} shed, \
+                 {} updates (epoch {})",
+                m.requests, m.ok, m.cancelled, m.shed, m.updates, m.epoch
             );
         }
         other => return Err(format!("inconsistent metrics: {other:?}")),
+    }
+
+    if let Some(path) = bench_out {
+        write_bench_json(path, &mixed)?;
     }
 
     // Clean drain over the wire.
@@ -247,7 +378,103 @@ fn smoke(addr: &str, graph: &Graph, pool: &QueryPool) -> Result<(), String> {
         return Err(format!("expected bye, got {resp:?}"));
     }
 
-    println!("SMOKE PASS: {ok} ok, {empty} empty, 0 wrong answers, clean drain");
+    println!(
+        "SMOKE PASS: {ok} ok, {empty} empty, {} live updates, 0 wrong answers, clean drain",
+        mixed.updates
+    );
+    Ok(())
+}
+
+/// Queries issued during the mixed read/update leg of `--smoke`.
+const MIXED_QUERIES: usize = 48;
+
+#[derive(Default)]
+struct MixedStats {
+    ok: u64,
+    empty: u64,
+    updates: u64,
+    epoch: u64,
+    elapsed: Duration,
+    latency: LatencyHistogram,
+}
+
+/// `count` sequential queries, each checked bit-for-bit against the local
+/// engine. Only valid while the served network equals `engine`'s graph.
+fn cross_validate(
+    client: &mut Client,
+    engine: &Engine,
+    pool: &QueryPool,
+    count: usize,
+    tag: &str,
+) -> Result<(u64, u64), String> {
+    let mut ok = 0u64;
+    let mut empty = 0u64;
+    for i in 0..count {
+        let spec = pool.spec(i).clone();
+        let expected = engine
+            .query(&spec.p, &spec.q, spec.phi, spec.agg)
+            .map_err(|e| format!("local engine rejected smoke query {tag}{i}: {e}"))?;
+        let req = Request {
+            id: Some(format!("{tag}{i}")),
+            op: Op::Query(QuerySpec {
+                deadline_ms: None,
+                ..spec
+            }),
+        };
+        let resp = client
+            .call(&req)
+            .map_err(|e| format!("query {tag}{i}: {e}"))?;
+        match (&resp.body, &expected) {
+            (
+                Body::Ok {
+                    p_star,
+                    dist,
+                    subset,
+                    ..
+                },
+                Some(want),
+            ) => {
+                if *p_star != want.p_star || *dist != want.dist || *subset != want.subset {
+                    return Err(format!(
+                        "WRONG ANSWER on query {tag}{i}: got (p*={p_star}, d*={dist}), \
+                         expected (p*={}, d*={})",
+                        want.p_star, want.dist
+                    ));
+                }
+                ok += 1;
+            }
+            (Body::Empty, None) => empty += 1,
+            (body, want) => {
+                return Err(format!(
+                    "WRONG ANSWER on query {tag}{i}: got {body:?}, expected {want:?}"
+                ))
+            }
+        }
+    }
+    Ok((ok, empty))
+}
+
+/// Tiny hand-rolled JSON artifact for CI (no serde anywhere in the tree).
+fn write_bench_json(path: &str, mixed: &MixedStats) -> Result<(), String> {
+    let answered = mixed.ok + mixed.empty;
+    let qps = answered as f64 / mixed.elapsed.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"mixed_queries\": {answered},\n  \"updates\": {},\n  \"final_epoch\": {},\n  \
+         \"qps\": {:.1},\n  \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {}\n}}\n",
+        mixed.updates,
+        mixed.epoch,
+        qps,
+        mixed.latency.p50_ns() / 1_000,
+        mixed.latency.p90_ns() / 1_000,
+        mixed.latency.p99_ns() / 1_000,
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("loadgen: wrote {path}");
     Ok(())
 }
 
@@ -261,13 +488,17 @@ struct Tally {
     errors: AtomicU64,
 }
 
-/// Fixed-rate open loop across `conns` connections.
+/// Fixed-rate open loop across `conns` connections, with an optional
+/// live-update leg on its own connection.
+#[allow(clippy::too_many_arguments)]
 fn open_loop(
     addr: &str,
+    graph: &Graph,
     pool: &QueryPool,
     rate: f64,
     duration: Duration,
     conns: usize,
+    update_rate: f64,
     send_shutdown: bool,
 ) -> Result<(), String> {
     if rate.is_nan() || rate <= 0.0 {
@@ -278,8 +509,17 @@ fn open_loop(
     let tally = Tally::default();
     let latency = Mutex::new(LatencyHistogram::default());
     let started = Instant::now();
+    let mut updates_sent = 0u64;
+    let stop_updates = AtomicBool::new(false);
 
     std::thread::scope(|scope| -> Result<(), String> {
+        let updater = if update_rate > 0.0 {
+            let edge = mutation_edge(graph)?;
+            let stop = &stop_updates;
+            Some(scope.spawn(move || updater_loop(addr, edge, update_rate, stop)))
+        } else {
+            None
+        };
         let mut handles = Vec::new();
         for conn in 0..conns {
             let tally = &tally;
@@ -300,6 +540,12 @@ fn open_loop(
         for h in handles {
             h.join().expect("connection thread")?;
         }
+        stop_updates.store(true, Ordering::Relaxed);
+        if let Some(u) = updater {
+            let (sent, epoch) = u.join().expect("updater thread")?;
+            updates_sent = sent;
+            eprintln!("loadgen: update leg: {sent} updates applied, final epoch {epoch}");
+        }
         Ok(())
     })?;
 
@@ -314,7 +560,7 @@ fn open_loop(
     let hist = latency.lock().unwrap();
     println!(
         "offered {:.1} qps | achieved {:.1} qps | sent {sent} | ok {ok} | empty {empty} | \
-         cancelled {cancelled} | shed {shed} ({:.1}%) | errors {errors}",
+         cancelled {cancelled} | shed {shed} ({:.1}%) | errors {errors} | updates {updates_sent}",
         rate,
         answered as f64 / elapsed,
         100.0 * shed as f64 / sent.max(1) as f64,

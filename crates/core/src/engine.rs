@@ -21,6 +21,22 @@
 //!     .expect("reachable");
 //! assert_eq!(answer.dist, 10);
 //! ```
+//!
+//! # Snapshots, epochs, and live updates
+//!
+//! The engine is *snapshot-centric* ("road networks change frequently",
+//! §IV): its state is an immutable [`EngineSnapshot`] — an epoch-versioned
+//! [`NetworkSnapshot`] plus the indexes built for it — published through a
+//! lock-free [`SnapshotCell`]. Every query pins exactly one snapshot for
+//! its whole lifetime, so concurrent [`Engine::apply_updates`] calls never
+//! tear an in-flight answer: each answer is consistent with exactly one
+//! epoch. Updates are copy-on-write (only the weight array is copied) and
+//! mark hub labels *stale* rather than rebuilding them inline; stale
+//! labels degrade to exact A\* for affected pairs (never a wrong answer)
+//! until [`Engine::repair_indexes`] — usually via
+//! [`Engine::repair_in_background`] — rebuilds them. `Engine` is `Clone +
+//! Send + Sync + 'static`: handles share state, so a server can hand one
+//! to every worker thread and another to an updater.
 
 use crate::algo::ier::build_p_rtree;
 use crate::algo::topk::{exact_max_topk, ier_topk, rlist_topk};
@@ -31,15 +47,19 @@ use crate::algo::{
 };
 use crate::gphi::ier2::IerPhi;
 use crate::gphi::ine::InePhi;
-use crate::gphi::oracle::LabelOracle;
+use crate::gphi::oracle::GuardedLabelOracle;
 use crate::gphi::{GPhi, ReusableGPhi};
 use crate::metrics::{LatencyHistogram, SearchStats, StatsSink};
 use crate::{Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
 use hublabel::HubLabels;
 use roadnet::cancel::{CancelCheck, CancelToken, Cancelled};
-use roadnet::{Graph, NodeId, ScratchPool};
+use roadnet::{
+    AppliedUpdate, Graph, NetworkSnapshot, NodeId, ScratchPool, SnapshotCell, UpdateError,
+    WeightUpdate,
+};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Which strategy [`Engine::query`] selected (observable for logging and
@@ -111,36 +131,177 @@ fn deduped(ids: &[NodeId]) -> Option<Vec<NodeId>> {
     Some(ids.iter().copied().filter(|&v| seen.insert(v)).collect())
 }
 
-/// A road network plus optional indexes, with automatic algorithm choice.
-pub struct Engine<'g> {
-    graph: &'g Graph,
-    labels: Option<HubLabels>,
+/// Weight updates applied since the current hub labels were built, merged
+/// per edge: the labels' staleness ledger. Empty ⇔ the labels are exact
+/// for the current graph.
+#[derive(Debug, Clone)]
+pub struct StaleSet {
+    updates: Vec<AppliedUpdate>,
+    increase_only: bool,
+}
+
+impl StaleSet {
+    fn fresh() -> Self {
+        StaleSet {
+            updates: Vec::new(),
+            increase_only: true,
+        }
+    }
+
+    /// No pending updates: the labels match the current graph exactly.
+    pub fn is_fresh(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Net per-edge changes: `w_old` is the weight the labels were built
+    /// with, `w_new` the current weight.
+    pub fn updates(&self) -> &[AppliedUpdate] {
+        &self.updates
+    }
+
+    /// Every net change is an increase — the per-pair certificate in
+    /// [`GuardedLabelOracle`] applies. Decrease certificates do not
+    /// compose across edges, so any net decrease disables them all.
+    pub fn increase_only(&self) -> bool {
+        self.increase_only
+    }
+
+    fn absorb(&mut self, applied: &[AppliedUpdate]) {
+        for a in applied {
+            match self
+                .updates
+                .iter_mut()
+                .find(|e| (e.u, e.v) == (a.u, a.v) || (e.u, e.v) == (a.v, a.u))
+            {
+                // Keep the first w_old (the labels' weight), track the
+                // latest w_new (the current weight).
+                Some(e) => e.w_new = a.w_new,
+                None => self.updates.push(*a),
+            }
+        }
+        self.increase_only = self.updates.iter().all(AppliedUpdate::is_increase);
+    }
+}
+
+/// One pinned, immutable view of the engine: a [`NetworkSnapshot`] plus
+/// the indexes (and their staleness ledger) that answer on it. Obtained
+/// from [`Engine::snapshot`]; holding the `Arc` keeps this exact epoch
+/// alive regardless of concurrent updates.
+pub struct EngineSnapshot {
+    net: NetworkSnapshot,
+    labels: Option<Arc<HubLabels>>,
+    stale: StaleSet,
+}
+
+impl EngineSnapshot {
+    pub fn network(&self) -> &NetworkSnapshot {
+        &self.net
+    }
+
+    pub fn graph(&self) -> &Graph {
+        self.net.graph()
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.net.epoch()
+    }
+
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// The labels' staleness ledger (empty when no labels are attached or
+    /// they are fresh).
+    pub fn stale(&self) -> &StaleSet {
+        &self.stale
+    }
+
+    /// Labels exist but have not absorbed every published update.
+    pub fn is_stale(&self) -> bool {
+        self.labels.is_some() && !self.stale.is_fresh()
+    }
+
+    /// The point-to-point oracle for this snapshot: hub labels guarded by
+    /// the staleness ledger (exact even mid-repair), or `None` when the
+    /// snapshot is index-free.
+    pub fn oracle(&self) -> Option<GuardedLabelOracle<'_>> {
+        let labels = self.labels.as_deref()?;
+        Some(GuardedLabelOracle::new(
+            labels,
+            self.net.graph(),
+            self.stale.updates(),
+            self.stale.increase_only(),
+            self.net.lower_bound(),
+        ))
+    }
+}
+
+/// Shared mutable state behind every clone of one [`Engine`].
+struct EngineShared {
+    cell: SnapshotCell<EngineSnapshot>,
+    /// Serializes publication (updates, label installs); readers never
+    /// take it.
+    writer: Mutex<()>,
+    /// A background repair thread is running (see
+    /// [`Engine::repair_in_background`]).
+    repairing: AtomicBool,
+}
+
+/// A road network plus optional indexes, with automatic algorithm choice
+/// and lock-free live updates (see the [module docs](self) for the
+/// snapshot/epoch model).
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<EngineShared>,
     /// Accept approximate sum answers when no index is available
     /// (3-approximation; off by default).
     allow_approx_sum: bool,
 }
 
-impl<'g> Engine<'g> {
+impl Engine {
     /// An index-free engine (the "road networks change frequently"
-    /// scenario of §IV).
-    pub fn new(graph: &'g Graph) -> Self {
+    /// scenario of §IV). Cheap: the graph handle is cloned, not the CSR
+    /// arrays.
+    pub fn new(graph: &Graph) -> Self {
+        Engine::from_snapshot(NetworkSnapshot::new(graph.clone()))
+    }
+
+    /// An index-free engine over an existing snapshot (preserving its
+    /// epoch and admissibility scale).
+    pub fn from_snapshot(net: NetworkSnapshot) -> Self {
         Engine {
-            graph,
-            labels: None,
+            shared: Arc::new(EngineShared {
+                cell: SnapshotCell::new(Arc::new(EngineSnapshot {
+                    net,
+                    labels: None,
+                    stale: StaleSet::fresh(),
+                })),
+                writer: Mutex::new(()),
+                repairing: AtomicBool::new(false),
+            }),
             allow_approx_sum: false,
         }
     }
 
     /// Build and attach the hub-label oracle (expensive; do it once).
-    pub fn with_labels(mut self) -> Self {
-        self.labels = Some(HubLabels::build(self.graph));
+    pub fn with_labels(self) -> Self {
+        self.publish_labels(false);
         self
     }
 
     /// Attach previously built labels (e.g. from
-    /// [`HubLabels::from_bytes`]).
-    pub fn with_prebuilt_labels(mut self, labels: HubLabels) -> Self {
-        self.labels = Some(labels);
+    /// [`HubLabels::from_bytes`]). The caller asserts the labels were
+    /// built for this engine's *current* graph.
+    pub fn with_prebuilt_labels(self, labels: HubLabels) -> Self {
+        {
+            let _guard = self.shared.writer.lock().unwrap();
+            let cur = self.shared.cell.load();
+            self.shared.cell.store(Arc::new(EngineSnapshot {
+                net: cur.net.clone(),
+                labels: Some(Arc::new(labels)),
+                stale: StaleSet::fresh(),
+            }));
+        }
         self
     }
 
@@ -151,13 +312,121 @@ impl<'g> Engine<'g> {
         self
     }
 
-    pub fn has_labels(&self) -> bool {
-        self.labels.is_some()
+    /// Pin the current snapshot. Wait-free; the returned `Arc` keeps that
+    /// exact epoch (graph + indexes + staleness) alive for as long as the
+    /// caller holds it. Every `query*` method pins exactly once, so each
+    /// answer is consistent with exactly one epoch.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.shared.cell.load()
     }
 
-    /// The strategy `query` would use for this aggregate.
+    /// The currently published epoch (0 for a fresh engine; +1 per
+    /// [`Engine::apply_updates`] batch).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Whether the current labels lag the current graph (queries stay
+    /// exact either way; see [`GuardedLabelOracle`]).
+    pub fn is_stale(&self) -> bool {
+        self.snapshot().is_stale()
+    }
+
+    pub fn has_labels(&self) -> bool {
+        self.snapshot().has_labels()
+    }
+
+    /// Apply a batch of weight updates and publish the next epoch without
+    /// blocking readers: in-flight queries finish on the snapshot they
+    /// pinned; subsequent queries see the new weights immediately (hub
+    /// labels go stale and fall back to exact search for affected pairs
+    /// until repaired). All-or-nothing: on any validation error
+    /// ([`UpdateError`]) nothing is published.
+    ///
+    /// Returns the new epoch. Concurrent callers serialize on a writer
+    /// lock; call [`Engine::repair_in_background`] afterwards to restore
+    /// full label speed.
+    pub fn apply_updates(&self, updates: &[WeightUpdate]) -> Result<u64, UpdateError> {
+        let _guard = self.shared.writer.lock().unwrap();
+        let cur = self.shared.cell.load();
+        let (net, applied) = cur.net.apply(updates)?;
+        let epoch = net.epoch();
+        let mut stale = cur.stale.clone();
+        if cur.labels.is_some() {
+            stale.absorb(&applied);
+        }
+        self.shared.cell.store(Arc::new(EngineSnapshot {
+            net,
+            labels: cur.labels.clone(),
+            stale,
+        }));
+        Ok(epoch)
+    }
+
+    /// Rebuild stale labels on the current graph and publish them,
+    /// synchronously. Queries keep running (and stay exact) throughout;
+    /// if updates land while building, the build restarts on the newer
+    /// graph. No-op when the labels are already fresh or absent. Returns
+    /// the epoch whose labels are fresh on return.
+    pub fn repair_indexes(&self) -> u64 {
+        self.publish_labels(true)
+    }
+
+    /// [`Engine::repair_indexes`] on a background thread. Returns `false`
+    /// if a repair thread is already running (the running thread will
+    /// pick up any newer updates before exiting). Fire-and-forget: the
+    /// serving layer calls this after each update batch.
+    pub fn repair_in_background(&self) -> bool {
+        if self.shared.repairing.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let engine = self.clone();
+        std::thread::spawn(move || loop {
+            engine.repair_indexes();
+            engine.shared.repairing.store(false, Ordering::SeqCst);
+            // Re-check after clearing the flag: an update that landed in
+            // between would otherwise be orphaned (its repair_in_background
+            // saw the flag still set).
+            if engine.is_stale() && !engine.shared.repairing.swap(true, Ordering::SeqCst) {
+                continue;
+            }
+            break;
+        });
+        true
+    }
+
+    /// Build labels for the current graph and publish them fresh,
+    /// restarting if the graph moves mid-build. With `only_if_stale`,
+    /// exit early when there is nothing to repair.
+    fn publish_labels(&self, only_if_stale: bool) -> u64 {
+        loop {
+            let pinned = self.snapshot();
+            if only_if_stale && !pinned.is_stale() {
+                return pinned.epoch();
+            }
+            let labels = Arc::new(HubLabels::build(pinned.graph()));
+            let guard = self.shared.writer.lock().unwrap();
+            let cur = self.shared.cell.load();
+            if cur.epoch() == pinned.epoch() {
+                self.shared.cell.store(Arc::new(EngineSnapshot {
+                    net: cur.net.clone(),
+                    labels: Some(labels),
+                    stale: StaleSet::fresh(),
+                }));
+                return cur.epoch();
+            }
+            drop(guard); // weights moved while building; rebuild on the newer graph
+        }
+    }
+
+    /// The strategy `query` would use for this aggregate (on the current
+    /// snapshot).
     pub fn strategy_for(&self, agg: Aggregate) -> Strategy {
-        if self.labels.is_some() {
+        self.strategy_on(&self.snapshot(), agg)
+    }
+
+    fn strategy_on(&self, snap: &EngineSnapshot, agg: Aggregate) -> Strategy {
+        if snap.has_labels() {
             Strategy::IerKnnLabels
         } else {
             match agg {
@@ -181,26 +450,38 @@ impl<'g> Engine<'g> {
         phi: f64,
         agg: Aggregate,
     ) -> Result<Option<FannAnswer>, QueryError> {
+        self.query_on(&self.snapshot(), p, q, phi, agg)
+    }
+
+    fn query_on(
+        &self,
+        snap: &EngineSnapshot,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Result<Option<FannAnswer>, QueryError> {
+        let graph = snap.graph();
         let p_dedup = deduped(p);
         let p = p_dedup.as_deref().unwrap_or(p);
         let q_dedup = deduped(q);
         let q = q_dedup.as_deref().unwrap_or(q);
-        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
-        let answer = match self.strategy_for(agg) {
+        let query = FannQuery::checked(p, q, phi, agg, graph)?;
+        let answer = match self.strategy_on(snap, agg) {
             Strategy::IerKnnLabels => {
-                let labels = self.labels.as_ref().expect("strategy implies labels");
-                let rtree = build_p_rtree(self.graph, p);
-                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, q);
-                ier_knn(self.graph, &query, &rtree, &gphi)
+                let oracle = snap.oracle().expect("strategy implies labels");
+                let rtree = build_p_rtree(graph, p);
+                let gphi = IerPhi::new(graph, oracle, q);
+                ier_knn(graph, &query, &rtree, &gphi)
             }
-            Strategy::ExactMax => exact_max(self.graph, &query),
+            Strategy::ExactMax => exact_max(graph, &query),
             Strategy::RListIne => {
-                let gphi = InePhi::new(self.graph, q);
-                r_list(self.graph, &query, &gphi)
+                let gphi = InePhi::new(graph, q);
+                r_list(graph, &query, &gphi)
             }
             Strategy::ApxSumIne => {
-                let gphi = InePhi::new(self.graph, q);
-                apx_sum(self.graph, &query, &gphi)
+                let gphi = InePhi::new(graph, q);
+                apx_sum(graph, &query, &gphi)
             }
         };
         Ok(answer)
@@ -220,29 +501,39 @@ impl<'g> Engine<'g> {
         phi: f64,
         agg: Aggregate,
     ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
+        self.query_traced_on(&self.snapshot(), p, q, phi, agg)
+    }
+
+    fn query_traced_on(
+        &self,
+        snap: &EngineSnapshot,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
+        let graph = snap.graph();
         let p_dedup = deduped(p);
         let p = p_dedup.as_deref().unwrap_or(p);
         let q_dedup = deduped(q);
         let q = q_dedup.as_deref().unwrap_or(q);
-        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
+        let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let sink = StatsSink::new();
-        let answer = match self.strategy_for(agg) {
+        let answer = match self.strategy_on(snap, agg) {
             Strategy::IerKnnLabels => {
-                let labels = self.labels.as_ref().expect("strategy implies labels");
-                let rtree = build_p_rtree(self.graph, p);
-                let gphi = IerPhi::with_recorder(self.graph, LabelOracle { labels }, q, &sink);
-                ier_knn_traced(self.graph, &query, &rtree, &gphi, IerBound::Flexible, &sink)
+                let oracle = snap.oracle().expect("strategy implies labels");
+                let rtree = build_p_rtree(graph, p);
+                let gphi = IerPhi::with_recorder(graph, oracle, q, &sink);
+                ier_knn_traced(graph, &query, &rtree, &gphi, IerBound::Flexible, &sink)
             }
-            Strategy::ExactMax => {
-                exact_max_traced(self.graph, &query, &mut ScratchPool::new(), &sink)
-            }
+            Strategy::ExactMax => exact_max_traced(graph, &query, &mut ScratchPool::new(), &sink),
             Strategy::RListIne => {
-                let gphi = InePhi::with_recorder(self.graph, q, &sink);
-                r_list_traced(self.graph, &query, &gphi, &mut ScratchPool::new(), &sink)
+                let gphi = InePhi::with_recorder(graph, q, &sink);
+                r_list_traced(graph, &query, &gphi, &mut ScratchPool::new(), &sink)
             }
             Strategy::ApxSumIne => {
-                let gphi = InePhi::with_recorder(self.graph, q, &sink);
-                apx_sum_traced(self.graph, &query, &gphi, &sink)
+                let gphi = InePhi::with_recorder(graph, q, &sink);
+                apx_sum_traced(graph, &query, &gphi, &sink)
             }
         };
         Ok((answer, sink.snapshot()))
@@ -258,21 +549,23 @@ impl<'g> Engine<'g> {
         agg: Aggregate,
         k: usize,
     ) -> Result<KFannAnswer, QueryError> {
+        let snap = self.snapshot();
+        let graph = snap.graph();
         let p_dedup = deduped(p);
         let p = p_dedup.as_deref().unwrap_or(p);
         let q_dedup = deduped(q);
         let q = q_dedup.as_deref().unwrap_or(q);
-        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
-        let answer = match (self.labels.as_ref(), agg) {
-            (Some(labels), _) => {
-                let rtree = build_p_rtree(self.graph, p);
-                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, q);
-                ier_topk(self.graph, &query, &rtree, &gphi, k)
+        let query = FannQuery::checked(p, q, phi, agg, graph)?;
+        let answer = match (snap.oracle(), agg) {
+            (Some(oracle), _) => {
+                let rtree = build_p_rtree(graph, p);
+                let gphi = IerPhi::new(graph, oracle, q);
+                ier_topk(graph, &query, &rtree, &gphi, k)
             }
-            (None, Aggregate::Max) => exact_max_topk(self.graph, &query, k),
+            (None, Aggregate::Max) => exact_max_topk(graph, &query, k),
             (None, Aggregate::Sum) => {
-                let gphi = InePhi::new(self.graph, q);
-                rlist_topk(self.graph, &query, &gphi, k)
+                let gphi = InePhi::new(graph, q);
+                rlist_topk(graph, &query, &gphi, k)
             }
         };
         Ok(answer)
@@ -281,7 +574,8 @@ impl<'g> Engine<'g> {
     /// Answer a stream of queries over a fixed worker pool, recycling
     /// per-worker search state across the stream. Results come back in
     /// input order, each bit-identical to what [`Engine::query`] returns
-    /// for the same query.
+    /// for the same query. The whole batch pins one snapshot, so every
+    /// answer reflects the same epoch even under concurrent updates.
     ///
     /// `workers = 0` means "use the machine's available parallelism".
     pub fn query_batch(
@@ -305,44 +599,45 @@ impl<'g> Engine<'g> {
 
     /// A reusable handle for running query batches (see
     /// [`Engine::query_batch`]).
-    pub fn batch_runner(&self, workers: usize) -> BatchRunner<'_, 'g> {
+    pub fn batch_runner(&self, workers: usize) -> BatchRunner {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             workers
         };
         BatchRunner {
-            engine: self,
+            engine: self.clone(),
             workers,
         }
     }
 
-    /// One query of a batch, answered with this worker's recycled state.
-    /// Dispatch mirrors [`Engine::query`] strategy-for-strategy, so the
-    /// answers are identical; only the allocation behavior differs.
-    fn query_with_state(
+    /// One query of a batch, answered with this worker's recycled state on
+    /// the batch's pinned snapshot. Dispatch mirrors [`Engine::query`]
+    /// strategy-for-strategy, so the answers are identical; only the
+    /// allocation behavior differs.
+    fn query_on_with_state(
         &self,
+        snap: &EngineSnapshot,
         bq: &BatchQuery,
-        state: &mut WorkerState<'g>,
+        state: &mut WorkerState,
     ) -> Result<Option<FannAnswer>, QueryError> {
+        let graph = snap.graph();
         let p_dedup = deduped(&bq.p);
         let p = p_dedup.as_deref().unwrap_or(&bq.p);
         let q_dedup = deduped(&bq.q);
         let q = q_dedup.as_deref().unwrap_or(&bq.q);
-        let query = FannQuery::checked(p, q, bq.phi, bq.agg, self.graph)?;
+        let query = FannQuery::checked(p, q, bq.phi, bq.agg, graph)?;
         let WorkerState { pool, ine } = state;
-        let answer = match self.strategy_for(bq.agg) {
+        let answer = match self.strategy_on(snap, bq.agg) {
             Strategy::IerKnnLabels => {
-                let labels = self.labels.as_ref().expect("strategy implies labels");
-                let rtree = build_p_rtree(self.graph, p);
-                let gphi = IerPhi::new(self.graph, LabelOracle { labels }, q);
-                ier_knn(self.graph, &query, &rtree, &gphi)
+                let oracle = snap.oracle().expect("strategy implies labels");
+                let rtree = build_p_rtree(graph, p);
+                let gphi = IerPhi::new(graph, oracle, q);
+                ier_knn(graph, &query, &rtree, &gphi)
             }
-            Strategy::ExactMax => exact_max_pooled(self.graph, &query, pool),
-            Strategy::RListIne => {
-                r_list_pooled(self.graph, &query, rebind_ine(ine, self.graph, q, ()), pool)
-            }
-            Strategy::ApxSumIne => apx_sum(self.graph, &query, rebind_ine(ine, self.graph, q, ())),
+            Strategy::ExactMax => exact_max_pooled(graph, &query, pool),
+            Strategy::RListIne => r_list_pooled(graph, &query, rebind_ine(ine, graph, q, ()), pool),
+            Strategy::ApxSumIne => apx_sum(graph, &query, rebind_ine(ine, graph, q, ())),
         };
         Ok(answer)
     }
@@ -379,19 +674,21 @@ impl<'g> Engine<'g> {
         agg: Aggregate,
         token: &CancelToken,
     ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
+        let snap = self.snapshot();
+        let graph = snap.graph();
         let p_dedup = deduped(p);
         let p = p_dedup.as_deref().unwrap_or(p);
         let q_dedup = deduped(q);
         let q = q_dedup.as_deref().unwrap_or(q);
-        let query = FannQuery::checked(p, q, phi, agg, self.graph)?;
+        let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let sink = StatsSink::new();
-        let answer = match self.strategy_for(agg) {
+        let answer = match self.strategy_on(&snap, agg) {
             Strategy::IerKnnLabels => {
-                let labels = self.labels.as_ref().expect("strategy implies labels");
-                let rtree = build_p_rtree(self.graph, p);
-                let gphi = IerPhi::with_recorder(self.graph, LabelOracle { labels }, q, &sink);
+                let oracle = snap.oracle().expect("strategy implies labels");
+                let rtree = build_p_rtree(graph, p);
+                let gphi = IerPhi::with_recorder(graph, oracle, q, &sink);
                 ier_knn_cancellable(
-                    self.graph,
+                    graph,
                     &query,
                     &rtree,
                     &gphi,
@@ -401,22 +698,15 @@ impl<'g> Engine<'g> {
                 )
             }
             Strategy::ExactMax => {
-                exact_max_cancellable(self.graph, &query, &mut ScratchPool::new(), &sink, token)
+                exact_max_cancellable(graph, &query, &mut ScratchPool::new(), &sink, token)
             }
             Strategy::RListIne => {
-                let gphi = InePhi::with_recorder_cancel(self.graph, q, &sink, token);
-                r_list_cancellable(
-                    self.graph,
-                    &query,
-                    &gphi,
-                    &mut ScratchPool::new(),
-                    &sink,
-                    token,
-                )
+                let gphi = InePhi::with_recorder_cancel(graph, q, &sink, token);
+                r_list_cancellable(graph, &query, &gphi, &mut ScratchPool::new(), &sink, token)
             }
             Strategy::ApxSumIne => {
-                let gphi = InePhi::with_recorder_cancel(self.graph, q, &sink, token);
-                apx_sum_cancellable(self.graph, &query, &gphi, &sink, token)
+                let gphi = InePhi::with_recorder_cancel(graph, q, &sink, token);
+                apx_sum_cancellable(graph, &query, &gphi, &sink, token)
             }
         };
         match answer {
@@ -430,12 +720,16 @@ impl<'g> Engine<'g> {
     /// per-worker state), plus a borrowed [`CancelToken`] polled by every
     /// search. The serving worker re-arms the token per request
     /// ([`CancelToken::arm`]) and keeps the session for its lifetime.
-    pub fn session<'t>(&self, token: &'t CancelToken) -> QuerySession<'_, 'g, 't> {
+    ///
+    /// Each query pins the then-current snapshot, so a session transparently
+    /// follows epoch swaps mid-stream.
+    pub fn session<'t>(&self, token: &'t CancelToken) -> QuerySession<'t> {
         QuerySession {
-            engine: self,
+            engine: self.clone(),
             token,
             pool: ScratchPool::new(),
             ine: None,
+            ine_epoch: 0,
         }
     }
 
@@ -452,14 +746,16 @@ impl<'g> Engine<'g> {
         phi: f64,
         agg: Aggregate,
     ) -> Result<Option<crate::gphi::GPhiResult>, QueryError> {
+        let snap = self.snapshot();
+        let graph = snap.graph();
         let q_dedup = deduped(q);
         let q = q_dedup.as_deref().unwrap_or(q);
         let p_slice = [p];
-        let query = FannQuery::checked(&p_slice, q, phi, agg, self.graph)?;
+        let query = FannQuery::checked(&p_slice, q, phi, agg, graph)?;
         let k = query.subset_size();
-        Ok(match self.labels.as_ref() {
-            Some(labels) => IerPhi::new(self.graph, LabelOracle { labels }, q).eval(p, k, agg),
-            None => InePhi::new(self.graph, q).eval(p, k, agg),
+        Ok(match snap.oracle() {
+            Some(oracle) => IerPhi::new(graph, oracle, q).eval(p, k, agg),
+            None => InePhi::new(graph, q).eval(p, k, agg),
         })
     }
 }
@@ -548,19 +844,19 @@ impl BatchReport {
 
 /// Per-worker recycled state: a scratch pool for the multi-expansion
 /// algorithms and one long-lived INE backend, rebound per query.
-struct WorkerState<'g> {
+struct WorkerState {
     pool: ScratchPool,
-    ine: Option<InePhi<'g>>,
+    ine: Option<InePhi>,
 }
 
 /// Rebind the worker's long-lived INE backend to `q` (constructing it on
 /// first use), returning it ready for evaluation.
-fn rebind_ine<'s, 'g, C: CancelCheck>(
-    ine: &'s mut Option<InePhi<'g, (), C>>,
-    graph: &'g Graph,
+fn rebind_ine<'s, C: CancelCheck>(
+    ine: &'s mut Option<InePhi<(), C>>,
+    graph: &Graph,
     q: &[NodeId],
     cancel: C,
-) -> &'s InePhi<'g, (), C> {
+) -> &'s InePhi<(), C> {
     match ine {
         Some(backend) => backend.rebind(q),
         None => *ine = Some(InePhi::with_recorder_cancel(graph, q, (), cancel)),
@@ -577,22 +873,25 @@ fn rebind_ine<'s, 'g, C: CancelCheck>(
 /// [`QuerySession::query`] polls that token and the whole query resolves
 /// to [`QueryError::Cancelled`] if it fires — by construction a session
 /// never reports an answer derived from a truncated search.
-pub struct QuerySession<'e, 'g, 't> {
-    engine: &'e Engine<'g>,
+pub struct QuerySession<'t> {
+    engine: Engine,
     token: &'t CancelToken,
     pool: ScratchPool,
-    ine: Option<InePhi<'g, (), &'t CancelToken>>,
+    ine: Option<InePhi<(), &'t CancelToken>>,
+    /// Epoch the cached INE backend's graph belongs to; a swap drops it.
+    ine_epoch: u64,
 }
 
-impl<'g> QuerySession<'_, 'g, '_> {
+impl QuerySession<'_> {
     /// The token every search of this session polls.
     pub fn token(&self) -> &CancelToken {
         self.token
     }
 
-    /// Answer one query under the session's token. Strategy dispatch
-    /// mirrors [`Engine::query`] exactly; with a live token the answer is
-    /// identical, otherwise [`QueryError::Cancelled`].
+    /// Answer one query under the session's token, pinning the current
+    /// snapshot. Strategy dispatch mirrors [`Engine::query`] exactly; with
+    /// a live token the answer is identical, otherwise
+    /// [`QueryError::Cancelled`].
     pub fn query(
         &mut self,
         p: &[NodeId],
@@ -600,21 +899,27 @@ impl<'g> QuerySession<'_, 'g, '_> {
         phi: f64,
         agg: Aggregate,
     ) -> Result<Option<FannAnswer>, QueryError> {
-        let engine = self.engine;
+        let snap = self.engine.snapshot();
+        if self.ine.is_some() && self.ine_epoch != snap.epoch() {
+            // The cached backend expands a previous epoch's graph.
+            self.ine = None;
+        }
+        self.ine_epoch = snap.epoch();
+        let graph = snap.graph();
         let p_dedup = deduped(p);
         let p = p_dedup.as_deref().unwrap_or(p);
         let q_dedup = deduped(q);
         let q = q_dedup.as_deref().unwrap_or(q);
-        let query = FannQuery::checked(p, q, phi, agg, engine.graph)?;
-        let answer = match engine.strategy_for(agg) {
+        let query = FannQuery::checked(p, q, phi, agg, graph)?;
+        let answer = match self.engine.strategy_on(&snap, agg) {
             Strategy::IerKnnLabels => {
-                let labels = engine.labels.as_ref().expect("strategy implies labels");
-                let rtree = build_p_rtree(engine.graph, p);
+                let oracle = snap.oracle().expect("strategy implies labels");
+                let rtree = build_p_rtree(graph, p);
                 // Each IerPhi eval is a bounded |Q|-label scan, so polling
                 // between evals (inside ier_knn_cancellable) is enough.
-                let gphi = IerPhi::new(engine.graph, LabelOracle { labels }, q);
+                let gphi = IerPhi::new(graph, oracle, q);
                 ier_knn_cancellable(
-                    engine.graph,
+                    graph,
                     &query,
                     &rtree,
                     &gphi,
@@ -624,15 +929,15 @@ impl<'g> QuerySession<'_, 'g, '_> {
                 )
             }
             Strategy::ExactMax => {
-                exact_max_cancellable(engine.graph, &query, &mut self.pool, (), self.token)
+                exact_max_cancellable(graph, &query, &mut self.pool, (), self.token)
             }
             Strategy::RListIne => {
-                let gphi = rebind_ine(&mut self.ine, engine.graph, q, self.token);
-                r_list_cancellable(engine.graph, &query, gphi, &mut self.pool, (), self.token)
+                let gphi = rebind_ine(&mut self.ine, graph, q, self.token);
+                r_list_cancellable(graph, &query, gphi, &mut self.pool, (), self.token)
             }
             Strategy::ApxSumIne => {
-                let gphi = rebind_ine(&mut self.ine, engine.graph, q, self.token);
-                apx_sum_cancellable(engine.graph, &query, gphi, (), self.token)
+                let gphi = rebind_ine(&mut self.ine, graph, q, self.token);
+                apx_sum_cancellable(graph, &query, gphi, (), self.token)
             }
         };
         answer.map_err(|Cancelled| QueryError::Cancelled)
@@ -644,13 +949,14 @@ impl<'g> QuerySession<'_, 'g, '_> {
 /// layer; obtained from [`Engine::batch_runner`]).
 ///
 /// Queries are pulled from a shared atomic cursor, so workers self-balance
-/// on skewed workloads; results are returned in input order.
-pub struct BatchRunner<'e, 'g> {
-    engine: &'e Engine<'g>,
+/// on skewed workloads; results are returned in input order. Each `run`
+/// pins one snapshot for the whole batch.
+pub struct BatchRunner {
+    engine: Engine,
     workers: usize,
 }
 
-impl BatchRunner<'_, '_> {
+impl BatchRunner {
     /// Worker threads this runner will spawn (before clamping to the
     /// batch size).
     pub fn workers(&self) -> usize {
@@ -664,6 +970,7 @@ impl BatchRunner<'_, '_> {
         if n == 0 {
             return Vec::new();
         }
+        let pinned = self.engine.snapshot();
         let workers = self.workers.clamp(1, n);
         if workers == 1 {
             // Single worker: answer inline, no thread overhead.
@@ -673,7 +980,7 @@ impl BatchRunner<'_, '_> {
             };
             return queries
                 .iter()
-                .map(|bq| self.engine.query_with_state(bq, &mut state))
+                .map(|bq| self.engine.query_on_with_state(&pinned, bq, &mut state))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -682,6 +989,7 @@ impl BatchRunner<'_, '_> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
+                    let pinned = &pinned;
                     scope.spawn(move || {
                         let mut state = WorkerState {
                             pool: ScratchPool::new(),
@@ -693,7 +1001,11 @@ impl BatchRunner<'_, '_> {
                             if i >= n {
                                 break;
                             }
-                            out.push((i, self.engine.query_with_state(&queries[i], &mut state)));
+                            out.push((
+                                i,
+                                self.engine
+                                    .query_on_with_state(pinned, &queries[i], &mut state),
+                            ));
                         }
                         out
                     })
@@ -712,7 +1024,7 @@ impl BatchRunner<'_, '_> {
     }
 
     /// [`BatchRunner::run`] with instrumentation: each query goes through
-    /// [`Engine::query_traced`] and is timed; counters and latencies are
+    /// the traced path and is timed; counters and latencies are
     /// aggregated per strategy, worker-locally, then merged. Answers are
     /// identical to the untraced batch (and to [`Engine::query`]).
     pub fn run_traced(
@@ -723,10 +1035,13 @@ impl BatchRunner<'_, '_> {
         if n == 0 {
             return (Vec::new(), BatchReport::default());
         }
+        let pinned = self.engine.snapshot();
         let trace_one = |bq: &BatchQuery, report: &mut BatchReport| {
-            let strategy = self.engine.strategy_for(bq.agg);
+            let strategy = self.engine.strategy_on(&pinned, bq.agg);
             let t0 = Instant::now();
-            let res = self.engine.query_traced(&bq.p, &bq.q, bq.phi, bq.agg);
+            let res = self
+                .engine
+                .query_traced_on(&pinned, &bq.p, &bq.q, bq.phi, bq.agg);
             let elapsed = t0.elapsed();
             res.map(|(answer, stats)| {
                 report.record(strategy, &stats, elapsed);
@@ -1142,6 +1457,166 @@ mod tests {
                 assert_eq!(r.latency.count(), r.queries);
             }
             assert!(!report.total_stats().is_empty());
+        }
+    }
+
+    #[test]
+    fn engine_is_clone_send_sync_and_static() {
+        fn assert_traits<T: Clone + Send + Sync + 'static>() {}
+        assert_traits::<Engine>();
+        assert_traits::<Arc<EngineSnapshot>>();
+    }
+
+    #[test]
+    fn apply_updates_bumps_epoch_and_reroutes_queries() {
+        let g = grid(5, 5);
+        let engine = Engine::new(&g);
+        assert_eq!(engine.epoch(), 0);
+        let before = engine.snapshot();
+        let p: Vec<u32> = (0..25).step_by(3).collect();
+        let q = vec![2u32, 22];
+        let query = FannQuery::new(&p, &q, 1.0, Aggregate::Sum);
+        let a0 = engine.query(&p, &q, 1.0, Aggregate::Sum).unwrap().unwrap();
+        engine
+            .apply_updates(&[
+                WeightUpdate { u: 2, v: 7, w: 90 },
+                WeightUpdate { u: 7, v: 12, w: 80 },
+            ])
+            .unwrap();
+        assert_eq!(engine.epoch(), 1);
+        assert!(!engine.is_stale(), "no labels to go stale");
+        let snap = engine.snapshot();
+        let truth = brute_force(snap.graph(), &query).unwrap();
+        let a1 = engine.query(&p, &q, 1.0, Aggregate::Sum).unwrap().unwrap();
+        assert_eq!(a1.dist, truth.dist);
+        // The pre-update answer matches the pinned pre-update snapshot.
+        let old_truth = brute_force(before.graph(), &query).unwrap();
+        assert_eq!(a0.dist, old_truth.dist);
+        assert_ne!(a1.dist, a0.dist, "update should have rerouted the query");
+        // Rejected batches publish nothing.
+        assert!(engine
+            .apply_updates(&[WeightUpdate { u: 0, v: 9, w: 50 }])
+            .is_err());
+        assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn stale_labels_fall_back_to_exact_answers() {
+        let g = grid(6, 6);
+        let engine = Engine::new(&g).with_labels();
+        let p: Vec<u32> = (0..36).step_by(2).collect();
+        let q: Vec<u32> = vec![3, 17, 33];
+        let exact_everywhere = |snap: &EngineSnapshot| {
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                for phi in [0.34, 0.67, 1.0] {
+                    let query = FannQuery::new(&p, &q, phi, agg);
+                    let truth = brute_force(snap.graph(), &query).unwrap();
+                    let got = engine.query(&p, &q, phi, agg).unwrap().unwrap();
+                    assert_eq!(got.dist, truth.dist, "{agg} phi={phi}");
+                }
+            }
+        };
+        // Increase-only window: per-pair certificates active.
+        engine
+            .apply_updates(&[
+                WeightUpdate { u: 0, v: 1, w: 80 },
+                WeightUpdate {
+                    u: 14,
+                    v: 15,
+                    w: 44,
+                },
+            ])
+            .unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert!(snap.is_stale());
+        assert!(snap.stale().increase_only());
+        exact_everywhere(&snap);
+        // A decrease joins the set: certificates off, full A* fallback.
+        engine
+            .apply_updates(&[WeightUpdate { u: 2, v: 3, w: 11 }])
+            .unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 2);
+        assert!(snap.is_stale());
+        assert!(!snap.stale().increase_only());
+        exact_everywhere(&snap);
+        // Repair restores fresh labels at the same epoch; still exact.
+        assert_eq!(engine.repair_indexes(), 2);
+        assert!(!engine.is_stale());
+        exact_everywhere(&engine.snapshot());
+    }
+
+    #[test]
+    fn stale_set_merges_repeated_updates_per_edge() {
+        let g = grid(4, 4);
+        let engine = Engine::new(&g).with_labels();
+        engine
+            .apply_updates(&[WeightUpdate { u: 0, v: 1, w: 50 }])
+            .unwrap();
+        engine
+            .apply_updates(&[WeightUpdate { u: 1, v: 0, w: 70 }])
+            .unwrap();
+        let snap = engine.snapshot();
+        let ups = snap.stale().updates();
+        assert_eq!(ups.len(), 1, "same edge merged, not appended");
+        // First w_old (the labels' weight) is kept; latest w_new wins.
+        assert_eq!((ups[0].w_old, ups[0].w_new), (10, 70));
+        assert!(snap.stale().increase_only());
+        // Bare engines never track staleness.
+        let bare = Engine::new(&g);
+        bare.apply_updates(&[WeightUpdate { u: 0, v: 1, w: 50 }])
+            .unwrap();
+        assert!(!bare.is_stale());
+        assert!(bare.snapshot().stale().is_fresh());
+    }
+
+    #[test]
+    fn background_repair_converges_to_fresh_labels() {
+        let g = grid(5, 5);
+        let engine = Engine::new(&g).with_labels();
+        engine
+            .apply_updates(&[WeightUpdate { u: 0, v: 1, w: 60 }])
+            .unwrap();
+        assert!(engine.is_stale());
+        assert!(engine.repair_in_background());
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        while engine.is_stale() {
+            assert!(Instant::now() < deadline, "background repair never landed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let p: Vec<u32> = (0..25).step_by(2).collect();
+        let q = vec![0u32, 12, 24];
+        let query = FannQuery::new(&p, &q, 0.67, Aggregate::Max);
+        let snap = engine.snapshot();
+        let truth = brute_force(snap.graph(), &query).unwrap();
+        let a = engine.query(&p, &q, 0.67, Aggregate::Max).unwrap().unwrap();
+        assert_eq!(a.dist, truth.dist);
+    }
+
+    #[test]
+    fn session_follows_epoch_swaps_mid_stream() {
+        let g = grid(5, 5);
+        let token = CancelToken::new();
+        for engine in [Engine::new(&g), Engine::new(&g).with_labels()] {
+            let mut session = engine.session(&token);
+            let p: Vec<u32> = (0..25).step_by(2).collect();
+            let q = vec![1u32, 23];
+            for round in 0..3 {
+                for agg in [Aggregate::Sum, Aggregate::Max] {
+                    let query = FannQuery::new(&p, &q, 1.0, agg);
+                    let truth = brute_force(engine.snapshot().graph(), &query).unwrap();
+                    let got = session.query(&p, &q, 1.0, agg).unwrap().unwrap();
+                    assert_eq!(got.dist, truth.dist, "round {round} {agg}");
+                }
+                engine
+                    .apply_updates(&[WeightUpdate {
+                        u: 1,
+                        v: 2,
+                        w: 40 + round,
+                    }])
+                    .unwrap();
+            }
         }
     }
 }

@@ -25,11 +25,16 @@ use std::cell::RefCell;
 /// cancellation hook. The default `()` for both records/cancels nothing
 /// and costs nothing.
 ///
+/// The backend holds its own [`Graph`] handle (cheap: a CSR graph clone
+/// shares its arrays), so it has no lifetime tie to the caller — workers
+/// pin a snapshot's graph into a long-lived `InePhi` and keep it across a
+/// whole query stream.
+///
 /// A cancelled `eval` returns `None`, indistinguishable here from an
 /// exhausted expansion — cancellable drivers re-check the token exactly
 /// before trusting any `None`.
-pub struct InePhi<'g, R: Recorder = (), C: CancelCheck = ()> {
-    graph: &'g Graph,
+pub struct InePhi<R: Recorder = (), C: CancelCheck = ()> {
+    graph: Graph,
     is_query: Vec<bool>,
     q_nodes: Vec<NodeId>,
     scratch: RefCell<QueryScratch>,
@@ -37,27 +42,27 @@ pub struct InePhi<'g, R: Recorder = (), C: CancelCheck = ()> {
     cancel: C,
 }
 
-impl<'g> InePhi<'g> {
-    pub fn new(graph: &'g Graph, q: &[NodeId]) -> Self {
+impl InePhi {
+    pub fn new(graph: &Graph, q: &[NodeId]) -> Self {
         Self::with_recorder(graph, q, ())
     }
 }
 
-impl<'g, R: Recorder> InePhi<'g, R> {
+impl<R: Recorder> InePhi<R> {
     /// [`InePhi::new`] with a live [`Recorder`] observing every expansion
     /// step and `g_phi` evaluation.
-    pub fn with_recorder(graph: &'g Graph, q: &[NodeId], rec: R) -> Self {
+    pub fn with_recorder(graph: &Graph, q: &[NodeId], rec: R) -> Self {
         Self::with_recorder_cancel(graph, q, rec, ())
     }
 }
 
-impl<'g, R: Recorder, C: CancelCheck> InePhi<'g, R, C> {
+impl<R: Recorder, C: CancelCheck> InePhi<R, C> {
     /// [`InePhi::with_recorder`] with a live [`CancelCheck`] polled by
     /// every expansion; the `()` check makes this identical to the
     /// uncancellable path.
-    pub fn with_recorder_cancel(graph: &'g Graph, q: &[NodeId], rec: R, cancel: C) -> Self {
+    pub fn with_recorder_cancel(graph: &Graph, q: &[NodeId], rec: R, cancel: C) -> Self {
         InePhi {
-            graph,
+            graph: graph.clone(),
             is_query: membership(graph.num_nodes(), q),
             q_nodes: q.to_vec(),
             scratch: RefCell::new(QueryScratch::new()),
@@ -67,13 +72,13 @@ impl<'g, R: Recorder, C: CancelCheck> InePhi<'g, R, C> {
     }
 }
 
-impl<R: Recorder, C: CancelCheck> GPhi for InePhi<'_, R, C> {
+impl<R: Recorder, C: CancelCheck> GPhi for InePhi<R, C> {
     fn eval(&self, p: NodeId, k: usize, agg: Aggregate) -> Option<GPhiResult> {
         assert!(k >= 1 && k <= self.q_nodes.len(), "invalid subset size {k}");
         self.rec.gphi_eval();
         let mut subset = Vec::with_capacity(k);
         let mut it =
-            DijkstraIter::cancellable(self.graph, p, self.scratch.take(), self.rec, self.cancel);
+            DijkstraIter::cancellable(&self.graph, p, self.scratch.take(), self.rec, self.cancel);
         for (v, d) in it.by_ref() {
             if self.is_query[v as usize] {
                 subset.push((v, d));
@@ -96,7 +101,7 @@ impl<R: Recorder, C: CancelCheck> GPhi for InePhi<'_, R, C> {
     }
 }
 
-impl<R: Recorder, C: CancelCheck> ReusableGPhi for InePhi<'_, R, C> {
+impl<R: Recorder, C: CancelCheck> ReusableGPhi for InePhi<R, C> {
     fn rebind(&mut self, q: &[NodeId]) {
         for &old in &self.q_nodes {
             self.is_query[old as usize] = false;

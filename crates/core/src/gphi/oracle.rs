@@ -11,8 +11,8 @@ use ch_index::Ch;
 use gtree::GTree;
 use hublabel::HubLabels;
 use roadnet::{
-    astar_pair_recorded, bidirectional_pair, dijkstra_pair_recorded, Dist, Graph, LowerBound,
-    NodeId, QueryScratch,
+    astar_pair_recorded, astar_pair_with, bidirectional_pair, dijkstra_pair_recorded,
+    AppliedUpdate, Dist, Graph, LowerBound, NodeId, QueryScratch,
 };
 use std::cell::RefCell;
 
@@ -152,6 +152,85 @@ impl DistanceOracle for LabelOracle<'_> {
     }
 }
 
+/// Hub labels guarded by a set of weight updates the labels have not yet
+/// absorbed — the staleness contract of the snapshot engine.
+///
+/// * No pending updates: plain label lookups (identical to
+///   [`LabelOracle`]).
+/// * Increase-only updates: the old label distance is trusted unless some
+///   updated edge was *tight* on an old shortest path between the pair
+///   (`d_old(s,u) + w_old + d_old(v,t) == d_old(s,t)` in either
+///   orientation). Increases cannot create shorter paths, so an
+///   unaffected pair's old shortest path survives with unchanged length;
+///   affected pairs fall back to exact A\* on the current graph.
+/// * Any decrease pending: always fall back to A\*. Decrease certificates
+///   do not compose across multiple changed edges, so the oracle is
+///   conservative — stale answers are *never* wrong, only slower.
+///
+/// The A\* fallback uses the snapshot lineage's lower bound, which stays
+/// admissible across epochs because every published update is validated
+/// against it.
+pub struct GuardedLabelOracle<'s> {
+    labels: &'s HubLabels,
+    graph: &'s Graph,
+    updates: &'s [AppliedUpdate],
+    increase_only: bool,
+    lb: LowerBound,
+    scratch: RefCell<QueryScratch>,
+}
+
+impl<'s> GuardedLabelOracle<'s> {
+    pub fn new(
+        labels: &'s HubLabels,
+        graph: &'s Graph,
+        updates: &'s [AppliedUpdate],
+        increase_only: bool,
+        lb: LowerBound,
+    ) -> Self {
+        GuardedLabelOracle {
+            labels,
+            graph,
+            updates,
+            increase_only,
+            lb,
+            scratch: RefCell::new(QueryScratch::new()),
+        }
+    }
+}
+
+impl DistanceOracle for GuardedLabelOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        if self.updates.is_empty() {
+            return self.labels.distance(s, t);
+        }
+        if self.increase_only {
+            // Weight increases never change connectivity, so a `None`
+            // here is a genuine disconnection in every epoch.
+            let d_old = self.labels.distance(s, t)?;
+            let tight = |a: NodeId, b: NodeId, w_old: Dist| match (
+                self.labels.distance(s, a),
+                self.labels.distance(b, t),
+            ) {
+                (Some(da), Some(db)) => da.saturating_add(w_old).saturating_add(db) == d_old,
+                _ => false,
+            };
+            let affected = self.updates.iter().any(|up| {
+                tight(up.u, up.v, up.w_old as Dist) || tight(up.v, up.u, up.w_old as Dist)
+            });
+            if !affected {
+                return Some(d_old);
+            }
+        }
+        astar_pair_with(self.graph, &self.lb, s, t, &mut self.scratch.borrow_mut())
+    }
+
+    // Same role as [`LabelOracle`] in figure legends and IER stats: the
+    // fallback is an internal freshness detail, not a different method.
+    fn name(&self) -> &'static str {
+        "PHL"
+    }
+}
+
 /// G-tree assembly-based shortest-path distance oracle.
 pub struct GTreeOracle<'t, 'g> {
     pub tree: &'t GTree,
@@ -247,5 +326,49 @@ mod tests {
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn guarded_oracle_is_exact_across_the_staleness_window() {
+        let g = diamond();
+        let hl = HubLabels::build(&g);
+        // No pending updates: identical to plain label lookups.
+        let fresh = GuardedLabelOracle::new(&hl, &g, &[], true, LowerBound::for_graph(&g));
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(fresh.dist(s, t), dijkstra_pair(&g, s, t));
+            }
+        }
+        // An increase the labels have not absorbed: affected pairs fall
+        // back, unaffected pairs reuse labels — all answers exact on the
+        // *patched* graph.
+        let patched = g.with_patched_weights(&[(0, 1, 5)]).unwrap();
+        let ups = [AppliedUpdate {
+            u: 0,
+            v: 1,
+            w_old: 1,
+            w_new: 5,
+        }];
+        let inc = GuardedLabelOracle::new(&hl, &patched, &ups, true, LowerBound::for_graph(&g));
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(inc.dist(s, t), dijkstra_pair(&patched, s, t), "{s}->{t}");
+            }
+        }
+        // A decrease: certificates are off, everything falls back to A*,
+        // still exact.
+        let patched = g.with_patched_weights(&[(1, 3, 1)]).unwrap();
+        let ups = [AppliedUpdate {
+            u: 1,
+            v: 3,
+            w_old: 2,
+            w_new: 1,
+        }];
+        let dec = GuardedLabelOracle::new(&hl, &patched, &ups, false, LowerBound::for_graph(&g));
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(dec.dist(s, t), dijkstra_pair(&patched, s, t), "{s}->{t}");
+            }
+        }
     }
 }

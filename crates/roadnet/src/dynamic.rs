@@ -10,14 +10,26 @@
 //! methods would first pay the full label/G-tree rebuild (Fig. 9b).
 
 use crate::graph::{Graph, GraphBuilder, NodeId, Point, Weight};
+use crate::lowerbound::LowerBound;
 use std::collections::HashMap;
 
 /// Errors from dynamic updates.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateError {
     NoSuchNode(NodeId),
     NoSuchEdge(NodeId, NodeId),
     SelfLoop(NodeId),
+    /// The new weight would drop below `scale * euclid(u, v)`, breaking the
+    /// admissibility of every Euclidean lower bound computed on the graph
+    /// the scale was captured from — A\*/IER-kNN would silently return
+    /// wrong (over-pruned) distances. `min` is the smallest admissible
+    /// weight for this edge.
+    Inadmissible {
+        u: NodeId,
+        v: NodeId,
+        w: Weight,
+        min: Weight,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -26,11 +38,44 @@ impl std::fmt::Display for UpdateError {
             UpdateError::NoSuchNode(v) => write!(f, "node {v} does not exist"),
             UpdateError::NoSuchEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
             UpdateError::SelfLoop(v) => write!(f, "self-loop at {v} rejected"),
+            UpdateError::Inadmissible { u, v, w, min } => write!(
+                f,
+                "weight {w} on edge ({u}, {v}) is below the admissible floor {min} \
+                 (scaled Euclidean lower bound)"
+            ),
         }
     }
 }
 
 impl std::error::Error for UpdateError {}
+
+/// The smallest weight edge `(u, v)` may carry so that a [`LowerBound`]
+/// with `scale` stays admissible, given the endpoints' Euclidean distance.
+pub(crate) fn admissible_floor(scale: f64, euclid: f64) -> Weight {
+    if scale <= 0.0 {
+        return 1;
+    }
+    (scale * euclid).ceil().clamp(1.0, u32::MAX as f64) as Weight
+}
+
+/// Check `w` (already clamped >= 1) against the admissible floor.
+pub(crate) fn check_admissible(
+    scale: f64,
+    euclid: f64,
+    u: NodeId,
+    v: NodeId,
+    w: Weight,
+) -> Result<(), UpdateError> {
+    if scale > 0.0 && (w as f64) < scale * euclid {
+        return Err(UpdateError::Inadmissible {
+            u,
+            v,
+            w,
+            min: admissible_floor(scale, euclid),
+        });
+    }
+    Ok(())
+}
 
 /// An editable undirected road network.
 pub struct DynamicNetwork {
@@ -40,10 +85,19 @@ pub struct DynamicNetwork {
     /// Monotone counter bumped by every mutation; lets callers know when
     /// a cached snapshot is stale.
     version: u64,
+    /// Admissibility scale captured from the source graph
+    /// ([`LowerBound::for_graph`]): every weight update is validated so
+    /// `w >= lb_scale * euclid(u, v)` keeps holding — otherwise a cached
+    /// [`LowerBound`] (A\*, IER-kNN) built on an earlier snapshot would
+    /// over-estimate and silently return wrong distances. `0.0` disables
+    /// the check (networks built from scratch via [`DynamicNetwork::new`]).
+    lb_scale: f64,
 }
 
 impl DynamicNetwork {
-    /// Start from an existing immutable graph.
+    /// Start from an existing immutable graph. Captures the graph's
+    /// admissibility scale; subsequent weight updates below the scaled
+    /// Euclidean floor are rejected with [`UpdateError::Inadmissible`].
     pub fn from_graph(g: &Graph) -> Self {
         let mut adj: Vec<HashMap<NodeId, Weight>> = vec![HashMap::new(); g.num_nodes()];
         for (u, v, w) in g.edges() {
@@ -54,16 +108,30 @@ impl DynamicNetwork {
             coords: g.coords().to_vec(),
             adj,
             version: 0,
+            lb_scale: LowerBound::for_graph(g).scale(),
         }
     }
 
-    /// An empty network.
+    /// An empty network (no admissibility validation until a scale is set
+    /// with [`DynamicNetwork::set_admissibility_scale`]).
     pub fn new() -> Self {
         DynamicNetwork {
             coords: Vec::new(),
             adj: Vec::new(),
             version: 0,
+            lb_scale: 0.0,
         }
+    }
+
+    /// The scale every update is validated against (`0.0` = unvalidated).
+    pub fn admissibility_scale(&self) -> f64 {
+        self.lb_scale
+    }
+
+    /// Override the admissibility scale (e.g. to opt a scratch-built
+    /// network into validation, or to relax it after a full re-anchor).
+    pub fn set_admissibility_scale(&mut self, scale: f64) {
+        self.lb_scale = scale.max(0.0);
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -95,7 +163,12 @@ impl DynamicNetwork {
         }
     }
 
-    /// Insert or overwrite an undirected edge (weight clamped to >= 1).
+    fn euclid(&self, u: NodeId, v: NodeId) -> f64 {
+        self.coords[u as usize].dist(&self.coords[v as usize])
+    }
+
+    /// Insert or overwrite an undirected edge (weight clamped to >= 1,
+    /// validated against the admissibility floor).
     pub fn upsert_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), UpdateError> {
         self.check_node(u)?;
         self.check_node(v)?;
@@ -103,13 +176,16 @@ impl DynamicNetwork {
             return Err(UpdateError::SelfLoop(u));
         }
         let w = w.max(1);
+        check_admissible(self.lb_scale, self.euclid(u, v), u, v, w)?;
         self.adj[u as usize].insert(v, w);
         self.adj[v as usize].insert(u, w);
         self.version += 1;
         Ok(())
     }
 
-    /// Update the weight of an existing edge (e.g. live traffic).
+    /// Update the weight of an existing edge (e.g. live traffic). The new
+    /// weight must stay at or above `admissibility_scale() * euclid(u, v)`
+    /// — see [`UpdateError::Inadmissible`].
     pub fn set_weight(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), UpdateError> {
         self.check_node(u)?;
         self.check_node(v)?;
@@ -117,6 +193,7 @@ impl DynamicNetwork {
             return Err(UpdateError::NoSuchEdge(u, v));
         }
         let w = w.max(1);
+        check_admissible(self.lb_scale, self.euclid(u, v), u, v, w)?;
         self.adj[u as usize].insert(v, w);
         self.adj[v as usize].insert(u, w);
         self.version += 1;
@@ -254,5 +331,89 @@ mod tests {
         let g = d.snapshot();
         assert_eq!(g.num_nodes(), 2);
         assert_eq!(dijkstra_pair(&g, a, b), Some(7));
+    }
+
+    /// A graph where dropping one weight below the Euclidean floor makes
+    /// A\* (with the pre-update [`LowerBound`]) return a wrong distance:
+    /// the direct S->T edge pops first because the heuristic at the detour
+    /// node over-estimates once the detour's last hop got cheap.
+    ///
+    /// Nodes: S=0 at (0,0), T=1 at (10,0), A=2 at (0,200).
+    /// Edges: (S,A,200), (A,T,201), (S,T,300); admissibility scale ~1.
+    fn admissibility_trap() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0); // S
+        b.add_node(10.0, 0.0); // T
+        b.add_node(0.0, 200.0); // A
+        b.add_edge(0, 2, 200);
+        b.add_edge(2, 1, 201);
+        b.add_edge(0, 1, 300);
+        b.build()
+    }
+
+    #[test]
+    fn inadmissible_weight_update_is_rejected() {
+        let g = admissibility_trap();
+        let mut d = DynamicNetwork::from_graph(&g);
+        assert!(d.admissibility_scale() > 0.99);
+        // Dropping (A, T) to 2 is far below euclid(A, T) ~ 200.25.
+        let err = d.set_weight(2, 1, 2).unwrap_err();
+        match err {
+            UpdateError::Inadmissible { u, v, w, min } => {
+                assert_eq!((u, v, w), (2, 1, 2));
+                assert!(min >= 200, "floor should be ~euclid, got {min}");
+            }
+            other => panic!("expected Inadmissible, got {other:?}"),
+        }
+        // The failed update must not have touched the network.
+        assert_eq!(d.weight(2, 1), Some(201));
+        // An update at or above the floor is fine.
+        d.set_weight(2, 1, 250).unwrap();
+        assert_eq!(d.weight(2, 1), Some(250));
+        // upsert of a brand-new edge is validated the same way.
+        assert!(matches!(
+            d.upsert_edge(1, 2, 1),
+            Err(UpdateError::Inadmissible { .. })
+        ));
+    }
+
+    #[test]
+    fn astar_would_be_wrong_without_the_admissibility_check() {
+        use crate::astar::astar_pair;
+
+        let g = admissibility_trap();
+        let lb = LowerBound::for_graph(&g);
+        // Counterfactual: force the inadmissible weight in (bypassing
+        // DynamicNetwork, which now rejects it) and keep the stale bound,
+        // exactly what a live update used to do to a serving engine.
+        let bad = g.with_patched_weights(&[(2, 1, 2)]).unwrap();
+        let truth = dijkstra_pair(&bad, 0, 1).unwrap();
+        assert_eq!(truth, 202); // S -> A -> T
+        let astar = astar_pair(&bad, &lb, 0, 1).unwrap();
+        assert_ne!(
+            astar, truth,
+            "the trap graph no longer demonstrates the A* wrong answer"
+        );
+        assert_eq!(astar, 300); // A* pops the direct edge first and stops.
+    }
+
+    #[test]
+    fn scratch_built_networks_skip_validation_until_opted_in() {
+        let mut d = DynamicNetwork::new();
+        let a = d.add_node(0.0, 0.0);
+        let b = d.add_node(100.0, 0.0);
+        // No scale captured: any positive weight goes through.
+        d.upsert_edge(a, b, 1).unwrap();
+        d.set_admissibility_scale(1.0);
+        assert_eq!(
+            d.set_weight(a, b, 50),
+            Err(UpdateError::Inadmissible {
+                u: a,
+                v: b,
+                w: 50,
+                min: 100
+            })
+        );
+        d.set_weight(a, b, 100).unwrap();
     }
 }

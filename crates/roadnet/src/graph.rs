@@ -1,6 +1,7 @@
 //! Compact CSR graph with planar coordinates.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Node identifier: dense index in `0..graph.num_nodes()`.
 pub type NodeId = u32;
@@ -35,12 +36,18 @@ impl Point {
 /// Construction goes through [`GraphBuilder`], which removes self-loops and
 /// collapses parallel edges to the minimum weight — the same cleanup the
 /// paper applies to the raw DIMACS data (§VI-A).
+///
+/// The CSR arrays live behind `Arc`, so `Graph::clone` is O(1) and a graph
+/// value acts as a shared handle: every layer (engines, backends, snapshot
+/// cells) can own its copy without lifetimes, and
+/// [`Graph::with_patched_weights`] produces a sibling graph that shares the
+/// topology and coordinates, copying only the weight array.
 #[derive(Clone)]
 pub struct Graph {
-    offsets: Vec<u32>,
-    targets: Vec<NodeId>,
-    weights: Vec<Weight>,
-    coords: Vec<Point>,
+    offsets: Arc<[u32]>,
+    targets: Arc<[NodeId]>,
+    weights: Arc<[Weight]>,
+    coords: Arc<[Point]>,
 }
 
 impl Graph {
@@ -118,6 +125,48 @@ impl Graph {
             + self.targets.len() * 4
             + self.weights.len() * 4
             + self.coords.len() * std::mem::size_of::<Point>()
+    }
+
+    /// Index of the directed arc `u -> v` into the target/weight arrays.
+    fn arc_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        // Adjacency lists are sorted by target (builder inserts edges in
+        // sorted order), so binary search is exact.
+        self.targets[lo..hi]
+            .binary_search(&v)
+            .ok()
+            .map(|slot| lo + slot)
+    }
+
+    /// A sibling graph with the given undirected edges' weights replaced,
+    /// sharing this graph's topology and coordinates (copy-on-write: only
+    /// the weight array is duplicated). `None` if any referenced edge does
+    /// not exist; later patches to the same edge win.
+    pub fn with_patched_weights(&self, patches: &[(NodeId, NodeId, Weight)]) -> Option<Graph> {
+        let mut weights: Vec<Weight> = self.weights.to_vec();
+        for &(u, v, w) in patches {
+            if (u as usize) >= self.num_nodes() || (v as usize) >= self.num_nodes() {
+                return None;
+            }
+            let uv = self.arc_index(u, v)?;
+            let vu = self.arc_index(v, u)?;
+            weights[uv] = w;
+            weights[vu] = w;
+        }
+        Some(Graph {
+            offsets: Arc::clone(&self.offsets),
+            targets: Arc::clone(&self.targets),
+            weights: weights.into(),
+            coords: Arc::clone(&self.coords),
+        })
+    }
+
+    /// Whether two graphs share the same underlying CSR topology allocation
+    /// (i.e. one was derived from the other via
+    /// [`Graph::with_patched_weights`] or `clone`).
+    pub fn shares_topology_with(&self, other: &Graph) -> bool {
+        Arc::ptr_eq(&self.offsets, &other.offsets) && Arc::ptr_eq(&self.targets, &other.targets)
     }
 }
 
@@ -233,10 +282,10 @@ impl GraphBuilder {
             cursor[v as usize] += 1;
         }
         Graph {
-            offsets,
-            targets,
-            weights,
-            coords: self.coords,
+            offsets: offsets.into(),
+            targets: targets.into(),
+            weights: weights.into(),
+            coords: self.coords.into(),
         }
     }
 }
@@ -335,5 +384,46 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node(0.0, 0.0);
         b.add_edge(a, 5, 1);
+    }
+
+    #[test]
+    fn patched_weights_update_both_directions_and_share_topology() {
+        let g = triangle();
+        let patched = g.with_patched_weights(&[(0, 1, 30), (2, 1, 50)]).unwrap();
+        assert_eq!(patched.edge_weight(0, 1), Some(30));
+        assert_eq!(patched.edge_weight(1, 0), Some(30));
+        assert_eq!(patched.edge_weight(1, 2), Some(50));
+        assert_eq!(patched.edge_weight(2, 1), Some(50));
+        assert_eq!(patched.edge_weight(0, 2), Some(4)); // untouched
+        assert!(patched.shares_topology_with(&g));
+        // The source graph is unchanged (copy-on-write).
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn patching_missing_edge_is_none() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(i as f64, 0.0);
+        }
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert!(g.with_patched_weights(&[(0, 2, 5)]).is_none());
+        assert!(g.with_patched_weights(&[(0, 9, 5)]).is_none());
+    }
+
+    #[test]
+    fn later_patches_to_the_same_edge_win() {
+        let g = triangle();
+        let patched = g.with_patched_weights(&[(0, 1, 30), (1, 0, 7)]).unwrap();
+        assert_eq!(patched.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn clone_is_a_shared_handle() {
+        let g = triangle();
+        let h = g.clone();
+        assert!(h.shares_topology_with(&g));
+        assert_eq!(h.num_edges(), g.num_edges());
     }
 }

@@ -36,6 +36,7 @@ pub mod multisource;
 pub mod path;
 pub mod recorder;
 pub mod scratch;
+pub mod snapshot;
 pub mod stats;
 pub mod svg;
 
@@ -47,7 +48,7 @@ pub use dijkstra::{
     dijkstra_all, dijkstra_bounded, dijkstra_pair, dijkstra_pair_cancellable,
     dijkstra_pair_recorded, dijkstra_pair_with,
 };
-pub use dynamic::DynamicNetwork;
+pub use dynamic::{DynamicNetwork, UpdateError};
 pub use embed::{embed_edge_points, snap_to_vertex, EdgePoint};
 pub use expansion::DijkstraIter;
 pub use graph::{Graph, GraphBuilder, NodeId, Point, Weight};
@@ -56,6 +57,7 @@ pub use multisource::ObjectStreams;
 pub use path::shortest_path;
 pub use recorder::SearchRecorder;
 pub use scratch::{QueryScratch, ScratchPool};
+pub use snapshot::{AppliedUpdate, NetworkSnapshot, SnapshotCell, WeightUpdate};
 
 /// A network (shortest-path) distance. `u64` so that sums of many `u32`
 /// edge weights cannot overflow.

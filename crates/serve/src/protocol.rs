@@ -5,10 +5,13 @@
 //! responses can be matched). Grammar:
 //!
 //! ```text
-//! request  = query | health | metrics | shutdown
+//! request  = query | update | health | metrics | shutdown
 //! query    = {"op":"query", "p":[nodeid...], "q":[nodeid...],
 //!             "phi":number, "agg":"sum"|"max",
 //!             "deadline_ms":number?, "id":string?}
+//! update   = {"op":"update",
+//!             "updates":[{"u":nodeid,"v":nodeid,"w":weight}...],
+//!             "id":string?}
 //! health   = {"op":"health", "id":string?}
 //! metrics  = {"op":"metrics", "id":string?}
 //! shutdown = {"op":"shutdown", "id":string?}
@@ -18,11 +21,19 @@
 //!          | {"status":"empty", "id"?}          ; no p reaches k of Q
 //!          | {"status":"cancelled", "id"?}      ; deadline exceeded
 //!          | {"status":"shed", "id"?}           ; queue full, retry later
+//!          | {"status":"updated", "id"?, "epoch":number, "applied":number}
 //!          | {"status":"error", "id"?, "error":string}
 //!          | {"status":"health", "id"?, ...}
 //!          | {"status":"metrics", "id"?, ...}
 //!          | {"status":"bye", "id"?}            ; shutdown acknowledged
 //! ```
+//!
+//! An `update` atomically sets the weights of the listed undirected edges
+//! and publishes the next graph epoch without draining the server:
+//! in-flight queries finish on the epoch they pinned, later queries see
+//! the new weights. Validation (edge exists, weight at or above the
+//! Euclidean admissibility floor) is all-or-nothing — on error nothing is
+//! published.
 //!
 //! The same serializer backs `fannr query --json`, so the CLI's output and
 //! the server's cannot drift.
@@ -30,7 +41,7 @@
 use crate::json::Json;
 use fann_core::metrics::{LatencyHistogram, SearchStats};
 use fann_core::{Aggregate, FannAnswer};
-use roadnet::{Dist, NodeId};
+use roadnet::{Dist, NodeId, Weight, WeightUpdate};
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +55,8 @@ pub struct Request {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     Query(QuerySpec),
+    /// Set the weights of the listed edges, publishing the next epoch.
+    Update(Vec<WeightUpdate>),
     Health,
     Metrics,
     Shutdown,
@@ -113,6 +126,37 @@ impl Request {
                     deadline_ms,
                 })
             }
+            Some("update") => {
+                let arr = v
+                    .get("updates")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "'updates' must be an array".to_string())?;
+                if arr.is_empty() {
+                    return Err("'updates' must not be empty".to_string());
+                }
+                let updates = arr
+                    .iter()
+                    .map(|e| {
+                        let node = |key: &'static str| {
+                            e.get(key)
+                                .and_then(Json::as_u64)
+                                .and_then(|n| NodeId::try_from(n).ok())
+                                .ok_or_else(|| format!("update '{key}' must be a node id"))
+                        };
+                        let w = e
+                            .get("w")
+                            .and_then(Json::as_u64)
+                            .and_then(|n| Weight::try_from(n).ok())
+                            .ok_or_else(|| "update 'w' must be a positive weight".to_string())?;
+                        Ok(WeightUpdate {
+                            u: node("u")?,
+                            v: node("v")?,
+                            w,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Op::Update(updates)
+            }
             Some("health") => Op::Health,
             Some("metrics") => Op::Metrics,
             Some("shutdown") => Op::Shutdown,
@@ -127,6 +171,7 @@ impl Request {
         let mut members: Vec<(String, Json)> = Vec::new();
         let op = match &self.op {
             Op::Query(_) => "query",
+            Op::Update(_) => "update",
             Op::Health => "health",
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
@@ -140,6 +185,23 @@ impl Request {
             if let Some(ms) = spec.deadline_ms {
                 members.push(("deadline_ms".into(), Json::from(ms)));
             }
+        }
+        if let Op::Update(updates) = &self.op {
+            members.push((
+                "updates".into(),
+                Json::Arr(
+                    updates
+                        .iter()
+                        .map(|up| {
+                            Json::Obj(vec![
+                                ("u".into(), Json::from(up.u as u64)),
+                                ("v".into(), Json::from(up.v as u64)),
+                                ("w".into(), Json::from(up.w as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
         }
         if let Some(id) = &self.id {
             members.push(("id".into(), Json::from(id.as_str())));
@@ -163,6 +225,11 @@ pub struct HealthInfo {
     pub workers: u64,
     /// True once shutdown began (accepting no new connections).
     pub draining: bool,
+    /// The currently published graph epoch (bumped by every `update`).
+    pub epoch: u64,
+    /// Hub labels lag the current graph (answers stay exact; affected
+    /// pairs fall back to exact search until the background repair lands).
+    pub stale: bool,
 }
 
 /// Aggregate serving counters for a `metrics` response.
@@ -175,6 +242,10 @@ pub struct MetricsInfo {
     pub cancelled: u64,
     pub shed: u64,
     pub errors: u64,
+    /// Successfully applied `update` batches.
+    pub updates: u64,
+    /// The currently published graph epoch.
+    pub epoch: u64,
     pub latency: LatencyHistogram,
     pub search: SearchStats,
 }
@@ -189,6 +260,8 @@ impl PartialEq for MetricsInfo {
             && self.cancelled == other.cancelled
             && self.shed == other.shed
             && self.errors == other.errors
+            && self.updates == other.updates
+            && self.epoch == other.epoch
             && self.search == other.search
             && self.latency.count() == other.latency.count()
             && self.latency.p50_ns() == other.latency.p50_ns()
@@ -222,6 +295,12 @@ pub enum Body {
     Cancelled,
     /// Load shed at admission: the queue was full. The query never ran.
     Shed,
+    /// Weight updates applied and published; `epoch` is the new epoch,
+    /// `applied` the number of edges changed.
+    Updated {
+        epoch: u64,
+        applied: u64,
+    },
     Error {
         error: String,
     },
@@ -239,6 +318,7 @@ impl Response {
             Body::Empty => "empty",
             Body::Cancelled => "cancelled",
             Body::Shed => "shed",
+            Body::Updated { .. } => "updated",
             Body::Error { .. } => "error",
             Body::Health(_) => "health",
             Body::Metrics(_) => "metrics",
@@ -267,6 +347,10 @@ impl Response {
                 members.push(("micros".into(), Json::from(*micros)));
             }
             Body::Empty | Body::Cancelled | Body::Shed | Body::Bye => {}
+            Body::Updated { epoch, applied } => {
+                members.push(("epoch".into(), Json::from(*epoch)));
+                members.push(("applied".into(), Json::from(*applied)));
+            }
             Body::Error { error } => {
                 members.push(("error".into(), Json::from(error.as_str())));
             }
@@ -276,6 +360,8 @@ impl Response {
                 members.push(("queued".into(), Json::from(h.queued)));
                 members.push(("workers".into(), Json::from(h.workers)));
                 members.push(("draining".into(), Json::Bool(h.draining)));
+                members.push(("epoch".into(), Json::from(h.epoch)));
+                members.push(("stale".into(), Json::Bool(h.stale)));
             }
             Body::Metrics(m) => {
                 members.push(("requests".into(), Json::from(m.requests)));
@@ -284,6 +370,8 @@ impl Response {
                 members.push(("cancelled".into(), Json::from(m.cancelled)));
                 members.push(("shed".into(), Json::from(m.shed)));
                 members.push(("errors".into(), Json::from(m.errors)));
+                members.push(("updates".into(), Json::from(m.updates)));
+                members.push(("epoch".into(), Json::from(m.epoch)));
                 members.push(("p50_us".into(), Json::from(m.latency.p50_ns() / 1_000)));
                 members.push(("p90_us".into(), Json::from(m.latency.p90_ns() / 1_000)));
                 members.push(("p99_us".into(), Json::from(m.latency.p99_ns() / 1_000)));
@@ -339,6 +427,10 @@ impl Response {
             Some("empty") => Body::Empty,
             Some("cancelled") => Body::Cancelled,
             Some("shed") => Body::Shed,
+            Some("updated") => Body::Updated {
+                epoch: u64_field("epoch")?,
+                applied: u64_field("applied")?,
+            },
             Some("error") => Body::Error {
                 error: v
                     .get("error")
@@ -355,6 +447,11 @@ impl Response {
                     .get("draining")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| "'draining' must be a bool".to_string())?,
+                epoch: u64_field("epoch")?,
+                stale: v
+                    .get("stale")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| "'stale' must be a bool".to_string())?,
             }),
             Some("metrics") => {
                 let mut m = MetricsInfo {
@@ -364,6 +461,8 @@ impl Response {
                     cancelled: u64_field("cancelled")?,
                     shed: u64_field("shed")?,
                     errors: u64_field("errors")?,
+                    updates: u64_field("updates")?,
+                    epoch: u64_field("epoch")?,
                     ..Default::default()
                 };
                 // The histogram itself does not round-trip; carry the
@@ -448,6 +547,48 @@ mod tests {
     }
 
     #[test]
+    fn update_request_roundtrips() {
+        let req = Request {
+            id: Some("u-1".into()),
+            op: Op::Update(vec![
+                WeightUpdate { u: 1, v: 2, w: 30 },
+                WeightUpdate { u: 4, v: 5, w: 6 },
+            ]),
+        };
+        let line = req.to_json();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn update_request_rejects_malformed_batches() {
+        for bad in [
+            r#"{"op":"update"}"#,
+            r#"{"op":"update","updates":[]}"#,
+            r#"{"op":"update","updates":[{"u":1,"v":2}]}"#,
+            r#"{"op":"update","updates":[{"u":1,"v":2,"w":-3}]}"#,
+            r#"{"op":"update","updates":[{"u":-1,"v":2,"w":3}]}"#,
+            r#"{"op":"update","updates":[{"u":1,"v":2,"w":4294967296}]}"#,
+            r#"{"op":"update","updates":"yes"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn updated_response_roundtrips() {
+        let resp = Response {
+            id: Some("u-1".into()),
+            body: Body::Updated {
+                epoch: 7,
+                applied: 3,
+            },
+        };
+        let line = resp.to_json();
+        assert!(line.starts_with(r#"{"status":"updated""#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), resp);
+    }
+
+    #[test]
     fn parse_rejects_bad_requests() {
         for bad in [
             "not json",
@@ -501,6 +642,8 @@ mod tests {
                 queued: 5,
                 workers: 4,
                 draining: true,
+                epoch: 9,
+                stale: true,
             }),
         };
         assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);

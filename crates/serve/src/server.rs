@@ -174,7 +174,7 @@ impl Server {
     /// Serve until shutdown, then drain and return the final stats.
     /// Blocks the calling thread; every spawned thread is joined before
     /// this returns.
-    pub fn run(self, engine: &Engine<'_>) -> io::Result<ServeSummary> {
+    pub fn run(self, engine: &Engine) -> io::Result<ServeSummary> {
         if self.config.handle_signals {
             sig::install();
         }
@@ -204,7 +204,7 @@ impl Server {
                         let shared = &shared;
                         let stop = Arc::clone(stop);
                         scope.spawn(move || {
-                            connection_loop(stream, tx, shared, &stop, config, started);
+                            connection_loop(stream, tx, engine, shared, &stop, config, started);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -238,6 +238,7 @@ impl Server {
 fn connection_loop(
     stream: TcpStream,
     tx: SyncSender<Job>,
+    engine: &Engine,
     shared: &Shared,
     stop: &AtomicBool,
     config: &ServeConfig,
@@ -262,7 +263,7 @@ fn connection_loop(
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
-                    handle_line(trimmed, &tx, &writer, shared, stop, config, started);
+                    handle_line(trimmed, &tx, &writer, engine, shared, stop, config, started);
                 }
                 line.clear();
             }
@@ -281,10 +282,12 @@ fn connection_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_line(
     trimmed: &str,
     tx: &SyncSender<Job>,
     writer: &Arc<Mutex<TcpStream>>,
+    engine: &Engine,
     shared: &Shared,
     stop: &AtomicBool,
     config: &ServeConfig,
@@ -306,17 +309,21 @@ fn handle_line(
     };
     match req.op {
         Op::Health => {
+            let snap = engine.snapshot();
             let body = Body::Health(HealthInfo {
                 uptime_ms: started.elapsed().as_millis() as u64,
                 inflight: shared.inflight.load(Ordering::Relaxed),
                 queued: shared.queued.load(Ordering::Relaxed),
                 workers: config.workers.max(1) as u64,
                 draining: stop.load(Ordering::SeqCst) || sig::signalled(),
+                epoch: snap.epoch(),
+                stale: snap.is_stale(),
             });
             write_response(writer, &Response { id: req.id, body });
         }
         Op::Metrics => {
-            let m = shared.metrics.lock().unwrap().clone();
+            let mut m = shared.metrics.lock().unwrap().clone();
+            m.epoch = engine.epoch();
             write_response(
                 writer,
                 &Response {
@@ -324,6 +331,39 @@ fn handle_line(
                     body: Body::Metrics(Box::new(m)),
                 },
             );
+        }
+        Op::Update(updates) => {
+            // Applied inline on the reader thread: the swap is lock-free
+            // for readers, so in-flight queries are never blocked — they
+            // keep their pinned snapshot; later queries see the new epoch.
+            let applied = updates.len() as u64;
+            match engine.apply_updates(&updates) {
+                Ok(epoch) => {
+                    // Labels (if any) are now stale: queries stay exact via
+                    // the guarded fallback while a background rebuild runs.
+                    engine.repair_in_background();
+                    shared.metrics.lock().unwrap().updates += 1;
+                    write_response(
+                        writer,
+                        &Response {
+                            id: req.id,
+                            body: Body::Updated { epoch, applied },
+                        },
+                    );
+                }
+                Err(e) => {
+                    shared.metrics.lock().unwrap().errors += 1;
+                    write_response(
+                        writer,
+                        &Response {
+                            id: req.id,
+                            body: Body::Error {
+                                error: e.to_string(),
+                            },
+                        },
+                    );
+                }
+            }
         }
         Op::Shutdown => {
             stop.store(true, Ordering::SeqCst);
@@ -380,7 +420,7 @@ fn handle_line(
 
 /// Query worker: owns one re-armable token; drains the queue to empty
 /// even after shutdown begins (admitted requests are never dropped).
-fn worker_loop(engine: &Engine<'_>, rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<Job>>, shared: &Shared) {
     let token = CancelToken::new();
     loop {
         let job = match rx.lock().unwrap().recv() {
@@ -395,7 +435,7 @@ fn worker_loop(engine: &Engine<'_>, rx: &Mutex<Receiver<Job>>, shared: &Shared) 
     }
 }
 
-fn execute(engine: &Engine<'_>, token: &CancelToken, job: &Job, shared: &Shared) -> Response {
+fn execute(engine: &Engine, token: &CancelToken, job: &Job, shared: &Shared) -> Response {
     let id = job.id.clone();
     // The deadline clock started at admission: a query that sat in the
     // queue past its deadline is cancelled without running.

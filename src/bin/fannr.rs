@@ -31,8 +31,9 @@ use fannr::fann::metrics::{SearchStats, StatsSink};
 use fannr::fann::{Aggregate, FannAnswer, FannQuery};
 use fannr::hublabel::HubLabels;
 use fannr::roadnet::io::{read_compact, write_compact};
+use fannr::roadnet::WeightUpdate;
 use fannr::roadnet::{shortest_path, Graph, ScratchPool};
-use fannr::serve::{Response, ServeConfig, Server};
+use fannr::serve::{Body, Client, Op, Request, Response, ServeConfig, Server};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         "render" => cmd_render(&opts),
         "stats" => cmd_stats(&opts),
         "serve" => cmd_serve(&opts),
+        "update" => cmd_update(&opts),
         "bench-batch" => cmd_bench_batch(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -87,6 +89,8 @@ commands:
   stats      describe a network                  (--graph)
   serve      serve queries over TCP              (--graph | --nodes --seed,
              --addr, --workers, --queue-depth, --deadline-ms, --labels)
+  update     push live weight updates to a       (--addr, --edges u:v:w[,...])
+             running server without a restart
   bench-batch  measure batch throughput          (--nodes, --queries,
              --p-size, --q-size, --phi, --workers, --seed)
 algorithms:  gd | r-list | ier-knn | exact-max | apx-sum";
@@ -509,6 +513,49 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         println!("search totals: {}", m.search);
     }
     Ok(())
+}
+
+/// Push a batch of live weight updates to a running server. The batch is
+/// atomic server-side: either every edge is applied (one new epoch) or
+/// the whole request is rejected and no epoch is published.
+fn cmd_update(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let spec = require(opts, "edges")?;
+    let mut updates = Vec::new();
+    for part in spec.split(',') {
+        let fields: Vec<&str> = part.trim().split(':').collect();
+        let [u, v, w] = fields.as_slice() else {
+            return Err(format!("bad edge '{part}' (expected u:v:w)"));
+        };
+        updates.push(WeightUpdate {
+            u: u.parse().map_err(|_| format!("bad node id '{u}'"))?,
+            v: v.parse().map_err(|_| format!("bad node id '{v}'"))?,
+            w: w.parse().map_err(|_| format!("bad weight '{w}'"))?,
+        });
+    }
+    let sent = updates.len();
+    let mut client = Client::connect(
+        addr.parse::<std::net::SocketAddr>()
+            .map_err(|e| format!("{addr}: {e}"))?,
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let resp = client
+        .call(&Request {
+            id: Some("update".to_string()),
+            op: Op::Update(updates),
+        })
+        .map_err(|e| e.to_string())?;
+    match resp.body {
+        Body::Updated { epoch, applied } => {
+            println!("applied {applied}/{sent} updates; server now at epoch {epoch}");
+            Ok(())
+        }
+        Body::Error { error } => Err(format!("server rejected the batch: {error}")),
+        other => Err(format!("unexpected response {other:?}")),
+    }
 }
 
 fn cmd_bench_batch(opts: &HashMap<String, String>) -> Result<(), String> {

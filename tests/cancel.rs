@@ -82,7 +82,7 @@ fn arb_instance() -> impl Strategy<Value = (Graph, Vec<u32>, Vec<u32>, f64)> {
 }
 
 /// The three engine configurations covering all four strategies.
-fn engines(g: &Graph) -> [Engine<'_>; 3] {
+fn engines(g: &Graph) -> [Engine; 3] {
     [
         Engine::new(g),                        // Exact-max / R-List
         Engine::new(g).allow_approx_sum(true), // Exact-max / APX-sum

@@ -1,21 +1,38 @@
 //! Serving under mutation: the snapshot discipline.
 //!
-//! The engine borrows an immutable [`Graph`]; live updates go through
-//! [`DynamicNetwork`], and a serving process adopts them by draining the
-//! old server and starting a new one on a fresh snapshot. The invariant
-//! under test: a client issuing queries across a concurrent weight update
-//! never observes an answer inconsistent with *both* the pre-update and
-//! post-update snapshots — i.e. no torn state, no half-applied weights,
-//! no answer computed partly on each version.
+//! The engine owns an epoch-versioned [`roadnet::NetworkSnapshot`] behind
+//! a lock-free hot-swap cell, so a serving process adopts live weight
+//! updates **in place** via the wire `update` op — no drain, no restart.
+//! The invariant under test: a client issuing queries across a concurrent
+//! weight update never observes an answer inconsistent with *both* the
+//! pre-update and post-update networks — i.e. no torn state, no
+//! half-applied weights, no answer computed partly on each version — and
+//! once the update is acknowledged, every later answer is computed on the
+//! new epoch (exactly, even while the hub labels are still stale).
+//!
+//! The drain + restart choreography from before this engine owned its
+//! snapshots still works — operators may prefer it for topology changes —
+//! so it is kept as a second test.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fannr::fann::engine::Engine;
 use fannr::fann::{Aggregate, FannAnswer};
-use fannr::roadnet::{DynamicNetwork, Graph};
-use fannr::serve::{Body, Client, Op, QuerySpec, Request, ServeConfig, Server};
+use fannr::roadnet::{DynamicNetwork, Graph, WeightUpdate};
+use fannr::serve::{Body, Client, Op, QuerySpec, Request, ServeConfig, Server, ShutdownHandle};
+
+/// Sets the server's stop flag when dropped. A failed assertion inside a
+/// `thread::scope` would otherwise skip the explicit shutdown call and
+/// deadlock the implicit scope join on the still-running acceptor.
+struct StopOnDrop(ShutdownHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
 
 fn expected(engine: &Engine, spec: &QuerySpec) -> Option<FannAnswer> {
     engine
@@ -39,7 +56,7 @@ fn matches(body: &Body, want: &Option<FannAnswer>) -> bool {
     }
 }
 
-fn serve_on<'g>(graph: &'g Graph) -> (Server, std::net::SocketAddr, Engine<'g>) {
+fn serve_on(graph: &Graph) -> (Server, std::net::SocketAddr, Engine) {
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
@@ -51,39 +68,12 @@ fn serve_on<'g>(graph: &'g Graph) -> (Server, std::net::SocketAddr, Engine<'g>) 
     (server, addr, Engine::new(graph))
 }
 
-#[test]
-fn concurrent_weight_update_never_yields_torn_answers() {
-    let mut rng = fannr::workload::rng(29);
-    let base = fannr::workload::synth::road_network(400, &mut rng);
+fn workload(seed: u64, nodes: usize) -> (Graph, Vec<QuerySpec>) {
+    let mut rng = fannr::workload::rng(seed);
+    let base = fannr::workload::synth::road_network(nodes, &mut rng);
     let p = fannr::workload::points::uniform_data_points(&base, 0.08, &mut rng);
     let q = fannr::workload::points::uniform_query_points(&base, 5, 0.5, &mut rng);
-
-    // The mutable network and its two immutable snapshots.
-    let mut net = DynamicNetwork::from_graph(&base);
-    let pre = net.snapshot();
-    // Inflate a third of all edge weights 8x — drastic enough that some
-    // answers must change between the snapshots.
-    let edges: Vec<(u32, u32, u32)> = {
-        let mut es = Vec::new();
-        for u in 0..pre.num_nodes() as u32 {
-            for (v, w) in pre.neighbors(u) {
-                if u < v {
-                    es.push((u, v, w));
-                }
-            }
-        }
-        es
-    };
-    for (i, &(u, v, w)) in edges.iter().enumerate() {
-        if i % 3 == 0 {
-            net.set_weight(u, v, w.saturating_mul(8).max(1))
-                .expect("edge exists");
-        }
-    }
-    let post = net.snapshot();
-    assert!(net.version() > 0, "mutations must bump the version");
-
-    let specs: Vec<QuerySpec> = [0.25, 0.5, 0.75, 1.0]
+    let specs = [0.25, 0.5, 0.75, 1.0]
         .iter()
         .flat_map(|&phi| {
             [Aggregate::Max, Aggregate::Sum].map(|agg| QuerySpec {
@@ -95,6 +85,226 @@ fn concurrent_weight_update_never_yields_torn_answers() {
             })
         })
         .collect();
+    (base, specs)
+}
+
+/// Inflate every third edge 8x: drastic enough that some answers change,
+/// and increase-only, so even stale hub labels must answer exactly.
+fn inflation(base: &Graph) -> Vec<WeightUpdate> {
+    let mut updates = Vec::new();
+    let mut i = 0usize;
+    for u in 0..base.num_nodes() as u32 {
+        for (v, w) in base.neighbors(u) {
+            if u < v {
+                if i.is_multiple_of(3) {
+                    updates.push(WeightUpdate {
+                        u,
+                        v,
+                        w: w.saturating_mul(8).max(1),
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    updates
+}
+
+/// The tentpole invariant: one label-backed server, queries hammering it
+/// while a second connection pushes a live `update` batch. Every answer
+/// matches exactly one of the two epochs; every answer *after* the update
+/// is acknowledged matches the new epoch; nothing is shed or cancelled;
+/// the background label repair converges while the server keeps answering.
+#[test]
+fn live_update_swaps_epochs_without_drain() {
+    let (base, specs) = workload(29, 400);
+    let updates = inflation(&base);
+    let patches: Vec<(u32, u32, u32)> = updates.iter().map(|up| (up.u, up.v, up.w)).collect();
+    let post = base
+        .with_patched_weights(&patches)
+        .expect("edges all exist");
+
+    let engine_pre = Engine::new(&base);
+    let engine_post = Engine::new(&post);
+    let want_pre: Vec<_> = specs.iter().map(|s| expected(&engine_pre, s)).collect();
+    let want_post: Vec<_> = specs.iter().map(|s| expected(&engine_post, s)).collect();
+    assert!(
+        want_pre != want_post,
+        "weight update changed no answer; the test would be vacuous"
+    );
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle();
+    // Labels make the update leg interesting: the server must answer
+    // exactly *through* the staleness window, not just after repair.
+    let engine = Engine::new(&base).with_labels();
+
+    let acked = AtomicBool::new(false);
+    let answered = AtomicUsize::new(0);
+    let summary = thread::scope(|scope| {
+        let _stop_guard = StopOnDrop(server.shutdown_handle());
+        let serving = scope.spawn(|| server.run(&engine).expect("serve"));
+
+        let acked_ref = &acked;
+        let answered_ref = &answered;
+        let specs_ref = &specs;
+        let want_pre_ref = &want_pre;
+        let want_post_ref = &want_post;
+        let client = scope.spawn(move || {
+            let mut conn = Client::connect(addr).expect("connect");
+            conn.set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("timeout");
+            let mut checked = 0usize;
+            let mut post_only = 0usize;
+            let deadline = Instant::now() + Duration::from_secs(120);
+            // Keep querying until a full spec sweep has been verified on
+            // the new epoch (the operator paces itself off `answered`, so
+            // neither side can race past the other).
+            let mut round = 0usize;
+            while post_only < specs_ref.len() {
+                assert!(
+                    Instant::now() < deadline,
+                    "no post-acknowledgement sweep within the deadline \
+                     (acked: {}, checked: {checked})",
+                    acked_ref.load(Ordering::SeqCst),
+                );
+                for (i, spec) in specs_ref.iter().enumerate() {
+                    // Sampled before the send: if the update was already
+                    // acknowledged, this query is admitted strictly after
+                    // the swap and must see the new epoch.
+                    let after_ack = acked_ref.load(Ordering::SeqCst);
+                    let resp = conn
+                        .call(&Request {
+                            id: Some(format!("r{round}-{i}")),
+                            op: Op::Query(spec.clone()),
+                        })
+                        .expect("query");
+                    match &resp.body {
+                        Body::Ok { .. } | Body::Empty => {
+                            let pre_ok = matches(&resp.body, &want_pre_ref[i]);
+                            let post_ok = matches(&resp.body, &want_post_ref[i]);
+                            assert!(
+                                pre_ok || post_ok,
+                                "torn answer for spec {i}: {:?} matches neither epoch",
+                                resp.body
+                            );
+                            if after_ack {
+                                assert!(
+                                    post_ok,
+                                    "spec {i} answered on the old epoch after the update \
+                                     was acknowledged: {:?}",
+                                    resp.body
+                                );
+                                post_only += 1;
+                            }
+                            checked += 1;
+                            answered_ref.fetch_add(1, Ordering::SeqCst);
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                round += 1;
+            }
+            (checked, post_only)
+        });
+
+        // Operator connection: wait for a full sweep of pre-update traffic
+        // to be answered, then push the whole batch in one atomic `update`.
+        let warmup = Instant::now() + Duration::from_secs(60);
+        while answered.load(Ordering::SeqCst) < specs.len() {
+            assert!(Instant::now() < warmup, "no pre-update answers observed");
+            thread::sleep(Duration::from_millis(5));
+        }
+        let mut op_conn = Client::connect(addr).expect("operator connect");
+        op_conn
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let resp = op_conn
+            .call(&Request {
+                id: Some("up".into()),
+                op: Op::Update(updates.clone()),
+            })
+            .expect("update");
+        match resp.body {
+            Body::Updated { epoch, applied } => {
+                assert_eq!(epoch, 1, "first update batch publishes epoch 1");
+                assert_eq!(applied, updates.len() as u64);
+            }
+            other => panic!("update rejected: {other:?}"),
+        }
+        acked.store(true, Ordering::SeqCst);
+
+        // Health must report the new epoch immediately, and the background
+        // label repair must converge while the client keeps querying.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let resp = op_conn
+                .call(&Request {
+                    id: Some("h".into()),
+                    op: Op::Health,
+                })
+                .expect("health");
+            match resp.body {
+                Body::Health(h) => {
+                    assert_eq!(h.epoch, 1, "health must report the live epoch");
+                    if !h.stale {
+                        break;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "label repair never converged: {h:?}"
+                    );
+                    thread::sleep(Duration::from_millis(25));
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+
+        let (checked, post_only) = client.join().expect("client thread");
+        assert!(checked > specs.len(), "no pre-update answers were verified");
+        assert!(
+            post_only >= specs.len(),
+            "client exited without a full post-acknowledgement sweep"
+        );
+
+        handle.shutdown();
+        serving.join().expect("server thread")
+    });
+
+    // Nothing was shed or cancelled: the swap admitted every query, and
+    // every admitted query was answered.
+    assert_eq!(summary.metrics.shed, 0, "{:?}", summary.metrics);
+    assert_eq!(summary.metrics.cancelled, 0, "{:?}", summary.metrics);
+    assert_eq!(summary.metrics.errors, 0, "{:?}", summary.metrics);
+    assert_eq!(summary.metrics.updates, 1);
+    assert_eq!(
+        summary.metrics.requests,
+        summary.metrics.ok + summary.metrics.empty
+    );
+}
+
+/// The pre-snapshot-engine choreography: drain the old server, start a
+/// new one on a fresh snapshot. Still supported (an operator may prefer a
+/// full restart for topology changes), still torn-answer-free.
+#[test]
+fn concurrent_weight_update_never_yields_torn_answers() {
+    let (base, specs) = workload(29, 400);
+
+    // The mutable network and its two immutable snapshots.
+    let mut net = DynamicNetwork::from_graph(&base);
+    let pre = net.snapshot();
+    for up in inflation(&base) {
+        net.set_weight(up.u, up.v, up.w).expect("edge exists");
+    }
+    let post = net.snapshot();
+    assert!(net.version() > 0, "mutations must bump the version");
 
     let engine_pre = Engine::new(&pre);
     let engine_post = Engine::new(&post);
@@ -114,6 +324,8 @@ fn concurrent_weight_update_never_yields_torn_answers() {
     let swapped = AtomicBool::new(false);
 
     thread::scope(|scope| {
+        let _stop_guard1 = StopOnDrop(server1.shutdown_handle());
+        let _stop_guard2 = StopOnDrop(server2.shutdown_handle());
         let s1 = scope.spawn(|| server1.run(&engine1).expect("server 1"));
         let s2 = scope.spawn(|| server2.run(&engine2).expect("server 2"));
 

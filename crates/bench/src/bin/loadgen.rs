@@ -30,6 +30,20 @@
 //! re-cross-validates against the local engine — so a wrong answer in the
 //! staleness window fails the run. `--bench-out FILE` writes a small JSON
 //! summary (qps, updates, latency quantiles) for CI artifacts.
+//!
+//! `--skew` swaps the workload for the skewed clustered-Q profile (a hot
+//! set of repeated queries with spatially clustered `Q`, re-spelled per
+//! request), and `--compare-addr ADDR2` runs the query-locality
+//! comparison: the same skewed workload through a cache-off server
+//! (`--addr`) and a cache-on server (`ADDR2`), every answer from both
+//! cross-validated against a local engine, reporting the client-observed
+//! throughput ratio (`--min-speedup X` turns it into a pass/fail gate):
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7880 --compare-addr 127.0.0.1:7881 \
+//!         --nodes 2000 --seed 7 --skew --smoke --queries 256 \
+//!         --min-speedup 5 --shutdown --bench-out results/BENCH_6.json
+//! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -92,10 +106,63 @@ impl QueryPool {
         QueryPool { specs }
     }
 
+    /// The skewed clustered-Q profile (`--skew`): a small hot set of
+    /// distinct queries with spatially clustered `Q`, repeated zipf-ishly
+    /// and re-spelled (rotated member order) per slot — the shape of
+    /// commute-corridor traffic. Canonical cache keys must land every
+    /// spelling of a hot query on one entry.
+    fn generate_skewed(
+        graph: &Graph,
+        seed: u64,
+        size: usize,
+        deadline_ms: Option<u64>,
+    ) -> QueryPool {
+        let mut rng = workload::rng(seed.wrapping_add(0x5be3d));
+        let hot: Vec<QuerySpec> = (0..SKEW_HOT_SET)
+            .map(|i| {
+                let p = workload::points::uniform_data_points(graph, 0.01, &mut rng);
+                let q =
+                    workload::points::clustered_query_points(graph, 6 + 2 * i, 0.2, 2, &mut rng);
+                QuerySpec {
+                    p,
+                    q,
+                    phi: [0.25, 0.5, 1.0][i % 3],
+                    agg: if i % 2 == 0 {
+                        Aggregate::Max
+                    } else {
+                        Aggregate::Sum
+                    },
+                    deadline_ms,
+                }
+            })
+            .collect();
+        let specs = (0..size)
+            .map(|s| {
+                // Skewed pick: half the slots hit hot[0], a quarter hot[1],
+                // the tail spreads over the rest.
+                let j = match s % 16 {
+                    0..=7 => 0,
+                    8..=11 => 1,
+                    12 | 13 => 2,
+                    _ => 3 + s % (SKEW_HOT_SET - 3),
+                };
+                let mut spec = hot[j].clone();
+                // A different spelling of the same set per slot.
+                let len = spec.q.len().max(1);
+                spec.q.rotate_left(s % len);
+                spec
+            })
+            .collect();
+        QueryPool { specs }
+    }
+
     fn spec(&self, i: usize) -> &QuerySpec {
         &self.specs[i % self.specs.len()]
     }
 }
+
+/// Distinct hot queries in the `--skew` profile.
+const SKEW_HOT_SET: usize = 6;
 
 /// Connect with retries so loadgen can be launched alongside the server.
 fn connect_with_retry(addr: &str, budget: Duration) -> Result<Client, String> {
@@ -182,12 +249,28 @@ fn main() -> ExitCode {
 
     eprintln!("loadgen: regenerating network ({nodes} nodes, seed {seed})");
     let graph = workload::synth::road_network(nodes, &mut workload::rng(seed));
-    let pool = QueryPool::generate(&graph, seed, 32, deadline_ms);
+    let pool = if opts.contains_key("skew") {
+        QueryPool::generate_skewed(&graph, seed, 64, deadline_ms)
+    } else {
+        QueryPool::generate(&graph, seed, 32, deadline_ms)
+    };
 
     let update_rate: f64 = get(&opts, "update-rate", 0.0);
     let bench_out = opts.get("bench-out").cloned();
 
-    let result = if opts.contains_key("smoke") {
+    let result = if let Some(cached_addr) = opts.get("compare-addr") {
+        compare(
+            &addr,
+            cached_addr,
+            &graph,
+            &pool,
+            get(&opts, "queries", 256usize),
+            get(&opts, "pipeline", 32usize),
+            get(&opts, "min-speedup", 0.0),
+            opts.contains_key("shutdown"),
+            bench_out.as_deref(),
+        )
+    } else if opts.contains_key("smoke") {
         smoke(&addr, &graph, &pool, update_rate, bench_out.as_deref())
     } else {
         open_loop(
@@ -381,6 +464,199 @@ fn smoke(
     println!(
         "SMOKE PASS: {ok} ok, {empty} empty, {} live updates, 0 wrong answers, clean drain",
         mixed.updates
+    );
+    Ok(())
+}
+
+/// One answered wire query, reduced to the bits that must match:
+/// `None` for `empty`, else `(p_star, dist, subset)`.
+type WireAnswer = Option<(u32, u64, Vec<u32>)>;
+
+/// The query-locality bench/smoke (`--compare-addr`): drive the *same*
+/// workload through a cache-off server (`--addr`) and a cache-on server
+/// (`--compare-addr`), in pipelined chunks (so the batching window sees
+/// co-located company), cross-validate every answer from both servers
+/// against a local [`Engine`], and report the client-observed throughput
+/// ratio. Zero mismatches are mandatory; `--min-speedup X` makes the run
+/// fail below `X`. `--bench-out FILE` records the comparison
+/// (`results/BENCH_6.json` in CI).
+#[allow(clippy::too_many_arguments)]
+fn compare(
+    base_addr: &str,
+    cached_addr: &str,
+    graph: &Graph,
+    pool: &QueryPool,
+    queries: usize,
+    chunk: usize,
+    min_speedup: f64,
+    send_shutdown: bool,
+    bench_out: Option<&str>,
+) -> Result<(), String> {
+    let engine = Engine::new(graph);
+    let chunk = chunk.max(1);
+
+    // One pipelined, chunked leg against one server.
+    let run_leg =
+        |addr: &str, tag: &str| -> Result<(Vec<WireAnswer>, Duration, LatencyHistogram), String> {
+            let mut client = connect_with_retry(addr, Duration::from_secs(20))?;
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .map_err(|e| e.to_string())?;
+            let resp = client
+                .call(&Request {
+                    id: Some(format!("{tag}-h")),
+                    op: Op::Health,
+                })
+                .map_err(|e| format!("health {addr}: {e}"))?;
+            match resp.body {
+                Body::Health(h) if !h.draining => {}
+                other => return Err(format!("unhealthy server {addr}: {other:?}")),
+            }
+            let mut answers: Vec<WireAnswer> = vec![None; queries];
+            let mut got: Vec<bool> = vec![false; queries];
+            let mut hist = LatencyHistogram::default();
+            let started = Instant::now();
+            let mut next = 0usize;
+            while next < queries {
+                let end = (next + chunk).min(queries);
+                let chunk_sent = Instant::now();
+                for i in next..end {
+                    client
+                        .send(&Request {
+                            id: Some(format!("{tag}{i}")),
+                            op: Op::Query(pool.spec(i).clone()),
+                        })
+                        .map_err(|e| format!("send {tag}{i}: {e}"))?;
+                }
+                for _ in next..end {
+                    let resp = client.recv().map_err(|e| format!("recv {tag}: {e}"))?;
+                    let Some(i) = resp
+                        .id
+                        .as_deref()
+                        .and_then(|id| id.strip_prefix(tag))
+                        .and_then(|n| n.parse::<usize>().ok())
+                    else {
+                        return Err(format!("unmatched response id {:?}", resp.id));
+                    };
+                    match resp.body {
+                        Body::Ok {
+                            p_star,
+                            dist,
+                            subset,
+                            ..
+                        } => answers[i] = Some((p_star, dist, subset)),
+                        Body::Empty => answers[i] = None,
+                        other => {
+                            return Err(format!(
+                                "{tag}{i} not answered (got {other:?}); the compare leg \
+                             must see every query through"
+                            ))
+                        }
+                    }
+                    got[i] = true;
+                    hist.record(chunk_sent.elapsed());
+                }
+                next = end;
+            }
+            if !got.iter().all(|&g| g) {
+                return Err("responses missing after drain".to_string());
+            }
+            Ok((answers, started.elapsed(), hist))
+        };
+
+    let (base_answers, base_elapsed, base_hist) = run_leg(base_addr, "b")?;
+    let (cached_answers, cached_elapsed, cached_hist) = run_leg(cached_addr, "c")?;
+
+    // Both servers, bit-for-bit, against the local engine.
+    let mut mismatches = 0usize;
+    for i in 0..queries {
+        let spec = pool.spec(i);
+        let want: WireAnswer = engine
+            .query(&spec.p, &spec.q, spec.phi, spec.agg)
+            .map_err(|e| format!("local engine rejected query {i}: {e}"))?
+            .map(|a| (a.p_star, a.dist, a.subset));
+        for (leg, got) in [
+            ("uncached", &base_answers[i]),
+            ("cached", &cached_answers[i]),
+        ] {
+            if *got != want {
+                mismatches += 1;
+                eprintln!("loadgen: MISMATCH on query {i} ({leg}): got {got:?}, expected {want:?}");
+            }
+        }
+    }
+
+    let base_qps = queries as f64 / base_elapsed.as_secs_f64().max(1e-9);
+    let cached_qps = queries as f64 / cached_elapsed.as_secs_f64().max(1e-9);
+    let speedup = cached_qps / base_qps.max(1e-9);
+    println!(
+        "compare: {queries} skewed queries | uncached {base_qps:.0} qps | \
+         cached {cached_qps:.0} qps | speedup {speedup:.1}x | {mismatches} mismatches"
+    );
+
+    // The cached server's own accounting, for the record.
+    let mut cached_client = connect_with_retry(cached_addr, Duration::from_secs(5))?;
+    let resp = cached_client
+        .call(&Request {
+            id: None,
+            op: Op::Metrics,
+        })
+        .map_err(|e| format!("metrics {cached_addr}: {e}"))?;
+    let m = match resp.body {
+        Body::Metrics(m) => *m,
+        other => return Err(format!("expected metrics, got {other:?}")),
+    };
+    eprintln!(
+        "loadgen: cached server: {} hits, {} misses, {} insertions, {} batches ({} batched queries)",
+        m.cache_hits, m.cache_misses, m.cache_insertions, m.batches, m.batch_queries
+    );
+
+    if let Some(path) = bench_out {
+        let json = format!(
+            "{{\n  \"profile\": \"skewed-clustered-q\",\n  \"queries\": {queries},\n  \
+             \"distinct_hot\": {SKEW_HOT_SET},\n  \"uncached_qps\": {base_qps:.1},\n  \
+             \"cached_qps\": {cached_qps:.1},\n  \"speedup\": {speedup:.1},\n  \
+             \"mismatches\": {mismatches},\n  \"uncached_p50_us\": {},\n  \
+             \"cached_p50_us\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+             \"batches\": {},\n  \"batch_queries\": {}\n}}\n",
+            base_hist.p50_ns() / 1_000,
+            cached_hist.p50_ns() / 1_000,
+            m.cache_hits,
+            m.cache_misses,
+            m.batches,
+            m.batch_queries,
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loadgen: wrote {path}");
+    }
+
+    if send_shutdown {
+        for addr in [base_addr, cached_addr] {
+            let mut client = connect_with_retry(addr, Duration::from_secs(5))?;
+            client
+                .call(&Request {
+                    id: None,
+                    op: Op::Shutdown,
+                })
+                .map_err(|e| format!("shutdown {addr}: {e}"))?;
+        }
+    }
+
+    if mismatches > 0 {
+        return Err(format!("{mismatches} answer mismatches"));
+    }
+    if speedup < min_speedup {
+        return Err(format!(
+            "speedup {speedup:.1}x below required {min_speedup:.1}x"
+        ));
+    }
+    println!(
+        "COMPARE PASS: {queries} queries, 0 mismatches, {speedup:.1}x client-observed speedup"
     );
     Ok(())
 }

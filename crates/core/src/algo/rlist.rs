@@ -18,7 +18,7 @@ use crate::gphi::GPhi;
 use crate::metrics::Recorder;
 use crate::{FannAnswer, FannQuery};
 use roadnet::cancel::{CancelCheck, Cancelled};
-use roadnet::{Dist, Graph, ObjectStreams, ScratchPool, INF};
+use roadnet::{Dist, Graph, ObjectStreams, ScratchPool, StreamSet, INF};
 use std::collections::HashSet;
 
 /// Exact FANN_R with threshold-based early termination. Universal
@@ -71,15 +71,29 @@ pub fn r_list_cancellable<R: Recorder, C: CancelCheck>(
     rec: R,
     cancel: C,
 ) -> Result<Option<FannAnswer>, Cancelled> {
-    let k = query.subset_size();
     let mut streams = ObjectStreams::with_pool_cancellable(g, query.q, query.p, pool, rec, cancel);
+    let best = r_list_core(&mut streams, query, gphi, rec, cancel);
+    streams.recycle_into(pool);
+    best
+}
+
+/// The threshold scan itself, over any [`StreamSet`] — the same code path
+/// whether the streams are private ([`ObjectStreams`]) or a shared-batch
+/// view ([`roadnet::SharedStreams`]), so both produce identical answers.
+fn r_list_core<S: StreamSet, R: Recorder, C: CancelCheck>(
+    streams: &mut S,
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    rec: R,
+    cancel: C,
+) -> Result<Option<FannAnswer>, Cancelled> {
+    let k = query.subset_size();
     let mut seen: HashSet<roadnet::NodeId> = HashSet::new();
     let mut best: Option<FannAnswer> = None;
 
     // Until every queue is exhausted (then every reachable point was seen).
     while let Some((i, pnode, _)) = streams.min_head() {
         if cancel.poll_cancelled() {
-            streams.recycle_into(pool);
             return Err(Cancelled);
         }
         // Threshold over current heads (before popping).
@@ -108,7 +122,6 @@ pub fn r_list_cancellable<R: Recorder, C: CancelCheck>(
             }
         }
     }
-    streams.recycle_into(pool);
     // A cancelled stream looks exhausted and a cancelled `g_phi` eval
     // looks unreachable, either of which could have truncated the scan —
     // re-check exactly before trusting `best`.
@@ -118,6 +131,25 @@ pub fn r_list_cancellable<R: Recorder, C: CancelCheck>(
     // Data points the threshold let us skip entirely (duplicate-free P).
     rec.pruned(query.p.len().saturating_sub(seen.len()) as u64);
     Ok(best)
+}
+
+/// [`r_list`] over caller-provided streams — the shared-expansion batch
+/// entry point (see [`crate::algo::exact_max::exact_max_on_streams`]).
+/// Answers are identical to [`r_list`] because the streams yield identical
+/// sequences and the driver is the same code.
+///
+/// # Panics
+/// If the stream set was not built over `query.q` in order.
+pub fn r_list_on_streams<S: StreamSet>(
+    query: &FannQuery,
+    gphi: &dyn GPhi,
+    streams: &mut S,
+) -> Option<FannAnswer> {
+    assert_eq!(streams.len(), query.q.len(), "one stream per query point");
+    match r_list_core(streams, query, gphi, (), ()) {
+        Ok(best) => best,
+        Err(Cancelled) => unreachable!("the unit CancelCheck never cancels"),
+    }
 }
 
 #[cfg(test)]

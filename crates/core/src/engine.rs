@@ -45,21 +45,24 @@ use crate::algo::{
     exact_max_pooled, exact_max_traced, ier_knn, ier_knn_cancellable, ier_knn_traced, r_list,
     r_list_cancellable, r_list_pooled, r_list_traced, IerBound,
 };
+use crate::algo::{exact_max_on_streams, r_list_on_streams};
 use crate::gphi::ier2::IerPhi;
 use crate::gphi::ine::InePhi;
 use crate::gphi::oracle::GuardedLabelOracle;
 use crate::gphi::{GPhi, ReusableGPhi};
+use crate::locality::{AnswerCache, CacheKey, CacheStats, NO_REACH};
 use crate::metrics::{LatencyHistogram, SearchStats, StatsSink};
-use crate::{Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
+use crate::{flex_k, Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
 use hublabel::HubLabels;
 use roadnet::cancel::{CancelCheck, CancelToken, Cancelled};
 use roadnet::{
-    AppliedUpdate, Graph, NetworkSnapshot, NodeId, ScratchPool, SnapshotCell, UpdateError,
-    WeightUpdate,
+    AppliedUpdate, Dist, Graph, NetworkSnapshot, NodeId, ScratchPool, SharedExpansion,
+    SnapshotCell, UpdateError, WeightUpdate,
 };
-use std::collections::HashSet;
+use spatial_rtree::{Mbr, Pt};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Which strategy [`Engine::query`] selected (observable for logging and
@@ -112,23 +115,104 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// Duplicate-free copy of `ids` (first occurrence kept), or `None` when
-/// `ids` is already duplicate-free. `P` and `Q` are sets (see
-/// [`FannQuery`]); the engine dedupes so every strategy agrees on
-/// multiplicity — and the common no-duplicate case stays allocation-free.
-fn deduped(ids: &[NodeId]) -> Option<Vec<NodeId>> {
-    let has_dup = if ids.len() <= 64 {
-        ids.iter().enumerate().any(|(i, v)| ids[..i].contains(v))
-    } else {
-        let mut sorted = ids.to_vec();
-        sorted.sort_unstable();
-        sorted.windows(2).any(|w| w[0] == w[1])
-    };
-    if !has_dup {
+/// Canonical (sorted, duplicate-free) copy of `ids`, or `None` when `ids`
+/// is already canonical. `P` and `Q` are sets (see [`FannQuery`]); the
+/// engine canonicalizes both before dispatch so every strategy sees the
+/// same effective query, any permutation of the same set produces the
+/// bit-identical answer (making the answer cache's canonical keys sound,
+/// see [`crate::locality`]) — and the common already-canonical case stays
+/// allocation-free.
+fn canonical(ids: &[NodeId]) -> Option<Vec<NodeId>> {
+    if ids.windows(2).all(|w| w[0] < w[1]) {
         return None;
     }
-    let mut seen = HashSet::with_capacity(ids.len());
-    Some(ids.iter().copied().filter(|&v| seen.insert(v)).collect())
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    Some(sorted)
+}
+
+/// How a `query_cached*` call was answered (observable for the serving
+/// metrics and the coherence tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the answer cache at the pinned epoch.
+    Hit,
+    /// Computed and inserted into the cache.
+    Miss,
+    /// No cache attached; computed directly.
+    Bypass,
+}
+
+/// The cache key for a canonicalized query on the current snapshot.
+fn cache_key<'a>(
+    p: &'a [NodeId],
+    q: &'a [NodeId],
+    phi: f64,
+    agg: Aggregate,
+    strategy: Strategy,
+) -> CacheKey<'a> {
+    CacheKey {
+        p,
+        q,
+        phi,
+        agg: match agg {
+            Aggregate::Sum => 0,
+            Aggregate::Max => 1,
+        },
+        strategy: strategy.index() as u8,
+    }
+}
+
+/// Store a freshly computed answer: derive the entry's `b_Q` rectangle,
+/// its admissible `phi·M`-scaled lower bound on `d*`, and the strategy's
+/// certified dependence radius used for cross-epoch promotion
+/// (see DESIGN.md §9 for the per-strategy proofs).
+fn cache_store(
+    cache: &AnswerCache,
+    snap: &EngineSnapshot,
+    key: &CacheKey<'_>,
+    agg: Aggregate,
+    answer: Option<&FannAnswer>,
+    strategy: Strategy,
+) {
+    let graph = snap.graph();
+    let mut mbr = Mbr::empty();
+    for &v in key.q {
+        let c = graph.coord(v);
+        mbr.extend(Pt::new(c.x, c.y));
+    }
+    let scale = snap.network().admissibility_scale();
+    let (bound, reach) = match answer {
+        None => (0, NO_REACH),
+        Some(a) => {
+            // phi·M·mdist-style bound: each of the k = ceil(phi·|Q|)
+            // subset members q satisfies d(p*, q) >= scale·euclid(p*, q)
+            // >= scale·mdist(b_Q, p*).
+            let c = graph.coord(a.p_star);
+            let per_term = scale * mbr.mindist_point(Pt::new(c.x, c.y));
+            let bound_f = match agg {
+                Aggregate::Max => per_term,
+                Aggregate::Sum => per_term * flex_k(key.phi, key.q.len()) as f64,
+            };
+            let bound = if bound_f.is_finite() {
+                (bound_f.max(0.0).floor() as Dist).min(a.dist)
+            } else {
+                0
+            };
+            // Dependence radius: how far from Q the answering run could
+            // have looked. Exact-max and IER-kNN are bounded by d*;
+            // R-List's random-access evals reach up to 2·d*; APX-sum's
+            // candidate probes are unbounded, so it is never promoted.
+            let reach = match strategy {
+                Strategy::ExactMax | Strategy::IerKnnLabels => a.dist,
+                Strategy::RListIne => a.dist.saturating_mul(2),
+                Strategy::ApxSumIne => NO_REACH,
+            };
+            (bound, reach)
+        }
+    };
+    cache.insert(key, snap.epoch(), answer, bound, mbr, reach);
 }
 
 /// Weight updates applied since the current hub labels were built, merged
@@ -245,6 +329,10 @@ struct EngineShared {
     /// A background repair thread is running (see
     /// [`Engine::repair_in_background`]).
     repairing: AtomicBool,
+    /// The epoch-keyed answer cache, when attached
+    /// ([`Engine::with_answer_cache`]). Shared by every clone so the
+    /// serving workers and the updater see one coherent cache.
+    cache: OnceLock<Arc<AnswerCache>>,
 }
 
 /// A road network plus optional indexes, with automatic algorithm choice
@@ -278,6 +366,7 @@ impl Engine {
                 })),
                 writer: Mutex::new(()),
                 repairing: AtomicBool::new(false),
+                cache: OnceLock::new(),
             }),
             allow_approx_sum: false,
         }
@@ -310,6 +399,27 @@ impl Engine {
     pub fn allow_approx_sum(mut self, yes: bool) -> Self {
         self.allow_approx_sum = yes;
         self
+    }
+
+    /// Attach an epoch-keyed answer cache holding up to `capacity`
+    /// answers (see [`crate::locality`] for the coherence contract).
+    /// Cached answers are bit-identical to recomputation by construction;
+    /// [`Engine::apply_updates`] invalidates affected entries and
+    /// promotes provably-unaffected ones. Shared by all clones of this
+    /// engine; the first attachment wins.
+    pub fn with_answer_cache(self, capacity: usize) -> Self {
+        let _ = self.shared.cache.set(Arc::new(AnswerCache::new(capacity)));
+        self
+    }
+
+    /// Whether an answer cache is attached.
+    pub fn has_answer_cache(&self) -> bool {
+        self.shared.cache.get().is_some()
+    }
+
+    /// Counter snapshot of the attached answer cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.get().map(|c| c.stats())
     }
 
     /// Pin the current snapshot. Wait-free; the returned `Arc` keeps that
@@ -349,8 +459,10 @@ impl Engine {
     pub fn apply_updates(&self, updates: &[WeightUpdate]) -> Result<u64, UpdateError> {
         let _guard = self.shared.writer.lock().unwrap();
         let cur = self.shared.cell.load();
+        let prev_epoch = cur.epoch();
         let (net, applied) = cur.net.apply(updates)?;
         let epoch = net.epoch();
+        let scale = net.admissibility_scale();
         let mut stale = cur.stale.clone();
         if cur.labels.is_some() {
             stale.absorb(&applied);
@@ -360,6 +472,23 @@ impl Engine {
             labels: cur.labels.clone(),
             stale,
         }));
+        if let Some(cache) = self.shared.cache.get() {
+            // Region-based cache maintenance, still under the writer lock
+            // so batches reach the cache in publication order: entries
+            // whose dependence region provably avoids every touched edge
+            // endpoint carry over to the new epoch, the rest drop
+            // (coordinates are epoch-invariant, so `cur`'s graph serves).
+            let graph = cur.graph();
+            let touched: Vec<Pt> = applied
+                .iter()
+                .flat_map(|a| {
+                    let cu = graph.coord(a.u);
+                    let cv = graph.coord(a.v);
+                    [Pt::new(cu.x, cu.y), Pt::new(cv.x, cv.y)]
+                })
+                .collect();
+            cache.on_update(prev_epoch, epoch, &touched, scale);
+        }
         Ok(epoch)
     }
 
@@ -462,10 +591,10 @@ impl Engine {
         agg: Aggregate,
     ) -> Result<Option<FannAnswer>, QueryError> {
         let graph = snap.graph();
-        let p_dedup = deduped(p);
-        let p = p_dedup.as_deref().unwrap_or(p);
-        let q_dedup = deduped(q);
-        let q = q_dedup.as_deref().unwrap_or(q);
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
         let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let answer = match self.strategy_on(snap, agg) {
             Strategy::IerKnnLabels => {
@@ -513,10 +642,10 @@ impl Engine {
         agg: Aggregate,
     ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
         let graph = snap.graph();
-        let p_dedup = deduped(p);
-        let p = p_dedup.as_deref().unwrap_or(p);
-        let q_dedup = deduped(q);
-        let q = q_dedup.as_deref().unwrap_or(q);
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
         let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let sink = StatsSink::new();
         let answer = match self.strategy_on(snap, agg) {
@@ -551,10 +680,10 @@ impl Engine {
     ) -> Result<KFannAnswer, QueryError> {
         let snap = self.snapshot();
         let graph = snap.graph();
-        let p_dedup = deduped(p);
-        let p = p_dedup.as_deref().unwrap_or(p);
-        let q_dedup = deduped(q);
-        let q = q_dedup.as_deref().unwrap_or(q);
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
         let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let answer = match (snap.oracle(), agg) {
             (Some(oracle), _) => {
@@ -622,10 +751,10 @@ impl Engine {
         state: &mut WorkerState,
     ) -> Result<Option<FannAnswer>, QueryError> {
         let graph = snap.graph();
-        let p_dedup = deduped(&bq.p);
-        let p = p_dedup.as_deref().unwrap_or(&bq.p);
-        let q_dedup = deduped(&bq.q);
-        let q = q_dedup.as_deref().unwrap_or(&bq.q);
+        let p_canon = canonical(&bq.p);
+        let p = p_canon.as_deref().unwrap_or(&bq.p);
+        let q_canon = canonical(&bq.q);
+        let q = q_canon.as_deref().unwrap_or(&bq.q);
         let query = FannQuery::checked(p, q, bq.phi, bq.agg, graph)?;
         let WorkerState { pool, ine } = state;
         let answer = match self.strategy_on(snap, bq.agg) {
@@ -674,15 +803,26 @@ impl Engine {
         agg: Aggregate,
         token: &CancelToken,
     ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
-        let snap = self.snapshot();
+        self.query_traced_cancellable_on(&self.snapshot(), p, q, phi, agg, token)
+    }
+
+    fn query_traced_cancellable_on(
+        &self,
+        snap: &EngineSnapshot,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+        token: &CancelToken,
+    ) -> Result<(Option<FannAnswer>, SearchStats), QueryError> {
         let graph = snap.graph();
-        let p_dedup = deduped(p);
-        let p = p_dedup.as_deref().unwrap_or(p);
-        let q_dedup = deduped(q);
-        let q = q_dedup.as_deref().unwrap_or(q);
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
         let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let sink = StatsSink::new();
-        let answer = match self.strategy_on(&snap, agg) {
+        let answer = match self.strategy_on(snap, agg) {
             Strategy::IerKnnLabels => {
                 let oracle = snap.oracle().expect("strategy implies labels");
                 let rtree = build_p_rtree(graph, p);
@@ -713,6 +853,182 @@ impl Engine {
             Ok(a) => Ok((a, sink.snapshot())),
             Err(Cancelled) => Err(QueryError::Cancelled),
         }
+    }
+
+    /// [`Engine::query`] through the answer cache: probe first, compute
+    /// and insert on a miss. The returned answer is bit-identical to
+    /// [`Engine::query`] either way (a hit replays an answer computed on a
+    /// snapshot with the same epoch — see [`crate::locality`]). Also
+    /// returns the pinned epoch, so coherence tests can validate the
+    /// answer against that exact graph. Without an attached cache this is
+    /// plain [`Engine::query`] with [`CacheOutcome::Bypass`].
+    pub fn query_cached(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+    ) -> Result<(Option<FannAnswer>, CacheOutcome, u64), QueryError> {
+        let snap = self.snapshot();
+        let epoch = snap.epoch();
+        let Some(cache) = self.shared.cache.get() else {
+            let answer = self.query_on(&snap, p, q, phi, agg)?;
+            return Ok((answer, CacheOutcome::Bypass, epoch));
+        };
+        let graph = snap.graph();
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
+        FannQuery::checked(p, q, phi, agg, graph)?;
+        let strategy = self.strategy_on(&snap, agg);
+        let key = cache_key(p, q, phi, agg, strategy);
+        if let Some(hit) = cache.lookup(&key, epoch) {
+            return Ok((hit.answer, CacheOutcome::Hit, epoch));
+        }
+        let answer = self.query_on(&snap, p, q, phi, agg)?;
+        cache_store(cache, &snap, &key, agg, answer.as_ref(), strategy);
+        Ok((answer, CacheOutcome::Miss, epoch))
+    }
+
+    /// The serving-path combination: [`Engine::query_cached`] semantics
+    /// with the instrumentation and cooperative cancellation of
+    /// [`Engine::query_traced_cancellable`]. A hit costs no search work
+    /// (empty [`SearchStats`]); a cancelled computation inserts nothing.
+    pub fn query_cached_traced_cancellable(
+        &self,
+        p: &[NodeId],
+        q: &[NodeId],
+        phi: f64,
+        agg: Aggregate,
+        token: &CancelToken,
+    ) -> Result<(Option<FannAnswer>, SearchStats, CacheOutcome), QueryError> {
+        let snap = self.snapshot();
+        let Some(cache) = self.shared.cache.get() else {
+            let (answer, stats) = self.query_traced_cancellable_on(&snap, p, q, phi, agg, token)?;
+            return Ok((answer, stats, CacheOutcome::Bypass));
+        };
+        let graph = snap.graph();
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
+        FannQuery::checked(p, q, phi, agg, graph)?;
+        let strategy = self.strategy_on(&snap, agg);
+        let key = cache_key(p, q, phi, agg, strategy);
+        if let Some(hit) = cache.lookup(&key, snap.epoch()) {
+            return Ok((hit.answer, SearchStats::default(), CacheOutcome::Hit));
+        }
+        let (answer, stats) = self.query_traced_cancellable_on(&snap, p, q, phi, agg, token)?;
+        cache_store(cache, &snap, &key, agg, answer.as_ref(), strategy);
+        Ok((answer, stats, CacheOutcome::Miss))
+    }
+
+    /// Answer a batch of (typically co-located) queries on **one** pinned
+    /// snapshot, computing every cache miss that shares a canonical `Q`
+    /// from one [`SharedExpansion`]: the `|Q|` Dijkstra frontiers are
+    /// expanded at most once per distinct `Q` and each query replays them
+    /// through its own filtered object view. Answers are bit-identical to
+    /// per-query [`Engine::query`] because the per-strategy drivers are
+    /// the same code over provably identical settle sequences; strategies
+    /// that are not stream-driven (IER-kNN, APX-sum) fall back to the
+    /// per-query path within the same pinned snapshot. With a cache
+    /// attached, hits are served first and misses are inserted.
+    pub fn query_colocated(
+        &self,
+        queries: &[BatchQuery],
+    ) -> Vec<Result<Option<FannAnswer>, QueryError>> {
+        let snap = self.snapshot();
+        let graph = snap.graph();
+        let epoch = snap.epoch();
+        let cache = self.shared.cache.get();
+        let n = queries.len();
+        let mut results: Vec<Option<Result<Option<FannAnswer>, QueryError>>> =
+            (0..n).map(|_| None).collect();
+        struct Prep {
+            p: Vec<NodeId>,
+            q: Vec<NodeId>,
+            strategy: Strategy,
+        }
+        // Canonicalize, validate, and probe the cache.
+        let mut preps: Vec<Option<Prep>> = (0..n).map(|_| None).collect();
+        for (i, bq) in queries.iter().enumerate() {
+            let p = canonical(&bq.p).unwrap_or_else(|| bq.p.clone());
+            let q = canonical(&bq.q).unwrap_or_else(|| bq.q.clone());
+            if let Err(e) = FannQuery::checked(&p, &q, bq.phi, bq.agg, graph) {
+                results[i] = Some(Err(e));
+                continue;
+            }
+            let strategy = self.strategy_on(&snap, bq.agg);
+            if let Some(c) = cache {
+                let key = cache_key(&p, &q, bq.phi, bq.agg, strategy);
+                if let Some(hit) = c.lookup(&key, epoch) {
+                    results[i] = Some(Ok(hit.answer));
+                    continue;
+                }
+            }
+            preps[i] = Some(Prep { p, q, strategy });
+        }
+        // Group stream-driven misses by their exact canonical Q (max and
+        // sum share: both drivers consume the same per-source frontiers);
+        // everything else goes through the per-query path.
+        let mut groups: HashMap<Vec<NodeId>, Vec<usize>> = HashMap::new();
+        let mut singles: Vec<usize> = Vec::new();
+        for (i, prep) in preps.iter().enumerate() {
+            let Some(prep) = prep else { continue };
+            match prep.strategy {
+                Strategy::ExactMax | Strategy::RListIne => {
+                    groups.entry(prep.q.clone()).or_default().push(i);
+                }
+                _ => singles.push(i),
+            }
+        }
+        let mut pool = ScratchPool::new();
+        for (qvec, mut idxs) in groups {
+            if idxs.len() == 1 {
+                // No sharing to be had; the per-query path recycles its
+                // scratches more cheaply.
+                singles.append(&mut idxs);
+                continue;
+            }
+            let mut shared = SharedExpansion::with_pool(graph, &qvec, &mut pool);
+            for &i in &idxs {
+                let prep = preps[i].as_ref().expect("grouped index was prepared");
+                let bq = &queries[i];
+                let query = FannQuery::new(&prep.p, &prep.q, bq.phi, bq.agg);
+                let mut view = shared.view(&prep.p);
+                let answer = match prep.strategy {
+                    Strategy::ExactMax => exact_max_on_streams(&query, &mut view),
+                    Strategy::RListIne => {
+                        let gphi = InePhi::new(graph, &prep.q);
+                        r_list_on_streams(&query, &gphi, &mut view)
+                    }
+                    _ => unreachable!("grouped strategies are stream-driven"),
+                };
+                if let Some(c) = cache {
+                    let key = cache_key(&prep.p, &prep.q, bq.phi, bq.agg, prep.strategy);
+                    cache_store(c, &snap, &key, bq.agg, answer.as_ref(), prep.strategy);
+                }
+                results[i] = Some(Ok(answer));
+            }
+            shared.recycle_into(&mut pool);
+        }
+        let mut state = WorkerState { pool, ine: None };
+        for i in singles {
+            let prep = preps[i].take().expect("single index was prepared");
+            let bq = &queries[i];
+            let cbq = BatchQuery::new(prep.p.clone(), prep.q.clone(), bq.phi, bq.agg);
+            let answer = self.query_on_with_state(&snap, &cbq, &mut state);
+            if let (Some(c), Ok(a)) = (cache, &answer) {
+                let key = cache_key(&prep.p, &prep.q, bq.phi, bq.agg, prep.strategy);
+                cache_store(c, &snap, &key, bq.agg, a.as_ref(), prep.strategy);
+            }
+            results[i] = Some(answer);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered exactly once"))
+            .collect()
     }
 
     /// A long-lived handle for answering a stream of cancellable queries:
@@ -748,8 +1064,8 @@ impl Engine {
     ) -> Result<Option<crate::gphi::GPhiResult>, QueryError> {
         let snap = self.snapshot();
         let graph = snap.graph();
-        let q_dedup = deduped(q);
-        let q = q_dedup.as_deref().unwrap_or(q);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
         let p_slice = [p];
         let query = FannQuery::checked(&p_slice, q, phi, agg, graph)?;
         let k = query.subset_size();
@@ -906,10 +1222,10 @@ impl QuerySession<'_> {
         }
         self.ine_epoch = snap.epoch();
         let graph = snap.graph();
-        let p_dedup = deduped(p);
-        let p = p_dedup.as_deref().unwrap_or(p);
-        let q_dedup = deduped(q);
-        let q = q_dedup.as_deref().unwrap_or(q);
+        let p_canon = canonical(p);
+        let p = p_canon.as_deref().unwrap_or(p);
+        let q_canon = canonical(q);
+        let q = q_canon.as_deref().unwrap_or(q);
         let query = FannQuery::checked(p, q, phi, agg, graph)?;
         let answer = match self.engine.strategy_on(&snap, agg) {
             Strategy::IerKnnLabels => {

@@ -21,6 +21,7 @@
 pub mod algo;
 pub mod engine;
 pub mod gphi;
+pub mod locality;
 pub mod metrics;
 
 use roadnet::{Dist, Graph, NodeId};

@@ -53,7 +53,7 @@ pub use embed::{embed_edge_points, snap_to_vertex, EdgePoint};
 pub use expansion::DijkstraIter;
 pub use graph::{Graph, GraphBuilder, NodeId, Point, Weight};
 pub use lowerbound::LowerBound;
-pub use multisource::ObjectStreams;
+pub use multisource::{ObjectStreams, SharedExpansion, SharedStreams, StreamSet};
 pub use path::shortest_path;
 pub use recorder::SearchRecorder;
 pub use scratch::{QueryScratch, ScratchPool};

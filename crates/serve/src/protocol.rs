@@ -246,6 +246,23 @@ pub struct MetricsInfo {
     pub updates: u64,
     /// The currently published graph epoch.
     pub epoch: u64,
+    /// Answer-cache lookups served from the cache (0 when no cache is
+    /// configured; see `fann_core::locality`).
+    pub cache_hits: u64,
+    /// Answer-cache lookups that had to compute.
+    pub cache_misses: u64,
+    /// Answers inserted into the cache.
+    pub cache_insertions: u64,
+    /// Cache entries dropped by weight-update batches.
+    pub cache_invalidated: u64,
+    /// Cache entries carried across an epoch bump by the region proof.
+    pub cache_retained: u64,
+    /// Cache entries dropped wholesale on capacity overflow.
+    pub cache_evicted: u64,
+    /// Co-located batch windows executed (0 without batching).
+    pub batches: u64,
+    /// Queries answered through those batch windows.
+    pub batch_queries: u64,
     pub latency: LatencyHistogram,
     pub search: SearchStats,
 }
@@ -262,6 +279,14 @@ impl PartialEq for MetricsInfo {
             && self.errors == other.errors
             && self.updates == other.updates
             && self.epoch == other.epoch
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.cache_insertions == other.cache_insertions
+            && self.cache_invalidated == other.cache_invalidated
+            && self.cache_retained == other.cache_retained
+            && self.cache_evicted == other.cache_evicted
+            && self.batches == other.batches
+            && self.batch_queries == other.batch_queries
             && self.search == other.search
             && self.latency.count() == other.latency.count()
             && self.latency.p50_ns() == other.latency.p50_ns()
@@ -372,6 +397,14 @@ impl Response {
                 members.push(("errors".into(), Json::from(m.errors)));
                 members.push(("updates".into(), Json::from(m.updates)));
                 members.push(("epoch".into(), Json::from(m.epoch)));
+                members.push(("cache_hits".into(), Json::from(m.cache_hits)));
+                members.push(("cache_misses".into(), Json::from(m.cache_misses)));
+                members.push(("cache_insertions".into(), Json::from(m.cache_insertions)));
+                members.push(("cache_invalidated".into(), Json::from(m.cache_invalidated)));
+                members.push(("cache_retained".into(), Json::from(m.cache_retained)));
+                members.push(("cache_evicted".into(), Json::from(m.cache_evicted)));
+                members.push(("batches".into(), Json::from(m.batches)));
+                members.push(("batch_queries".into(), Json::from(m.batch_queries)));
                 members.push(("p50_us".into(), Json::from(m.latency.p50_ns() / 1_000)));
                 members.push(("p90_us".into(), Json::from(m.latency.p90_ns() / 1_000)));
                 members.push(("p99_us".into(), Json::from(m.latency.p99_ns() / 1_000)));
@@ -465,6 +498,17 @@ impl Response {
                     epoch: u64_field("epoch")?,
                     ..Default::default()
                 };
+                // Cache/batch counters arrived with the query-locality
+                // layer; tolerate their absence for older peers.
+                let opt = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+                m.cache_hits = opt("cache_hits");
+                m.cache_misses = opt("cache_misses");
+                m.cache_insertions = opt("cache_insertions");
+                m.cache_invalidated = opt("cache_invalidated");
+                m.cache_retained = opt("cache_retained");
+                m.cache_evicted = opt("cache_evicted");
+                m.batches = opt("batches");
+                m.batch_queries = opt("batch_queries");
                 // The histogram itself does not round-trip; carry the
                 // quantiles through as single samples so the client can
                 // still display them.

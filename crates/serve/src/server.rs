@@ -27,7 +27,7 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use fann_core::engine::Engine;
+use fann_core::engine::{BatchQuery, Engine};
 use fann_core::QueryError;
 use roadnet::CancelToken;
 
@@ -50,6 +50,19 @@ pub struct ServeConfig {
     /// Install SIGINT/SIGTERM handlers that trigger graceful drain.
     /// Leave off in tests (handlers are process-global).
     pub handle_signals: bool,
+    /// Answer-cache capacity (entries). `0` disables the cache; otherwise
+    /// the engine gets an epoch-keyed answer cache attached
+    /// (`fann_core::locality`) and queries probe it before running.
+    pub cache_capacity: usize,
+    /// Co-located batch admission window. When set, a worker that picks
+    /// up a query keeps collecting compatible jobs for up to this long
+    /// (bounded by [`ServeConfig::batch_max`]) and answers them from one
+    /// shared multi-source expansion. Health/metrics stay inline on the
+    /// reader threads, so observability is unaffected by an open window.
+    /// `None` preserves the one-query-per-dispatch behavior.
+    pub batch_window: Option<Duration>,
+    /// Most queries one batch window may collect.
+    pub batch_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +73,9 @@ impl Default for ServeConfig {
             queue_depth: 64,
             default_deadline: None,
             handle_signals: false,
+            cache_capacity: 0,
+            batch_window: None,
+            batch_max: 16,
         }
     }
 }
@@ -178,6 +194,11 @@ impl Server {
         if self.config.handle_signals {
             sig::install();
         }
+        if self.config.cache_capacity > 0 {
+            // Clones share the engine's state, so attaching through a
+            // clone installs the cache for the caller's handle too.
+            let _ = engine.clone().with_answer_cache(self.config.cache_capacity);
+        }
         let started = Instant::now();
         let shared = Shared::default();
         let stop = &self.stop;
@@ -190,7 +211,7 @@ impl Server {
 
         std::thread::scope(|scope| -> io::Result<()> {
             for _ in 0..config.workers.max(1) {
-                scope.spawn(|| worker_loop(engine, &rx, &shared));
+                scope.spawn(|| worker_loop(engine, &rx, &shared, config));
             }
 
             loop {
@@ -224,7 +245,16 @@ impl Server {
             Ok(())
         })?;
 
-        let metrics = shared.metrics.lock().unwrap().clone();
+        let mut metrics = shared.metrics.lock().unwrap().clone();
+        metrics.epoch = engine.epoch();
+        if let Some(cs) = engine.cache_stats() {
+            metrics.cache_hits = cs.hits;
+            metrics.cache_misses = cs.misses;
+            metrics.cache_insertions = cs.insertions;
+            metrics.cache_invalidated = cs.invalidated;
+            metrics.cache_retained = cs.retained;
+            metrics.cache_evicted = cs.evicted;
+        }
         Ok(ServeSummary {
             uptime: started.elapsed(),
             connections: shared.connections.load(Ordering::Relaxed),
@@ -244,6 +274,10 @@ fn connection_loop(
     config: &ServeConfig,
     started: Instant,
 ) {
+    // Pipelined clients see responses as many small writes; without
+    // TCP_NODELAY, Nagle + delayed ACK turns each flush into a ~40ms
+    // stall that dwarfs any compute saved by the answer cache.
+    stream.set_nodelay(true).ok();
     // The read timeout doubles as the shutdown poll interval.
     if stream
         .set_read_timeout(Some(Duration::from_millis(25)))
@@ -324,6 +358,16 @@ fn handle_line(
         Op::Metrics => {
             let mut m = shared.metrics.lock().unwrap().clone();
             m.epoch = engine.epoch();
+            // Cache counters live on the engine (shared by all workers and
+            // the updater), not in the per-request metrics.
+            if let Some(cs) = engine.cache_stats() {
+                m.cache_hits = cs.hits;
+                m.cache_misses = cs.misses;
+                m.cache_insertions = cs.insertions;
+                m.cache_invalidated = cs.invalidated;
+                m.cache_retained = cs.retained;
+                m.cache_evicted = cs.evicted;
+            }
             write_response(
                 writer,
                 &Response {
@@ -420,16 +464,127 @@ fn handle_line(
 
 /// Query worker: owns one re-armable token; drains the queue to empty
 /// even after shutdown begins (admitted requests are never dropped).
-fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+/// With a batch window configured, a worker that picks up a query keeps
+/// the queue for up to the window and answers everything it collected
+/// from one shared co-located expansion ([`Engine::query_colocated`]).
+fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<Job>>, shared: &Shared, config: &ServeConfig) {
     let token = CancelToken::new();
+    let window = config.batch_window.filter(|w| !w.is_zero());
     loop {
         let job = match rx.lock().unwrap().recv() {
             Ok(j) => j,
             Err(_) => return, // queue closed and empty: drain complete.
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
-        shared.inflight.fetch_add(1, Ordering::Relaxed);
-        let resp = execute(engine, &token, &job, shared);
+        let Some(window) = window else {
+            shared.inflight.fetch_add(1, Ordering::Relaxed);
+            let resp = execute(engine, &token, &job, shared);
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            write_response(&job.writer, &resp);
+            continue;
+        };
+        // Admission window: collect co-located work while it lasts. The
+        // receiver mutex is held for the window, which serializes batch
+        // collection across workers — but health/metrics never touch the
+        // queue, so observability stays inline.
+        let mut jobs = vec![job];
+        let opened = Instant::now();
+        {
+            let rx = rx.lock().unwrap();
+            while jobs.len() < config.batch_max.max(1) {
+                let Some(remaining) = window.checked_sub(opened.elapsed()) else {
+                    break;
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(j) => {
+                        shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        jobs.push(j);
+                    }
+                    Err(_) => break, // window elapsed, or queue closed.
+                }
+            }
+        }
+        shared
+            .inflight
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        execute_batch(engine, jobs, shared);
+    }
+}
+
+/// Answer one collected batch: per-job deadline pre-check (a job whose
+/// deadline lapsed in the queue or the window is cancelled without
+/// running), one [`Engine::query_colocated`] call for the rest, per-job
+/// deadline post-check before writing. Batched queries record latency but
+/// not search stats (the shared expansion has no per-query attribution);
+/// cache counters are read from the engine at `metrics` time.
+fn execute_batch(engine: &Engine, jobs: Vec<Job>, shared: &Shared) {
+    let mut live: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut queries: Vec<BatchQuery> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let expired = job.deadline.is_some_and(|d| {
+            d.checked_sub(job.admitted.elapsed())
+                .is_none_or(|r| r.is_zero())
+        });
+        if expired {
+            shared.metrics.lock().unwrap().cancelled += 1;
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            write_response(
+                &job.writer,
+                &Response {
+                    id: job.id.clone(),
+                    body: Body::Cancelled,
+                },
+            );
+        } else {
+            let s = &job.spec;
+            queries.push(BatchQuery::new(s.p.clone(), s.q.clone(), s.phi, s.agg));
+            live.push(i);
+        }
+    }
+    {
+        let mut m = shared.metrics.lock().unwrap();
+        m.batches += 1;
+        m.batch_queries += live.len() as u64;
+    }
+    let results = engine.query_colocated(&queries);
+    for (&i, result) in live.iter().zip(results) {
+        let job = &jobs[i];
+        let elapsed = job.admitted.elapsed();
+        let over_deadline = job.deadline.is_some_and(|d| elapsed >= d);
+        let resp = match result {
+            _ if over_deadline => {
+                shared.metrics.lock().unwrap().cancelled += 1;
+                Response {
+                    id: job.id.clone(),
+                    body: Body::Cancelled,
+                }
+            }
+            Ok(answer) => {
+                let mut m = shared.metrics.lock().unwrap();
+                m.latency.record(elapsed);
+                match answer {
+                    Some(_) => m.ok += 1,
+                    None => m.empty += 1,
+                }
+                drop(m);
+                let strategy = engine.strategy_for(job.spec.agg).name();
+                Response::for_answer(
+                    job.id.clone(),
+                    answer.as_ref(),
+                    strategy,
+                    elapsed.as_micros() as u64,
+                )
+            }
+            Err(e) => {
+                shared.metrics.lock().unwrap().errors += 1;
+                Response {
+                    id: job.id.clone(),
+                    body: Body::Error {
+                        error: e.to_string(),
+                    },
+                }
+            }
+        };
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
         write_response(&job.writer, &resp);
     }
@@ -455,11 +610,12 @@ fn execute(engine: &Engine, token: &CancelToken, job: &Job, shared: &Shared) -> 
     };
     token.arm(budget);
     let spec = &job.spec;
-    let outcome = engine.query_traced_cancellable(&spec.p, &spec.q, spec.phi, spec.agg, token);
+    let outcome =
+        engine.query_cached_traced_cancellable(&spec.p, &spec.q, spec.phi, spec.agg, token);
     let elapsed = job.admitted.elapsed();
     let mut m = shared.metrics.lock().unwrap();
     match outcome {
-        Ok((answer, stats)) => {
+        Ok((answer, stats, _cache)) => {
             m.latency.record(elapsed);
             m.search.add(&stats);
             match answer {

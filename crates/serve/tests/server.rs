@@ -383,3 +383,160 @@ fn drain_completes_admitted_work() {
         N as u64
     );
 }
+
+/// With an answer cache attached, `metrics` accounts for a scripted
+/// sequence *exactly*: misses on first sight, hits on repeats (including
+/// permuted spellings of the same Q), and invalidation when an update
+/// batch lands inside a cached query's region.
+#[test]
+fn metrics_account_for_cache_hits_misses_and_invalidations() {
+    let graph = test_graph(19, 250);
+    let (p, q1) = pq(&graph, 20);
+    let (_, q2) = pq(&graph, 21);
+    assert_ne!(q1, q2, "script needs two distinct Q sets");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    };
+    // An edge incident to q1[0]: its endpoint lies inside q1's bounding
+    // region, so the update below must invalidate (never retain) the q1
+    // entry.
+    let (v, w) = graph.neighbors(q1[0]).next().expect("connected graph");
+
+    let metrics = |client: &mut Client| -> fannr_serve::MetricsInfo {
+        let resp = client
+            .call(&Request {
+                id: None,
+                op: Op::Metrics,
+            })
+            .expect("metrics");
+        match resp.body {
+            Body::Metrics(m) => *m,
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    };
+
+    let ((), summary) = with_server(config, &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let ask = |client: &mut Client, id: &str, q: &[u32]| {
+            let resp = client
+                .call(&query_req(id, &p, q, 0.5, Aggregate::Max))
+                .expect("call");
+            assert!(
+                matches!(resp.body, Body::Ok { .. } | Body::Empty),
+                "{resp:?}"
+            );
+        };
+
+        // Script: q1 (miss) -> q1 (hit) -> permuted q1 (hit) -> q2 (miss).
+        ask(&mut client, "m1", &q1);
+        ask(&mut client, "h1", &q1);
+        let mut q1_permuted = q1.clone();
+        q1_permuted.reverse();
+        q1_permuted.push(q1[0]); // duplicate member, same canonical set
+        ask(&mut client, "h2", &q1_permuted);
+        ask(&mut client, "m2", &q2);
+
+        let m = metrics(&mut client);
+        assert_eq!(m.cache_hits, 2, "{m:?}");
+        assert_eq!(m.cache_misses, 2, "{m:?}");
+        assert_eq!(m.cache_insertions, 2, "{m:?}");
+        assert_eq!(m.cache_invalidated, 0, "{m:?}");
+
+        // Update an edge whose endpoint sits inside q1's region: epoch
+        // bumps, every cached entry is either invalidated or carried by
+        // the region proof — and the q1 entry cannot be carried.
+        let resp = client
+            .call(&Request {
+                id: Some("u".into()),
+                op: Op::Update(vec![roadnet::WeightUpdate {
+                    u: q1[0],
+                    v,
+                    w: w.saturating_mul(3),
+                }]),
+            })
+            .expect("update");
+        assert!(matches!(resp.body, Body::Updated { .. }), "{resp:?}");
+
+        let m = metrics(&mut client);
+        assert_eq!(
+            m.cache_invalidated + m.cache_retained,
+            2,
+            "every live entry must be adjudicated: {m:?}"
+        );
+        assert!(m.cache_invalidated >= 1, "q1's entry must drop: {m:?}");
+
+        // q1 again: the new epoch forces recomputation.
+        ask(&mut client, "m3", &q1);
+        let m = metrics(&mut client);
+        assert_eq!(m.cache_hits, 2, "{m:?}");
+        assert_eq!(m.cache_misses, 3, "{m:?}");
+        assert_eq!(m.cache_insertions, 3, "{m:?}");
+    });
+
+    // The drain summary carries the same final accounting.
+    let m = &summary.metrics;
+    assert_eq!(m.cache_hits, 2);
+    assert_eq!(m.cache_misses, 3);
+    assert_eq!(m.cache_insertions, 3);
+    assert!(m.cache_invalidated >= 1);
+}
+
+/// While a batch admission window is open (one worker, long window, a
+/// query parked waiting for co-located company), `health` is still
+/// answered inline — observability never queues behind batching.
+#[test]
+fn health_is_inline_while_a_batch_window_is_open() {
+    let graph = test_graph(23, 150);
+    let (p, q) = pq(&graph, 24);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_capacity: 16,
+        batch_window: Some(Duration::from_millis(600)),
+        batch_max: 16,
+        ..ServeConfig::default()
+    };
+
+    let ((), summary) = with_server(config, &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let started = std::time::Instant::now();
+        // The lone worker takes this job and holds the admission window
+        // open waiting for co-located queries that never come.
+        client
+            .send(&query_req("windowed", &p, &q, 0.5, Aggregate::Max))
+            .expect("send");
+        client
+            .send(&Request {
+                id: Some("h".into()),
+                op: Op::Health,
+            })
+            .expect("send health");
+
+        // Health overtakes the parked query: it is answered by the reader
+        // thread, well before the window can close.
+        let resp = client.recv().expect("recv");
+        assert_eq!(resp.id.as_deref(), Some("h"), "health must answer first");
+        assert!(matches!(resp.body, Body::Health(_)), "{resp:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "health took {:?} with a 600ms window open",
+            started.elapsed()
+        );
+
+        // The windowed query still completes (after the window lapses).
+        let resp = client.recv().expect("recv");
+        assert_eq!(resp.id.as_deref(), Some("windowed"));
+        assert!(
+            matches!(resp.body, Body::Ok { .. } | Body::Empty),
+            "{resp:?}"
+        );
+    });
+
+    assert_eq!(summary.metrics.batches, 1);
+    assert_eq!(summary.metrics.batch_queries, 1);
+}

@@ -88,7 +88,8 @@ commands:
   render     draw a query answer as SVG          (query options + --out)
   stats      describe a network                  (--graph)
   serve      serve queries over TCP              (--graph | --nodes --seed,
-             --addr, --workers, --queue-depth, --deadline-ms, --labels)
+             --addr, --workers, --queue-depth, --deadline-ms, --labels,
+             --cache-capacity, --batch-window-ms, --batch-max)
   update     push live weight updates to a       (--addr, --edges u:v:w[,...])
              running server without a restart
   bench-batch  measure batch throughput          (--nodes, --queries,
@@ -482,16 +483,30 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .get("deadline-ms")
             .and_then(|v| v.parse().ok())
             .map(std::time::Duration::from_millis),
+        cache_capacity: get(opts, "cache-capacity", 0usize),
+        batch_window: opts
+            .get("batch-window-ms")
+            .and_then(|v| v.parse().ok())
+            .map(std::time::Duration::from_millis),
+        batch_max: get(opts, "batch-max", 16usize),
         handle_signals: true,
     };
     let server = Server::bind(config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "serving {} nodes on {addr} ({} workers, queue depth {}, labels: {})",
+        "serving {} nodes on {addr} ({} workers, queue depth {}, labels: {}, cache: {}, batch window: {})",
         g.num_nodes(),
         get::<usize>(opts, "workers", 2),
         get::<usize>(opts, "queue-depth", 64),
-        if engine.has_labels() { "yes" } else { "no" }
+        if engine.has_labels() { "yes" } else { "no" },
+        match get::<usize>(opts, "cache-capacity", 0) {
+            0 => "off".to_string(),
+            n => format!("{n} entries"),
+        },
+        match opts.get("batch-window-ms") {
+            Some(w) => format!("{w}ms"),
+            None => "off".to_string(),
+        },
     );
     let summary = server.run(&engine).map_err(|e| e.to_string())?;
     let m = &summary.metrics;

@@ -394,6 +394,26 @@ impl Engine {
         self
     }
 
+    /// Cold-start an engine from a flat index directory written by
+    /// `fannr build-index`: `graph.v2` (required) plus `labels.v2`
+    /// (attached when present). Both load zero-copy — one buffer read per
+    /// file, typed views over it, allocations O(sections) — so start-up
+    /// cost is I/O-bound rather than deserialization-bound.
+    pub fn from_index_dir(dir: &std::path::Path) -> Result<Self, roadnet::flat::FlatError> {
+        let graph = Graph::read_flat(&dir.join("graph.v2"))?;
+        let engine = Engine::new(&graph);
+        let labels_path = dir.join("labels.v2");
+        if labels_path.exists() {
+            let labels = HubLabels::read_flat(&labels_path)?;
+            roadnet::flat::ensure(
+                labels.num_nodes() == graph.num_nodes(),
+                "labels node count matches graph",
+            )?;
+            return Ok(engine.with_prebuilt_labels(labels));
+        }
+        Ok(engine)
+    }
+
     /// Allow `APX-sum` (guaranteed 3-approximation) for index-free sum
     /// queries instead of the exact-but-slower `R-List`.
     pub fn allow_approx_sum(mut self, yes: bool) -> Self {

@@ -107,10 +107,6 @@ impl TopK {
 }
 
 impl GTree {
-    pub(crate) fn parent_of(&self, x: u32) -> Option<u32> {
-        self.nodes[x as usize].parent
-    }
-
     /// The `k` objects of `occ` nearest to `v` in network distance,
     /// ascending; fewer than `k` if fewer are reachable.
     pub fn knn(&self, g: &Graph, occ: &Occurrence, v: NodeId, k: usize) -> Vec<(NodeId, Dist)> {
@@ -123,11 +119,11 @@ impl GTree {
         // 1) Objects in v's own leaf: inner Dijkstra + out-and-back via
         //    borders (leaf matrices are global).
         {
-            let leaf = &self.nodes[lv as usize];
-            let inner = restricted_dijkstra(g, v, &leaf.vert_pos);
-            let vp = leaf.vert_pos[&v];
+            let leaf = self.node(lv);
+            let inner = restricted_dijkstra(g, v, leaf.verts);
+            let vp = leaf.vert_pos(v);
             for &o in &occ.leaf_objects[lv as usize] {
-                let op = leaf.vert_pos[&o];
+                let op = leaf.vert_pos(o);
                 let mut d = inner[op as usize];
                 for bi in 0..leaf.borders.len() {
                     d = d.min(dadd(leaf.lmat(bi, vp), leaf.lmat(bi, op)));
@@ -139,24 +135,25 @@ impl GTree {
         // 2) Eagerly compute global distance vectors from v to the matrix
         //    vertices of every ancestor, seeding the frontier with each
         //    ancestor's non-path object children.
-        //    dv_of[x] = distances from v to nodes[x].verts (internal only).
+        //    dv_of[x] = distances from v to node(x).verts (internal only).
         let mut dv_of: HashMap<u32, Vec<Dist>> = HashMap::new();
         let mut frontier: BinaryHeap<(Reverse<Dist>, u32)> = BinaryHeap::new();
 
         {
-            let leaf = &self.nodes[lv as usize];
-            let vp = leaf.vert_pos[&v];
+            let leaf = self.node(lv);
+            let vp = leaf.vert_pos(v);
             // Distance vector over current child's borders, walking up.
             let mut cur = lv;
             let mut dv: Vec<Dist> = (0..leaf.borders.len())
                 .map(|bi| leaf.lmat(bi, vp))
                 .collect();
             while let Some(parent) = self.parent_of(cur) {
-                let p = &self.nodes[parent as usize];
-                let cur_bpos: Vec<u32> = self.nodes[cur as usize]
+                let p = self.node(parent);
+                let cur_bpos: Vec<u32> = self
+                    .node(cur)
                     .borders
                     .iter()
-                    .map(|b| p.vert_pos[b])
+                    .map(|&b| p.vert_pos(b))
                     .collect();
                 // Distances from v to all matrix verts of `parent`.
                 let dvp: Vec<Dist> = (0..p.verts.len() as u32)
@@ -169,14 +166,15 @@ impl GTree {
                     })
                     .collect();
                 // Seed sibling subtrees that contain objects.
-                for &c in &p.children {
+                for &c in p.children {
                     if c == cur || !occ.has[c as usize] {
                         continue;
                     }
-                    let key = self.nodes[c as usize]
+                    let key = self
+                        .node(c)
                         .borders
                         .iter()
-                        .map(|b| dvp[p.vert_pos[b] as usize])
+                        .map(|&b| dvp[p.vert_pos(b) as usize])
                         .min()
                         .unwrap_or(INF);
                     if key != INF {
@@ -194,19 +192,19 @@ impl GTree {
             if key >= best.threshold() {
                 break;
             }
-            let node = &self.nodes[x as usize];
-            let parent = node.parent.expect("frontier nodes are non-root");
-            let p = &self.nodes[parent as usize];
+            let node = self.node(x);
+            let parent = self.parent_of(x).expect("frontier nodes are non-root");
+            let p = self.node(parent);
             let dvp = &dv_of[&parent];
             // Distances from v to this node's borders via the parent vector.
             let dvb: Vec<Dist> = node
                 .borders
                 .iter()
-                .map(|b| dvp[p.vert_pos[b] as usize])
+                .map(|&b| dvp[p.vert_pos(b) as usize])
                 .collect();
             if node.is_leaf() {
                 for &o in &occ.leaf_objects[x as usize] {
-                    let op = node.vert_pos[&o];
+                    let op = node.vert_pos(o);
                     let mut d = INF;
                     for (bi, &db) in dvb.iter().enumerate() {
                         d = d.min(dadd(db, node.lmat(bi, op)));
@@ -223,14 +221,15 @@ impl GTree {
                         bd
                     })
                     .collect();
-                for &c in &node.children {
+                for &c in node.children {
                     if !occ.has[c as usize] {
                         continue;
                     }
-                    let key = self.nodes[c as usize]
+                    let key = self
+                        .node(c)
                         .borders
                         .iter()
-                        .map(|b| dvx[node.vert_pos[b] as usize])
+                        .map(|&b| dvx[node.vert_pos(b) as usize])
                         .min()
                         .unwrap_or(INF);
                     if key != INF && key < best.threshold() {

@@ -2,8 +2,10 @@
 //!
 //! G-tree construction dominates deployment cost on large networks
 //! (Fig. 9b); this module serializes the full index — hierarchy, borders,
-//! matrix vertex sets, and distance matrices — into a versioned
-//! little-endian stream so it can be built once and shipped.
+//! matrix vertex sets, and distance matrices — so it can be built once and
+//! shipped. Two formats are supported:
+//!
+//! **v1** (`GTRE`) — the original element-wise little-endian stream:
 //!
 //! ```text
 //! magic "GTRE" | version u32 | params (fanout u32, leaf_cap u32)
@@ -16,14 +18,29 @@
 //!           border_pos len u32 + u32*
 //!           matrix   len u64 + u64*
 //! ```
+//!
+//! Decoding v1 rebuilds every per-node vector; all declared counts are
+//! checked against the remaining input *before* any allocation, so a
+//! corrupt length field yields [`PersistError::Oversized`] instead of an
+//! abort in the allocator.
+//!
+//! **v2** (`FANNGT2`) — the flat container of `roadnet::flat`: the
+//! thirteen CSR arrays of [`GTree`] written as sections, loaded zero-copy
+//! (the tree serves queries directly out of the load buffer after a
+//! scan-only validation pass; allocations are O(sections), not O(nodes)).
 
-use crate::tree::{GNode, GTree, GTreeParams};
+use crate::tree::{GNode, GTree, GTreeParams, NO_PARENT};
+use roadnet::flat::{ensure, FlatError, FlatFile, FlatVec, FlatWriter};
 use roadnet::Dist;
-use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"GTRE";
 const VERSION: u32 = 1;
+
+/// Magic for the flat (v2) container.
+pub const FLAT_MAGIC: [u8; 8] = *b"FANNGT2\0";
+const FLAT_VERSION: u32 = 2;
 
 /// Errors raised while decoding a G-tree file.
 #[derive(Debug, PartialEq, Eq)]
@@ -31,6 +48,8 @@ pub enum PersistError {
     BadMagic,
     UnsupportedVersion(u32),
     Truncated,
+    /// A declared element count exceeds the bytes actually present.
+    Oversized,
     /// A structural invariant failed (dangling child, bad leaf pointer,
     /// matrix size mismatch, ...).
     Corrupt(&'static str),
@@ -42,6 +61,7 @@ impl fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a G-tree file"),
             PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             PersistError::Truncated => write!(f, "unexpected end of data"),
+            PersistError::Oversized => write!(f, "declared count exceeds input size"),
             PersistError::Corrupt(what) => write!(f, "corrupt index: {what}"),
         }
     }
@@ -65,6 +85,19 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reject a declared `count` of `elem_bytes`-sized elements that could
+    /// not possibly fit in the remaining input — before allocating for it.
+    fn check_count(&self, count: usize, elem_bytes: usize) -> Result<(), PersistError> {
+        match count.checked_mul(elem_bytes) {
+            Some(total) if total <= self.remaining() => Ok(()),
+            _ => Err(PersistError::Oversized),
+        }
+    }
+
     fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
@@ -79,7 +112,8 @@ impl<'a> Reader<'a> {
 
     fn u32_vec(&mut self) -> Result<Vec<u32>, PersistError> {
         let len = self.u32()? as usize;
-        let mut v = Vec::with_capacity(len.min(1 << 20));
+        self.check_count(len, 4)?;
+        let mut v = Vec::with_capacity(len);
         for _ in 0..len {
             v.push(self.u32()?);
         }
@@ -95,7 +129,7 @@ fn put_u32_vec(out: &mut Vec<u8>, v: &[u32]) {
 }
 
 impl GTree {
-    /// Serialize to the versioned binary format.
+    /// Serialize to the v1 element-wise binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -104,28 +138,37 @@ impl GTree {
         out.extend_from_slice(&(params.fanout as u32).to_le_bytes());
         out.extend_from_slice(&(params.leaf_cap as u32).to_le_bytes());
         out.extend_from_slice(&(self.leaf_of.len() as u64).to_le_bytes());
-        for &l in &self.leaf_of {
+        for &l in self.leaf_of.iter() {
             out.extend_from_slice(&l.to_le_bytes());
         }
-        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
-        for n in &self.nodes {
-            let parent: i64 = n.parent.map_or(-1, |p| p as i64);
+        out.extend_from_slice(&(self.num_tree_nodes() as u64).to_le_bytes());
+        for x in 0..self.num_tree_nodes() as u32 {
+            let n = self.node(x);
+            let parent: i64 = self.parent_of(x).map_or(-1, |p| p as i64);
             out.extend_from_slice(&parent.to_le_bytes());
-            out.extend_from_slice(&n.depth.to_le_bytes());
-            put_u32_vec(&mut out, &n.children);
-            put_u32_vec(&mut out, &n.borders);
-            put_u32_vec(&mut out, &n.verts);
-            put_u32_vec(&mut out, &n.border_pos);
-            out.extend_from_slice(&(n.matrix.len() as u64).to_le_bytes());
-            for &d in &n.matrix {
+            out.extend_from_slice(&self.depth_of(x).to_le_bytes());
+            put_u32_vec(&mut out, n.children);
+            put_u32_vec(&mut out, n.borders);
+            put_u32_vec(&mut out, n.verts);
+            put_u32_vec(&mut out, n.border_pos);
+            let (m0, m1) = self.matrix_run(x);
+            out.extend_from_slice(&((m1 - m0) as u64).to_le_bytes());
+            for &d in &self.matrix[m0..m1] {
                 out.extend_from_slice(&d.to_le_bytes());
             }
         }
         out
     }
 
-    /// Decode a stream produced by [`GTree::to_bytes`], re-deriving the
-    /// hash lookups and validating structural invariants.
+    fn matrix_run(&self, x: u32) -> (usize, usize) {
+        (
+            self.matrix_off[x as usize] as usize,
+            self.matrix_off[x as usize + 1] as usize,
+        )
+    }
+
+    /// Decode a stream produced by [`GTree::to_bytes`], validating
+    /// structural invariants and flattening into the CSR layout.
     pub fn from_bytes(data: &[u8]) -> Result<Self, PersistError> {
         let mut r = Reader { buf: data, pos: 0 };
         if r.take(4)? != MAGIC {
@@ -139,81 +182,268 @@ impl GTree {
             fanout: r.u32()? as usize,
             leaf_cap: r.u32()? as usize,
         };
-        let graph_nodes = r.u64()? as usize;
-        let mut leaf_of = Vec::with_capacity(graph_nodes.min(1 << 26));
+        let graph_nodes = usize::try_from(r.u64()?).map_err(|_| PersistError::Oversized)?;
+        r.check_count(graph_nodes, 4)?;
+        let mut leaf_of = Vec::with_capacity(graph_nodes);
         for _ in 0..graph_nodes {
             leaf_of.push(r.u32()?);
         }
-        let num_tree_nodes = r.u64()? as usize;
-        let mut nodes = Vec::with_capacity(num_tree_nodes.min(1 << 22));
+        let num_tree_nodes = usize::try_from(r.u64()?).map_err(|_| PersistError::Oversized)?;
+        // Minimum per-node encoding: parent 8 + depth 4 + four u32 lengths
+        // + matrix length u64.
+        r.check_count(num_tree_nodes, 8 + 4 + 16 + 8)?;
+        let mut nodes = Vec::with_capacity(num_tree_nodes);
         for _ in 0..num_tree_nodes {
             let parent_raw = r.i64()?;
             let parent = if parent_raw < 0 {
                 None
             } else {
-                Some(parent_raw as u32)
+                Some(u32::try_from(parent_raw).map_err(|_| PersistError::Oversized)?)
             };
             let depth = r.u32()?;
             let children = r.u32_vec()?;
             let borders = r.u32_vec()?;
             let verts = r.u32_vec()?;
             let border_pos = r.u32_vec()?;
-            let mlen = r.u64()? as usize;
-            let mut matrix: Vec<Dist> = Vec::with_capacity(mlen.min(1 << 26));
+            let mlen = usize::try_from(r.u64()?).map_err(|_| PersistError::Oversized)?;
+            r.check_count(mlen, 8)?;
+            let mut matrix: Vec<Dist> = Vec::with_capacity(mlen);
             for _ in 0..mlen {
                 matrix.push(r.u64()?);
             }
-            let vert_pos: HashMap<u32, u32> = verts
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i as u32))
-                .collect();
             nodes.push(GNode {
                 parent,
                 children,
                 depth,
                 borders,
                 verts,
-                vert_pos,
                 border_pos,
                 matrix,
             });
         }
-
-        // Structural validation.
-        for (i, n) in nodes.iter().enumerate() {
-            for &c in &n.children {
-                if c as usize >= nodes.len() {
-                    return Err(PersistError::Corrupt("child index out of range"));
-                }
-                if nodes[c as usize].parent != Some(i as u32) {
-                    return Err(PersistError::Corrupt("parent/child mismatch"));
-                }
-            }
-            let expected = if n.children.is_empty() {
-                n.borders.len() * n.verts.len()
-            } else {
-                n.verts.len() * n.verts.len()
-            };
-            if n.matrix.len() != expected {
-                return Err(PersistError::Corrupt("matrix size mismatch"));
-            }
-            if n.border_pos.len() != n.borders.len() {
-                return Err(PersistError::Corrupt("border_pos size mismatch"));
-            }
-        }
-        for &l in &leaf_of {
-            if l as usize >= nodes.len() || !nodes[l as usize].children.is_empty() {
-                return Err(PersistError::Corrupt("leaf_of points at a non-leaf"));
-            }
-        }
+        validate_nodes(&nodes, &leaf_of).map_err(PersistError::Corrupt)?;
         Ok(GTree::from_parts(nodes, leaf_of, params))
+    }
+}
+
+/// Structural invariants shared by the v1 decoder (and mirrored by the
+/// scan-only checks of the v2 loader). `Err` carries the failed invariant.
+fn validate_nodes(nodes: &[GNode], leaf_of: &[u32]) -> Result<(), &'static str> {
+    if nodes.is_empty() {
+        return Err("empty tree");
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        if let Some(p) = n.parent {
+            let pn = nodes.get(p as usize).ok_or("parent index out of range")?;
+            // Depth must strictly increase along parent links: rules out
+            // cycles that would hang ancestor walks.
+            if n.depth != pn.depth + 1 {
+                return Err("depth not parent depth + 1");
+            }
+        } else if i != 0 {
+            return Err("non-root without parent");
+        }
+        for &c in &n.children {
+            if c as usize >= nodes.len() {
+                return Err("child index out of range");
+            }
+            if nodes[c as usize].parent != Some(i as u32) {
+                return Err("parent/child mismatch");
+            }
+        }
+        // Positions are looked up by binary search: verts must be strictly
+        // ascending.
+        if !n.verts.windows(2).all(|w| w[0] < w[1]) {
+            return Err("verts not sorted");
+        }
+        let expected = if n.children.is_empty() {
+            n.borders.len().checked_mul(n.verts.len())
+        } else {
+            n.verts.len().checked_mul(n.verts.len())
+        };
+        if expected != Some(n.matrix.len()) {
+            return Err("matrix size mismatch");
+        }
+        if n.border_pos.len() != n.borders.len() {
+            return Err("border_pos size mismatch");
+        }
+        for (&b, &bp) in n.borders.iter().zip(&n.border_pos) {
+            if n.verts.get(bp as usize) != Some(&b) {
+                return Err("border_pos does not locate border");
+            }
+        }
+    }
+    for &l in leaf_of {
+        if l as usize >= nodes.len() || !nodes[l as usize].children.is_empty() {
+            return Err("leaf_of points at a non-leaf");
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// v2 flat container
+// ---------------------------------------------------------------------------
+
+impl GTree {
+    /// Serialize to the flat v2 container ([`FLAT_MAGIC`]). Section order:
+    /// params, leaf_of, parent, depth, children_off, children, borders_off,
+    /// borders, border_pos, verts_off, verts, matrix_off, matrix.
+    pub fn to_flat_bytes(&self) -> Vec<u8> {
+        self.flat_writer().finish()
+    }
+
+    /// Write the flat v2 container to `path`.
+    pub fn write_flat(&self, path: &Path) -> std::io::Result<()> {
+        self.flat_writer().write_to(path)
+    }
+
+    fn flat_writer(&self) -> FlatWriter {
+        let params = self.params();
+        let mut w = FlatWriter::new(FLAT_MAGIC, FLAT_VERSION);
+        w.section::<u32>(&[params.fanout as u32, params.leaf_cap as u32]);
+        w.section::<u32>(&self.leaf_of);
+        w.section::<u32>(&self.parent);
+        w.section::<u32>(&self.depth);
+        w.section::<u32>(&self.children_off);
+        w.section::<u32>(&self.children);
+        w.section::<u32>(&self.borders_off);
+        w.section::<u32>(&self.borders);
+        w.section::<u32>(&self.border_pos);
+        w.section::<u32>(&self.verts_off);
+        w.section::<u32>(&self.verts);
+        w.section::<u64>(&self.matrix_off);
+        w.section::<u64>(&self.matrix);
+        w
+    }
+
+    /// Load a flat v2 container from `path` zero-copy: one buffer read,
+    /// then typed slice views over it (allocations are O(sections)).
+    pub fn read_flat(path: &Path) -> Result<Self, FlatError> {
+        Self::from_flat(FlatFile::read(path, FLAT_MAGIC, FLAT_VERSION)?)
+    }
+
+    /// Decode a flat v2 container from a byte buffer (copies once).
+    pub fn from_flat_bytes(bytes: &[u8]) -> Result<Self, FlatError> {
+        Self::from_flat(FlatFile::parse(bytes, FLAT_MAGIC, FLAT_VERSION)?)
+    }
+
+    fn from_flat(f: FlatFile) -> Result<Self, FlatError> {
+        ensure(f.section_count() == 13, "gtree section count")?;
+        let params_raw: FlatVec<u32> = f.section(0)?;
+        let leaf_of: FlatVec<u32> = f.section(1)?;
+        let parent: FlatVec<u32> = f.section(2)?;
+        let depth: FlatVec<u32> = f.section(3)?;
+        let children_off: FlatVec<u32> = f.section(4)?;
+        let children: FlatVec<u32> = f.section(5)?;
+        let borders_off: FlatVec<u32> = f.section(6)?;
+        let borders: FlatVec<u32> = f.section(7)?;
+        let border_pos: FlatVec<u32> = f.section(8)?;
+        let verts_off: FlatVec<u32> = f.section(9)?;
+        let verts: FlatVec<u32> = f.section(10)?;
+        let matrix_off: FlatVec<u64> = f.section(11)?;
+        let matrix: FlatVec<Dist> = f.section(12)?;
+
+        ensure(params_raw.len() == 2, "gtree params length")?;
+        // Hoist the typed views onto plain slices once: the scans below
+        // touch every array element, and indexing through the `FlatVec`
+        // handles would re-resolve the backing on each access.
+        let (parent_s, depth_s): (&[u32], &[u32]) = (&parent, &depth);
+        let (children_off_s, children_s): (&[u32], &[u32]) = (&children_off, &children);
+        let (borders_off_s, borders_s): (&[u32], &[u32]) = (&borders_off, &borders);
+        let (verts_off_s, verts_s): (&[u32], &[u32]) = (&verts_off, &verts);
+        let (border_pos_s, matrix_off_s): (&[u32], &[u64]) = (&border_pos, &matrix_off);
+        let t = parent_s.len();
+        ensure(t >= 1, "gtree empty")?;
+        ensure(depth_s.len() == t, "gtree depth length")?;
+        for (off, total) in [
+            (children_off_s, children_s.len()),
+            (borders_off_s, borders_s.len()),
+            (verts_off_s, verts_s.len()),
+        ] {
+            ensure(off.len() == t + 1, "gtree offsets length")?;
+            ensure(off[0] == 0, "gtree offsets origin")?;
+            ensure(off.windows(2).all(|w| w[0] <= w[1]), "gtree offsets order")?;
+            ensure(off[t] as usize == total, "gtree offsets terminal")?;
+        }
+        ensure(matrix_off_s.len() == t + 1, "gtree offsets length")?;
+        ensure(matrix_off_s[0] == 0, "gtree offsets origin")?;
+        ensure(
+            matrix_off_s.windows(2).all(|w| w[0] <= w[1]),
+            "gtree offsets order",
+        )?;
+        ensure(
+            matrix_off_s[t] as usize == matrix.len(),
+            "gtree offsets terminal",
+        )?;
+        ensure(
+            border_pos_s.len() == borders_s.len(),
+            "gtree border_pos length",
+        )?;
+
+        // Per-node invariants, scan-only (no per-node allocation).
+        ensure(parent_s[0] == NO_PARENT, "gtree root parent")?;
+        ensure(depth_s[0] == 0, "gtree root depth")?;
+        for x in 1..t {
+            let p = parent_s[x];
+            ensure((p as usize) < t, "gtree parent range")?;
+            // Strictly increasing depth along parent links rules out cycles.
+            ensure(depth_s[x] == depth_s[p as usize] + 1, "gtree depth chain")?;
+        }
+        for x in 0..t {
+            let (c0, c1) = (children_off_s[x] as usize, children_off_s[x + 1] as usize);
+            for &c in &children_s[c0..c1] {
+                ensure((c as usize) < t, "gtree child range")?;
+                ensure(parent_s[c as usize] == x as u32, "gtree parent/child link")?;
+            }
+            let (v0, v1) = (verts_off_s[x] as usize, verts_off_s[x + 1] as usize);
+            let vrun = &verts_s[v0..v1];
+            ensure(vrun.windows(2).all(|w| w[0] < w[1]), "gtree verts sorted")?;
+            let (b0, b1) = (borders_off_s[x] as usize, borders_off_s[x + 1] as usize);
+            for (&b, &bp) in borders_s[b0..b1].iter().zip(&border_pos_s[b0..b1]) {
+                ensure(vrun.get(bp as usize) == Some(&b), "gtree border_pos")?;
+            }
+            let rows = if c0 == c1 { b1 - b0 } else { v1 - v0 };
+            let expected = rows.checked_mul(v1 - v0);
+            let got = (matrix_off_s[x + 1] - matrix_off_s[x]) as usize;
+            ensure(expected == Some(got), "gtree matrix size")?;
+        }
+        for &l in leaf_of.iter() {
+            ensure((l as usize) < t, "gtree leaf_of range")?;
+            let li = l as usize;
+            ensure(
+                children_off_s[li] == children_off_s[li + 1],
+                "gtree leaf_of non-leaf",
+            )?;
+        }
+
+        let params = GTreeParams {
+            fanout: params_raw[0] as usize,
+            leaf_cap: params_raw[1] as usize,
+        };
+        Ok(GTree::from_flat_parts(
+            params,
+            leaf_of,
+            parent,
+            depth,
+            children_off,
+            children,
+            borders_off,
+            borders,
+            border_pos,
+            verts_off,
+            verts,
+            matrix_off,
+            matrix,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use roadnet::{Graph, GraphBuilder, NodeId};
 
     fn grid(w: u32, h: u32) -> Graph {
@@ -251,6 +481,7 @@ mod tests {
         let t2 = GTree::from_bytes(&bytes).unwrap();
         assert_eq!(t2.num_tree_nodes(), t.num_tree_nodes());
         assert_eq!(t2.params().leaf_cap, 6);
+        assert!(t2 == t, "v1 round trip must reproduce the tree exactly");
         for s in 0..g.num_nodes() as NodeId {
             for v in 0..g.num_nodes() as NodeId {
                 assert_eq!(t2.dist(&g, s, v), t.dist(&g, s, v), "pair {s}->{v}");
@@ -328,6 +559,154 @@ mod tests {
         assert!(matches!(
             GTree::from_bytes(&bytes),
             Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_counts() {
+        let g = grid(4, 4);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        let mut bytes = t.to_bytes();
+        // graph node count at offset 16: absurdly large counts must fail
+        // the size check, not abort inside the allocator.
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(GTree::from_bytes(&bytes), Err(PersistError::Oversized));
+
+        let mut bytes = t.to_bytes();
+        let tree_count_at = 24 + 4 * g.num_nodes();
+        bytes[tree_count_at..tree_count_at + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert_eq!(GTree::from_bytes(&bytes), Err(PersistError::Oversized));
+    }
+
+    /// Decoding arbitrarily mangled input must return an error or a valid
+    /// tree — never panic and never over-allocate.
+    #[test]
+    fn fuzzed_corruption_never_panics() {
+        let g = grid(5, 5);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        let clean = t.to_bytes();
+        let mut rng = StdRng::seed_from_u64(0x4754_5245);
+        for _ in 0..500 {
+            let mut bytes = clean.clone();
+            if rng.gen_bool(0.3) {
+                bytes.truncate(rng.gen_range(0..bytes.len()));
+            }
+            if !bytes.is_empty() {
+                for _ in 0..rng.gen_range(1..8usize) {
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] = rng.gen_range(0..=255u32) as u8;
+                }
+            }
+            let _ = GTree::from_bytes(&bytes); // any Result is fine
+        }
+    }
+
+    #[test]
+    fn flat_round_trip_is_identical() {
+        let g = grid(7, 6);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 4,
+                leaf_cap: 6,
+            },
+        );
+        let t2 = GTree::from_flat_bytes(&t.to_flat_bytes()).unwrap();
+        assert!(t2 == t, "flat round trip must reproduce the tree exactly");
+        for s in (0..g.num_nodes() as NodeId).step_by(5) {
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(t2.dist(&g, s, v), t.dist(&g, s, v), "pair {s}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_matches_v1_decode() {
+        let g = grid(6, 5);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 5,
+            },
+        );
+        let via_v1 = GTree::from_bytes(&t.to_bytes()).unwrap();
+        let via_v2 = GTree::from_flat_bytes(&t.to_flat_bytes()).unwrap();
+        assert!(via_v1 == via_v2);
+    }
+
+    #[test]
+    fn flat_rejects_malformed_containers() {
+        let g = grid(5, 4);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        let bytes = t.to_flat_bytes();
+        for cut in (0..bytes.len()).step_by(8) {
+            assert!(GTree::from_flat_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            GTree::from_flat_bytes(&bad),
+            Err(FlatError::BadMagic)
+        ));
+        let mut bad = bytes.clone();
+        bad[12] = 9;
+        assert!(matches!(
+            GTree::from_flat_bytes(&bad),
+            Err(FlatError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn flat_rejects_structural_corruption() {
+        let g = grid(5, 4);
+        let t = GTree::build_with_params(
+            &g,
+            GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+        );
+        assert!(t.num_tree_nodes() > 1, "need an internal root");
+        let bytes = t.to_flat_bytes();
+        // Section 1 is leaf_of; its offset lives in the second table entry
+        // (table starts at byte 24, 16 bytes per entry).
+        let entry = 24 + 16;
+        let off = u64::from_le_bytes(bytes[entry..entry + 8].try_into().unwrap()) as usize;
+        let mut bad = bytes.clone();
+        // Point vertex 0's leaf at the root (internal).
+        bad[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            GTree::from_flat_bytes(&bad),
+            Err(FlatError::Corrupt(_))
+        ));
+        // Break the parent of node 1 (section 2): self-loop must be caught
+        // by the depth-chain check.
+        let entry = 24 + 2 * 16;
+        let off = u64::from_le_bytes(bytes[entry..entry + 8].try_into().unwrap()) as usize;
+        let mut bad = bytes.clone();
+        bad[off + 4..off + 8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            GTree::from_flat_bytes(&bad),
+            Err(FlatError::Corrupt(_))
         ));
     }
 }

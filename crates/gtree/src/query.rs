@@ -11,23 +11,15 @@ use roadnet::{Dist, Graph, NodeId, INF};
 impl GTree {
     /// Lowest common ancestor of two arena nodes.
     pub(crate) fn lca(&self, mut a: u32, mut b: u32) -> u32 {
-        while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
-            a = self.nodes[a as usize]
-                .parent
-                .expect("deeper node has parent");
+        while self.depth_of(a) > self.depth_of(b) {
+            a = self.parent_of(a).expect("deeper node has parent");
         }
-        while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
-            b = self.nodes[b as usize]
-                .parent
-                .expect("deeper node has parent");
+        while self.depth_of(b) > self.depth_of(a) {
+            b = self.parent_of(b).expect("deeper node has parent");
         }
         while a != b {
-            a = self.nodes[a as usize]
-                .parent
-                .expect("distinct roots impossible");
-            b = self.nodes[b as usize]
-                .parent
-                .expect("distinct roots impossible");
+            a = self.parent_of(a).expect("distinct roots impossible");
+            b = self.parent_of(b).expect("distinct roots impossible");
         }
         a
     }
@@ -42,21 +34,19 @@ impl GTree {
     pub(crate) fn ascend(&self, v: NodeId, stop: u32) -> (u32, Vec<Dist>) {
         let mut cur = self.leaf(v);
         assert_ne!(cur, stop, "ascend requires v's leaf below `stop`");
-        let leaf = &self.nodes[cur as usize];
-        let vp = leaf.vert_pos[&v];
+        let leaf = self.node(cur);
+        let vp = leaf.vert_pos(v);
         let mut dv: Vec<Dist> = (0..leaf.borders.len())
             .map(|bi| leaf.lmat(bi, vp))
             .collect();
         loop {
-            let parent = self.nodes[cur as usize]
-                .parent
-                .expect("stop is an ancestor");
+            let parent = self.parent_of(cur).expect("stop is an ancestor");
             if parent == stop {
                 return (cur, dv);
             }
-            let p = &self.nodes[parent as usize];
-            let cur_borders = &self.nodes[cur as usize].borders;
-            let bpos: Vec<u32> = cur_borders.iter().map(|b| p.vert_pos[b]).collect();
+            let p = self.node(parent);
+            let cur_borders = self.node(cur).borders;
+            let bpos: Vec<u32> = cur_borders.iter().map(|&b| p.vert_pos(b)).collect();
             let ndv: Vec<Dist> = p
                 .border_pos
                 .iter()
@@ -82,10 +72,10 @@ impl GTree {
         let ls = self.leaf(s);
         let lt = self.leaf(t);
         if ls == lt {
-            let leaf = &self.nodes[ls as usize];
-            let (ps, pt) = (leaf.vert_pos[&s], leaf.vert_pos[&t]);
+            let leaf = self.node(ls);
+            let (ps, pt) = (leaf.vert_pos(s), leaf.vert_pos(t));
             // Paths inside the leaf...
-            let mut best = restricted_dijkstra(g, s, &leaf.vert_pos)[pt as usize];
+            let mut best = restricted_dijkstra(g, s, leaf.verts)[pt as usize];
             // ...or out through a border and back (matrix entries are global).
             for bi in 0..leaf.borders.len() {
                 best = best.min(dadd(leaf.lmat(bi, ps), leaf.lmat(bi, pt)));
@@ -95,16 +85,18 @@ impl GTree {
         let lca = self.lca(ls, lt);
         let (cs, dvs) = self.ascend(s, lca);
         let (ct, dvt) = self.ascend(t, lca);
-        let a = &self.nodes[lca as usize];
-        let bs: Vec<u32> = self.nodes[cs as usize]
+        let a = self.node(lca);
+        let bs: Vec<u32> = self
+            .node(cs)
             .borders
             .iter()
-            .map(|b| a.vert_pos[b])
+            .map(|&b| a.vert_pos(b))
             .collect();
-        let bt: Vec<u32> = self.nodes[ct as usize]
+        let bt: Vec<u32> = self
+            .node(ct)
             .borders
             .iter()
-            .map(|b| a.vert_pos[b])
+            .map(|&b| a.vert_pos(b))
             .collect();
         let mut best = INF;
         for (i, &p1) in bs.iter().enumerate() {

@@ -15,8 +15,21 @@
 //!    d_g(a,b) + d_X(b,v))`). After this phase every matrix holds **global**
 //!    shortest-path distances, which makes the query-time assembly
 //!    (`crate::query`) and kNN (`crate::knn`) simple and exact.
+//!
+//! Both phases parallelize level-synchronously (leaf matrices are mutually
+//! independent; nodes of equal depth depend only on deeper/shallower
+//! levels), so [`GTree::build_with_params_parallel`] fans each level across
+//! a worker pool and produces a bit-identical tree for any worker count.
+//!
+//! The built tree lives in flat CSR-style arrays behind shared
+//! [`FlatVec`] handles (per-node runs addressed by offset arrays), so the
+//! in-memory layout coincides with the flat v2 on-disk sections and a
+//! loaded index serves queries directly from the file buffer
+//! (see `crate::persist`).
 
 use crate::partition::{partition_graph, PartitionNode};
+use roadnet::flat::FlatVec;
+use roadnet::par::par_map_indexed;
 use roadnet::{Dist, Graph, NodeId, INF};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -29,7 +42,7 @@ pub(crate) fn dadd(a: Dist, b: Dist) -> Dist {
 
 /// Build parameters. The paper sets `fanout = 4` and `leaf_cap` (`tau`)
 /// from 64 to 512 depending on the dataset (§VI-A).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GTreeParams {
     pub fanout: usize,
     pub leaf_cap: usize,
@@ -44,17 +57,20 @@ impl Default for GTreeParams {
     }
 }
 
+/// Sentinel for "no parent" in the flat parent array.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Build- and v1-decode-time node representation; flattened into the CSR
+/// arrays of [`GTree`] once construction finishes.
 pub(crate) struct GNode {
     pub parent: Option<u32>,
     pub children: Vec<u32>,
     pub depth: u32,
     /// Border vertices: members of this subgraph with an edge leaving it.
     pub borders: Vec<NodeId>,
-    /// Matrix vertex set. Internal nodes: union of children's borders.
-    /// Leaves: every vertex of the leaf (matrix columns).
+    /// Matrix vertex set, sorted ascending. Internal nodes: union of
+    /// children's borders. Leaves: every vertex of the leaf.
     pub verts: Vec<NodeId>,
-    /// Position of a vertex within `verts`.
-    pub vert_pos: HashMap<NodeId, u32>,
     /// Positions of `borders[i]` within `verts`.
     pub border_pos: Vec<u32>,
     /// Internal: `|verts| x |verts|`, row-major.
@@ -63,6 +79,71 @@ pub(crate) struct GNode {
 }
 
 impl GNode {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    #[inline]
+    fn mat(&self, i: u32, j: u32) -> Dist {
+        self.matrix[i as usize * self.verts.len() + j as usize]
+    }
+
+    #[inline]
+    fn lmat(&self, border_idx: usize, col: u32) -> Dist {
+        self.matrix[border_idx * self.verts.len() + col as usize]
+    }
+}
+
+/// Position of `v` in a sorted vertex run (matrix column / row index).
+#[inline]
+pub(crate) fn pos_in(verts: &[NodeId], v: NodeId) -> u32 {
+    verts
+        .binary_search(&v)
+        .expect("vertex belongs to this node") as u32
+}
+
+#[inline]
+pub(crate) fn try_pos_in(verts: &[NodeId], v: NodeId) -> Option<u32> {
+    verts.binary_search(&v).ok().map(|i| i as u32)
+}
+
+/// The built G-tree index, stored as flat per-tree arrays: scalar columns
+/// (`parent`, `depth`) plus CSR runs (`*_off[x]..*_off[x+1]` addresses node
+/// `x`'s children / borders / matrix vertices / matrix entries). All arrays
+/// are shared [`FlatVec`] handles, so a tree loaded from the flat v2 format
+/// answers queries straight out of the load buffer.
+pub struct GTree {
+    params: GTreeParams,
+    /// Vertex -> arena index of its leaf node.
+    pub(crate) leaf_of: FlatVec<u32>,
+    pub(crate) parent: FlatVec<u32>,
+    pub(crate) depth: FlatVec<u32>,
+    pub(crate) children_off: FlatVec<u32>,
+    pub(crate) children: FlatVec<u32>,
+    pub(crate) borders_off: FlatVec<u32>,
+    pub(crate) borders: FlatVec<NodeId>,
+    /// Parallel to `borders` (shares `borders_off`).
+    pub(crate) border_pos: FlatVec<u32>,
+    pub(crate) verts_off: FlatVec<u32>,
+    pub(crate) verts: FlatVec<NodeId>,
+    pub(crate) matrix_off: FlatVec<u64>,
+    pub(crate) matrix: FlatVec<Dist>,
+}
+
+/// Borrowed view of one tree node's runs — the accessor layer every query
+/// path goes through, independent of whether the arrays are owned or
+/// mapped from a flat file.
+#[derive(Clone, Copy)]
+pub(crate) struct NodeView<'t> {
+    pub children: &'t [u32],
+    pub borders: &'t [NodeId],
+    pub border_pos: &'t [u32],
+    pub verts: &'t [NodeId],
+    matrix: &'t [Dist],
+}
+
+impl NodeView<'_> {
+    #[inline]
     pub fn is_leaf(&self) -> bool {
         self.children.is_empty()
     }
@@ -78,14 +159,17 @@ impl GNode {
     pub fn lmat(&self, border_idx: usize, col: u32) -> Dist {
         self.matrix[border_idx * self.verts.len() + col as usize]
     }
-}
 
-/// The built G-tree index.
-pub struct GTree {
-    pub(crate) nodes: Vec<GNode>,
-    /// Vertex -> arena index of its leaf node.
-    pub(crate) leaf_of: Vec<u32>,
-    params: GTreeParams,
+    /// Position of `v` within this node's matrix vertex set.
+    #[inline]
+    pub fn vert_pos(&self, v: NodeId) -> u32 {
+        pos_in(self.verts, v)
+    }
+
+    #[cfg(test)]
+    pub fn try_vert_pos(&self, v: NodeId) -> Option<u32> {
+        try_pos_in(self.verts, v)
+    }
 }
 
 /// Root node arena index (build order guarantees 0).
@@ -100,16 +184,29 @@ impl GTree {
 
     /// Build a G-tree over `g`.
     pub fn build_with_params(g: &Graph, params: GTreeParams) -> Self {
+        Self::build_with_params_parallel(g, params, 1)
+    }
+
+    /// Build a G-tree over `g`, fanning per-node matrix construction and
+    /// refinement across `workers` threads (`0` = one per core). Each level
+    /// of the hierarchy is a set of independent per-node computations, so
+    /// the result is bit-identical to the sequential build.
+    pub fn build_with_params_parallel(g: &Graph, params: GTreeParams, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            roadnet::par::default_workers()
+        } else {
+            workers
+        };
         let hierarchy = partition_graph(g, params.fanout, params.leaf_cap);
-        let mut tree = GTree {
+        let mut b = Builder {
             nodes: Vec::new(),
             leaf_of: vec![u32::MAX; g.num_nodes()],
-            params,
+            workers,
         };
-        tree.instantiate(&hierarchy, None, 0);
-        tree.assemble_bottom_up(g);
-        tree.refine_top_down();
-        tree
+        b.instantiate(&hierarchy, None, 0);
+        b.assemble_bottom_up(g);
+        b.refine_top_down();
+        Self::from_parts(b.nodes, b.leaf_of, params)
     }
 
     pub fn params(&self) -> GTreeParams {
@@ -118,21 +215,125 @@ impl GTree {
 
     /// Number of tree nodes.
     pub fn num_tree_nodes(&self) -> usize {
-        self.nodes.len()
+        self.parent.len()
     }
 
     /// Tree height (1 for a single-leaf tree).
     pub fn height(&self) -> usize {
-        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0) as usize + 1
+        self.depth.iter().copied().max().unwrap_or(0) as usize + 1
     }
 
-    /// Reassemble from decoded parts (persistence path).
+    /// Flatten build/decode nodes into the CSR arrays.
     pub(crate) fn from_parts(nodes: Vec<GNode>, leaf_of: Vec<u32>, params: GTreeParams) -> Self {
-        GTree {
-            nodes,
-            leaf_of,
-            params,
+        let t = nodes.len();
+        let mut parent = Vec::with_capacity(t);
+        let mut depth = Vec::with_capacity(t);
+        let mut children_off = Vec::with_capacity(t + 1);
+        let mut children = Vec::new();
+        let mut borders_off = Vec::with_capacity(t + 1);
+        let mut borders = Vec::new();
+        let mut border_pos = Vec::new();
+        let mut verts_off = Vec::with_capacity(t + 1);
+        let mut verts = Vec::new();
+        let mut matrix_off = Vec::with_capacity(t + 1);
+        let mut matrix = Vec::new();
+        children_off.push(0u32);
+        borders_off.push(0u32);
+        verts_off.push(0u32);
+        matrix_off.push(0u64);
+        for n in &nodes {
+            parent.push(n.parent.unwrap_or(NO_PARENT));
+            depth.push(n.depth);
+            children.extend_from_slice(&n.children);
+            children_off.push(children.len() as u32);
+            borders.extend_from_slice(&n.borders);
+            border_pos.extend_from_slice(&n.border_pos);
+            borders_off.push(borders.len() as u32);
+            verts.extend_from_slice(&n.verts);
+            verts_off.push(verts.len() as u32);
+            matrix.extend_from_slice(&n.matrix);
+            matrix_off.push(matrix.len() as u64);
         }
+        GTree {
+            params,
+            leaf_of: leaf_of.into(),
+            parent: parent.into(),
+            depth: depth.into(),
+            children_off: children_off.into(),
+            children: children.into(),
+            borders_off: borders_off.into(),
+            borders: borders.into(),
+            border_pos: border_pos.into(),
+            verts_off: verts_off.into(),
+            verts: verts.into(),
+            matrix_off: matrix_off.into(),
+            matrix: matrix.into(),
+        }
+    }
+
+    /// Assemble directly from validated flat arrays (zero-copy load path).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_flat_parts(
+        params: GTreeParams,
+        leaf_of: FlatVec<u32>,
+        parent: FlatVec<u32>,
+        depth: FlatVec<u32>,
+        children_off: FlatVec<u32>,
+        children: FlatVec<u32>,
+        borders_off: FlatVec<u32>,
+        borders: FlatVec<NodeId>,
+        border_pos: FlatVec<u32>,
+        verts_off: FlatVec<u32>,
+        verts: FlatVec<NodeId>,
+        matrix_off: FlatVec<u64>,
+        matrix: FlatVec<Dist>,
+    ) -> Self {
+        GTree {
+            params,
+            leaf_of,
+            parent,
+            depth,
+            children_off,
+            children,
+            borders_off,
+            borders,
+            border_pos,
+            verts_off,
+            verts,
+            matrix_off,
+            matrix,
+        }
+    }
+
+    /// Accessor view of node `x`.
+    #[inline]
+    pub(crate) fn node(&self, x: u32) -> NodeView<'_> {
+        let xi = x as usize;
+        let (c0, c1) = (
+            self.children_off[xi] as usize,
+            self.children_off[xi + 1] as usize,
+        );
+        let (b0, b1) = (
+            self.borders_off[xi] as usize,
+            self.borders_off[xi + 1] as usize,
+        );
+        let (v0, v1) = (self.verts_off[xi] as usize, self.verts_off[xi + 1] as usize);
+        let (m0, m1) = (
+            self.matrix_off[xi] as usize,
+            self.matrix_off[xi + 1] as usize,
+        );
+        NodeView {
+            children: &self.children[c0..c1],
+            borders: &self.borders[b0..b1],
+            border_pos: &self.border_pos[b0..b1],
+            verts: &self.verts[v0..v1],
+            matrix: &self.matrix[m0..m1],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn depth_of(&self, x: u32) -> u32 {
+        self.depth[x as usize]
     }
 
     /// Arena index of the leaf containing `v`.
@@ -140,18 +341,74 @@ impl GTree {
         self.leaf_of[v as usize]
     }
 
-    /// Approximate in-memory size of borders + matrices (Fig. 9a analogue).
-    pub fn memory_bytes(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| {
-                n.matrix.len() * std::mem::size_of::<Dist>()
-                    + n.verts.len() * (4 + 8) // id + hash entry overhead approx
-                    + n.borders.len() * 4
-            })
-            .sum()
+    pub(crate) fn parent_of(&self, x: u32) -> Option<u32> {
+        let p = self.parent[x as usize];
+        (p != NO_PARENT).then_some(p)
     }
 
+    /// True when `v` belongs to the subtree rooted at arena node `x`.
+    /// Uses leaf -> ancestors walk; depth is small (O(log n)).
+    #[cfg(test)]
+    pub(crate) fn contains(&self, x: u32, v: NodeId) -> bool {
+        let mut cur = self.leaf_of[v as usize];
+        loop {
+            if cur == x {
+                return true;
+            }
+            match self.parent_of(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Approximate in-memory size of borders + matrices (Fig. 9a analogue).
+    pub fn memory_bytes(&self) -> usize {
+        self.matrix.len() * std::mem::size_of::<Dist>()
+            + self.verts.len() * 4
+            + self.borders.len() * 8
+            + self.leaf_of.len() * 4
+            + self.parent.len() * 8
+    }
+}
+
+impl std::fmt::Debug for GTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GTree")
+            .field("params", &self.params)
+            .field("graph_nodes", &self.leaf_of.len())
+            .field("tree_nodes", &self.num_tree_nodes())
+            .field("matrix_entries", &self.matrix.len())
+            .finish()
+    }
+}
+
+impl PartialEq for GTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+            && self.leaf_of == other.leaf_of
+            && self.parent == other.parent
+            && self.depth == other.depth
+            && self.children_off == other.children_off
+            && self.children == other.children
+            && self.borders_off == other.borders_off
+            && self.borders == other.borders
+            && self.border_pos == other.border_pos
+            && self.verts_off == other.verts_off
+            && self.verts == other.verts
+            && self.matrix_off == other.matrix_off
+            && self.matrix == other.matrix
+    }
+}
+
+/// Construction state: per-node owned vectors, flattened on completion.
+struct Builder {
+    nodes: Vec<GNode>,
+    leaf_of: Vec<u32>,
+    workers: usize,
+}
+
+impl Builder {
     /// Recursively instantiate arena nodes from the partition hierarchy.
     /// Returns the arena index of the created node.
     fn instantiate(&mut self, part: &PartitionNode, parent: Option<u32>, depth: u32) -> u32 {
@@ -162,7 +419,6 @@ impl GTree {
             depth,
             borders: Vec::new(),
             verts: Vec::new(),
-            vert_pos: HashMap::new(),
             border_pos: Vec::new(),
             matrix: Vec::new(),
         });
@@ -170,12 +426,11 @@ impl GTree {
             for &v in &part.vertices {
                 self.leaf_of[v as usize] = idx;
             }
-            // Leaf verts = its vertices, sorted for determinism.
+            // Leaf verts = its vertices, sorted (determinism + binary-search
+            // position lookups).
             let mut vs = part.vertices.clone();
             vs.sort_unstable();
-            let vert_pos = vs.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
             self.nodes[idx as usize].verts = vs;
-            self.nodes[idx as usize].vert_pos = vert_pos;
         } else {
             let mut children = Vec::with_capacity(part.children.len());
             for c in &part.children {
@@ -188,8 +443,7 @@ impl GTree {
     }
 
     /// True when `v` belongs to the subtree rooted at arena node `x`.
-    /// Uses leaf -> ancestors walk; depth is small (O(log n)).
-    pub(crate) fn contains(&self, x: u32, v: NodeId) -> bool {
+    fn contains(&self, x: u32, v: NodeId) -> bool {
         let mut cur = self.leaf_of[v as usize];
         loop {
             if cur == x {
@@ -202,106 +456,120 @@ impl GTree {
         }
     }
 
-    /// Compute borders for every node and fill leaf/internal matrices
-    /// bottom-up (within-subgraph distances).
-    fn assemble_bottom_up(&mut self, g: &Graph) {
-        // Borders: v is a border of node x iff some neighbor of v lies
-        // outside x's subtree. Compute per node by scanning its vertices.
-        // Vertices per subtree are collected leaf-up to avoid re-walks.
-        let order: Vec<u32> = {
-            // Deeper nodes first.
-            let mut idxs: Vec<u32> = (0..self.nodes.len() as u32).collect();
-            idxs.sort_by_key(|&i| Reverse(self.nodes[i as usize].depth));
-            idxs
-        };
+    /// Arena indices grouped by depth, deepest level first.
+    fn levels_deepest_first(&self) -> Vec<Vec<u32>> {
+        let max_depth = self.nodes.iter().map(|n| n.depth).max().unwrap_or(0) as usize;
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
+        for (i, n) in self.nodes.iter().enumerate() {
+            levels[max_depth - n.depth as usize].push(i as u32);
+        }
+        levels
+    }
 
-        // subtree vertex lists (moved out as computed to save memory).
+    /// Compute borders for every node and fill leaf/internal matrices
+    /// bottom-up (within-subgraph distances). Matrices of one level are
+    /// mutually independent, so each level fans across the worker pool.
+    fn assemble_bottom_up(&mut self, g: &Graph) {
+        let levels = self.levels_deepest_first();
+
+        // Borders: v is a border of node x iff some neighbor of v lies
+        // outside x's subtree. Subtree vertex lists are collected leaf-up.
         let mut subtree_verts: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
-        for &x in &order {
-            let xi = x as usize;
-            if self.nodes[xi].is_leaf() {
-                subtree_verts[xi] = self.nodes[xi].verts.clone();
-            } else {
-                let mut all = Vec::new();
-                for &c in &self.nodes[xi].children {
-                    all.extend_from_slice(&subtree_verts[c as usize]);
+        for level in &levels {
+            for &x in level {
+                let xi = x as usize;
+                if self.nodes[xi].is_leaf() {
+                    subtree_verts[xi] = self.nodes[xi].verts.clone();
+                } else {
+                    let mut all = Vec::new();
+                    for &c in &self.nodes[xi].children {
+                        all.extend_from_slice(&subtree_verts[c as usize]);
+                    }
+                    subtree_verts[xi] = all;
                 }
-                subtree_verts[xi] = all;
+                let borders: Vec<NodeId> = subtree_verts[xi]
+                    .iter()
+                    .copied()
+                    .filter(|&v| g.neighbors(v).any(|(nb, _)| !self.contains(x, nb)))
+                    .collect();
+                self.nodes[xi].borders = borders;
             }
-            // Borders of x.
-            let borders: Vec<NodeId> = subtree_verts[xi]
-                .iter()
-                .copied()
-                .filter(|&v| g.neighbors(v).any(|(nb, _)| !self.contains(x, nb)))
-                .collect();
-            self.nodes[xi].borders = borders;
         }
 
-        // Matrices bottom-up.
-        for &x in &order {
-            if self.nodes[x as usize].is_leaf() {
-                self.build_leaf_matrix(g, x);
-            } else {
-                self.build_internal_matrix(g, x, &subtree_verts);
+        // Matrices, level-synchronous bottom-up: leaves (and any node of
+        // the level) depend only on already-finished deeper levels.
+        for level in &levels {
+            let results = par_map_indexed(level.len(), self.workers, |i| {
+                let x = level[i];
+                if self.nodes[x as usize].is_leaf() {
+                    let (matrix, border_pos) = self.leaf_matrix(g, x);
+                    (Vec::new(), border_pos, matrix)
+                } else {
+                    self.internal_matrix(g, x, &subtree_verts)
+                }
+            });
+            for (&x, (verts, border_pos, matrix)) in level.iter().zip(results) {
+                let n = &mut self.nodes[x as usize];
+                if !n.is_leaf() {
+                    n.verts = verts;
+                }
+                n.border_pos = border_pos;
+                n.matrix = matrix;
             }
         }
     }
 
     /// Leaf matrix: Dijkstra restricted to the leaf from each border.
-    fn build_leaf_matrix(&mut self, g: &Graph, x: u32) {
-        let xi = x as usize;
-        let verts = self.nodes[xi].verts.clone();
-        let borders = self.nodes[xi].borders.clone();
-        let pos: &HashMap<NodeId, u32> = &self.nodes[xi].vert_pos;
-        let ncols = verts.len();
-        let mut matrix = vec![INF; borders.len() * ncols];
-        for (bi, &b) in borders.iter().enumerate() {
-            let dists = restricted_dijkstra(g, b, pos);
+    fn leaf_matrix(&self, g: &Graph, x: u32) -> (Vec<Dist>, Vec<u32>) {
+        let n = &self.nodes[x as usize];
+        let ncols = n.verts.len();
+        let mut matrix = vec![INF; n.borders.len() * ncols];
+        for (bi, &b) in n.borders.iter().enumerate() {
+            let dists = restricted_dijkstra(g, b, &n.verts);
             matrix[bi * ncols..(bi + 1) * ncols].copy_from_slice(&dists);
         }
-        let border_pos = borders.iter().map(|b| pos[b]).collect();
-        let n = &mut self.nodes[xi];
-        n.matrix = matrix;
-        n.border_pos = border_pos;
+        let border_pos = n.borders.iter().map(|&b| pos_in(&n.verts, b)).collect();
+        (matrix, border_pos)
     }
 
     /// Internal matrix: all-pairs over the assembly graph of child borders.
-    fn build_internal_matrix(&mut self, g: &Graph, x: u32, subtree_verts: &[Vec<NodeId>]) {
-        let xi = x as usize;
-        let children = self.nodes[xi].children.clone();
+    /// Returns `(verts, border_pos, matrix)`.
+    fn internal_matrix(
+        &self,
+        g: &Graph,
+        x: u32,
+        subtree_verts: &[Vec<NodeId>],
+    ) -> (Vec<NodeId>, Vec<u32>, Vec<Dist>) {
+        let node = &self.nodes[x as usize];
 
         // Matrix vertex set: union of children borders (sorted, deduped).
-        let mut verts: Vec<NodeId> = children
+        let mut verts: Vec<NodeId> = node
+            .children
             .iter()
             .flat_map(|&c| self.nodes[c as usize].borders.iter().copied())
             .collect();
         verts.sort_unstable();
         verts.dedup();
-        let vert_pos: HashMap<NodeId, u32> = verts
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
         let nv = verts.len();
 
         // Assembly adjacency: child matrix entries + cut edges between
         // children of x.
         let mut adj: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); nv];
-        for &c in &children {
+        for &c in &node.children {
             let cn = &self.nodes[c as usize];
             for (i, &bi) in cn.borders.iter().enumerate() {
-                let pi = vert_pos[&bi];
+                let pi = pos_in(&verts, bi);
                 for (j, &bj) in cn.borders.iter().enumerate() {
                     if i == j {
                         continue;
                     }
                     let d = if cn.is_leaf() {
-                        cn.lmat(i, cn.vert_pos[&bj])
+                        cn.lmat(i, pos_in(&cn.verts, bj))
                     } else {
-                        cn.mat(cn.vert_pos[&bi], cn.vert_pos[&bj])
+                        cn.mat(pos_in(&cn.verts, bi), pos_in(&cn.verts, bj))
                     };
                     if d != INF {
-                        adj[pi as usize].push((vert_pos[&bj], d));
+                        adj[pi as usize].push((pos_in(&verts, bj), d));
                     }
                 }
             }
@@ -309,7 +577,7 @@ impl GTree {
         // Cut edges: map each subtree vertex to its child, then scan borders'
         // original edges for endpoints in different children of x.
         let mut child_of: HashMap<NodeId, u32> = HashMap::new();
-        for &c in &children {
+        for &c in &node.children {
             for &v in &subtree_verts[c as usize] {
                 child_of.insert(v, c);
             }
@@ -321,7 +589,7 @@ impl GTree {
                     if cv != cu {
                         // Both endpoints are borders of their children,
                         // hence in `verts`.
-                        adj[vert_pos[&u] as usize].push((vert_pos[&v], w as Dist));
+                        adj[pos_in(&verts, u) as usize].push((pos_in(&verts, v), w as Dist));
                     }
                 }
             }
@@ -349,107 +617,118 @@ impl GTree {
             heap.clear();
         }
 
-        let border_pos = self.nodes[xi].borders.iter().map(|b| vert_pos[b]).collect();
-        let n = &mut self.nodes[xi];
-        n.verts = verts;
-        n.vert_pos = vert_pos;
-        n.border_pos = border_pos;
-        n.matrix = matrix;
+        let border_pos = node.borders.iter().map(|&b| pos_in(&verts, b)).collect();
+        (verts, border_pos, matrix)
     }
 
     /// Top-down refinement: lift within-subgraph matrices to global ones.
+    /// Nodes of equal depth read only their (already refined) parents, so
+    /// each level fans across the worker pool.
     fn refine_top_down(&mut self) {
-        // BFS order (arena construction is pre-order, so increasing index
-        // visits parents before children).
-        for x in 1..self.nodes.len() as u32 {
-            let xi = x as usize;
-            let parent = self.nodes[xi].parent.expect("non-root has parent") as usize;
-            let nb = self.nodes[xi].borders.len();
-            if nb == 0 {
-                continue; // isolated subgraph: nothing can leave it
-            }
-            // Global border-to-border distances from the (already refined)
-            // parent matrix.
-            let pborder: Vec<u32> = self.nodes[xi]
-                .borders
+        let mut levels = self.levels_deepest_first();
+        levels.reverse(); // shallowest first; parents refined before children
+        for level in &levels {
+            // Root level needs no refinement (its matrix is already global).
+            let work: Vec<u32> = level
                 .iter()
-                .map(|b| self.nodes[parent].vert_pos[b])
+                .copied()
+                .filter(|&x| self.nodes[x as usize].parent.is_some())
                 .collect();
-            let mut gbb = vec![INF; nb * nb];
-            for a in 0..nb {
-                for b in 0..nb {
-                    gbb[a * nb + b] = self.nodes[parent].mat(pborder[a], pborder[b]);
-                }
+            if work.is_empty() {
+                continue;
             }
-            if self.nodes[xi].is_leaf() {
-                self.refine_leaf(x, &gbb);
-            } else {
-                self.refine_internal(x, &gbb);
+            let results =
+                par_map_indexed(work.len(), self.workers, |i| self.refined_matrix(work[i]));
+            for (&x, m) in work.iter().zip(results) {
+                if let Some(matrix) = m {
+                    self.nodes[x as usize].matrix = matrix;
+                }
             }
         }
     }
 
-    /// Leaf: `d_g(b, v) = min(d_L(b, v), min_c g(b, c) + d_L(c, v))`.
-    fn refine_leaf(&mut self, x: u32, gbb: &[Dist]) {
-        let n = &mut self.nodes[x as usize];
+    /// The refined (global) matrix of non-root node `x`, or `None` when the
+    /// node has no borders (isolated subgraph: nothing can leave it).
+    fn refined_matrix(&self, x: u32) -> Option<Vec<Dist>> {
+        let n = &self.nodes[x as usize];
+        let parent = &self.nodes[n.parent.expect("non-root has parent") as usize];
         let nb = n.borders.len();
-        let ncols = n.verts.len();
-        let old = n.matrix.clone();
-        for b in 0..nb {
-            for v in 0..ncols {
-                let mut best = old[b * ncols + v];
-                for c in 0..nb {
-                    best = best.min(dadd(gbb[b * nb + c], old[c * ncols + v]));
-                }
-                n.matrix[b * ncols + v] = best;
-            }
+        if nb == 0 {
+            return None;
         }
-    }
-
-    /// Internal: `d_g(u, v) = min(d_X(u, v), min_{a,b} d_X(u, a) + g(a, b)
-    /// + d_X(b, v))`, factored through `h(u, b) = min_a d_X(u, a) + g(a, b)`.
-    fn refine_internal(&mut self, x: u32, gbb: &[Dist]) {
-        let n = &mut self.nodes[x as usize];
-        let nb = n.borders.len();
-        let nv = n.verts.len();
-        let bp: Vec<usize> = n.border_pos.iter().map(|&p| p as usize).collect();
-        let old = n.matrix.clone();
-        // h[u][b] = min_a old(u, a) + g(a, b)
-        let mut h = vec![INF; nv * nb];
-        for u in 0..nv {
+        // Global border-to-border distances from the (already refined)
+        // parent matrix.
+        let pborder: Vec<u32> = n
+            .borders
+            .iter()
+            .map(|&b| pos_in(&parent.verts, b))
+            .collect();
+        let mut gbb = vec![INF; nb * nb];
+        for a in 0..nb {
             for b in 0..nb {
-                let mut best = INF;
-                for a in 0..nb {
-                    best = best.min(dadd(old[u * nv + bp[a]], gbb[a * nb + b]));
-                }
-                h[u * nb + b] = best;
+                gbb[a * nb + b] = parent.mat(pborder[a], pborder[b]);
             }
         }
-        for u in 0..nv {
-            for v in 0..nv {
-                let mut best = old[u * nv + v];
+        Some(if n.is_leaf() {
+            // Leaf: `d_g(b, v) = min(d_L(b, v), min_c g(b, c) + d_L(c, v))`.
+            let ncols = n.verts.len();
+            let old = &n.matrix;
+            let mut matrix = vec![INF; old.len()];
+            for b in 0..nb {
+                for v in 0..ncols {
+                    let mut best = old[b * ncols + v];
+                    for c in 0..nb {
+                        best = best.min(dadd(gbb[b * nb + c], old[c * ncols + v]));
+                    }
+                    matrix[b * ncols + v] = best;
+                }
+            }
+            matrix
+        } else {
+            // Internal: `d_g(u, v) = min(d_X(u, v), min_{a,b} d_X(u, a) +
+            // g(a, b) + d_X(b, v))`, factored through
+            // `h(u, b) = min_a d_X(u, a) + g(a, b)`.
+            let nv = n.verts.len();
+            let bp: Vec<usize> = n.border_pos.iter().map(|&p| p as usize).collect();
+            let old = &n.matrix;
+            let mut h = vec![INF; nv * nb];
+            for u in 0..nv {
                 for b in 0..nb {
-                    best = best.min(dadd(h[u * nb + b], old[bp[b] * nv + v]));
+                    let mut best = INF;
+                    for a in 0..nb {
+                        best = best.min(dadd(old[u * nv + bp[a]], gbb[a * nb + b]));
+                    }
+                    h[u * nb + b] = best;
                 }
-                n.matrix[u * nv + v] = best;
             }
-        }
+            let mut matrix = vec![INF; old.len()];
+            for u in 0..nv {
+                for v in 0..nv {
+                    let mut best = old[u * nv + v];
+                    for b in 0..nb {
+                        best = best.min(dadd(h[u * nb + b], old[bp[b] * nv + v]));
+                    }
+                    matrix[u * nv + v] = best;
+                }
+            }
+            matrix
+        })
     }
 }
 
-/// Dijkstra from `src` restricted to the vertices present in `pos`
-/// (a leaf's vertex set); returns distances aligned with `pos` values.
-pub(crate) fn restricted_dijkstra(g: &Graph, src: NodeId, pos: &HashMap<NodeId, u32>) -> Vec<Dist> {
-    let mut dist = vec![INF; pos.len()];
+/// Dijkstra from `src` restricted to the sorted vertex set `verts`
+/// (a leaf's vertex set); returns distances aligned with `verts` positions.
+pub(crate) fn restricted_dijkstra(g: &Graph, src: NodeId, verts: &[NodeId]) -> Vec<Dist> {
+    let mut dist = vec![INF; verts.len()];
     let mut heap: BinaryHeap<(Reverse<Dist>, NodeId)> = BinaryHeap::new();
-    dist[pos[&src] as usize] = 0;
+    dist[pos_in(verts, src) as usize] = 0;
     heap.push((Reverse(0), src));
     while let Some((Reverse(d), v)) = heap.pop() {
-        if d > dist[pos[&v] as usize] {
+        if d > dist[pos_in(verts, v) as usize] {
             continue;
         }
         for (t, w) in g.neighbors(v) {
-            if let Some(&tp) = pos.get(&t) {
+            if let Some(tp) = try_pos_in(verts, t) {
                 let nd = dadd(d, w as Dist);
                 if nd < dist[tp as usize] {
                     dist[tp as usize] = nd;
@@ -499,7 +778,7 @@ mod tests {
         );
         assert_eq!(t.num_tree_nodes(), 1);
         assert_eq!(t.height(), 1);
-        assert!(t.nodes[0].borders.is_empty()); // nothing leaves the root
+        assert!(t.node(0).borders.is_empty()); // nothing leaves the root
     }
 
     #[test]
@@ -513,10 +792,10 @@ mod tests {
             },
         );
         for v in 0..g.num_nodes() {
-            let leaf = t.leaf_of[v];
+            let leaf = t.leaf(v as u32);
             assert_ne!(leaf, u32::MAX);
-            assert!(t.nodes[leaf as usize].is_leaf());
-            assert!(t.nodes[leaf as usize].vert_pos.contains_key(&(v as u32)));
+            assert!(t.node(leaf).is_leaf());
+            assert!(t.node(leaf).try_vert_pos(v as u32).is_some());
         }
     }
 
@@ -530,7 +809,7 @@ mod tests {
                 leaf_cap: 6,
             },
         );
-        assert!(t.nodes[ROOT as usize].borders.is_empty());
+        assert!(t.node(ROOT).borders.is_empty());
     }
 
     #[test]
@@ -543,10 +822,10 @@ mod tests {
                 leaf_cap: 6,
             },
         );
-        for (x, n) in t.nodes.iter().enumerate() {
-            for &b in &n.borders {
+        for x in 0..t.num_tree_nodes() as u32 {
+            for &b in t.node(x).borders {
                 assert!(
-                    g.neighbors(b).any(|(nb, _)| !t.contains(x as u32, nb)),
+                    g.neighbors(b).any(|(nb, _)| !t.contains(x, nb)),
                     "border {b} of node {x} has no outside edge"
                 );
             }
@@ -563,13 +842,14 @@ mod tests {
                 leaf_cap: 8,
             },
         );
-        for n in &t.nodes {
+        for x in 0..t.num_tree_nodes() as u32 {
+            let n = t.node(x);
             if n.is_leaf() {
                 continue;
             }
-            for &c in &n.children {
-                for b in &t.nodes[c as usize].borders {
-                    assert!(n.vert_pos.contains_key(b));
+            for &c in n.children {
+                for &b in t.node(c).borders {
+                    assert!(n.try_vert_pos(b).is_some());
                 }
             }
         }
@@ -585,10 +865,11 @@ mod tests {
                 leaf_cap: 8,
             },
         );
-        for n in &t.nodes {
+        for x in 0..t.num_tree_nodes() as u32 {
+            let n = t.node(x);
             if n.is_leaf() {
                 for (bi, &b) in n.borders.iter().enumerate() {
-                    assert_eq!(n.lmat(bi, n.vert_pos[&b]), 0);
+                    assert_eq!(n.lmat(bi, n.vert_pos(b)), 0);
                 }
             } else {
                 for i in 0..n.verts.len() as u32 {
@@ -609,13 +890,14 @@ mod tests {
                 leaf_cap: 6,
             },
         );
-        for n in &t.nodes {
+        for x in 0..t.num_tree_nodes() as u32 {
+            let n = t.node(x);
             if n.is_leaf() {
                 for (bi, &b) in n.borders.iter().enumerate() {
                     let truth = dijkstra_all(&g, b);
-                    for (&v, &vp) in &n.vert_pos {
+                    for (vp, &v) in n.verts.iter().enumerate() {
                         assert_eq!(
-                            n.lmat(bi, vp),
+                            n.lmat(bi, vp as u32),
                             truth[v as usize],
                             "leaf matrix wrong for {b}->{v}"
                         );
@@ -633,6 +915,20 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let g = grid(9, 8);
+        let params = GTreeParams {
+            fanout: 4,
+            leaf_cap: 7,
+        };
+        let seq = GTree::build_with_params(&g, params);
+        for workers in [2, 4, 16] {
+            let par = GTree::build_with_params_parallel(&g, params, workers);
+            assert!(par == seq, "tree differs with {workers} workers");
         }
     }
 

@@ -24,9 +24,11 @@
 
 pub mod persist;
 
+use roadnet::flat::FlatVec;
 use roadnet::{Dist, Graph, NodeId, INF};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 /// Hub ordering strategies. Higher-ranked vertices become hubs first and
 /// appear in more labels; a good order keeps labels small.
@@ -49,9 +51,19 @@ pub fn order_by_importance(scores: &[u64]) -> Vec<NodeId> {
 }
 
 /// A built hub-label index.
+///
+/// Labels live in three flat CSR-style arrays (`offsets[v]..offsets[v+1]`
+/// indexes node `v`'s `(hub_rank, dist)` pairs, sorted by rank) behind
+/// shared [`FlatVec`] handles, so the in-memory layout coincides with the
+/// flat v2 on-disk sections and a loaded index serves queries directly from
+/// the file buffer (see [`persist`]).
 pub struct HubLabels {
-    /// Per node: `(hub_rank, dist)` pairs sorted by `hub_rank` ascending.
-    labels: Vec<Vec<(u32, Dist)>>,
+    /// `n + 1` entry offsets into `ranks`/`dists`.
+    offsets: FlatVec<u64>,
+    /// Hub ranks, per-node runs sorted ascending.
+    ranks: FlatVec<u32>,
+    /// Hub distances, parallel to `ranks`.
+    dists: FlatVec<u64>,
 }
 
 impl HubLabels {
@@ -158,18 +170,172 @@ impl HubLabels {
             touched.clear();
             heap.clear();
         }
-        Some(HubLabels { labels })
+        Some(HubLabels::from_labels(labels))
     }
 
-    /// Internal accessor for persistence.
-    pub(crate) fn labels(&self) -> &[Vec<(u32, Dist)>] {
-        &self.labels
+    /// Build labels in parallel with the default ([`Ordering::Degree`])
+    /// order across `workers` threads (`0` = one per core).
+    pub fn build_parallel(g: &Graph, workers: usize) -> Self {
+        let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        order.sort_by_key(|&v| (Reverse(g.degree(v)), v));
+        Self::build_with_order_parallel(g, &order, workers)
     }
 
-    /// Reassemble from decoded labels (persistence path). Callers must
-    /// guarantee each label is sorted by hub rank.
+    /// Parallel pruned-labeling build with an explicit hub order.
+    ///
+    /// Hubs are processed in fixed-size rank batches: within a batch every
+    /// hub's pruned Dijkstra runs concurrently against the labels installed
+    /// by *earlier batches* (weaker pruning, so each search yields a
+    /// candidate superset with valid distances), then candidates are
+    /// re-pruned sequentially in rank order with the exact insert test over
+    /// the up-to-date labels. The batch size is a constant — never derived
+    /// from `workers` — so the resulting index is deterministic: the same
+    /// graph and order produce bit-identical labels on any machine and any
+    /// worker count. Like the sequential build the result is an exact 2-hop
+    /// cover (re-pruning only keeps an entry when no earlier hub certifies
+    /// it, the invariant the PLL correctness proof rests on).
+    pub fn build_with_order_parallel(g: &Graph, order: &[NodeId], workers: usize) -> Self {
+        assert_eq!(order.len(), g.num_nodes(), "order must cover every node");
+        let workers = if workers == 0 {
+            roadnet::par::default_workers()
+        } else {
+            workers
+        };
+        // Fixed batch width: part of the format, not a tuning knob.
+        const BATCH: usize = 64;
+        let n = g.num_nodes();
+        let mut labels: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); n];
+        let mut hub_dist_by_rank = vec![INF; n];
+        let mut base = 0usize;
+        while base < n {
+            let batch = &order[base..(base + BATCH).min(n)];
+            let candidates = Self::batch_searches(g, batch, &labels, workers);
+            for (i, (&hub, cands)) in batch.iter().zip(&candidates).enumerate() {
+                let rank = (base + i) as u32;
+                for &(r, dh) in &labels[hub as usize] {
+                    hub_dist_by_rank[r as usize] = dh;
+                }
+                for &(u, d) in cands {
+                    let mut certified = INF;
+                    for &(r, du) in &labels[u as usize] {
+                        let dh = hub_dist_by_rank[r as usize];
+                        if dh != INF {
+                            certified = certified.min(dh + du);
+                        }
+                    }
+                    if certified <= d {
+                        continue;
+                    }
+                    labels[u as usize].push((rank, d));
+                }
+                for &(r, _) in &labels[hub as usize] {
+                    hub_dist_by_rank[r as usize] = INF;
+                }
+            }
+            base += batch.len();
+        }
+        Self::from_labels(labels)
+    }
+
+    /// Run one pruned Dijkstra per batch hub against the pre-batch labels,
+    /// returning each hub's `(node, dist)` candidates in settle order.
+    /// Workers own their scratch and pull hubs from a shared cursor; results
+    /// are merged by batch index, so scheduling never affects the output.
+    fn batch_searches(
+        g: &Graph,
+        batch: &[NodeId],
+        labels: &[Vec<(u32, Dist)>],
+        workers: usize,
+    ) -> Vec<Vec<(NodeId, Dist)>> {
+        type Shard = Vec<(usize, Vec<(NodeId, Dist)>)>;
+        let n = g.num_nodes();
+        let workers = workers.clamp(1, batch.len().max(1));
+        let run = |scratch: &mut SearchScratch, hub: NodeId| -> Vec<(NodeId, Dist)> {
+            scratch.pruned_dijkstra(g, hub, labels)
+        };
+        if workers <= 1 {
+            let mut scratch = SearchScratch::new(n);
+            return batch.iter().map(|&h| run(&mut scratch, h)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let shards: Vec<Shard> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut scratch = SearchScratch::new(n);
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= batch.len() {
+                                break;
+                            }
+                            local.push((i, run(&mut scratch, batch[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("label build worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<Vec<(NodeId, Dist)>>> = (0..batch.len()).map(|_| None).collect();
+        for (i, c) in shards.into_iter().flatten() {
+            out[i] = Some(c);
+        }
+        out.into_iter().map(|c| c.expect("batch covered")).collect()
+    }
+
+    /// Reassemble from per-node label lists (build and v1-decode paths).
+    /// Callers must guarantee each label is sorted by hub rank.
     pub(crate) fn from_labels(labels: Vec<Vec<(u32, Dist)>>) -> Self {
-        HubLabels { labels }
+        let total: usize = labels.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(labels.len() + 1);
+        let mut ranks = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        offsets.push(0u64);
+        for label in &labels {
+            for &(r, d) in label {
+                ranks.push(r);
+                dists.push(d);
+            }
+            offsets.push(ranks.len() as u64);
+        }
+        HubLabels {
+            offsets: offsets.into(),
+            ranks: ranks.into(),
+            dists: dists.into(),
+        }
+    }
+
+    /// Reassemble directly from the flat CSR arrays (zero-copy load path).
+    /// Callers must have validated the CSR invariants.
+    pub(crate) fn from_flat_parts(
+        offsets: FlatVec<u64>,
+        ranks: FlatVec<u32>,
+        dists: FlatVec<u64>,
+    ) -> Self {
+        HubLabels {
+            offsets,
+            ranks,
+            dists,
+        }
+    }
+
+    /// Internal CSR accessors for persistence.
+    pub(crate) fn flat_parts(&self) -> (&FlatVec<u64>, &FlatVec<u32>, &FlatVec<u64>) {
+        (&self.offsets, &self.ranks, &self.dists)
+    }
+
+    /// Node `v`'s label as parallel `(hub ranks, distances)` slices, sorted
+    /// by rank.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> (&[u32], &[Dist]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.ranks[lo..hi], &self.dists[lo..hi])
     }
 
     /// Exact shortest-path distance; `None` when `s` and `t` are in
@@ -178,15 +344,16 @@ impl HubLabels {
         if s == t {
             return Some(0);
         }
+        let (sr, sd) = self.label(s);
+        let (tr, td) = self.label(t);
         let (mut i, mut j) = (0, 0);
-        let (ls, lt) = (&self.labels[s as usize], &self.labels[t as usize]);
         let mut best = INF;
-        while i < ls.len() && j < lt.len() {
-            match ls[i].0.cmp(&lt[j].0) {
+        while i < sr.len() && j < tr.len() {
+            match sr[i].cmp(&tr[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    best = best.min(ls[i].1 + lt[j].1);
+                    best = best.min(sd[i] + td[j]);
                     i += 1;
                     j += 1;
                 }
@@ -197,27 +364,101 @@ impl HubLabels {
 
     /// Number of labeled vertices.
     pub fn num_nodes(&self) -> usize {
-        self.labels.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Total number of `(hub, dist)` entries across all labels.
     pub fn total_label_entries(&self) -> usize {
-        self.labels.iter().map(Vec::len).sum()
+        self.ranks.len()
     }
 
     /// Mean label size — the labeling-oracle quality metric.
     pub fn avg_label_size(&self) -> f64 {
-        if self.labels.is_empty() {
+        if self.num_nodes() == 0 {
             0.0
         } else {
-            self.total_label_entries() as f64 / self.labels.len() as f64
+            self.total_label_entries() as f64 / self.num_nodes() as f64
         }
     }
 
     /// Approximate in-memory size (Fig. 9a analogue).
     pub fn memory_bytes(&self) -> usize {
-        self.total_label_entries() * std::mem::size_of::<(u32, Dist)>()
-            + self.labels.len() * std::mem::size_of::<Vec<(u32, Dist)>>()
+        self.offsets.len() * 8 + self.ranks.len() * 4 + self.dists.len() * 8
+    }
+}
+
+impl PartialEq for HubLabels {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.ranks == other.ranks && self.dists == other.dists
+    }
+}
+
+/// Reusable per-worker state for one pruned Dijkstra.
+struct SearchScratch {
+    dist: Vec<Dist>,
+    hub_dist_by_rank: Vec<Dist>,
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<(Reverse<Dist>, NodeId)>,
+}
+
+impl SearchScratch {
+    fn new(n: usize) -> Self {
+        SearchScratch {
+            dist: vec![INF; n],
+            hub_dist_by_rank: vec![INF; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Pruned Dijkstra from `hub` against a fixed label snapshot. Returns
+    /// `(node, dist)` for every settled, unpruned node in settle order.
+    fn pruned_dijkstra(
+        &mut self,
+        g: &Graph,
+        hub: NodeId,
+        labels: &[Vec<(u32, Dist)>],
+    ) -> Vec<(NodeId, Dist)> {
+        let mut out = Vec::new();
+        for &(r, d) in &labels[hub as usize] {
+            self.hub_dist_by_rank[r as usize] = d;
+        }
+        self.dist[hub as usize] = 0;
+        self.touched.push(hub);
+        self.heap.push((Reverse(0), hub));
+        while let Some((Reverse(d), u)) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            let mut certified = INF;
+            for &(r, du) in &labels[u as usize] {
+                let dh = self.hub_dist_by_rank[r as usize];
+                if dh != INF {
+                    certified = certified.min(dh + du);
+                }
+            }
+            if certified <= d {
+                continue;
+            }
+            out.push((u, d));
+            for (t, w) in g.neighbors(u) {
+                let nd = d + w as Dist;
+                if nd < self.dist[t as usize] {
+                    self.dist[t as usize] = nd;
+                    self.touched.push(t);
+                    self.heap.push((Reverse(nd), t));
+                }
+            }
+        }
+        for &(r, _) in &labels[hub as usize] {
+            self.hub_dist_by_rank[r as usize] = INF;
+        }
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        out
     }
 }
 
@@ -301,9 +542,44 @@ mod tests {
     fn labels_sorted_by_rank() {
         let g = grid(5, 5);
         let hl = HubLabels::build(&g);
-        for l in &hl.labels {
-            assert!(l.windows(2).all(|w| w[0].0 < w[1].0));
+        for v in 0..hl.num_nodes() as NodeId {
+            let (ranks, _) = hl.label(v);
+            assert!(ranks.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn parallel_build_is_exact_and_worker_count_invariant() {
+        let g = grid(6, 5);
+        let canonical = HubLabels::build_parallel(&g, 1);
+        assert_exact(&g, &canonical);
+        for workers in [2, 3, 8] {
+            let hl = HubLabels::build_parallel(&g, workers);
+            assert!(
+                hl == canonical,
+                "labels differ with {workers} workers (batch result must not depend on scheduling)"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_answers() {
+        let g = grid(7, 4);
+        let seq = HubLabels::build(&g);
+        let par = HubLabels::build_parallel(&g, 4);
+        for s in 0..g.num_nodes() as NodeId {
+            for t in 0..g.num_nodes() as NodeId {
+                assert_eq!(par.distance(s, t), seq.distance(s, t), "pair {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_with_custom_order_is_exact() {
+        let g = grid(5, 5);
+        let order: Vec<NodeId> = (0..25).rev().collect();
+        let hl = HubLabels::build_with_order_parallel(&g, &order, 3);
+        assert_exact(&g, &hl);
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! ```
 
 use crate::HubLabels;
+use roadnet::flat::{ensure, FlatError, FlatFile, FlatVec, FlatWriter};
 use roadnet::Dist;
 use std::fmt;
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"HLBL";
 const VERSION: u32 = 1;
+
+/// Magic for the flat v2 hub-label container.
+pub const FLAT_MAGIC: [u8; 8] = *b"FANNHL2\0";
+const FLAT_VERSION: u32 = 2;
 
 /// Errors raised while decoding a label file.
 #[derive(Debug, PartialEq, Eq)]
@@ -22,6 +28,8 @@ pub enum PersistError {
     BadMagic,
     UnsupportedVersion(u32),
     Truncated,
+    /// A declared count would overflow or exceed the remaining bytes.
+    Oversized,
     /// Labels must be sorted by hub rank; a corrupt stream is rejected.
     UnsortedLabel(usize),
 }
@@ -32,6 +40,7 @@ impl fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a hub-label file"),
             PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             PersistError::Truncated => write!(f, "unexpected end of data"),
+            PersistError::Oversized => write!(f, "declared length exceeds input"),
             PersistError::UnsortedLabel(v) => write!(f, "label of node {v} is not sorted"),
         }
     }
@@ -55,6 +64,19 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Guard a declared element count against the bytes actually left, so a
+    /// corrupt header can never drive an overflowing or huge allocation.
+    fn check_count(&self, count: usize, elem_bytes: usize) -> Result<(), PersistError> {
+        match count.checked_mul(elem_bytes) {
+            Some(need) if need <= self.remaining() => Ok(()),
+            _ => Err(PersistError::Oversized),
+        }
+    }
+
     fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
@@ -69,15 +91,16 @@ impl<'a> Reader<'a> {
 }
 
 impl HubLabels {
-    /// Serialize to the versioned binary format.
+    /// Serialize to the versioned v1 binary stream.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.total_label_entries() * 12);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
-        for label in self.labels() {
-            out.extend_from_slice(&(label.len() as u32).to_le_bytes());
-            for &(rank, dist) in label {
+        for v in 0..self.num_nodes() {
+            let (ranks, dists) = self.label(v as u32);
+            out.extend_from_slice(&(ranks.len() as u32).to_le_bytes());
+            for (&rank, &dist) in ranks.iter().zip(dists) {
                 out.extend_from_slice(&rank.to_le_bytes());
                 out.extend_from_slice(&dist.to_le_bytes());
             }
@@ -95,10 +118,14 @@ impl HubLabels {
         if version != VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
-        let n = r.u64()? as usize;
+        let n = r.u64()?;
+        let n = usize::try_from(n).map_err(|_| PersistError::Oversized)?;
+        // Each node costs at least its 4-byte entry count.
+        r.check_count(n, 4)?;
         let mut labels = Vec::with_capacity(n);
         for v in 0..n {
             let len = r.u32()? as usize;
+            r.check_count(len, 12)?;
             let mut label: Vec<(u32, Dist)> = Vec::with_capacity(len);
             for _ in 0..len {
                 let rank = r.u32()?;
@@ -111,6 +138,71 @@ impl HubLabels {
             labels.push(label);
         }
         Ok(HubLabels::from_labels(labels))
+    }
+
+    /// Serialize into the flat v2 container (DESIGN.md §11). Sections:
+    /// `0` entry offsets (`n + 1` × u64), `1` hub ranks, `2` distances.
+    pub fn to_flat_bytes(&self) -> Vec<u8> {
+        self.flat_writer().finish()
+    }
+
+    /// Write the flat v2 container to `path`.
+    pub fn write_flat(&self, path: &Path) -> std::io::Result<()> {
+        self.flat_writer().write_to(path)
+    }
+
+    fn flat_writer(&self) -> FlatWriter {
+        let (offsets, ranks, dists) = self.flat_parts();
+        let mut w = FlatWriter::new(FLAT_MAGIC, FLAT_VERSION);
+        w.section(offsets);
+        w.section(ranks);
+        w.section(dists);
+        w
+    }
+
+    /// Zero-copy load of a flat v2 label index: the file is read into one
+    /// aligned buffer and all three CSR arrays are served directly from it.
+    /// Validation only scans — no per-node allocation or decode pass.
+    pub fn read_flat(path: &Path) -> Result<Self, FlatError> {
+        Self::from_flat(FlatFile::read(path, FLAT_MAGIC, FLAT_VERSION)?)
+    }
+
+    /// Parse a flat v2 label index from in-memory bytes (copies once into
+    /// an aligned buffer; [`HubLabels::read_flat`] is the zero-copy path).
+    pub fn from_flat_bytes(bytes: &[u8]) -> Result<Self, FlatError> {
+        Self::from_flat(FlatFile::parse(bytes, FLAT_MAGIC, FLAT_VERSION)?)
+    }
+
+    fn from_flat(f: FlatFile) -> Result<Self, FlatError> {
+        ensure(f.section_count() == 3, "label section count")?;
+        let offsets: FlatVec<u64> = f.section(0)?;
+        let ranks: FlatVec<u32> = f.section(1)?;
+        let dists: FlatVec<u64> = f.section(2)?;
+        // Hoist the typed views onto plain slices once: the scans below
+        // touch every label entry, and indexing through the `FlatVec`
+        // handle would re-resolve the backing on each access.
+        let off: &[u64] = &offsets;
+        let rk: &[u32] = &ranks;
+        ensure(!off.is_empty(), "label offsets empty")?;
+        ensure(off[0] == 0, "label offsets origin")?;
+        ensure(
+            off.windows(2).all(|w| w[0] <= w[1]),
+            "label offsets monotone",
+        )?;
+        ensure(
+            off[off.len() - 1] as usize == rk.len(),
+            "label offsets terminal",
+        )?;
+        ensure(rk.len() == dists.len(), "label array lengths")?;
+        ensure(
+            off.windows(2).all(|w| {
+                rk[w[0] as usize..w[1] as usize]
+                    .windows(2)
+                    .all(|r| r[0] < r[1])
+            }),
+            "label ranks sorted",
+        )?;
+        Ok(HubLabels::from_flat_parts(offsets, ranks, dists))
     }
 }
 
@@ -196,6 +288,119 @@ mod tests {
         assert!(matches!(
             HubLabels::from_bytes(&bytes),
             Err(PersistError::UnsortedLabel(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_counts() {
+        // A header declaring u64::MAX nodes must fail fast, not allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"HLBL");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            HubLabels::from_bytes(&bytes),
+            Err(PersistError::Oversized)
+        ));
+        // Same for a per-node entry count far beyond the remaining bytes.
+        let mut bytes = sample().to_bytes();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            HubLabels::from_bytes(&bytes),
+            Err(PersistError::Oversized)
+        ));
+    }
+
+    #[test]
+    fn fuzzed_corruption_never_panics() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let base = sample().to_bytes();
+        let mut rng = StdRng::seed_from_u64(0x4858_4c42);
+        for _ in 0..500 {
+            let mut bytes = base.clone();
+            // Mutate a few random bytes, sometimes truncate or extend.
+            for _ in 0..rng.gen_range(1usize..8) {
+                let at = rng.gen_range(0usize..bytes.len());
+                bytes[at] = rng.gen_range(0u32..256) as u8;
+            }
+            if rng.gen_bool(0.3) {
+                bytes.truncate(rng.gen_range(0usize..bytes.len()));
+            } else if rng.gen_bool(0.1) {
+                bytes.extend_from_slice(&base[..rng.gen_range(0usize..base.len())]);
+            }
+            // Must return Ok or a typed error — never panic or abort.
+            let _ = HubLabels::from_bytes(&bytes);
+        }
+    }
+
+    #[test]
+    fn flat_round_trip_is_identical() {
+        let hl = sample();
+        let bytes = hl.to_flat_bytes();
+        let hl2 = HubLabels::from_flat_bytes(&bytes).unwrap();
+        assert!(hl2 == hl);
+        for s in 0..10 {
+            for t in 0..10 {
+                assert_eq!(hl2.distance(s, t), hl.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_rejects_malformed_containers() {
+        use roadnet::flat::FlatError;
+        let bytes = sample().to_flat_bytes();
+        for cut in (0..bytes.len()).step_by(8) {
+            assert!(
+                HubLabels::from_flat_bytes(&bytes[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+        assert!(matches!(
+            HubLabels::from_flat_bytes(&bytes[..bytes.len() - 5]),
+            Err(FlatError::Misaligned(_))
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            HubLabels::from_flat_bytes(&bad),
+            Err(FlatError::BadMagic)
+        ));
+        let mut bad = bytes.clone();
+        bad[12] = 9;
+        assert!(matches!(
+            HubLabels::from_flat_bytes(&bad),
+            Err(FlatError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn flat_rejects_unsorted_ranks() {
+        let hl = sample();
+        let mut bytes = hl.to_flat_bytes();
+        // Ranks are section 1; find a node with >= 2 entries via offsets
+        // (section 0, after header + 3 table entries) and swap its ranks.
+        let table = 24usize;
+        let off0 = u64::from_ne_bytes(bytes[table..table + 8].try_into().unwrap()) as usize;
+        let off1 = u64::from_ne_bytes(bytes[table + 16..table + 24].try_into().unwrap()) as usize;
+        let n = hl.num_nodes();
+        let offsets: Vec<u64> = (0..=n)
+            .map(|i| u64::from_ne_bytes(bytes[off0 + i * 8..off0 + i * 8 + 8].try_into().unwrap()))
+            .collect();
+        let v = (0..n)
+            .find(|&v| offsets[v + 1] - offsets[v] >= 2)
+            .expect("some label has two entries");
+        let a = off1 + offsets[v] as usize * 4;
+        let (r1, r2) = (
+            <[u8; 4]>::try_from(&bytes[a..a + 4]).unwrap(),
+            <[u8; 4]>::try_from(&bytes[a + 4..a + 8]).unwrap(),
+        );
+        bytes[a..a + 4].copy_from_slice(&r2);
+        bytes[a + 4..a + 8].copy_from_slice(&r1);
+        assert!(matches!(
+            HubLabels::from_flat_bytes(&bytes),
+            Err(roadnet::flat::FlatError::Corrupt("label ranks sorted"))
         ));
     }
 }

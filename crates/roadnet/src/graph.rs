@@ -1,7 +1,9 @@
 //! Compact CSR graph with planar coordinates.
 
 use std::fmt;
-use std::sync::Arc;
+use std::path::Path;
+
+use crate::flat::{ensure, FlatError, FlatFile, FlatVec, FlatWriter};
 
 /// Node identifier: dense index in `0..graph.num_nodes()`.
 pub type NodeId = u32;
@@ -11,7 +13,11 @@ pub type Weight = u32;
 
 /// Planar coordinate of a node, in the same length unit as edge weights so
 /// that `euclid(u, v) <= network_distance(u, v)` can hold (A* admissibility).
+///
+/// `repr(C)`: two `f64`s with no padding, so coordinate arrays can live in
+/// flat v2 index sections and be viewed zero-copy (see [`crate::flat`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct Point {
     pub x: f64,
     pub y: f64,
@@ -37,17 +43,32 @@ impl Point {
 /// collapses parallel edges to the minimum weight — the same cleanup the
 /// paper applies to the raw DIMACS data (§VI-A).
 ///
-/// The CSR arrays live behind `Arc`, so `Graph::clone` is O(1) and a graph
-/// value acts as a shared handle: every layer (engines, backends, snapshot
-/// cells) can own its copy without lifetimes, and
+/// The CSR arrays live behind shared [`FlatVec`] handles, so `Graph::clone`
+/// is O(1) and a graph value acts as a shared handle: every layer (engines,
+/// backends, snapshot cells) can own its copy without lifetimes, and
 /// [`Graph::with_patched_weights`] produces a sibling graph that shares the
-/// topology and coordinates, copying only the weight array.
+/// topology and coordinates, copying only the weight array. A graph loaded
+/// from a v2 flat file ([`Graph::read_flat`]) serves all four arrays
+/// directly out of the single load buffer.
 #[derive(Clone)]
 pub struct Graph {
-    offsets: Arc<[u32]>,
-    targets: Arc<[NodeId]>,
-    weights: Arc<[Weight]>,
-    coords: Arc<[Point]>,
+    offsets: FlatVec<u32>,
+    targets: FlatVec<NodeId>,
+    weights: FlatVec<Weight>,
+    coords: FlatVec<Point>,
+}
+
+/// Magic for the flat v2 graph container.
+pub const GRAPH_MAGIC: [u8; 8] = *b"FANNGR2\0";
+const GRAPH_VERSION: u32 = 2;
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.weights == other.weights
+            && self.coords == other.coords
+    }
 }
 
 impl Graph {
@@ -155,10 +176,10 @@ impl Graph {
             weights[vu] = w;
         }
         Some(Graph {
-            offsets: Arc::clone(&self.offsets),
-            targets: Arc::clone(&self.targets),
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
             weights: weights.into(),
-            coords: Arc::clone(&self.coords),
+            coords: self.coords.clone(),
         })
     }
 
@@ -166,7 +187,72 @@ impl Graph {
     /// (i.e. one was derived from the other via
     /// [`Graph::with_patched_weights`] or `clone`).
     pub fn shares_topology_with(&self, other: &Graph) -> bool {
-        Arc::ptr_eq(&self.offsets, &other.offsets) && Arc::ptr_eq(&self.targets, &other.targets)
+        self.offsets.ptr_eq(&other.offsets) && self.targets.ptr_eq(&other.targets)
+    }
+
+    /// Serialize into the flat v2 container (DESIGN.md §11). Sections:
+    /// `0` CSR offsets, `1` arc targets, `2` arc weights, `3` coordinates.
+    pub fn to_flat_bytes(&self) -> Vec<u8> {
+        let mut w = FlatWriter::new(GRAPH_MAGIC, GRAPH_VERSION);
+        w.section(&self.offsets);
+        w.section(&self.targets);
+        w.section(&self.weights);
+        w.section(&self.coords);
+        w.finish()
+    }
+
+    /// Write the flat v2 container to `path`.
+    pub fn write_flat(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = FlatWriter::new(GRAPH_MAGIC, GRAPH_VERSION);
+        w.section(&self.offsets);
+        w.section(&self.targets);
+        w.section(&self.weights);
+        w.section(&self.coords);
+        w.write_to(path)
+    }
+
+    /// Zero-copy load of a flat v2 graph: the file is read into one aligned
+    /// buffer and all four CSR arrays are served directly from it. The
+    /// validation pass below only *scans* (no per-node allocation).
+    pub fn read_flat(path: &Path) -> Result<Graph, FlatError> {
+        Self::from_flat(FlatFile::read(path, GRAPH_MAGIC, GRAPH_VERSION)?)
+    }
+
+    /// Parse a flat v2 graph from in-memory bytes (copies once into an
+    /// aligned buffer; [`Graph::read_flat`] is the zero-copy path).
+    pub fn from_flat_bytes(bytes: &[u8]) -> Result<Graph, FlatError> {
+        Self::from_flat(FlatFile::parse(bytes, GRAPH_MAGIC, GRAPH_VERSION)?)
+    }
+
+    fn from_flat(f: FlatFile) -> Result<Graph, FlatError> {
+        ensure(f.section_count() == 4, "graph section count")?;
+        let offsets: FlatVec<u32> = f.section(0)?;
+        let targets: FlatVec<NodeId> = f.section(1)?;
+        let weights: FlatVec<Weight> = f.section(2)?;
+        let coords: FlatVec<Point> = f.section(3)?;
+        ensure(!offsets.is_empty(), "graph offsets empty")?;
+        let n = offsets.len() - 1;
+        ensure(coords.len() == n, "graph coords length")?;
+        ensure(targets.len() == weights.len(), "graph arc arrays length")?;
+        ensure(offsets[0] == 0, "graph offsets origin")?;
+        ensure(
+            offsets[n] as usize == targets.len(),
+            "graph offsets terminal",
+        )?;
+        ensure(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "graph offsets monotone",
+        )?;
+        ensure(
+            targets.iter().all(|&t| (t as usize) < n),
+            "graph target range",
+        )?;
+        Ok(Graph {
+            offsets,
+            targets,
+            weights,
+            coords,
+        })
     }
 }
 
@@ -425,5 +511,41 @@ mod tests {
         let h = g.clone();
         assert!(h.shares_topology_with(&g));
         assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn flat_round_trip_preserves_graph() {
+        let g = triangle();
+        let bytes = g.to_flat_bytes();
+        let h = Graph::from_flat_bytes(&bytes).unwrap();
+        assert_eq!(h.num_nodes(), g.num_nodes());
+        assert_eq!(h.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(h.coords(), g.coords());
+        // Distinct buffers: a loaded graph is its own topology family.
+        assert!(!h.shares_topology_with(&g));
+        assert!(h.clone().shares_topology_with(&h));
+    }
+
+    #[test]
+    fn flat_rejects_out_of_range_target() {
+        let g = triangle();
+        let mut bytes = g.to_flat_bytes();
+        // Section 1 (targets) starts right after section 0 (4 offsets,
+        // padded to 16 bytes) which begins at header + 4 table entries.
+        let targets_at = 24 + 4 * 16 + 16;
+        bytes[targets_at..targets_at + 4].copy_from_slice(&99u32.to_ne_bytes());
+        assert!(matches!(
+            Graph::from_flat_bytes(&bytes),
+            Err(crate::flat::FlatError::Corrupt("graph target range"))
+        ));
+    }
+
+    #[test]
+    fn flat_rejects_nonmonotone_offsets() {
+        let g = triangle();
+        let mut bytes = g.to_flat_bytes();
+        let offsets_at = 24 + 4 * 16;
+        bytes[offsets_at + 4..offsets_at + 8].copy_from_slice(&60u32.to_ne_bytes());
+        assert!(Graph::from_flat_bytes(&bytes).is_err());
     }
 }

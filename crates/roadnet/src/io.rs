@@ -41,6 +41,28 @@ fn parse_err<T: fmt::Display>(line: usize, msg: T) -> IoError {
     IoError::Parse(line, msg.to_string())
 }
 
+/// Drive `f` over every line of `r` through one reusable byte buffer — no
+/// per-line `String` allocation, which matters for continental `.gr` files
+/// with hundreds of millions of lines. `f` receives the 1-based line number
+/// (reported in every parse error) and the raw line.
+fn for_each_line<R: Read>(
+    r: R,
+    mut f: impl FnMut(usize, &str) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let mut rd = BufReader::with_capacity(1 << 20, r);
+    let mut buf = Vec::with_capacity(256);
+    let mut lno = 0usize;
+    loop {
+        buf.clear();
+        if rd.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(());
+        }
+        lno += 1;
+        let line = std::str::from_utf8(&buf).map_err(|e| parse_err(lno, e))?;
+        f(lno, line)?;
+    }
+}
+
 /// Parse a DIMACS `.gr` arc stream and a `.co` coordinate stream into a
 /// graph. DIMACS node ids are 1-based; the result is 0-based. Arcs in `.gr`
 /// files appear in both directions; [`GraphBuilder`] dedupes them.
@@ -52,9 +74,7 @@ pub fn read_dimacs<R1: Read, R2: Read>(gr: R1, co: R2) -> Result<Graph, IoError>
     let mut builder = GraphBuilder::new();
     let mut declared_nodes = 0usize;
 
-    for (idx, line) in BufReader::new(co).lines().enumerate() {
-        let line = line?;
-        let lno = idx + 1;
+    for_each_line(co, |lno, line| {
         let mut it = line.split_ascii_whitespace();
         match it.next() {
             Some("v") => {
@@ -81,11 +101,10 @@ pub fn read_dimacs<R1: Read, R2: Read>(gr: R1, co: R2) -> Result<Graph, IoError>
             Some("c") | Some("p") | None => {}
             Some(other) => return Err(parse_err(lno, format!("unknown record '{other}'"))),
         }
-    }
+        Ok(())
+    })?;
 
-    for (idx, line) in BufReader::new(gr).lines().enumerate() {
-        let line = line?;
-        let lno = idx + 1;
+    for_each_line(gr, |lno, line| {
         let mut it = line.split_ascii_whitespace();
         match it.next() {
             Some("a") => {
@@ -120,7 +139,8 @@ pub fn read_dimacs<R1: Read, R2: Read>(gr: R1, co: R2) -> Result<Graph, IoError>
             Some("c") | None => {}
             Some(other) => return Err(parse_err(lno, format!("unknown record '{other}'"))),
         }
-    }
+        Ok(())
+    })?;
 
     if declared_nodes != 0 && declared_nodes != builder.num_nodes() {
         return Err(parse_err(
@@ -254,6 +274,28 @@ mod tests {
     fn rejects_unknown_record() {
         let bad = "x what\n";
         assert!(read_dimacs(GR.as_bytes(), bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line_number() {
+        let co = "c ok\nv 1 0 0\nv 2 nonsense 4\n";
+        match read_dimacs(GR.as_bytes(), co.as_bytes()) {
+            Err(IoError::Parse(3, _)) => {}
+            other => panic!("expected parse error at line 3, got {other:?}"),
+        }
+        let gr = "a 1 2 5\na 2 1 bad\n";
+        match read_dimacs(gr.as_bytes(), CO.as_bytes()) {
+            Err(IoError::Parse(2, _)) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_missing_trailing_newline_and_crlf() {
+        let gr = "p sp 3 4\r\na 1 2 5\r\na 2 3 7";
+        let g = read_dimacs(gr.as_bytes(), CO.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(dijkstra_pair(&g, 0, 2), Some(12));
     }
 
     #[test]

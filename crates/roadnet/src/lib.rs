@@ -29,10 +29,12 @@ pub mod dijkstra;
 pub mod dynamic;
 pub mod embed;
 pub mod expansion;
+pub mod flat;
 pub mod graph;
 pub mod io;
 pub mod lowerbound;
 pub mod multisource;
+pub mod par;
 pub mod path;
 pub mod recorder;
 pub mod scratch;
@@ -51,9 +53,11 @@ pub use dijkstra::{
 pub use dynamic::{DynamicNetwork, UpdateError};
 pub use embed::{embed_edge_points, snap_to_vertex, EdgePoint};
 pub use expansion::DijkstraIter;
+pub use flat::{FlatError, FlatFile, FlatVec, FlatWriter};
 pub use graph::{Graph, GraphBuilder, NodeId, Point, Weight};
 pub use lowerbound::LowerBound;
 pub use multisource::{ObjectStreams, SharedExpansion, SharedStreams, StreamSet};
+pub use par::{default_workers, par_map_indexed};
 pub use path::shortest_path;
 pub use recorder::SearchRecorder;
 pub use scratch::{QueryScratch, ScratchPool};

@@ -1,0 +1,82 @@
+//! Minimal scoped worker-pool helper for deterministic parallel index
+//! builds.
+//!
+//! The index builders (G-tree border matrices, hub-label batches) fan
+//! independent per-item computations across a worker pool using the same
+//! work-stealing-cursor idiom as the engine's batch runner: workers pull
+//! item indices from a shared atomic cursor, compute locally, and results
+//! are merged back in index order — so the output is bit-identical to a
+//! sequential run regardless of worker count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count to use when the caller doesn't specify one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every index in `0..n` across up to `workers` threads and
+/// collect the results in index order. Deterministic: the output depends
+/// only on `f`, never on scheduling.
+pub fn par_map_indexed<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor_ref = &cursor;
+    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("index build worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in shards.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("work-stealing cursor covered every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_any_worker_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_indexed(97, workers, |i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+}

@@ -29,13 +29,16 @@ use fannr::fann::gphi::oracle::LabelOracle;
 use fannr::fann::gphi::GPhi;
 use fannr::fann::metrics::{SearchStats, StatsSink};
 use fannr::fann::{Aggregate, FannAnswer, FannQuery};
+use fannr::gtree::{GTree, GTreeParams};
 use fannr::hublabel::HubLabels;
 use fannr::roadnet::io::{read_compact, write_compact};
 use fannr::roadnet::WeightUpdate;
 use fannr::roadnet::{shortest_path, Graph, ScratchPool};
 use fannr::serve::{Body, Client, Op, Request, Response, ServeConfig, Server};
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 // Count heap allocations so `bench-batch` can report allocations/query.
 #[global_allocator]
@@ -58,7 +61,9 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&opts),
         "serve" => cmd_serve(&opts),
         "update" => cmd_update(&opts),
+        "build-index" => cmd_build_index(&opts),
         "bench-batch" => cmd_bench_batch(&opts),
+        "bench-coldstart" => cmd_bench_coldstart(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -87,13 +92,20 @@ commands:
              hub labels in-process unless --labels is given)
   render     draw a query answer as SVG          (query options + --out)
   stats      describe a network                  (--graph)
-  serve      serve queries over TCP              (--graph | --nodes --seed,
-             --addr, --workers, --queue-depth, --deadline-ms, --labels,
-             --cache-capacity, --batch-window-ms, --batch-max)
+  serve      serve queries over TCP              (--index DIR | --graph |
+             --nodes --seed, --addr, --workers, --queue-depth,
+             --deadline-ms, --labels, --cache-capacity,
+             --batch-window-ms, --batch-max)
   update     push live weight updates to a       (--addr, --edges u:v:w[,...])
              running server without a restart
+  build-index  build the flat v2 index directory (--graph | --nodes --seed,
+             --out DIR, --workers, --fanout, --leaf-cap, --skip-gtree);
+             writes graph.v2 + labels.v2 + gtree.v2 for `serve --index`
   bench-batch  measure batch throughput          (--nodes, --queries,
              --p-size, --q-size, --phi, --workers, --seed)
+  bench-coldstart  compare v1 decode vs flat v2  (--nodes, --seed, --queries,
+             zero-copy load                       --q-size, --p-density, --phi,
+                                                  --out JSON, --artifacts DIR)
 algorithms:  gd | r-list | ier-knn | exact-max | apx-sum";
 
 fn parse_opts(args: impl Iterator<Item = String>) -> HashMap<String, String> {
@@ -459,19 +471,29 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
 /// Serve FANN_R queries over TCP until SIGINT/SIGTERM or a wire
 /// `shutdown` op, then print the drain summary.
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
-    let g = if opts.contains_key("graph") {
-        load_graph(opts)?
+    // `--index DIR` cold-starts from a flat v2 index directory (zero-copy
+    // load of graph.v2 + labels.v2); otherwise the graph comes from
+    // `--graph`/`--nodes` and labels optionally from a v1 `--labels` file.
+    let (g, engine) = if let Some(dir) = opts.get("index") {
+        let engine = Engine::from_index_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+        let g = engine.snapshot().graph().clone();
+        (g, engine)
     } else {
-        let nodes: usize = get(opts, "nodes", 10_000);
-        let seed: u64 = get(opts, "seed", 7);
-        fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(seed))
+        let g = if opts.contains_key("graph") {
+            load_graph(opts)?
+        } else {
+            let nodes: usize = get(opts, "nodes", 10_000);
+            let seed: u64 = get(opts, "seed", 7);
+            fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(seed))
+        };
+        let mut engine = Engine::new(&g);
+        if let Some(path) = opts.get("labels") {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let labels = HubLabels::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            engine = engine.with_prebuilt_labels(labels);
+        }
+        (g, engine)
     };
-    let mut engine = Engine::new(&g);
-    if let Some(path) = opts.get("labels") {
-        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-        let labels = HubLabels::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
-        engine = engine.with_prebuilt_labels(labels);
-    }
     let config = ServeConfig {
         addr: opts
             .get("addr")
@@ -593,5 +615,220 @@ fn cmd_bench_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         seed: get(opts, "seed", defaults.seed),
     };
     run_throughput(&topts);
+    Ok(())
+}
+
+fn file_kib(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Build the flat v2 index directory: `graph.v2` + `labels.v2` (+
+/// `gtree.v2` unless `--skip-gtree`), each written in the zero-copy
+/// container so `serve --index` / `Engine::from_index_dir` cold-start
+/// without deserialization. `--workers 0` uses every core for the
+/// parallel label and G-tree matrix builds.
+fn cmd_build_index(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = if opts.contains_key("graph") {
+        load_graph(opts)?
+    } else {
+        let nodes: usize = get(opts, "nodes", 10_000);
+        let seed: u64 = get(opts, "seed", 7);
+        fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(seed))
+    };
+    let out = require(opts, "out")?;
+    let workers: usize = get(opts, "workers", 0);
+    let dir = Path::new(&out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{out}: {e}"))?;
+
+    let t0 = Instant::now();
+    g.write_flat(&dir.join("graph.v2"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "graph.v2   {:>12} bytes  written in {:.2}s  ({} nodes, {} edges)",
+        file_kib(&dir.join("graph.v2")),
+        t0.elapsed().as_secs_f64(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let t0 = Instant::now();
+    let labels = HubLabels::build_parallel(&g, workers);
+    labels
+        .write_flat(&dir.join("labels.v2"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "labels.v2  {:>12} bytes  built+written in {:.2}s  ({} entries, avg {:.1}/node)",
+        file_kib(&dir.join("labels.v2")),
+        t0.elapsed().as_secs_f64(),
+        labels.total_label_entries(),
+        labels.avg_label_size()
+    );
+
+    if opts.contains_key("skip-gtree") {
+        println!("gtree.v2   skipped (--skip-gtree)");
+    } else {
+        let params = GTreeParams {
+            fanout: get(opts, "fanout", 4usize),
+            leaf_cap: get(opts, "leaf-cap", 64usize),
+        };
+        let t0 = Instant::now();
+        let tree = GTree::build_with_params_parallel(&g, params, workers);
+        tree.write_flat(&dir.join("gtree.v2"))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "gtree.v2   {:>12} bytes  built+written in {:.2}s  ({} tree nodes, height {})",
+            file_kib(&dir.join("gtree.v2")),
+            t0.elapsed().as_secs_f64(),
+            tree.num_tree_nodes(),
+            tree.height()
+        );
+    }
+    println!("index directory ready: {out}");
+    Ok(())
+}
+
+/// Cold-start benchmark: the same graph + hub labels persisted both ways,
+/// then timed from artifact bytes to a first correct query answer.
+/// v1 = compact text graph + element-wise label decode (per-node Vec
+/// rebuild); v2 = the flat container (one buffer read + typed views).
+/// Answers must be bit-identical; results land in `--out` as JSON.
+fn cmd_bench_coldstart(opts: &HashMap<String, String>) -> Result<(), String> {
+    let nodes: usize = get(opts, "nodes", 30_000);
+    let seed: u64 = get(opts, "seed", 7);
+    let queries: usize = get(opts, "queries", 8);
+    let q_size: usize = get(opts, "q-size", 16);
+    let p_density: f64 = get(opts, "p-density", 0.01);
+    let phi: f64 = get(opts, "phi", 0.5);
+    let workers: usize = get(opts, "workers", 0);
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_7.json".to_string());
+
+    // `--artifacts DIR` persists the serialized indexes and reuses them on
+    // later runs, so re-measuring the load paths skips the label build.
+    let (dir, keep) = match opts.get("artifacts") {
+        Some(d) => (std::path::PathBuf::from(d), true),
+        None => (
+            std::env::temp_dir().join(format!("fannr-coldstart-{}", std::process::id())),
+            false,
+        ),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let graph_v1 = dir.join("graph.txt");
+    let labels_v1 = dir.join("labels.v1");
+    let graph_v2 = dir.join("graph.v2");
+    let labels_v2 = dir.join("labels.v2");
+    let have_artifacts = [&graph_v1, &labels_v1, &graph_v2, &labels_v2]
+        .iter()
+        .all(|p| p.exists());
+
+    let g = if have_artifacts {
+        println!("reusing artifacts in {}", dir.display());
+        fannr::roadnet::Graph::read_flat(&graph_v2).map_err(|e| e.to_string())?
+    } else {
+        println!("generating {nodes}-node network (seed {seed})...");
+        let g = fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(seed));
+        let t0 = Instant::now();
+        let labels = HubLabels::build_parallel(&g, workers);
+        println!(
+            "built hub labels in {:.1}s ({} entries)",
+            t0.elapsed().as_secs_f64(),
+            labels.total_label_entries()
+        );
+        std::fs::write(&graph_v1, write_compact(&g)).map_err(|e| e.to_string())?;
+        std::fs::write(&labels_v1, labels.to_bytes()).map_err(|e| e.to_string())?;
+        g.write_flat(&graph_v2).map_err(|e| e.to_string())?;
+        labels.write_flat(&labels_v2).map_err(|e| e.to_string())?;
+        g
+    };
+    let v1_bytes = file_kib(&graph_v1) + file_kib(&labels_v1);
+    let v2_bytes = file_kib(&graph_v2) + file_kib(&labels_v2);
+
+    // Deterministic workload shared by both engines.
+    let mut rng = fannr::workload::rng(seed ^ 0xC01D);
+    let p = fannr::workload::points::uniform_data_points(&g, p_density, &mut rng);
+    let mut qs = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        qs.push(fannr::workload::points::uniform_query_points(
+            &g, q_size, 0.2, &mut rng,
+        ));
+    }
+
+    let run_queries = |engine: &Engine| -> Result<(f64, Vec<Option<FannAnswer>>), String> {
+        let t0 = Instant::now();
+        let mut answers = Vec::new();
+        let mut first_query_s = 0.0;
+        for (i, q) in qs.iter().enumerate() {
+            for agg in [Aggregate::Max, Aggregate::Sum] {
+                answers.push(engine.query(&p, q, phi, agg).map_err(|e| e.to_string())?);
+                if i == 0 && first_query_s == 0.0 {
+                    first_query_s = t0.elapsed().as_secs_f64();
+                }
+            }
+        }
+        Ok((first_query_s, answers))
+    };
+
+    // v1 cold start: parse text graph, decode labels element-wise.
+    let t0 = Instant::now();
+    let text = std::fs::read_to_string(&graph_v1).map_err(|e| e.to_string())?;
+    let g1 = read_compact(&text).map_err(|e| e.to_string())?;
+    let l1 = HubLabels::from_bytes(&std::fs::read(&labels_v1).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let v1_load_s = t0.elapsed().as_secs_f64();
+    let e1 = Engine::new(&g1).with_prebuilt_labels(l1);
+    let (v1_first_q, a1) = run_queries(&e1)?;
+    let v1_total_s = t0.elapsed().as_secs_f64();
+
+    // v2 cold start: one buffer read per file, typed views, no per-node
+    // deserialization.
+    let t0 = Instant::now();
+    let g2 = fannr::roadnet::Graph::read_flat(&graph_v2).map_err(|e| e.to_string())?;
+    let l2 = HubLabels::read_flat(&labels_v2).map_err(|e| e.to_string())?;
+    let v2_load_s = t0.elapsed().as_secs_f64();
+    let label_entries = l2.total_label_entries();
+    let e2 = Engine::new(&g2).with_prebuilt_labels(l2);
+    let (v2_first_q, a2) = run_queries(&e2)?;
+    let v2_total_s = t0.elapsed().as_secs_f64();
+
+    if a1 != a2 {
+        return Err("v1 and v2 engines disagree on query answers".to_string());
+    }
+    if !keep {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let first_correct_v1 = v1_load_s + v1_first_q;
+    let first_correct_v2 = v2_load_s + v2_first_q;
+    let json = format!(
+        "{{\n  \"bench\": \"coldstart\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"label_entries\": {},\n  \"queries\": {},\n  \"answers_identical\": true,\n  \"v1\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"v2\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"load_speedup\": {:.2},\n  \"first_correct_query_speedup\": {:.2}\n}}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        label_entries,
+        qs.len() * 2,
+        v1_bytes,
+        v1_load_s,
+        first_correct_v1,
+        v1_total_s,
+        v2_bytes,
+        v2_load_s,
+        first_correct_v2,
+        v2_total_s,
+        v1_load_s / v2_load_s,
+        first_correct_v1 / first_correct_v2,
+    );
+    if let Some(parent) = Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
+    print!("{json}");
+    println!(
+        "load: v1 {v1_load_s:.3}s vs v2 {v2_load_s:.3}s ({:.1}x); first correct query: {first_correct_v1:.3}s vs {first_correct_v2:.3}s ({:.1}x) -> {out}",
+        v1_load_s / v2_load_s,
+        first_correct_v1 / first_correct_v2,
+    );
     Ok(())
 }

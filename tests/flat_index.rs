@@ -1,0 +1,183 @@
+//! The flat v2 index contract, end to end: round-trips are bit-identical
+//! (v2 bytes == in-memory build == v1 decode for graph, hub labels, and
+//! G-tree), an engine cold-started from an index directory answers every
+//! strategy bit-identically to an engine built in memory, and malformed
+//! containers are rejected with typed errors rather than panics.
+
+use fannr::fann::engine::Engine;
+use fannr::fann::{Aggregate, FannAnswer};
+use fannr::gtree::{GTree, GTreeParams};
+use fannr::hublabel::HubLabels;
+use fannr::roadnet::{Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A random connected graph: spanning tree + extra random edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, 0usize..24, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node((next() % 1000) as f64, (next() % 1000) as f64);
+        }
+        for v in 1..n as u32 {
+            let u = (next() % v as u64) as u32;
+            b.add_edge(u, v, (next() % 40 + 1) as u32);
+        }
+        for _ in 0..extra {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v {
+                b.add_edge(u, v, (next() % 40 + 1) as u32);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Graph: flat v2 bytes decode to the exact same CSR arrays.
+    #[test]
+    fn graph_v2_round_trip_is_bit_identical(g in arb_graph()) {
+        let back = Graph::from_flat_bytes(&g.to_flat_bytes()).unwrap();
+        prop_assert!(back == g);
+    }
+
+    /// Hub labels: v2 round trip == in-memory build == v1 decode.
+    #[test]
+    fn labels_v2_matches_build_and_v1(g in arb_graph()) {
+        let built = HubLabels::build(&g);
+        let via_v1 = HubLabels::from_bytes(&built.to_bytes()).unwrap();
+        let via_v2 = HubLabels::from_flat_bytes(&built.to_flat_bytes()).unwrap();
+        prop_assert!(via_v2 == built);
+        prop_assert!(via_v2 == via_v1);
+    }
+
+    /// G-tree: v2 round trip == in-memory build == v1 decode.
+    #[test]
+    fn gtree_v2_matches_build_and_v1(g in arb_graph()) {
+        let built = GTree::build_with_params(
+            &g,
+            GTreeParams { fanout: 2, leaf_cap: 5 },
+        );
+        let via_v1 = GTree::from_bytes(&built.to_bytes()).unwrap();
+        let via_v2 = GTree::from_flat_bytes(&built.to_flat_bytes()).unwrap();
+        prop_assert!(via_v2 == built);
+        prop_assert!(via_v2 == via_v1);
+    }
+
+    /// Truncating a v2 container anywhere must produce an error, not a
+    /// panic or a silently wrong structure.
+    #[test]
+    fn truncated_v2_containers_are_rejected(g in arb_graph(), frac in 0.0f64..1.0) {
+        let bytes = HubLabels::build(&g).to_flat_bytes();
+        let cut = ((bytes.len() as f64 * frac) as usize / 8) * 8;
+        if cut < bytes.len() {
+            prop_assert!(HubLabels::from_flat_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+fn workload(g: &Graph, seed: u64) -> (Vec<NodeId>, Vec<Vec<NodeId>>) {
+    let mut rng = fannr::workload::rng(seed);
+    let p = fannr::workload::points::uniform_data_points(g, 0.05, &mut rng);
+    let qs = (0..4)
+        .map(|_| fannr::workload::points::uniform_query_points(g, 8, 0.4, &mut rng))
+        .collect();
+    (p, qs)
+}
+
+/// Cold start from `fannr build-index` artifacts: every strategy the
+/// engine can dispatch (IER-kNN over labels, Exact-max, R-List, APX-sum)
+/// answers bit-identically to an engine built in memory.
+#[test]
+fn engine_from_index_dir_matches_in_memory_for_all_strategies() {
+    let graph = fannr::workload::synth::road_network(800, &mut fannr::workload::rng(41));
+    let labels = HubLabels::build_parallel(&graph, 2);
+
+    let dir = std::env::temp_dir().join(format!("fannr-flatidx-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    graph.write_flat(&dir.join("graph.v2")).unwrap();
+    labels.write_flat(&dir.join("labels.v2")).unwrap();
+
+    let (p, qs) = workload(&graph, 42);
+
+    // Labeled engines: strategy IerKnnLabels for both aggregates.
+    let mem_labeled = Engine::new(&graph).with_prebuilt_labels(labels);
+    let disk_labeled = Engine::from_index_dir(&dir).unwrap();
+    assert!(disk_labeled.has_labels(), "labels.v2 must attach");
+    // Index-free engines: ExactMax (max), RListIne (sum), ApxSumIne (sum).
+    let disk_graph = Graph::read_flat(&dir.join("graph.v2")).unwrap();
+    assert!(disk_graph == graph);
+    let mem_plain = Engine::new(&graph);
+    let disk_plain = Engine::new(&disk_graph);
+    let mem_apx = Engine::new(&graph).allow_approx_sum(true);
+    let disk_apx = Engine::new(&disk_graph).allow_approx_sum(true);
+
+    let run = |e: &Engine, q: &[NodeId], agg: Aggregate| -> Option<FannAnswer> {
+        e.query(&p, q, 0.5, agg).unwrap()
+    };
+    for q in &qs {
+        for agg in [Aggregate::Max, Aggregate::Sum] {
+            assert_eq!(
+                run(&mem_labeled, q, agg),
+                run(&disk_labeled, q, agg),
+                "labeled engine diverged ({agg})"
+            );
+            assert_eq!(
+                run(&mem_plain, q, agg),
+                run(&disk_plain, q, agg),
+                "index-free engine diverged ({agg})"
+            );
+        }
+        assert_eq!(
+            run(&mem_apx, q, Aggregate::Sum),
+            run(&disk_apx, q, Aggregate::Sum),
+            "apx-sum engine diverged"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A missing or mangled index directory yields typed errors, and a label
+/// file for a different graph is refused by the node-count check.
+#[test]
+fn from_index_dir_rejects_bad_directories() {
+    let dir = std::env::temp_dir().join(format!("fannr-flatbad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Empty dir: no graph.v2.
+    assert!(Engine::from_index_dir(&dir).is_err());
+
+    // Corrupt graph.v2.
+    std::fs::write(dir.join("graph.v2"), vec![0u8; 64]).unwrap();
+    assert!(Engine::from_index_dir(&dir).is_err());
+
+    // Valid graph, labels built for a different graph.
+    let g1 = fannr::workload::synth::road_network(300, &mut fannr::workload::rng(1));
+    let g2 = fannr::workload::synth::road_network(600, &mut fannr::workload::rng(2));
+    g1.write_flat(&dir.join("graph.v2")).unwrap();
+    HubLabels::build(&g2)
+        .write_flat(&dir.join("labels.v2"))
+        .unwrap();
+    assert!(
+        Engine::from_index_dir(&dir).is_err(),
+        "mismatched labels must be refused"
+    );
+
+    // Matching labels: loads.
+    HubLabels::build(&g1)
+        .write_flat(&dir.join("labels.v2"))
+        .unwrap();
+    assert!(Engine::from_index_dir(&dir).unwrap().has_labels());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

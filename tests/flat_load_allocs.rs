@@ -1,0 +1,92 @@
+//! Zero-copy loading really is zero-copy: heap allocations during a flat
+//! v2 load are O(sections) — a small constant per file — independent of
+//! how many nodes, labels, or matrix entries the index holds. This is the
+//! load-path contract that makes continental cold starts I/O-bound.
+//!
+//! This file must hold only these tests: it installs a counting global
+//! allocator and the counts would be polluted by concurrent tests.
+
+use fannr::bench::throughput::{allocation_count, CountingAlloc};
+use fannr::gtree::{GTree, GTreeParams};
+use fannr::hublabel::HubLabels;
+use fannr::roadnet::Graph;
+use std::path::PathBuf;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f`, excluding anything before/after.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocation_count();
+    let out = f();
+    (allocation_count() - before, out)
+}
+
+fn write_index(nodes: usize, tag: &str) -> (PathBuf, Graph) {
+    let g = fannr::workload::synth::road_network(nodes, &mut fannr::workload::rng(11));
+    let labels = HubLabels::build(&g);
+    let tree = GTree::build_with_params(
+        &g,
+        GTreeParams {
+            fanout: 4,
+            leaf_cap: 32,
+        },
+    );
+    let dir = std::env::temp_dir().join(format!("fannr-allocs-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    g.write_flat(&dir.join("graph.v2")).unwrap();
+    labels.write_flat(&dir.join("labels.v2")).unwrap();
+    tree.write_flat(&dir.join("gtree.v2")).unwrap();
+    (dir, g)
+}
+
+#[test]
+fn v2_load_allocations_are_constant_in_index_size() {
+    // Two indexes an order of magnitude apart in size.
+    let (small_dir, small_g) = write_index(400, "s");
+    let (large_dir, large_g) = write_index(4000, "l");
+    assert!(large_g.num_nodes() >= 8 * small_g.num_nodes());
+
+    let load_all = |dir: &PathBuf| {
+        let g = Graph::read_flat(&dir.join("graph.v2")).unwrap();
+        let l = HubLabels::read_flat(&dir.join("labels.v2")).unwrap();
+        let t = GTree::read_flat(&dir.join("gtree.v2")).unwrap();
+        (g, l, t)
+    };
+
+    // Warm up (File/BufReader one-time setup, test-harness noise).
+    let _ = load_all(&small_dir);
+
+    let (small_allocs, small_loaded) = allocs_during(|| load_all(&small_dir));
+    let (large_allocs, large_loaded) = allocs_during(|| load_all(&large_dir));
+
+    // Loaded indexes are real: spot-check a query structure.
+    assert_eq!(small_loaded.0.num_nodes(), small_g.num_nodes());
+    assert_eq!(large_loaded.0.num_nodes(), large_g.num_nodes());
+    assert!(large_loaded.1.total_label_entries() > small_loaded.1.total_label_entries());
+    assert!(large_loaded.2.num_tree_nodes() > small_loaded.2.num_tree_nodes());
+
+    // O(sections): a generous fixed budget per load (3 files, ~20
+    // sections total, plus one buffer each), and — the real contract —
+    // no growth with index size.
+    assert!(
+        small_allocs <= 256,
+        "small v2 load made {small_allocs} allocations"
+    );
+    assert!(
+        large_allocs <= small_allocs + 32,
+        "v2 load allocations scale with index size: {small_allocs} -> {large_allocs}"
+    );
+
+    // Contrast: the v1 element-wise decode allocates per node/label.
+    let v1_labels = small_loaded.1.to_bytes();
+    let (v1_allocs, decoded) = allocs_during(|| HubLabels::from_bytes(&v1_labels).unwrap());
+    assert!(decoded == small_loaded.1);
+    assert!(
+        v1_allocs > large_allocs,
+        "v1 decode ({v1_allocs} allocs) should dwarf v2 load ({large_allocs})"
+    );
+
+    std::fs::remove_dir_all(&small_dir).ok();
+    std::fs::remove_dir_all(&large_dir).ok();
+}

@@ -335,6 +335,52 @@ struct EngineShared {
     cache: OnceLock<Arc<AnswerCache>>,
 }
 
+/// Options for [`Engine::from_index_dir_with`].
+#[derive(Debug, Clone)]
+pub struct IndexDirOptions {
+    /// Backing for the flat-container loads. Defaults to
+    /// [`roadnet::LoadMode::Auto`]: mmap with one-read fallback.
+    pub load_mode: roadnet::LoadMode,
+    /// When `labels.v2` is missing, build hub labels (and a missing
+    /// `gtree.v2`) on a background thread and publish them through the
+    /// snapshot swap; until then queries answer exactly via the
+    /// index-free strategies. Off by default.
+    pub background_build: bool,
+    /// Worker threads for the background builds (0 = all cores).
+    pub workers: usize,
+    /// Write background-built artifacts back into the directory
+    /// (atomically, via temp + rename) so the next cold start finds a
+    /// complete index. On by default.
+    pub persist: bool,
+    /// Partitioning parameters for a background-built G-tree.
+    pub gtree_params: gtree::GTreeParams,
+}
+
+impl Default for IndexDirOptions {
+    fn default() -> Self {
+        IndexDirOptions {
+            load_mode: roadnet::LoadMode::Auto,
+            background_build: false,
+            workers: 0,
+            persist: true,
+            gtree_params: gtree::GTreeParams::default(),
+        }
+    }
+}
+
+/// Write an index artifact atomically: build it as `<name>.tmp` in the
+/// same directory, then rename over the final name, so a reader never
+/// opens a half-written file.
+fn persist_atomic(
+    dir: &std::path::Path,
+    name: &str,
+    write: impl FnOnce(&std::path::Path) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    write(&tmp)?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
 /// A road network plus optional indexes, with automatic algorithm choice
 /// and lock-free live updates (see the [module docs](self) for the
 /// snapshot/epoch model).
@@ -396,22 +442,105 @@ impl Engine {
 
     /// Cold-start an engine from a flat index directory written by
     /// `fannr build-index`: `graph.v2` (required) plus `labels.v2`
-    /// (attached when present). Both load zero-copy — one buffer read per
-    /// file, typed views over it, allocations O(sections) — so start-up
-    /// cost is I/O-bound rather than deserialization-bound.
+    /// (attached when present). Both load zero-copy behind one aligned
+    /// buffer — mapped read-only when possible so a continental index
+    /// pages in lazily, one `read` otherwise — with typed views over it
+    /// and allocations O(sections), so start-up cost is I/O-bound rather
+    /// than deserialization-bound.
     pub fn from_index_dir(dir: &std::path::Path) -> Result<Self, roadnet::flat::FlatError> {
-        let graph = Graph::read_flat(&dir.join("graph.v2"))?;
+        Self::from_index_dir_with(dir, &IndexDirOptions::default())
+    }
+
+    /// [`Engine::from_index_dir`] with explicit [`IndexDirOptions`]. With
+    /// `background_build` set, a directory holding only `graph.v2` is
+    /// enough: the engine starts serving immediately (exactly, via the
+    /// index-free strategies) while hub labels and the G-tree build on a
+    /// background thread and publish through the snapshot swap.
+    pub fn from_index_dir_with(
+        dir: &std::path::Path,
+        opts: &IndexDirOptions,
+    ) -> Result<Self, roadnet::flat::FlatError> {
+        let graph = Graph::read_flat_with(&dir.join("graph.v2"), opts.load_mode)?;
         let engine = Engine::new(&graph);
         let labels_path = dir.join("labels.v2");
         if labels_path.exists() {
-            let labels = HubLabels::read_flat(&labels_path)?;
+            let labels = HubLabels::read_flat_with(&labels_path, opts.load_mode)?;
             roadnet::flat::ensure(
                 labels.num_nodes() == graph.num_nodes(),
                 "labels node count matches graph",
             )?;
             return Ok(engine.with_prebuilt_labels(labels));
         }
+        if opts.background_build {
+            engine.complete_index_in_background(dir, opts);
+        }
         Ok(engine)
+    }
+
+    /// Build whatever the index directory is missing, on one background
+    /// thread with the parallel builders: hub labels first (published
+    /// through the same snapshot swap as [`Engine::repair_indexes`] —
+    /// queries keep answering exactly via the index-free strategies until
+    /// the swap lands), then a missing `gtree.v2`. Artifacts are built
+    /// against the snapshot pinned at call time (for a freshly cold-
+    /// started engine, exactly the `graph.v2` on disk) and written
+    /// atomically via temp + rename, so a concurrent cold start never
+    /// sees a torn file. Returns `false` when a build or repair thread is
+    /// already running.
+    pub fn complete_index_in_background(
+        &self,
+        dir: &std::path::Path,
+        opts: &IndexDirOptions,
+    ) -> bool {
+        if self.shared.repairing.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let engine = self.clone();
+        let dir = dir.to_path_buf();
+        let opts = opts.clone();
+        let disk = self.snapshot();
+        std::thread::spawn(move || {
+            if !disk.has_labels() {
+                let labels = Arc::new(HubLabels::build_parallel(disk.graph(), opts.workers));
+                if opts.persist {
+                    let _ = persist_atomic(&dir, "labels.v2", |p| labels.write_flat(p));
+                }
+                // Publish only while the live epoch still matches the
+                // build snapshot: after an update batch these labels no
+                // longer describe the live weights (the persisted copy
+                // stays valid — it matches graph.v2, not the live graph).
+                let guard = engine.shared.writer.lock().unwrap();
+                let cur = engine.shared.cell.load();
+                if cur.epoch() == disk.epoch() && !cur.has_labels() {
+                    engine.shared.cell.store(Arc::new(EngineSnapshot {
+                        net: cur.net.clone(),
+                        labels: Some(labels),
+                        stale: StaleSet::fresh(),
+                    }));
+                }
+                drop(guard);
+            }
+            if opts.persist && !dir.join("gtree.v2").exists() {
+                let tree = gtree::GTree::build_with_params_parallel(
+                    disk.graph(),
+                    opts.gtree_params,
+                    opts.workers,
+                );
+                let _ = persist_atomic(&dir, "gtree.v2", |p| tree.write_flat(p));
+            }
+            engine.shared.repairing.store(false, Ordering::SeqCst);
+            if engine.is_stale() {
+                // Updates that landed mid-build saw `repairing` set and
+                // skipped their own repair kick; pick them up.
+                engine.repair_in_background();
+            } else if !engine.has_labels() {
+                // The epoch moved before the swap: the disk-graph labels
+                // were persisted but never published. Build labels for
+                // the live graph (restarting on further moves).
+                engine.publish_labels(false);
+            }
+        });
+        true
     }
 
     /// Allow `APX-sum` (guaranteed 3-approximation) for index-free sum

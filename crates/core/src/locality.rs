@@ -15,6 +15,16 @@
 //! record of offsets into the arena. When the table or arena fills up the
 //! whole cache is reset wholesale — no eviction lists, no LRU chains.
 //!
+//! Invalidation tombstones a slot (`Dead`) rather than emptying it, so
+//! probe chains through it stay intact. Linear probing only terminates on
+//! `Empty`, so tombstones are counted and the table is compacted in place
+//! (live slots re-homed, dead ones dropped) whenever `live + dead`
+//! crosses the load threshold — an empty slot therefore always terminates
+//! a probe, and both probe loops are additionally hard-bounded at one
+//! full table scan. Same-key refreshes reuse the entry's old subset span
+//! in the arena when the new subset fits, so a hot key re-inserted every
+//! epoch does not grow the arena.
+//!
 //! ## Coherence contract (see DESIGN.md §9)
 //!
 //! Every entry is stamped with the graph epoch its answer was computed on,
@@ -69,6 +79,8 @@ pub struct CacheStats {
     pub retained: u64,
     /// Entries dropped wholesale because the table or arena filled up.
     pub evicted: u64,
+    /// In-place table compactions that reclaimed tombstoned slots.
+    pub rebuilds: u64,
 }
 
 /// A canonical cache key: `p` and `q` must be sorted and duplicate-free
@@ -178,6 +190,9 @@ struct Table {
     slots: Vec<Slot>,
     arena: Vec<NodeId>,
     live: usize,
+    /// Tombstoned slots ([`SlotState::Dead`]) not yet reclaimed; the
+    /// compaction trigger is `live + dead` crossing the load threshold.
+    dead: usize,
     stats: CacheStats,
 }
 
@@ -203,6 +218,7 @@ impl AnswerCache {
                 slots: vec![EMPTY_SLOT; slots],
                 arena: Vec::new(),
                 live: 0,
+                dead: 0,
                 stats: CacheStats::default(),
             }),
             max_live,
@@ -230,6 +246,14 @@ impl AnswerCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.table.lock().unwrap().stats
+    }
+
+    /// Slot occupancy `(live, dead, slots)`. `live + dead <= slots`
+    /// always holds, and compaction keeps `live + dead` below the load
+    /// threshold across inserts (exposed for the coherence tests).
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        let t = self.table.lock().unwrap();
+        (t.live, t.dead, t.slots.len())
     }
 
     /// Probe for `key` at `epoch` (the querying snapshot's epoch). An
@@ -280,24 +304,56 @@ impl AnswerCache {
         if t.arena.len() + need > self.arena_limit {
             reset(&mut t);
         }
-        let (idx, key_off) = match find(&t, key, fp) {
+        let (idx, key_off, old_span) = match find(&t, key, fp) {
             // Same key: reuse its arena copy, just refresh the value.
-            Some(idx) => (idx, t.slots[idx].key_off),
+            Some(idx) => {
+                let s = t.slots[idx];
+                (idx, s.key_off, Some((s.sub_off, s.sub_len)))
+            }
             None => {
                 if t.live >= self.max_live {
                     // Full: wholesale reset (flat cache, no LRU chains).
                     reset(&mut t);
+                } else if t.live + t.dead >= t.slots.len() / 2 {
+                    // Tombstones crowd the probe chains: compact in place
+                    // so an empty slot always terminates a probe.
+                    rebuild(&mut t);
+                }
+                let idx = match find_insert_slot(&t, fp) {
+                    Some(idx) => idx,
+                    // Unreachable after the occupancy maintenance above;
+                    // backstop so a counter bug degrades to an eviction,
+                    // never an unbounded probe.
+                    None => {
+                        reset(&mut t);
+                        find_insert_slot(&t, fp).expect("empty table has a free slot")
+                    }
+                };
+                if t.slots[idx].state == SlotState::Dead {
+                    t.dead -= 1;
                 }
                 let key_off = t.arena.len() as u32;
                 t.arena.extend_from_slice(key.p);
                 t.arena.extend_from_slice(key.q);
-                let idx = find_insert_slot(&t, fp);
                 t.live += 1;
-                (idx, key_off)
+                (idx, key_off, None)
             }
         };
-        let sub_off = t.arena.len() as u32;
-        t.arena.extend_from_slice(subset);
+        // A same-key refresh overwrites the old subset span when the new
+        // subset fits (a hot key re-inserted every epoch no longer grows
+        // the arena until a wholesale reset); otherwise append.
+        let sub_off = match old_span {
+            Some((old_off, old_len)) if subset.len() <= old_len as usize => {
+                let off = old_off as usize;
+                t.arena[off..off + subset.len()].copy_from_slice(subset);
+                old_off
+            }
+            _ => {
+                let off = t.arena.len() as u32;
+                t.arena.extend_from_slice(subset);
+                off
+            }
+        };
         t.slots[idx] = Slot {
             state: SlotState::Live,
             fp,
@@ -351,6 +407,7 @@ impl AnswerCache {
             } else {
                 t.slots[i].state = SlotState::Dead;
                 t.live -= 1;
+                t.dead += 1;
                 t.stats.invalidated += 1;
             }
         }
@@ -364,14 +421,18 @@ impl AnswerCache {
         t.slots.fill(EMPTY_SLOT);
         t.arena.clear();
         t.live = 0;
+        t.dead = 0;
     }
 }
 
-/// Linear-probe for the slot holding `key`, if any.
+/// Linear-probe for the slot holding `key`, if any. Probes at most one
+/// full table scan: compaction keeps an empty slot on every chain, but
+/// the bound is the hard backstop against a table with no `Empty` slot
+/// (tombstone saturation used to spin here forever).
 fn find(t: &Table, key: &CacheKey<'_>, fp: u64) -> Option<usize> {
     let mask = t.slots.len() - 1;
     let mut idx = (fp as usize) & mask;
-    loop {
+    for _ in 0..t.slots.len() {
         let s = &t.slots[idx];
         match s.state {
             SlotState::Empty => return None,
@@ -379,6 +440,7 @@ fn find(t: &Table, key: &CacheKey<'_>, fp: u64) -> Option<usize> {
             _ => idx = (idx + 1) & mask,
         }
     }
+    None
 }
 
 fn key_matches(t: &Table, s: &Slot, key: &CacheKey<'_>) -> bool {
@@ -396,17 +458,36 @@ fn key_matches(t: &Table, s: &Slot, key: &CacheKey<'_>) -> bool {
     t.arena[off..p_end] == *key.p && t.arena[p_end..q_end] == *key.q
 }
 
-/// First empty or dead slot on `fp`'s probe chain. The caller guarantees
-/// the table is below capacity (live < slots/2), so one always exists.
-fn find_insert_slot(t: &Table, fp: u64) -> usize {
+/// First empty or dead slot on `fp`'s probe chain, bounded at one full
+/// table scan (`None` only if every slot is live, which occupancy
+/// maintenance prevents).
+fn find_insert_slot(t: &Table, fp: u64) -> Option<usize> {
     let mask = t.slots.len() - 1;
     let mut idx = (fp as usize) & mask;
-    loop {
+    for _ in 0..t.slots.len() {
         match t.slots[idx].state {
-            SlotState::Empty | SlotState::Dead => return idx,
+            SlotState::Empty | SlotState::Dead => return Some(idx),
             SlotState::Live => idx = (idx + 1) & mask,
         }
     }
+    None
+}
+
+/// Re-home every live slot into a tombstone-free table of the same size.
+/// Linear probing only terminates on `Empty`, so tombstones must be
+/// reclaimed before they saturate every probe chain; the arena is left
+/// as-is (its growth is bounded separately by `arena_limit`).
+fn rebuild(t: &mut Table) {
+    let fresh = vec![EMPTY_SLOT; t.slots.len()];
+    let old = std::mem::replace(&mut t.slots, fresh);
+    t.dead = 0;
+    for s in old {
+        if s.state == SlotState::Live {
+            let idx = find_insert_slot(t, s.fp).expect("live slots fit after dropping tombstones");
+            t.slots[idx] = s;
+        }
+    }
+    t.stats.rebuilds += 1;
 }
 
 fn reset(t: &mut Table) {
@@ -414,6 +495,7 @@ fn reset(t: &mut Table) {
     t.slots.fill(EMPTY_SLOT);
     t.arena.clear();
     t.live = 0;
+    t.dead = 0;
 }
 
 /// Bounding rectangle of a set of graph coordinates — the cached `b_Q`.
@@ -575,6 +657,65 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&key(&[1], &qs[2], 1.0), 0).is_some());
         assert!(cache.stats().evicted >= 2);
+    }
+
+    #[test]
+    fn tombstone_churn_never_saturates_the_table() {
+        // Epoch churn invalidates every entry each round; the dead slots
+        // must be compacted away so absent-key probes keep terminating on
+        // an Empty slot (this pattern used to saturate the table and spin
+        // `find` forever).
+        let cache = AnswerCache::new(4); // slots = 8
+        let mut id: NodeId = 0;
+        for round in 0..100 {
+            for _ in 0..3 {
+                id += 1;
+                let q = [id];
+                cache.insert(&key(&[0], &q, 1.0), round, None, 0, unit_mbr(), NO_REACH);
+            }
+            cache.on_update(round, round + 1, &[Pt::new(0.0, 0.0)], 1.0);
+            let (live, dead, slots) = cache.occupancy();
+            assert!(live + dead <= slots, "{live} + {dead} > {slots}");
+        }
+        assert!(cache.lookup(&key(&[0], &[u32::MAX], 1.0), 100).is_none());
+        let s = cache.stats();
+        assert!(s.rebuilds > 0, "compaction never ran");
+        assert_eq!(s.evicted, 0, "capacity was never exceeded");
+    }
+
+    #[test]
+    fn same_key_refresh_does_not_grow_arena() {
+        // capacity 1 => arena_limit 4096 ids. Refreshing one hot key many
+        // times used to append a fresh subset span per insert and force
+        // periodic wholesale resets once the arena filled.
+        let cache = AnswerCache::new(1);
+        let k = key(&[1, 2], &[3, 4], 0.5);
+        for epoch in 0..10_000 {
+            cache.insert(&k, epoch, Some(&answer(1, 7)), 0, unit_mbr(), 7);
+        }
+        assert_eq!(cache.stats().evicted, 0, "arena leak forced a reset");
+        let hit = cache.lookup(&k, 9_999).expect("hit");
+        assert_eq!(hit.answer.unwrap().subset, vec![7, 9]);
+    }
+
+    #[test]
+    fn refresh_with_shorter_subset_reuses_span() {
+        let cache = AnswerCache::new(4);
+        let k = key(&[1, 2, 3], &[4], 1.0);
+        let long = FannAnswer {
+            p_star: 1,
+            subset: vec![1, 2, 3],
+            dist: 5,
+        };
+        let short = FannAnswer {
+            p_star: 2,
+            subset: vec![9],
+            dist: 3,
+        };
+        cache.insert(&k, 0, Some(&long), 0, unit_mbr(), 5);
+        cache.insert(&k, 1, Some(&short), 0, unit_mbr(), 3);
+        let hit = cache.lookup(&k, 1).expect("hit");
+        assert_eq!(hit.answer.unwrap().subset, vec![9]);
     }
 
     #[test]

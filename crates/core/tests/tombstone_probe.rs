@@ -5,7 +5,12 @@ use spatial_rtree::{Mbr, Pt};
 #[test]
 fn tombstone_fill_terminates() {
     let cache = AnswerCache::new(4); // slots = 8
-    let mbr = Mbr { min_x: 0.0, min_y: 0.0, max_x: 1.0, max_y: 1.0 };
+    let mbr = Mbr {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 1.0,
+        max_y: 1.0,
+    };
     let mut next_id: u32 = 0;
     for round in 0..50 {
         // insert 3 distinct keys (stays below max_live=4, never resets)
@@ -15,13 +20,25 @@ fn tombstone_fill_terminates() {
             keys.push([next_id]);
         }
         for q in &keys {
-            let k = CacheKey { p: &[0], q, phi: 1.0, agg: 0, strategy: 1 };
+            let k = CacheKey {
+                p: &[0],
+                q,
+                phi: 1.0,
+                agg: 0,
+                strategy: 1,
+            };
             cache.insert(&k, round, None, 0, mbr, NO_REACH);
         }
         // epoch bump invalidates everything (NO_REACH entries never promote)
         cache.on_update(round, round + 1, &[Pt::new(0.0, 0.0)], 1.0);
     }
     // lookup of an absent key: must terminate
-    let k = CacheKey { p: &[0], q: &[999_999], phi: 1.0, agg: 0, strategy: 1 };
+    let k = CacheKey {
+        p: &[0],
+        q: &[999_999],
+        phi: 1.0,
+        agg: 0,
+        strategy: 1,
+    };
     assert!(cache.lookup(&k, 1000).is_none());
 }

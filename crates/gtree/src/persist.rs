@@ -30,7 +30,7 @@
 //! scan-only validation pass; allocations are O(sections), not O(nodes)).
 
 use crate::tree::{GNode, GTree, GTreeParams, NO_PARENT};
-use roadnet::flat::{ensure, FlatError, FlatFile, FlatVec, FlatWriter};
+use roadnet::flat::{ensure, FlatError, FlatFile, FlatStreamWriter, FlatVec, FlatWriter, LoadMode};
 use roadnet::Dist;
 use std::fmt;
 use std::path::Path;
@@ -293,9 +293,27 @@ impl GTree {
         self.flat_writer().finish()
     }
 
-    /// Write the flat v2 container to `path`.
+    /// Write the flat v2 container to `path`, streaming each of the 13
+    /// CSR sections straight to the file — peak writer memory is the tree
+    /// itself, never a second assembled copy (at continental scale the
+    /// matrix section dominates the file).
     pub fn write_flat(&self, path: &Path) -> std::io::Result<()> {
-        self.flat_writer().write_to(path)
+        let params = self.params();
+        let mut w = FlatStreamWriter::create(path, FLAT_MAGIC, FLAT_VERSION, 13)?;
+        w.section::<u32>(&[params.fanout as u32, params.leaf_cap as u32])?;
+        w.section::<u32>(&self.leaf_of)?;
+        w.section::<u32>(&self.parent)?;
+        w.section::<u32>(&self.depth)?;
+        w.section::<u32>(&self.children_off)?;
+        w.section::<u32>(&self.children)?;
+        w.section::<u32>(&self.borders_off)?;
+        w.section::<u32>(&self.borders)?;
+        w.section::<u32>(&self.border_pos)?;
+        w.section::<u32>(&self.verts_off)?;
+        w.section::<u32>(&self.verts)?;
+        w.section::<u64>(&self.matrix_off)?;
+        w.section::<u64>(&self.matrix)?;
+        w.finish()
     }
 
     fn flat_writer(&self) -> FlatWriter {
@@ -317,10 +335,16 @@ impl GTree {
         w
     }
 
-    /// Load a flat v2 container from `path` zero-copy: one buffer read,
-    /// then typed slice views over it (allocations are O(sections)).
+    /// Load a flat v2 container from `path` zero-copy: one aligned buffer
+    /// (mapped when possible, see [`LoadMode::Auto`]), then typed slice
+    /// views over it (allocations are O(sections)).
     pub fn read_flat(path: &Path) -> Result<Self, FlatError> {
-        Self::from_flat(FlatFile::read(path, FLAT_MAGIC, FLAT_VERSION)?)
+        Self::read_flat_with(path, LoadMode::Auto)
+    }
+
+    /// [`GTree::read_flat`] with an explicit backing [`LoadMode`].
+    pub fn read_flat_with(path: &Path, mode: LoadMode) -> Result<Self, FlatError> {
+        Self::from_flat(FlatFile::open(path, FLAT_MAGIC, FLAT_VERSION, mode)?)
     }
 
     /// Decode a flat v2 container from a byte buffer (copies once).

@@ -10,7 +10,7 @@
 //! ```
 
 use crate::HubLabels;
-use roadnet::flat::{ensure, FlatError, FlatFile, FlatVec, FlatWriter};
+use roadnet::flat::{ensure, FlatError, FlatFile, FlatStreamWriter, FlatVec, FlatWriter, LoadMode};
 use roadnet::Dist;
 use std::fmt;
 use std::path::Path;
@@ -146,9 +146,15 @@ impl HubLabels {
         self.flat_writer().finish()
     }
 
-    /// Write the flat v2 container to `path`.
+    /// Write the flat v2 container to `path`, streaming each CSR array
+    /// straight to the file — no assembled in-memory copy.
     pub fn write_flat(&self, path: &Path) -> std::io::Result<()> {
-        self.flat_writer().write_to(path)
+        let (offsets, ranks, dists) = self.flat_parts();
+        let mut w = FlatStreamWriter::create(path, FLAT_MAGIC, FLAT_VERSION, 3)?;
+        w.section(offsets)?;
+        w.section(ranks)?;
+        w.section(dists)?;
+        w.finish()
     }
 
     fn flat_writer(&self) -> FlatWriter {
@@ -160,11 +166,17 @@ impl HubLabels {
         w
     }
 
-    /// Zero-copy load of a flat v2 label index: the file is read into one
-    /// aligned buffer and all three CSR arrays are served directly from it.
-    /// Validation only scans — no per-node allocation or decode pass.
+    /// Zero-copy load of a flat v2 label index: the file is brought behind
+    /// one aligned buffer (mapped when possible, see [`LoadMode::Auto`])
+    /// and all three CSR arrays are served directly from it. Validation
+    /// only scans — no per-node allocation or decode pass.
     pub fn read_flat(path: &Path) -> Result<Self, FlatError> {
-        Self::from_flat(FlatFile::read(path, FLAT_MAGIC, FLAT_VERSION)?)
+        Self::read_flat_with(path, LoadMode::Auto)
+    }
+
+    /// [`HubLabels::read_flat`] with an explicit backing [`LoadMode`].
+    pub fn read_flat_with(path: &Path, mode: LoadMode) -> Result<Self, FlatError> {
+        Self::from_flat(FlatFile::open(path, FLAT_MAGIC, FLAT_VERSION, mode)?)
     }
 
     /// Parse a flat v2 label index from in-memory bytes (copies once into

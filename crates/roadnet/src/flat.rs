@@ -2,11 +2,20 @@
 //!
 //! The v2 on-disk format (DESIGN.md §11) stores an index as one 8-byte
 //! aligned buffer: a fixed header, a section table of `(byte offset, byte
-//! length)` entries, and the section payloads. Loading reads the whole file
-//! into a single `Arc<[u64]>`, validates the header and table, and hands out
-//! typed slice views over those bytes — no per-node deserialization pass and
-//! no nested `Vec` rebuild, so load-path allocations are O(sections), not
-//! O(nodes).
+//! length)` entries, and the section payloads. Loading brings the whole file
+//! behind one 8-aligned buffer — by default a read-only `mmap(2)` so views
+//! borrow page-cache-shared bytes and a continental index pages in lazily
+//! ([`LoadMode::Auto`], falling back to one `read(2)` into a heap buffer
+//! when mapping is unavailable) — validates the header and table, and hands
+//! out typed slice views over those bytes. No per-node deserialization pass
+//! and no nested `Vec` rebuild, so load-path allocations are O(sections),
+//! not O(nodes).
+//!
+//! Writing has a streaming counterpart too: [`FlatStreamWriter`] sends the
+//! header plus a reserved section table to the file up front, streams each
+//! section payload as it is produced, and backpatches the table on finish —
+//! peak writer memory is O(1) beyond the caller's own arrays, never a
+//! second assembled copy of the container.
 //!
 //! Layout (all integers native-endian; the header carries an endianness
 //! probe so a foreign-endian file is rejected with a typed error):
@@ -27,11 +36,110 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::{Read, Write as _};
+use std::io::{Read, Seek as _, SeekFrom, Write as _};
 use std::path::Path;
 use std::sync::Arc;
 
 use crate::graph::Point;
+
+/// Minimal std-only binding for read-only file mapping (same shape as the
+/// serve layer's `signal(2)` shim): declare the two libc symbols needed
+/// and wrap the region in a `Drop` guard. Only compiled on unix hosts;
+/// everywhere else the loaders take the heap-read path.
+#[cfg(unix)]
+mod mm {
+    use std::fs::File;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A read-only private mapping of a whole file, unmapped on drop.
+    #[derive(Debug)]
+    pub(super) struct MmapRegion {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime (PROT_READ, never
+    // remapped) and owned uniquely by this struct, so shared references
+    // may cross threads.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        pub(super) fn ptr(&self) -> *const u8 {
+            self.ptr
+        }
+
+        pub(super) fn len(&self) -> usize {
+            self.len
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            unsafe { munmap(self.ptr as *mut c_void, self.len) };
+        }
+    }
+
+    pub(super) fn map_file(f: &File, len: usize) -> std::io::Result<MmapRegion> {
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings with EINVAL; surface a
+            // clearer error (the validator rejects such files anyway).
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        debug_assert_eq!(ptr as usize % 8, 0, "mappings are page-aligned");
+        Ok(MmapRegion {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+}
+
+/// How [`FlatFile::open`] backs the loaded bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// `mmap(2)` the file read-only — views borrow page-cache-shared
+    /// bytes and large indexes page in lazily on first touch — falling
+    /// back to [`LoadMode::Read`] when mapping fails or the host has no
+    /// `mmap`.
+    #[default]
+    Auto,
+    /// Require the file mapping; error when `mmap` is unavailable.
+    Mmap,
+    /// One `read(2)` into a private heap buffer (the eager path).
+    Read,
+}
 
 /// Endianness probe written into every v2 header. A reader on a
 /// foreign-endian host sees the byte-reversed value and rejects the file.
@@ -122,10 +230,74 @@ pub fn ensure(cond: bool, what: &'static str) -> Result<(), FlatError> {
     }
 }
 
+/// The 8-aligned load buffer behind a [`FlatFile`] and every view handed
+/// out of it: a private heap buffer (one-read load, in-memory parse) or a
+/// shared read-only file mapping. Clones are O(1) handle copies.
+enum Words {
+    Heap(Arc<[u64]>),
+    #[cfg(unix)]
+    Mapped(Arc<mm::MmapRegion>),
+}
+
+impl Clone for Words {
+    fn clone(&self) -> Self {
+        match self {
+            Words::Heap(a) => Words::Heap(Arc::clone(a)),
+            #[cfg(unix)]
+            Words::Mapped(m) => Words::Mapped(Arc::clone(m)),
+        }
+    }
+}
+
+impl Words {
+    #[inline]
+    fn base(&self) -> *const u8 {
+        match self {
+            Words::Heap(a) => a.as_ptr() as *const u8,
+            #[cfg(unix)]
+            Words::Mapped(m) => m.ptr(),
+        }
+    }
+
+    #[inline]
+    fn byte_len(&self) -> usize {
+        match self {
+            Words::Heap(a) => a.len() * 8,
+            #[cfg(unix)]
+            Words::Mapped(m) => m.len(),
+        }
+    }
+
+    /// The whole buffer as bytes. Sound: 8-aligned, immutable, and alive
+    /// for as long as `self`.
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.base(), self.byte_len()) }
+    }
+
+    fn is_mapped(&self) -> bool {
+        match self {
+            Words::Heap(_) => false,
+            #[cfg(unix)]
+            Words::Mapped(_) => true,
+        }
+    }
+}
+
+impl fmt::Debug for Words {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Words::Heap(a) => write!(f, "Heap({} bytes)", a.len() * 8),
+            #[cfg(unix)]
+            Words::Mapped(m) => write!(f, "Mapped({} bytes)", m.len()),
+        }
+    }
+}
+
 enum Backing<T: Pod> {
     Owned(Arc<[T]>),
     View {
-        buf: Arc<[u64]>,
+        buf: Words,
         byte_off: usize,
         len: usize,
     },
@@ -136,7 +308,7 @@ impl<T: Pod> Clone for Backing<T> {
         match self {
             Backing::Owned(a) => Backing::Owned(Arc::clone(a)),
             Backing::View { buf, byte_off, len } => Backing::View {
-                buf: Arc::clone(buf),
+                buf: buf.clone(),
                 byte_off: *byte_off,
                 len: *len,
             },
@@ -163,7 +335,7 @@ impl<T: Pod> FlatVec<T> {
         match &self.backing {
             Backing::Owned(a) => a,
             Backing::View { buf, byte_off, len } => unsafe {
-                let base = (buf.as_ptr() as *const u8).add(*byte_off) as *const T;
+                let base = buf.base().add(*byte_off) as *const T;
                 std::slice::from_raw_parts(base, *len)
             },
         }
@@ -291,45 +463,166 @@ impl FlatWriter {
     }
 }
 
-/// A loaded (or parsed) v2 flat container: the whole file in one 8-aligned
-/// buffer plus the validated section table. Typed views handed out by
-/// [`FlatFile::section`] borrow the buffer via `Arc`, so the file bytes stay
-/// alive exactly as long as any index built over them.
+/// Incremental counterpart of [`FlatWriter`]: the header plus a reserved
+/// section table go to the file first, each section payload streams
+/// straight out as it is produced, and [`FlatStreamWriter::finish`]
+/// backpatches the table. Nothing is copied or assembled in memory, so
+/// peak writer memory is O(1) beyond the caller's own arrays — writing a
+/// continental index never costs a second copy of it. The section count
+/// is declared up front (every v2 format has a fixed count) and enforced.
+pub struct FlatStreamWriter {
+    file: File,
+    declared: usize,
+    entries: Vec<(u64, u64)>,
+    pos: u64,
+}
+
+impl FlatStreamWriter {
+    /// Start a container that will hold exactly `sections` sections.
+    pub fn create(
+        path: &Path,
+        magic: [u8; 8],
+        version: u32,
+        sections: usize,
+    ) -> std::io::Result<Self> {
+        let mut file = File::create(path)?;
+        let table_end = HEADER_BYTES + sections * SECTION_ENTRY_BYTES;
+        let mut header = Vec::with_capacity(table_end);
+        header.extend_from_slice(&magic);
+        header.extend_from_slice(&ENDIAN_TAG.to_ne_bytes());
+        header.extend_from_slice(&version.to_ne_bytes());
+        header.extend_from_slice(&(sections as u32).to_ne_bytes());
+        header.extend_from_slice(&0u32.to_ne_bytes());
+        header.resize(table_end, 0); // table placeholder, patched by finish
+        file.write_all(&header)?;
+        Ok(FlatStreamWriter {
+            file,
+            declared: sections,
+            entries: Vec::with_capacity(sections),
+            pos: table_end as u64,
+        })
+    }
+
+    /// Stream one typed section to the file; returns its index.
+    pub fn section<T: Pod>(&mut self, data: &[T]) -> std::io::Result<usize> {
+        if self.entries.len() == self.declared {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "more sections than declared",
+            ));
+        }
+        let bytes = bytes_of(data);
+        self.entries.push((self.pos, bytes.len() as u64));
+        self.file.write_all(bytes)?;
+        let pad = bytes.len().div_ceil(8) * 8 - bytes.len();
+        if pad > 0 {
+            self.file.write_all(&[0u8; 8][..pad])?;
+        }
+        self.pos += (bytes.len() + pad) as u64;
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Backpatch the section table and sync the file to disk.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        if self.entries.len() != self.declared {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "fewer sections than declared",
+            ));
+        }
+        let mut table = Vec::with_capacity(self.entries.len() * SECTION_ENTRY_BYTES);
+        for &(off, len) in &self.entries {
+            table.extend_from_slice(&off.to_ne_bytes());
+            table.extend_from_slice(&len.to_ne_bytes());
+        }
+        self.file.seek(SeekFrom::Start(HEADER_BYTES as u64))?;
+        self.file.write_all(&table)?;
+        self.file.sync_all()
+    }
+}
+
+/// A loaded (or parsed) v2 flat container: the whole file behind one
+/// 8-aligned buffer (heap or file mapping) plus the validated section
+/// table. Typed views handed out by [`FlatFile::section`] borrow the
+/// buffer via `Arc`, so the file bytes (or the mapping) stay alive exactly
+/// as long as any index built over them.
 #[derive(Debug)]
 pub struct FlatFile {
-    buf: Arc<[u64]>,
+    buf: Words,
     version: u32,
     sections: Vec<(usize, usize)>,
 }
 
+/// Read a whole file into one aligned heap buffer: `new_zeroed_slice` gets
+/// kernel-zeroed pages (no memset pass for large buffers), and building
+/// the `Arc` up front avoids the full-buffer copy an `Arc::from(Vec)`
+/// conversion would do. The read is the only pass over the bytes.
+fn read_words(path: &Path) -> Result<Words, FlatError> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    let len = usize::try_from(len).map_err(|_| FlatError::Corrupt("file too large"))?;
+    if !len.is_multiple_of(8) {
+        // Every valid container is 8-padded; reject before buffering.
+        return Err(FlatError::Misaligned("file length"));
+    }
+    let mut buf = Arc::new_zeroed_slice(len / 8);
+    {
+        let words = Arc::get_mut(&mut buf).expect("freshly allocated arc is unique");
+        // Sound: u64 has no padding and any byte pattern is a valid u64.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
+        f.read_exact(bytes)?;
+    }
+    // Sound: fully written by `read_exact` (and zero-initialized anyway).
+    Ok(Words::Heap(unsafe { buf.assume_init() }))
+}
+
+/// Map a whole file read-only. Rejects lengths the validator would reject
+/// anyway (not 8-padded, empty) before touching `mmap`.
+#[cfg(unix)]
+fn map_words(path: &Path) -> Result<Words, FlatError> {
+    let f = File::open(path)?;
+    let len = f.metadata()?.len();
+    let len = usize::try_from(len).map_err(|_| FlatError::Corrupt("file too large"))?;
+    if !len.is_multiple_of(8) {
+        return Err(FlatError::Misaligned("file length"));
+    }
+    if len < HEADER_BYTES {
+        return Err(FlatError::Truncated);
+    }
+    Ok(Words::Mapped(Arc::new(mm::map_file(&f, len)?)))
+}
+
+#[cfg(not(unix))]
+fn map_words(_path: &Path) -> Result<Words, FlatError> {
+    Err(FlatError::Io(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "mmap is unavailable on this host",
+    )))
+}
+
 impl FlatFile {
-    /// Read a file into one aligned buffer and validate header + table.
-    /// `expected_version` of 0 accepts any version (callers then branch on
-    /// [`FlatFile::version`]).
+    /// Read a file into one aligned heap buffer and validate header +
+    /// table (the eager [`LoadMode::Read`] path). `expected_version` of 0
+    /// accepts any version (callers then branch on [`FlatFile::version`]).
     pub fn read(path: &Path, magic: [u8; 8], expected_version: u32) -> Result<Self, FlatError> {
-        let mut f = File::open(path)?;
-        let len = f.metadata()?.len();
-        let len = usize::try_from(len).map_err(|_| FlatError::Corrupt("file too large"))?;
-        if !len.is_multiple_of(8) {
-            // Every valid container is 8-padded; reject before buffering.
-            return Err(FlatError::Misaligned("file length"));
-        }
-        // Allocate the shared buffer in place and read straight into it:
-        // `new_zeroed_slice` gets kernel-zeroed pages (no memset pass for
-        // large buffers), and building the `Arc` up front avoids the full
-        //-buffer copy an `Arc::from(Vec)` conversion would do. The read is
-        // the only pass over the bytes.
-        let mut buf = Arc::new_zeroed_slice(len / 8);
-        {
-            let words = Arc::get_mut(&mut buf).expect("freshly allocated arc is unique");
-            // Sound: u64 has no padding and any byte pattern is a valid u64.
-            let bytes =
-                unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
-            f.read_exact(bytes)?;
-        }
-        // Sound: fully written by `read_exact` (and zero-initialized anyway).
-        let words: Arc<[u64]> = unsafe { buf.assume_init() };
-        Self::from_words(words, magic, expected_version)
+        Self::open(path, magic, expected_version, LoadMode::Read)
+    }
+
+    /// Load a container with an explicit backing [`LoadMode`]. The mapped
+    /// and read paths validate identically and yield bit-identical views;
+    /// [`LoadMode::Auto`] degrades to the read path when mapping fails.
+    pub fn open(
+        path: &Path,
+        magic: [u8; 8],
+        expected_version: u32,
+        mode: LoadMode,
+    ) -> Result<Self, FlatError> {
+        let words = match mode {
+            LoadMode::Read => read_words(path)?,
+            LoadMode::Mmap => map_words(path)?,
+            LoadMode::Auto => map_words(path).or_else(|_| read_words(path))?,
+        };
+        Self::with_words(words, magic, expected_version)
     }
 
     /// Parse from raw bytes by copying into an aligned buffer (test and
@@ -358,11 +651,15 @@ impl FlatFile {
         magic: [u8; 8],
         expected_version: u32,
     ) -> Result<Self, FlatError> {
-        let total = buf.len() * 8;
+        Self::with_words(Words::Heap(buf), magic, expected_version)
+    }
+
+    fn with_words(buf: Words, magic: [u8; 8], expected_version: u32) -> Result<Self, FlatError> {
+        let total = buf.byte_len();
         if total < HEADER_BYTES {
             return Err(FlatError::Truncated);
         }
-        let bytes = unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, total) };
+        let bytes = buf.bytes();
         if bytes[..8] != magic {
             return Err(FlatError::BadMagic);
         }
@@ -411,6 +708,13 @@ impl FlatFile {
         self.version
     }
 
+    /// Whether the container is backed by a read-only file mapping (vs a
+    /// private heap buffer).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        self.buf.is_mapped()
+    }
+
     #[inline]
     pub fn section_count(&self) -> usize {
         self.sections.len()
@@ -429,7 +733,7 @@ impl FlatFile {
         }
         Ok(FlatVec {
             backing: Backing::View {
-                buf: Arc::clone(&self.buf),
+                buf: self.buf.clone(),
                 byte_off,
                 len: byte_len / size,
             },
@@ -540,6 +844,81 @@ mod tests {
         let f = FlatFile::parse(&bytes, MAGIC, 2).unwrap();
         assert!(matches!(f.section::<u64>(0), Err(FlatError::Misaligned(_))));
         assert!(f.section::<u32>(0).is_ok());
+    }
+
+    #[test]
+    fn stream_writer_is_byte_identical_to_buffered_writer() {
+        let path = std::env::temp_dir().join(format!("fannr-flat-stream-{}", std::process::id()));
+        let mut w = FlatStreamWriter::create(&path, MAGIC, 2, 3).unwrap();
+        w.section::<u32>(&[1, 2, 3]).unwrap();
+        w.section::<u64>(&[10, 20]).unwrap();
+        w.section::<Point>(&[Point::new(1.5, -2.5)]).unwrap();
+        w.finish().unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(streamed, sample());
+    }
+
+    #[test]
+    fn stream_writer_enforces_declared_section_count() {
+        let path = std::env::temp_dir().join(format!("fannr-flat-count-{}", std::process::id()));
+        let mut w = FlatStreamWriter::create(&path, MAGIC, 2, 1).unwrap();
+        w.section::<u32>(&[1]).unwrap();
+        assert!(w.section::<u32>(&[2]).is_err(), "over-declared");
+        let w = FlatStreamWriter::create(&path, MAGIC, 2, 2).unwrap();
+        assert!(w.finish().is_err(), "under-declared");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_load_matches_read_load() {
+        let path = std::env::temp_dir().join(format!("fannr-flat-mmap-{}", std::process::id()));
+        std::fs::write(&path, sample()).unwrap();
+        let mapped = FlatFile::open(&path, MAGIC, 2, LoadMode::Mmap).unwrap();
+        let read = FlatFile::open(&path, MAGIC, 2, LoadMode::Read).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!read.is_mapped());
+        assert_eq!(mapped.section_count(), read.section_count());
+        let a: FlatVec<u32> = mapped.section(0).unwrap();
+        let b: FlatVec<u32> = read.section(0).unwrap();
+        assert_eq!(&*a, &*b);
+        // Views keep the mapping alive past the container handle.
+        drop(mapped);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(&*a, &[1, 2, 3]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_rejects_what_read_rejects() {
+        let path = std::env::temp_dir().join(format!("fannr-flat-mmbad-{}", std::process::id()));
+        let bytes = sample();
+        std::fs::write(&path, &bytes[..16]).unwrap();
+        assert!(matches!(
+            FlatFile::open(&path, MAGIC, 2, LoadMode::Mmap),
+            Err(FlatError::Truncated)
+        ));
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            FlatFile::open(&path, MAGIC, 2, LoadMode::Mmap),
+            Err(FlatError::Misaligned(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn auto_mode_loads_and_missing_file_errors() {
+        let path = std::env::temp_dir().join(format!("fannr-flat-auto-{}", std::process::id()));
+        std::fs::write(&path, sample()).unwrap();
+        let f = FlatFile::open(&path, MAGIC, 2, LoadMode::Auto).unwrap();
+        let a: FlatVec<u32> = f.section(0).unwrap();
+        assert_eq!(&*a, &[1, 2, 3]);
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            FlatFile::open(&path, MAGIC, 2, LoadMode::Auto),
+            Err(FlatError::Io(_))
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::path::Path;
 
-use crate::flat::{ensure, FlatError, FlatFile, FlatVec, FlatWriter};
+use crate::flat::{ensure, FlatError, FlatFile, FlatStreamWriter, FlatVec, FlatWriter, LoadMode};
 
 /// Node identifier: dense index in `0..graph.num_nodes()`.
 pub type NodeId = u32;
@@ -201,21 +201,29 @@ impl Graph {
         w.finish()
     }
 
-    /// Write the flat v2 container to `path`.
+    /// Write the flat v2 container to `path`, streaming each CSR array
+    /// straight to the file ([`FlatStreamWriter`]) — no assembled
+    /// in-memory copy of the container.
     pub fn write_flat(&self, path: &Path) -> std::io::Result<()> {
-        let mut w = FlatWriter::new(GRAPH_MAGIC, GRAPH_VERSION);
-        w.section(&self.offsets);
-        w.section(&self.targets);
-        w.section(&self.weights);
-        w.section(&self.coords);
-        w.write_to(path)
+        let mut w = FlatStreamWriter::create(path, GRAPH_MAGIC, GRAPH_VERSION, 4)?;
+        w.section(&self.offsets)?;
+        w.section(&self.targets)?;
+        w.section(&self.weights)?;
+        w.section(&self.coords)?;
+        w.finish()
     }
 
-    /// Zero-copy load of a flat v2 graph: the file is read into one aligned
-    /// buffer and all four CSR arrays are served directly from it. The
-    /// validation pass below only *scans* (no per-node allocation).
+    /// Zero-copy load of a flat v2 graph: the file is brought behind one
+    /// aligned buffer (mapped when possible, see [`LoadMode::Auto`]) and
+    /// all four CSR arrays are served directly from it. The validation
+    /// pass below only *scans* (no per-node allocation).
     pub fn read_flat(path: &Path) -> Result<Graph, FlatError> {
-        Self::from_flat(FlatFile::read(path, GRAPH_MAGIC, GRAPH_VERSION)?)
+        Self::read_flat_with(path, LoadMode::Auto)
+    }
+
+    /// [`Graph::read_flat`] with an explicit backing [`LoadMode`].
+    pub fn read_flat_with(path: &Path, mode: LoadMode) -> Result<Graph, FlatError> {
+        Self::from_flat(FlatFile::open(path, GRAPH_MAGIC, GRAPH_VERSION, mode)?)
     }
 
     /// Parse a flat v2 graph from in-memory bytes (copies once into an

@@ -53,7 +53,7 @@ pub use dijkstra::{
 pub use dynamic::{DynamicNetwork, UpdateError};
 pub use embed::{embed_edge_points, snap_to_vertex, EdgePoint};
 pub use expansion::DijkstraIter;
-pub use flat::{FlatError, FlatFile, FlatVec, FlatWriter};
+pub use flat::{FlatError, FlatFile, FlatStreamWriter, FlatVec, FlatWriter, LoadMode};
 pub use graph::{Graph, GraphBuilder, NodeId, Point, Weight};
 pub use lowerbound::LowerBound;
 pub use multisource::{ObjectStreams, SharedExpansion, SharedStreams, StreamSet};

@@ -259,6 +259,8 @@ pub struct MetricsInfo {
     pub cache_retained: u64,
     /// Cache entries dropped wholesale on capacity overflow.
     pub cache_evicted: u64,
+    /// In-place cache-table compactions that reclaimed tombstones.
+    pub cache_rebuilds: u64,
     /// Co-located batch windows executed (0 without batching).
     pub batches: u64,
     /// Queries answered through those batch windows.
@@ -285,6 +287,7 @@ impl PartialEq for MetricsInfo {
             && self.cache_invalidated == other.cache_invalidated
             && self.cache_retained == other.cache_retained
             && self.cache_evicted == other.cache_evicted
+            && self.cache_rebuilds == other.cache_rebuilds
             && self.batches == other.batches
             && self.batch_queries == other.batch_queries
             && self.search == other.search
@@ -403,6 +406,7 @@ impl Response {
                 members.push(("cache_invalidated".into(), Json::from(m.cache_invalidated)));
                 members.push(("cache_retained".into(), Json::from(m.cache_retained)));
                 members.push(("cache_evicted".into(), Json::from(m.cache_evicted)));
+                members.push(("cache_rebuilds".into(), Json::from(m.cache_rebuilds)));
                 members.push(("batches".into(), Json::from(m.batches)));
                 members.push(("batch_queries".into(), Json::from(m.batch_queries)));
                 members.push(("p50_us".into(), Json::from(m.latency.p50_ns() / 1_000)));
@@ -507,6 +511,7 @@ impl Response {
                 m.cache_invalidated = opt("cache_invalidated");
                 m.cache_retained = opt("cache_retained");
                 m.cache_evicted = opt("cache_evicted");
+                m.cache_rebuilds = opt("cache_rebuilds");
                 m.batches = opt("batches");
                 m.batch_queries = opt("batch_queries");
                 // The histogram itself does not round-trip; carry the

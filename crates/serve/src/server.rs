@@ -254,6 +254,7 @@ impl Server {
             metrics.cache_invalidated = cs.invalidated;
             metrics.cache_retained = cs.retained;
             metrics.cache_evicted = cs.evicted;
+            metrics.cache_rebuilds = cs.rebuilds;
         }
         Ok(ServeSummary {
             uptime: started.elapsed(),
@@ -367,6 +368,7 @@ fn handle_line(
                 m.cache_invalidated = cs.invalidated;
                 m.cache_retained = cs.retained;
                 m.cache_evicted = cs.evicted;
+                m.cache_rebuilds = cs.rebuilds;
             }
             write_response(
                 writer,

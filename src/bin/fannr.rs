@@ -22,7 +22,7 @@ use fannr::fann::algo::{
     apx_sum, apx_sum_traced, exact_max, exact_max_traced, gd, ier_knn, ier_knn_traced, r_list,
     r_list_traced, IerBound,
 };
-use fannr::fann::engine::Engine;
+use fannr::fann::engine::{Engine, IndexDirOptions};
 use fannr::fann::gphi::ier2::IerPhi;
 use fannr::fann::gphi::ine::InePhi;
 use fannr::fann::gphi::oracle::LabelOracle;
@@ -32,8 +32,8 @@ use fannr::fann::{Aggregate, FannAnswer, FannQuery};
 use fannr::gtree::{GTree, GTreeParams};
 use fannr::hublabel::HubLabels;
 use fannr::roadnet::io::{read_compact, write_compact};
-use fannr::roadnet::WeightUpdate;
 use fannr::roadnet::{shortest_path, Graph, ScratchPool};
+use fannr::roadnet::{LoadMode, WeightUpdate};
 use fannr::serve::{Body, Client, Op, Request, Response, ServeConfig, Server};
 use std::collections::HashMap;
 use std::path::Path;
@@ -95,7 +95,9 @@ commands:
   serve      serve queries over TCP              (--index DIR | --graph |
              --nodes --seed, --addr, --workers, --queue-depth,
              --deadline-ms, --labels, --cache-capacity,
-             --batch-window-ms, --batch-max)
+             --batch-window-ms, --batch-max, --no-mmap);
+             with --index, graph.v2 alone suffices: missing labels.v2 /
+             gtree.v2 are built in the background and hot-swapped in
   update     push live weight updates to a       (--addr, --edges u:v:w[,...])
              running server without a restart
   build-index  build the flat v2 index directory (--graph | --nodes --seed,
@@ -104,7 +106,7 @@ commands:
   bench-batch  measure batch throughput          (--nodes, --queries,
              --p-size, --q-size, --phi, --workers, --seed)
   bench-coldstart  compare v1 decode vs flat v2  (--nodes, --seed, --queries,
-             zero-copy load                       --q-size, --p-density, --phi,
+             read vs mmap zero-copy load          --q-size, --p-density, --phi,
                                                   --out JSON, --artifacts DIR)
 algorithms:  gd | r-list | ier-knn | exact-max | apx-sum";
 
@@ -471,11 +473,31 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
 /// Serve FANN_R queries over TCP until SIGINT/SIGTERM or a wire
 /// `shutdown` op, then print the drain summary.
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
-    // `--index DIR` cold-starts from a flat v2 index directory (zero-copy
-    // load of graph.v2 + labels.v2); otherwise the graph comes from
-    // `--graph`/`--nodes` and labels optionally from a v1 `--labels` file.
+    // `--index DIR` cold-starts from a flat v2 index directory: graph.v2
+    // (required) and labels.v2 both load zero-copy, mmap-backed unless
+    // `--no-mmap`. A directory holding only graph.v2 is enough — the
+    // missing labels (and gtree.v2) build on a background thread with the
+    // parallel builders and publish through the snapshot swap, while
+    // queries answer exactly via the index-free strategies. Otherwise the
+    // graph comes from `--graph`/`--nodes` and labels optionally from a
+    // v1 `--labels` file.
     let (g, engine) = if let Some(dir) = opts.get("index") {
-        let engine = Engine::from_index_dir(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+        let index_opts = IndexDirOptions {
+            load_mode: if opts.contains_key("no-mmap") {
+                LoadMode::Read
+            } else {
+                LoadMode::Auto
+            },
+            background_build: true,
+            // `--workers` sizes the serve pool; the background index
+            // build always uses every core (workers: 0).
+            ..IndexDirOptions::default()
+        };
+        let engine = Engine::from_index_dir_with(Path::new(dir), &index_opts)
+            .map_err(|e| format!("{dir}: {e}"))?;
+        if !engine.has_labels() {
+            println!("index dir has no labels.v2: serving index-free while labels + G-tree build in the background");
+        }
         let g = engine.snapshot().graph().clone();
         (g, engine)
     } else {
@@ -703,7 +725,7 @@ fn cmd_bench_coldstart(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = opts
         .get("out")
         .cloned()
-        .unwrap_or_else(|| "results/BENCH_7.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_8.json".to_string());
 
     // `--artifacts DIR` persists the serialized indexes and reuses them on
     // later runs, so re-measuring the load paths skips the label build.
@@ -781,19 +803,32 @@ fn cmd_bench_coldstart(opts: &HashMap<String, String>) -> Result<(), String> {
     let (v1_first_q, a1) = run_queries(&e1)?;
     let v1_total_s = t0.elapsed().as_secs_f64();
 
-    // v2 cold start: one buffer read per file, typed views, no per-node
-    // deserialization.
+    // v2 cold start, eager: one buffer read per file, typed views, no
+    // per-node deserialization.
     let t0 = Instant::now();
-    let g2 = fannr::roadnet::Graph::read_flat(&graph_v2).map_err(|e| e.to_string())?;
-    let l2 = HubLabels::read_flat(&labels_v2).map_err(|e| e.to_string())?;
+    let g2 = fannr::roadnet::Graph::read_flat_with(&graph_v2, LoadMode::Read)
+        .map_err(|e| e.to_string())?;
+    let l2 = HubLabels::read_flat_with(&labels_v2, LoadMode::Read).map_err(|e| e.to_string())?;
     let v2_load_s = t0.elapsed().as_secs_f64();
     let label_entries = l2.total_label_entries();
     let e2 = Engine::new(&g2).with_prebuilt_labels(l2);
     let (v2_first_q, a2) = run_queries(&e2)?;
     let v2_total_s = t0.elapsed().as_secs_f64();
 
-    if a1 != a2 {
-        return Err("v1 and v2 engines disagree on query answers".to_string());
+    // v2 cold start, mapped: the load is just mmap + a scanning
+    // validation pass; bytes page in lazily on first touch, so the first
+    // queries carry the faults for the pages they actually read.
+    let t0 = Instant::now();
+    let g3 = fannr::roadnet::Graph::read_flat_with(&graph_v2, LoadMode::Mmap)
+        .map_err(|e| e.to_string())?;
+    let l3 = HubLabels::read_flat_with(&labels_v2, LoadMode::Mmap).map_err(|e| e.to_string())?;
+    let mmap_load_s = t0.elapsed().as_secs_f64();
+    let e3 = Engine::new(&g3).with_prebuilt_labels(l3);
+    let (mmap_first_q, a3) = run_queries(&e3)?;
+    let mmap_total_s = t0.elapsed().as_secs_f64();
+
+    if a1 != a2 || a1 != a3 {
+        return Err("v1, v2, and mmap engines disagree on query answers".to_string());
     }
     if !keep {
         let _ = std::fs::remove_dir_all(&dir);
@@ -801,8 +836,9 @@ fn cmd_bench_coldstart(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let first_correct_v1 = v1_load_s + v1_first_q;
     let first_correct_v2 = v2_load_s + v2_first_q;
+    let first_correct_mmap = mmap_load_s + mmap_first_q;
     let json = format!(
-        "{{\n  \"bench\": \"coldstart\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"label_entries\": {},\n  \"queries\": {},\n  \"answers_identical\": true,\n  \"v1\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"v2\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"load_speedup\": {:.2},\n  \"first_correct_query_speedup\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"coldstart\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"label_entries\": {},\n  \"queries\": {},\n  \"answers_identical\": true,\n  \"v1\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"v2_read\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"v2_mmap\": {{ \"bytes\": {}, \"load_s\": {:.6}, \"first_correct_query_s\": {:.6}, \"total_s\": {:.6} }},\n  \"load_speedup_v1_over_v2\": {:.2},\n  \"first_correct_query_speedup_v1_over_v2\": {:.2},\n  \"load_speedup_read_over_mmap\": {:.2},\n  \"first_correct_query_speedup_read_over_mmap\": {:.2}\n}}\n",
         g.num_nodes(),
         g.num_edges(),
         label_entries,
@@ -815,8 +851,14 @@ fn cmd_bench_coldstart(opts: &HashMap<String, String>) -> Result<(), String> {
         v2_load_s,
         first_correct_v2,
         v2_total_s,
+        v2_bytes,
+        mmap_load_s,
+        first_correct_mmap,
+        mmap_total_s,
         v1_load_s / v2_load_s,
         first_correct_v1 / first_correct_v2,
+        v2_load_s / mmap_load_s,
+        first_correct_v2 / first_correct_mmap,
     );
     if let Some(parent) = Path::new(&out).parent() {
         if !parent.as_os_str().is_empty() {
@@ -826,9 +868,7 @@ fn cmd_bench_coldstart(opts: &HashMap<String, String>) -> Result<(), String> {
     std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
     print!("{json}");
     println!(
-        "load: v1 {v1_load_s:.3}s vs v2 {v2_load_s:.3}s ({:.1}x); first correct query: {first_correct_v1:.3}s vs {first_correct_v2:.3}s ({:.1}x) -> {out}",
-        v1_load_s / v2_load_s,
-        first_correct_v1 / first_correct_v2,
+        "load: v1 {v1_load_s:.3}s vs v2-read {v2_load_s:.3}s vs v2-mmap {mmap_load_s:.3}s; first correct query: {first_correct_v1:.3}s vs {first_correct_v2:.3}s vs {first_correct_mmap:.3}s -> {out}",
     );
     Ok(())
 }

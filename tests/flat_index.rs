@@ -4,11 +4,11 @@
 //! strategy bit-identically to an engine built in memory, and malformed
 //! containers are rejected with typed errors rather than panics.
 
-use fannr::fann::engine::Engine;
+use fannr::fann::engine::{Engine, IndexDirOptions};
 use fannr::fann::{Aggregate, FannAnswer};
 use fannr::gtree::{GTree, GTreeParams};
 use fannr::hublabel::HubLabels;
-use fannr::roadnet::{Graph, GraphBuilder, NodeId};
+use fannr::roadnet::{Graph, GraphBuilder, LoadMode, NodeId};
 use proptest::prelude::*;
 
 /// A random connected graph: spanning tree + extra random edges.
@@ -141,6 +141,149 @@ fn engine_from_index_dir_matches_in_memory_for_all_strategies() {
             run(&mem_apx, q, Aggregate::Sum),
             run(&disk_apx, q, Aggregate::Sum),
             "apx-sum engine diverged"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The mmap loading mode decodes every container to the exact same
+/// structure as the one-`read` path: the flat format's alignment
+/// guarantees hold against page-aligned mapped bytes just as they do
+/// against a heap buffer.
+#[cfg(unix)]
+#[test]
+fn mmap_load_matches_read_load_for_all_containers() {
+    let graph = fannr::workload::synth::road_network(500, &mut fannr::workload::rng(13));
+    let labels = HubLabels::build(&graph);
+    let gtree = GTree::build_with_params(
+        &graph,
+        GTreeParams {
+            fanout: 2,
+            leaf_cap: 16,
+        },
+    );
+
+    let dir = std::env::temp_dir().join(format!("fannr-flatmm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    graph.write_flat(&dir.join("graph.v2")).unwrap();
+    labels.write_flat(&dir.join("labels.v2")).unwrap();
+    gtree.write_flat(&dir.join("gtree.v2")).unwrap();
+
+    let g_read = Graph::read_flat_with(&dir.join("graph.v2"), LoadMode::Read).unwrap();
+    let g_mmap = Graph::read_flat_with(&dir.join("graph.v2"), LoadMode::Mmap).unwrap();
+    assert!(g_mmap == g_read && g_mmap == graph, "graph: mmap != read");
+
+    let l_read = HubLabels::read_flat_with(&dir.join("labels.v2"), LoadMode::Read).unwrap();
+    let l_mmap = HubLabels::read_flat_with(&dir.join("labels.v2"), LoadMode::Mmap).unwrap();
+    assert!(l_mmap == l_read && l_mmap == labels, "labels: mmap != read");
+
+    let t_read = GTree::read_flat_with(&dir.join("gtree.v2"), LoadMode::Read).unwrap();
+    let t_mmap = GTree::read_flat_with(&dir.join("gtree.v2"), LoadMode::Mmap).unwrap();
+    assert!(t_mmap == t_read && t_mmap == gtree, "gtree: mmap != read");
+
+    // And the mapped engine answers bit-identically to the in-memory one.
+    let (p, qs) = workload(&graph, 7);
+    let mem = Engine::new(&graph).with_prebuilt_labels(labels);
+    let mapped = Engine::new(&g_mmap).with_prebuilt_labels(l_mmap);
+    for q in &qs {
+        for agg in [Aggregate::Max, Aggregate::Sum] {
+            assert_eq!(
+                mem.query(&p, q, 0.5, agg).unwrap(),
+                mapped.query(&p, q, 0.5, agg).unwrap(),
+                "mmap-backed engine diverged ({agg})"
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cold start from `graph.v2` alone with `background_build`: the engine
+/// answers the first query correctly (index-free, exactly) before the
+/// labels publish, the background thread eventually swaps hub labels in
+/// through the snapshot cell, answers stay bit-identical across the
+/// swap, and `labels.v2` + `gtree.v2` land on disk for the next start.
+#[test]
+fn background_build_serves_exactly_then_publishes_and_persists() {
+    let graph = fannr::workload::synth::road_network(400, &mut fannr::workload::rng(23));
+    let dir = std::env::temp_dir().join(format!("fannr-flatbg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    graph.write_flat(&dir.join("graph.v2")).unwrap();
+
+    let opts = IndexDirOptions {
+        background_build: true,
+        workers: 2,
+        gtree_params: GTreeParams {
+            fanout: 2,
+            leaf_cap: 16,
+        },
+        ..IndexDirOptions::default()
+    };
+    let engine = Engine::from_index_dir_with(&dir, &opts).unwrap();
+
+    // First queries run while (in all likelihood) the labels are still
+    // building; whether or not the swap has landed they must match a
+    // plain in-memory engine — both sides are exact.
+    let (p, qs) = workload(&graph, 9);
+    let mem = Engine::new(&graph);
+    let first: Vec<Option<FannAnswer>> = qs
+        .iter()
+        .map(|q| engine.query(&p, q, 0.5, Aggregate::Max).unwrap())
+        .collect();
+    for (q, want) in qs.iter().zip(&first) {
+        assert_eq!(
+            &mem.query(&p, q, 0.5, Aggregate::Max).unwrap(),
+            want,
+            "pre-publication answer diverged from the in-memory engine"
+        );
+    }
+
+    // The background thread must publish labels through the snapshot
+    // swap within the deadline (tiny graph; seconds at most).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !engine.has_labels() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background label build never published"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Same queries after the swap: bit-identical answers.
+    for (q, want) in qs.iter().zip(&first) {
+        assert_eq!(
+            &engine.query(&p, q, 0.5, Aggregate::Max).unwrap(),
+            want,
+            "answers changed across the label publication swap"
+        );
+    }
+
+    // Both artifacts persist (atomically) for the next cold start; the
+    // G-tree may land shortly after the label swap, so poll for it too.
+    while !dir.join("labels.v2").exists() || !dir.join("gtree.v2").exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background build never persisted labels.v2 + gtree.v2"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let persisted = HubLabels::read_flat(&dir.join("labels.v2")).unwrap();
+    assert_eq!(persisted.num_nodes(), graph.num_nodes());
+    let persisted_tree = GTree::read_flat(&dir.join("gtree.v2")).unwrap();
+    assert!(
+        persisted_tree == GTree::build_with_params(&graph, opts.gtree_params),
+        "persisted gtree.v2 must match a from-scratch build on graph.v2"
+    );
+
+    // A second cold start now attaches the persisted labels eagerly.
+    let warm = Engine::from_index_dir(&dir).unwrap();
+    assert!(warm.has_labels(), "persisted index must attach on restart");
+    for (q, want) in qs.iter().zip(&first) {
+        assert_eq!(
+            &warm.query(&p, q, 0.5, Aggregate::Max).unwrap(),
+            want,
+            "restarted engine diverged"
         );
     }
 

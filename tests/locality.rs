@@ -270,6 +270,105 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model-based churn on the raw [`AnswerCache`]: a random
+    /// interleaving of `insert`, `lookup`, and `on_update` is mirrored
+    /// into a `HashMap` oracle that replays the documented contract
+    /// (insert overwrites; lookup hits iff the key is present at the
+    /// looked-up epoch; an update batch promotes exactly the entries
+    /// whose region proof holds and invalidates the rest). After every
+    /// op the cache and the oracle must agree on hit/miss *and* answer,
+    /// `live` must equal the oracle's size, and `live + dead` must never
+    /// exceed the slot count — and the whole script must terminate, which
+    /// is the regression half: before tombstone reclamation this
+    /// workload saturated the probe chains and spun forever.
+    ///
+    /// Capacity (64) exceeds the key universe (12) and the op count
+    /// keeps the arena far from its limit, so the wholesale reset never
+    /// fires and the oracle stays exact (`evicted == 0` is asserted).
+    #[test]
+    fn answer_cache_matches_hashmap_oracle_under_churn(
+        script in proptest::collection::vec(any::<u64>(), 30..200),
+    ) {
+        use fannr::fann::locality::{AnswerCache, CacheKey, NO_REACH};
+        use fannr::fann::FannAnswer;
+        use fannr::rtree::{Mbr, Pt};
+        use std::collections::HashMap;
+
+        const UNIVERSE: u64 = 12;
+        let cache = AnswerCache::new(64);
+        // key id -> (answer, reach, region). Epochs are implicit: every
+        // surviving entry is stamped with the current epoch (inserts use
+        // it, promotion moves entries to it, everything else dies).
+        let mut model: HashMap<u32, (Option<FannAnswer>, u64, Mbr)> = HashMap::new();
+        let mut epoch = 0u64;
+
+        for r in script {
+            let id = ((r >> 8) % UNIVERSE) as u32;
+            let p = [0u32];
+            let q = [id];
+            let key = CacheKey { p: &p, q: &q, phi: 1.0, agg: 0, strategy: 1 };
+            match r % 4 {
+                // Update batch: one touched endpoint, unit scale.
+                0 => {
+                    let x = Pt::new(((r >> 16) % 128) as f64, ((r >> 24) % 128) as f64);
+                    let next = epoch + 1;
+                    cache.on_update(epoch, next, &[x], 1.0);
+                    model.retain(|_, (_, reach, mbr)| {
+                        *reach != NO_REACH && mbr.mindist_point(x) > *reach as f64
+                    });
+                    epoch = next;
+                }
+                // Lookup, sometimes at a deliberately stale epoch.
+                1 => {
+                    let probe_epoch = if (r >> 16) % 5 == 0 { epoch + 1 } else { epoch };
+                    let got = cache.lookup(&key, probe_epoch);
+                    let want = (probe_epoch == epoch)
+                        .then(|| model.get(&id))
+                        .flatten();
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(hit), Some((ans, _, _))) => {
+                            prop_assert_eq!(&hit.answer, ans, "hit replays the inserted answer");
+                        }
+                        (got, want) => {
+                            prop_assert!(
+                                false,
+                                "hit/miss disagreement for key {id}: cache {}, oracle {}",
+                                got.is_some(),
+                                want.is_some()
+                            );
+                        }
+                    }
+                }
+                // Insert (overwrites any previous entry for the key).
+                _ => {
+                    let mbr = {
+                        let x = ((r >> 16) % 128) as f64;
+                        let y = ((r >> 24) % 128) as f64;
+                        Mbr { min_x: x, min_y: y, max_x: x + 4.0, max_y: y + 4.0 }
+                    };
+                    let reach = if (r >> 4) % 3 == 0 { NO_REACH } else { (r >> 32) % 64 };
+                    let answer = ((r >> 5) % 5 != 0).then(|| FannAnswer {
+                        p_star: id,
+                        dist: (r >> 40) % 1_000,
+                        subset: vec![id],
+                    });
+                    cache.insert(&key, epoch, answer.as_ref(), 0, mbr, reach);
+                    model.insert(id, (answer, reach, mbr));
+                }
+            }
+            let (live, dead, slots) = cache.occupancy();
+            prop_assert_eq!(live, model.len(), "live slots track the oracle exactly");
+            prop_assert!(live + dead <= slots, "occupancy {live}+{dead} overflows {slots} slots");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evicted, 0, "capacity chosen so wholesale reset never fires");
+    }
+}
+
 /// Permuted (and duplicated) `P`/`Q` requests resolve to the same cache
 /// entry: the first canonical form misses, every spelling after that hits,
 /// and all spellings return the same answer. Regression test for key

@@ -44,6 +44,20 @@
 //!         --nodes 2000 --seed 7 --skew --smoke --queries 256 \
 //!         --min-speedup 5 --shutdown --bench-out results/BENCH_6.json
 //! ```
+//!
+//! `--router` drives a partitioned deployment: every answer through the
+//! shard router (`--addr`) is cross-validated bit-for-bit against a local
+//! engine, per-shard balance comes from each shard's own metrics
+//! (`--shard-addrs a:p,b:p`), and the router's metrics supply the
+//! shards-pruned rate. `--single-addr` adds an unpartitioned comparison
+//! leg:
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7893 --router --nodes 2000 --seed 7 \
+//!         --shard-addrs 127.0.0.1:7890,127.0.0.1:7891 \
+//!         --single-addr 127.0.0.1:7892 --queries 128 \
+//!         --shutdown --bench-out results/BENCH_9.json
+//! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -258,7 +272,18 @@ fn main() -> ExitCode {
     let update_rate: f64 = get(&opts, "update-rate", 0.0);
     let bench_out = opts.get("bench-out").cloned();
 
-    let result = if let Some(cached_addr) = opts.get("compare-addr") {
+    let result = if opts.contains_key("router") {
+        router_leg(
+            &addr,
+            opts.get("single-addr").map(String::as_str),
+            opts.get("shard-addrs").map(String::as_str).unwrap_or(""),
+            &graph,
+            &pool,
+            get(&opts, "queries", 128usize),
+            opts.contains_key("shutdown"),
+            bench_out.as_deref(),
+        )
+    } else if let Some(cached_addr) = opts.get("compare-addr") {
         compare(
             &addr,
             cached_addr,
@@ -657,6 +682,194 @@ fn compare(
     }
     println!(
         "COMPARE PASS: {queries} queries, 0 mismatches, {speedup:.1}x client-observed speedup"
+    );
+    Ok(())
+}
+
+/// The partitioned-deployment leg (`--router`): drive the workload
+/// through the shard router (`--addr`), cross-validate every answer
+/// bit-for-bit against a local [`Engine`] (the router must be
+/// indistinguishable from one server), and report the routing economics —
+/// per-shard request balance (via each shard's own metrics, reached
+/// directly through `--shard-addrs`) and the shards-pruned rate from the
+/// router's metrics. With `--single-addr` the same workload also runs
+/// through an unpartitioned server for a throughput ratio. `--bench-out`
+/// records everything (`results/BENCH_9.json` in CI).
+#[allow(clippy::too_many_arguments)]
+fn router_leg(
+    router_addr: &str,
+    single_addr: Option<&str>,
+    shard_addrs: &str,
+    graph: &Graph,
+    pool: &QueryPool,
+    queries: usize,
+    send_shutdown: bool,
+    bench_out: Option<&str>,
+) -> Result<(), String> {
+    let engine = Engine::new(graph);
+
+    // One sequential, timed, cross-validated leg against one address.
+    let run_leg = |addr: &str, tag: &str| -> Result<(u64, u64, f64, LatencyHistogram), String> {
+        let mut client = connect_with_retry(addr, Duration::from_secs(20))?;
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let mut hist = LatencyHistogram::default();
+        let mut ok = 0u64;
+        let mut empty = 0u64;
+        let started = Instant::now();
+        for i in 0..queries {
+            let spec = pool.spec(i).clone();
+            let want = engine
+                .query(&spec.p, &spec.q, spec.phi, spec.agg)
+                .map_err(|e| format!("local engine rejected query {tag}{i}: {e}"))?;
+            let sent = Instant::now();
+            let resp = client
+                .call(&Request {
+                    id: Some(format!("{tag}{i}")),
+                    op: Op::Query(QuerySpec {
+                        deadline_ms: None,
+                        ..spec
+                    }),
+                })
+                .map_err(|e| format!("query {tag}{i}: {e}"))?;
+            hist.record(sent.elapsed());
+            match (&resp.body, &want) {
+                (
+                    Body::Ok {
+                        p_star,
+                        dist,
+                        subset,
+                        ..
+                    },
+                    Some(w),
+                ) if *p_star == w.p_star && *dist == w.dist && *subset == w.subset => ok += 1,
+                (Body::Empty, None) => empty += 1,
+                (body, want) => {
+                    return Err(format!(
+                        "MISMATCH on query {tag}{i} via {addr}: got {body:?}, expected {want:?}"
+                    ))
+                }
+            }
+        }
+        let qps = queries as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        Ok((ok, empty, qps, hist))
+    };
+
+    let (ok, empty, router_qps, router_hist) = run_leg(router_addr, "r")?;
+    if ok == 0 {
+        return Err("no query succeeded through the router".to_string());
+    }
+    let single = match single_addr {
+        Some(addr) => Some(run_leg(addr, "s")?),
+        None => None,
+    };
+
+    // The router's own routing economics.
+    let mut client = connect_with_retry(router_addr, Duration::from_secs(5))?;
+    let resp = client
+        .call(&Request {
+            id: None,
+            op: Op::Metrics,
+        })
+        .map_err(|e| format!("router metrics: {e}"))?;
+    let rm = match resp.body {
+        Body::Metrics(m) => *m,
+        other => return Err(format!("expected router metrics, got {other:?}")),
+    };
+    let planned = rm.shards_contacted + rm.shards_pruned;
+    let pruned_rate = rm.shards_pruned as f64 / planned.max(1) as f64;
+
+    // Per-shard balance straight from each shard's own counters.
+    let mut per_shard: Vec<u64> = Vec::new();
+    for addr in shard_addrs.split(',').filter(|a| !a.trim().is_empty()) {
+        let mut sc = connect_with_retry(addr.trim(), Duration::from_secs(5))?;
+        let resp = sc
+            .call(&Request {
+                id: None,
+                op: Op::Metrics,
+            })
+            .map_err(|e| format!("shard metrics {addr}: {e}"))?;
+        match resp.body {
+            Body::Metrics(m) => per_shard.push(m.requests),
+            other => return Err(format!("expected shard metrics from {addr}, got {other:?}")),
+        }
+    }
+    let balance = match (per_shard.iter().min(), per_shard.iter().max()) {
+        (Some(&lo), Some(&hi)) if hi > 0 => lo as f64 / hi as f64,
+        _ => 0.0,
+    };
+
+    println!(
+        "router: {queries} queries ({ok} ok, {empty} empty), 0 mismatches | {:.0} qps | \
+         {} shards contacted, {} pruned ({:.0}% pruned) | per-shard {:?} (balance {:.2})",
+        router_qps,
+        rm.shards_contacted,
+        rm.shards_pruned,
+        100.0 * pruned_rate,
+        per_shard,
+        balance,
+    );
+    let (single_qps, single_p50_us) = match &single {
+        Some((sok, sempty, qps, hist)) => {
+            println!(
+                "single: {queries} queries ({sok} ok, {sempty} empty), 0 mismatches | {qps:.0} qps \
+                 | router/single {:.2}x",
+                router_qps / qps.max(1e-9)
+            );
+            (*qps, hist.p50_ns() / 1_000)
+        }
+        None => (0.0, 0),
+    };
+
+    if let Some(path) = bench_out {
+        let shard_list = per_shard
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let json = format!(
+            "{{\n  \"bench\": \"router\",\n  \"queries\": {queries},\n  \"shards\": {},\n  \
+             \"mismatches\": 0,\n  \"router_qps\": {router_qps:.1},\n  \
+             \"single_qps\": {single_qps:.1},\n  \"router_p50_us\": {},\n  \
+             \"single_p50_us\": {single_p50_us},\n  \"shards_contacted\": {},\n  \
+             \"shards_pruned\": {},\n  \"pruned_rate\": {pruned_rate:.3},\n  \
+             \"per_shard_requests\": [{shard_list}],\n  \"balance\": {balance:.3}\n}}\n",
+            per_shard.len(),
+            router_hist.p50_ns() / 1_000,
+            rm.shards_contacted,
+            rm.shards_pruned,
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loadgen: wrote {path}");
+    }
+
+    if send_shutdown {
+        // One shutdown to the router drains the whole deployment; the
+        // single-process comparison server needs its own.
+        client
+            .call(&Request {
+                id: None,
+                op: Op::Shutdown,
+            })
+            .map_err(|e| format!("shutdown {router_addr}: {e}"))?;
+        if let Some(addr) = single_addr {
+            let mut sc = connect_with_retry(addr, Duration::from_secs(5))?;
+            sc.call(&Request {
+                id: None,
+                op: Op::Shutdown,
+            })
+            .map_err(|e| format!("shutdown {addr}: {e}"))?;
+        }
+    }
+    println!(
+        "ROUTER PASS: {queries} queries, 0 mismatches, {:.0}% of shard contacts pruned",
+        100.0 * pruned_rate
     );
     Ok(())
 }

@@ -20,4 +20,5 @@ pub mod query;
 pub mod tree;
 
 pub use knn::Occurrence;
+pub use partition::top_level_cut;
 pub use tree::{GTree, GTreeParams};

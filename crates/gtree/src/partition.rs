@@ -78,6 +78,63 @@ fn split_recursive(g: &Graph, verts: Vec<NodeId>, fanout: usize, leaf_cap: usize
     }
 }
 
+/// The G-tree *top-level cut*: the whole vertex set split into exactly
+/// `shards` non-empty, disjoint parts (sorted node lists), suitable as the
+/// shard assignment for the partitioned serving tier. Each part is a
+/// contiguous geometric region (same median-bisection + cut-refinement
+/// machinery as [`partition_graph`]'s top level); when `shards` is not a
+/// power of two, the extra parts from the next power-of-two bisection are
+/// merged smallest-first until exactly `shards` remain.
+///
+/// Deterministic for a given graph. Panics if `shards == 0` or exceeds the
+/// number of vertices.
+pub fn top_level_cut(g: &Graph, shards: usize) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    assert!(shards >= 1, "need at least one shard");
+    assert!(shards <= n, "more shards ({shards}) than vertices ({n})");
+    let all: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+    if shards == 1 {
+        return vec![all];
+    }
+    let fanout = shards.next_power_of_two();
+    let mut parts: Vec<Vec<NodeId>> = split_ways(g, all, fanout)
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .collect();
+    // Merge smallest pairs until exactly `shards` parts remain. Parts come
+    // out of the bisection in geometric order, so merging a smallest part
+    // into its smaller neighbor keeps regions roughly contiguous.
+    while parts.len() > shards {
+        let i = (0..parts.len())
+            .min_by_key(|&i| parts[i].len())
+            .expect("non-empty");
+        let merged = parts.remove(i);
+        let j = match (i.checked_sub(1), parts.get(i)) {
+            (Some(l), Some(r)) if parts[l].len() <= r.len() => l,
+            (Some(l), None) => l,
+            (_, Some(_)) => i,
+            (None, None) => unreachable!("shards >= 2"),
+        };
+        parts[j].extend_from_slice(&merged);
+    }
+    // A bisection of >= `shards` vertices cannot leave fewer non-empty
+    // parts than `shards` only when refinement collapsed a side; split
+    // round-robin as a last resort so the contract (exactly `shards`
+    // non-empty parts) always holds.
+    while parts.len() < shards {
+        let i = (0..parts.len())
+            .max_by_key(|&i| parts[i].len())
+            .expect("non-empty");
+        let big = &mut parts[i];
+        let tail = big.split_off(big.len() / 2);
+        parts.push(tail);
+    }
+    for p in &mut parts {
+        p.sort_unstable();
+    }
+    parts
+}
+
 /// Split `verts` into up to `fanout` parts by repeated bisection.
 fn split_ways(g: &Graph, verts: Vec<NodeId>, fanout: usize) -> Vec<Vec<NodeId>> {
     let mut parts = vec![verts];
@@ -281,5 +338,31 @@ mod tests {
     fn rejects_non_power_fanout() {
         let g = grid(4, 4);
         let _ = partition_graph(&g, 3, 4);
+    }
+
+    #[test]
+    fn top_level_cut_is_a_partition() {
+        let g = grid(10, 10);
+        for shards in [1usize, 2, 3, 4, 5, 7] {
+            let parts = top_level_cut(&g, shards);
+            assert_eq!(parts.len(), shards, "{shards} shards requested");
+            let mut all = Vec::new();
+            for p in &parts {
+                assert!(!p.is_empty(), "empty shard in {shards}-way cut");
+                assert!(p.windows(2).all(|w| w[0] < w[1]), "part not sorted");
+                all.extend_from_slice(p);
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn top_level_cut_is_roughly_balanced_for_powers_of_two() {
+        let g = grid(20, 20);
+        let parts = top_level_cut(&g, 2);
+        for p in &parts {
+            assert!((160..=240).contains(&p.len()), "unbalanced: {}", p.len());
+        }
     }
 }

@@ -38,6 +38,7 @@ pub mod par;
 pub mod path;
 pub mod recorder;
 pub mod scratch;
+pub mod shardmap;
 pub mod snapshot;
 pub mod stats;
 pub mod svg;
@@ -61,6 +62,7 @@ pub use par::{default_workers, par_map_indexed};
 pub use path::shortest_path;
 pub use recorder::SearchRecorder;
 pub use scratch::{QueryScratch, ScratchPool};
+pub use shardmap::{ShardMap, SHARD_MAP_MAGIC, SHARD_MAP_VERSION};
 pub use snapshot::{AppliedUpdate, NetworkSnapshot, SnapshotCell, WeightUpdate};
 
 /// A network (shortest-path) distance. `u64` so that sums of many `u32`

@@ -32,4 +32,4 @@ pub mod server;
 pub use client::{Client, ClientReader, ClientWriter};
 pub use json::{Json, JsonError};
 pub use protocol::{Body, HealthInfo, MetricsInfo, Op, QuerySpec, Request, Response};
-pub use server::{ServeConfig, ServeSummary, Server, ShutdownHandle};
+pub use server::{ServeConfig, ServeSummary, Server, ShardRole, ShutdownHandle};

@@ -23,6 +23,7 @@
 //!          | {"status":"shed", "id"?}           ; queue full, retry later
 //!          | {"status":"updated", "id"?, "epoch":number, "applied":number}
 //!          | {"status":"error", "id"?, "error":string}
+//!          | {"status":"upstream", "id"?, "shard":number, "error":string}
 //!          | {"status":"health", "id"?, ...}
 //!          | {"status":"metrics", "id"?, ...}
 //!          | {"status":"bye", "id"?}            ; shutdown acknowledged
@@ -214,8 +215,24 @@ fn ids_json(ids: &[NodeId]) -> Json {
     Json::Arr(ids.iter().map(|&v| Json::from(v as u64)).collect())
 }
 
+fn region_json(r: &[f64; 4]) -> Json {
+    Json::Arr(r.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn region_from(v: &Json) -> Option<[f64; 4]> {
+    let arr = v.get("region").and_then(Json::as_arr)?;
+    if arr.len() != 4 {
+        return None;
+    }
+    let mut r = [0.0f64; 4];
+    for (slot, x) in r.iter_mut().zip(arr) {
+        *slot = x.as_f64()?;
+    }
+    Some(r)
+}
+
 /// Point-in-time server health, served inline even under overload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HealthInfo {
     pub uptime_ms: u64,
     /// Queries currently executing on workers.
@@ -230,6 +247,12 @@ pub struct HealthInfo {
     /// Hub labels lag the current graph (answers stay exact; affected
     /// pairs fall back to exact search until the background repair lands).
     pub stale: bool,
+    /// Shard id when serving in `--shard` mode (absent otherwise).
+    pub shard: Option<u32>,
+    /// Nodes owned by this shard (0 outside shard mode).
+    pub owned_nodes: u64,
+    /// Region MBR `[min_x, min_y, max_x, max_y]` in shard mode.
+    pub region: Option<[f64; 4]>,
 }
 
 /// Aggregate serving counters for a `metrics` response.
@@ -265,6 +288,18 @@ pub struct MetricsInfo {
     pub batches: u64,
     /// Queries answered through those batch windows.
     pub batch_queries: u64,
+    /// Shard id when serving in `--shard` mode (absent otherwise).
+    pub shard: Option<u32>,
+    /// Nodes owned by this shard (0 outside shard mode).
+    pub owned_nodes: u64,
+    /// Region MBR `[min_x, min_y, max_x, max_y]` in shard mode.
+    pub region: Option<[f64; 4]>,
+    /// Router only: shards skipped by the `φM·mdist` bound before contact.
+    pub shards_pruned: u64,
+    /// Router only: shard requests actually sent.
+    pub shards_contacted: u64,
+    /// Router only: requests failed with a typed `upstream` error.
+    pub upstream_errors: u64,
     pub latency: LatencyHistogram,
     pub search: SearchStats,
 }
@@ -290,6 +325,12 @@ impl PartialEq for MetricsInfo {
             && self.cache_rebuilds == other.cache_rebuilds
             && self.batches == other.batches
             && self.batch_queries == other.batch_queries
+            && self.shard == other.shard
+            && self.owned_nodes == other.owned_nodes
+            && self.region == other.region
+            && self.shards_pruned == other.shards_pruned
+            && self.shards_contacted == other.shards_contacted
+            && self.upstream_errors == other.upstream_errors
             && self.search == other.search
             && self.latency.count() == other.latency.count()
             && self.latency.p50_ns() == other.latency.p50_ns()
@@ -332,6 +373,13 @@ pub enum Body {
     Error {
         error: String,
     },
+    /// A shard (or its connection) failed while it was still needed for a
+    /// correct answer: the request degrades with a typed error naming the
+    /// shard instead of a generic disconnect or a wrong merged answer.
+    Upstream {
+        shard: u32,
+        error: String,
+    },
     Health(HealthInfo),
     Metrics(Box<MetricsInfo>),
     /// Shutdown acknowledged; the server is draining.
@@ -348,6 +396,7 @@ impl Response {
             Body::Shed => "shed",
             Body::Updated { .. } => "updated",
             Body::Error { .. } => "error",
+            Body::Upstream { .. } => "upstream",
             Body::Health(_) => "health",
             Body::Metrics(_) => "metrics",
             Body::Bye => "bye",
@@ -382,6 +431,10 @@ impl Response {
             Body::Error { error } => {
                 members.push(("error".into(), Json::from(error.as_str())));
             }
+            Body::Upstream { shard, error } => {
+                members.push(("shard".into(), Json::from(*shard as u64)));
+                members.push(("error".into(), Json::from(error.as_str())));
+            }
             Body::Health(h) => {
                 members.push(("uptime_ms".into(), Json::from(h.uptime_ms)));
                 members.push(("inflight".into(), Json::from(h.inflight)));
@@ -390,6 +443,13 @@ impl Response {
                 members.push(("draining".into(), Json::Bool(h.draining)));
                 members.push(("epoch".into(), Json::from(h.epoch)));
                 members.push(("stale".into(), Json::Bool(h.stale)));
+                if let Some(s) = h.shard {
+                    members.push(("shard".into(), Json::from(s as u64)));
+                    members.push(("owned_nodes".into(), Json::from(h.owned_nodes)));
+                }
+                if let Some(r) = h.region {
+                    members.push(("region".into(), region_json(&r)));
+                }
             }
             Body::Metrics(m) => {
                 members.push(("requests".into(), Json::from(m.requests)));
@@ -409,6 +469,16 @@ impl Response {
                 members.push(("cache_rebuilds".into(), Json::from(m.cache_rebuilds)));
                 members.push(("batches".into(), Json::from(m.batches)));
                 members.push(("batch_queries".into(), Json::from(m.batch_queries)));
+                if let Some(s) = m.shard {
+                    members.push(("shard".into(), Json::from(s as u64)));
+                    members.push(("owned_nodes".into(), Json::from(m.owned_nodes)));
+                }
+                if let Some(r) = m.region {
+                    members.push(("region".into(), region_json(&r)));
+                }
+                members.push(("shards_pruned".into(), Json::from(m.shards_pruned)));
+                members.push(("shards_contacted".into(), Json::from(m.shards_contacted)));
+                members.push(("upstream_errors".into(), Json::from(m.upstream_errors)));
                 members.push(("p50_us".into(), Json::from(m.latency.p50_ns() / 1_000)));
                 members.push(("p90_us".into(), Json::from(m.latency.p90_ns() / 1_000)));
                 members.push(("p99_us".into(), Json::from(m.latency.p99_ns() / 1_000)));
@@ -475,6 +545,14 @@ impl Response {
                     .unwrap_or_default()
                     .to_string(),
             },
+            Some("upstream") => Body::Upstream {
+                shard: u64_field("shard")? as u32,
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            },
             Some("health") => Body::Health(HealthInfo {
                 uptime_ms: u64_field("uptime_ms")?,
                 inflight: u64_field("inflight")?,
@@ -489,6 +567,11 @@ impl Response {
                     .get("stale")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| "'stale' must be a bool".to_string())?,
+                // Shard fields arrived with the partitioned serving tier;
+                // tolerate their absence for non-shard servers.
+                shard: v.get("shard").and_then(Json::as_u64).map(|s| s as u32),
+                owned_nodes: v.get("owned_nodes").and_then(Json::as_u64).unwrap_or(0),
+                region: region_from(&v),
             }),
             Some("metrics") => {
                 let mut m = MetricsInfo {
@@ -514,6 +597,12 @@ impl Response {
                 m.cache_rebuilds = opt("cache_rebuilds");
                 m.batches = opt("batches");
                 m.batch_queries = opt("batch_queries");
+                m.shard = v.get("shard").and_then(Json::as_u64).map(|s| s as u32);
+                m.owned_nodes = opt("owned_nodes");
+                m.region = region_from(&v);
+                m.shards_pruned = opt("shards_pruned");
+                m.shards_contacted = opt("shards_contacted");
+                m.upstream_errors = opt("upstream_errors");
                 // The histogram itself does not round-trip; carry the
                 // quantiles through as single samples so the client can
                 // still display them.
@@ -693,6 +782,7 @@ mod tests {
                 draining: true,
                 epoch: 9,
                 stale: true,
+                ..Default::default()
             }),
         };
         assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
@@ -726,6 +816,77 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(999)
         );
+    }
+
+    #[test]
+    fn upstream_response_roundtrips() {
+        let resp = Response {
+            id: Some("q9".into()),
+            body: Body::Upstream {
+                shard: 1,
+                error: "connection refused".into(),
+            },
+        };
+        let line = resp.to_json();
+        assert!(line.starts_with(r#"{"status":"upstream""#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn shard_health_and_metrics_roundtrip() {
+        let resp = Response {
+            id: None,
+            body: Body::Health(HealthInfo {
+                uptime_ms: 3,
+                workers: 2,
+                epoch: 1,
+                shard: Some(1),
+                owned_nodes: 512,
+                region: Some([-1.25, 0.0, 37.5, 99.0]),
+                ..Default::default()
+            }),
+        };
+        assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+
+        let m = MetricsInfo {
+            requests: 4,
+            shard: Some(0),
+            owned_nodes: 256,
+            region: Some([0.5, 0.5, 8.0, 8.0]),
+            shards_pruned: 7,
+            shards_contacted: 9,
+            upstream_errors: 1,
+            ..Default::default()
+        };
+        let resp = Response {
+            id: None,
+            body: Body::Metrics(Box::new(m)),
+        };
+        // The histogram does not round-trip count-for-count (quantiles come
+        // back as samples); assert on the parsed shard fields directly.
+        match Response::parse(&resp.to_json()).unwrap().body {
+            Body::Metrics(parsed) => {
+                assert_eq!(parsed.shard, Some(0));
+                assert_eq!(parsed.owned_nodes, 256);
+                assert_eq!(parsed.region, Some([0.5, 0.5, 8.0, 8.0]));
+                assert_eq!(parsed.shards_pruned, 7);
+                assert_eq!(parsed.shards_contacted, 9);
+                assert_eq!(parsed.upstream_errors, 1);
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_shard_health_omits_shard_fields() {
+        let resp = Response {
+            id: None,
+            body: Body::Health(HealthInfo::default()),
+        };
+        let line = resp.to_json();
+        assert!(!line.contains("shard"), "{line}");
+        assert!(!line.contains("region"), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), resp);
     }
 
     #[test]

@@ -29,9 +29,19 @@ use std::time::{Duration, Instant};
 
 use fann_core::engine::{BatchQuery, Engine};
 use fann_core::QueryError;
-use roadnet::CancelToken;
+use roadnet::{CancelToken, ShardMap};
 
 use crate::protocol::{Body, HealthInfo, MetricsInfo, Op, QuerySpec, Request, Response};
+
+/// Shard-mode role: this server owns the nodes `v` with
+/// `map.owner(v) == id`. Queries keep only owned candidates, update
+/// batches keep only owned edges, and `health`/`metrics` report the
+/// shard id, its region MBR, and the owned-node count.
+#[derive(Debug, Clone)]
+pub struct ShardRole {
+    pub id: u32,
+    pub map: Arc<ShardMap>,
+}
 
 /// How the server behaves; see field docs for the knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +73,10 @@ pub struct ServeConfig {
     pub batch_window: Option<Duration>,
     /// Most queries one batch window may collect.
     pub batch_max: usize,
+    /// Serve as one shard of a partitioned deployment: restrict candidate
+    /// sets and update batches to the owned node set and advertise the
+    /// shard in `health`/`metrics`. `None` serves the whole graph.
+    pub shard: Option<ShardRole>,
 }
 
 impl Default for ServeConfig {
@@ -76,7 +90,21 @@ impl Default for ServeConfig {
             cache_capacity: 0,
             batch_window: None,
             batch_max: 16,
+            shard: None,
         }
+    }
+}
+
+/// The `(shard, owned_nodes, region)` triple advertised by `health` and
+/// `metrics` (all absent outside shard mode).
+fn shard_fields(config: &ServeConfig) -> (Option<u32>, u64, Option<[f64; 4]>) {
+    match &config.shard {
+        Some(role) => (
+            Some(role.id),
+            role.map.owned_nodes(role.id),
+            Some(role.map.region(role.id)),
+        ),
+        None => (None, 0, None),
     }
 }
 
@@ -345,6 +373,7 @@ fn handle_line(
     match req.op {
         Op::Health => {
             let snap = engine.snapshot();
+            let (shard, owned_nodes, region) = shard_fields(config);
             let body = Body::Health(HealthInfo {
                 uptime_ms: started.elapsed().as_millis() as u64,
                 inflight: shared.inflight.load(Ordering::Relaxed),
@@ -353,12 +382,16 @@ fn handle_line(
                 draining: stop.load(Ordering::SeqCst) || sig::signalled(),
                 epoch: snap.epoch(),
                 stale: snap.is_stale(),
+                shard,
+                owned_nodes,
+                region,
             });
             write_response(writer, &Response { id: req.id, body });
         }
         Op::Metrics => {
             let mut m = shared.metrics.lock().unwrap().clone();
             m.epoch = engine.epoch();
+            (m.shard, m.owned_nodes, m.region) = shard_fields(config);
             // Cache counters live on the engine (shared by all workers and
             // the updater), not in the per-request metrics.
             if let Some(cs) = engine.cache_stats() {
@@ -379,6 +412,36 @@ fn handle_line(
             );
         }
         Op::Update(updates) => {
+            // A shard applies only the edges it owns (owner of the smaller
+            // endpoint); foreign edges are the owning shard's job. Edges
+            // naming out-of-range nodes stay in so validation rejects the
+            // batch exactly like a non-shard server would.
+            let updates = match &config.shard {
+                Some(role) => {
+                    let n = role.map.num_nodes();
+                    updates
+                        .into_iter()
+                        .filter(|e| {
+                            e.u >= n || e.v >= n || role.map.edge_owner(e.u, e.v) == role.id
+                        })
+                        .collect()
+                }
+                None => updates,
+            };
+            if updates.is_empty() {
+                // Nothing owned here: acknowledge without bumping the epoch.
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        body: Body::Updated {
+                            epoch: engine.epoch(),
+                            applied: 0,
+                        },
+                    },
+                );
+                return;
+            }
             // Applied inline on the reader thread: the swap is lock-free
             // for readers, so in-flight queries are never blocked — they
             // keep their pinned snapshot; later queries see the new epoch.
@@ -421,7 +484,31 @@ fn handle_line(
                 },
             );
         }
-        Op::Query(spec) => {
+        Op::Query(mut spec) => {
+            if let Some(role) = &config.shard {
+                // Serve the owned slice of the candidate set. Out-of-range
+                // ids pass through so the engine rejects them like a
+                // non-shard server. An empty owned slice is a valid "no
+                // candidate reaches k of Q here" answer.
+                let n = role.map.num_nodes();
+                if spec.p.iter().all(|&v| v < n) {
+                    spec.p.retain(|&v| role.map.owner(v) == role.id);
+                    if spec.p.is_empty() {
+                        let mut m = shared.metrics.lock().unwrap();
+                        m.requests += 1;
+                        m.empty += 1;
+                        drop(m);
+                        write_response(
+                            writer,
+                            &Response {
+                                id: req.id,
+                                body: Body::Empty,
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
             if stop.load(Ordering::SeqCst) || sig::signalled() {
                 shared.metrics.lock().unwrap().shed += 1;
                 write_response(

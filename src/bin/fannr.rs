@@ -32,12 +32,14 @@ use fannr::fann::{Aggregate, FannAnswer, FannQuery};
 use fannr::gtree::{GTree, GTreeParams};
 use fannr::hublabel::HubLabels;
 use fannr::roadnet::io::{read_compact, write_compact};
-use fannr::roadnet::{shortest_path, Graph, ScratchPool};
+use fannr::roadnet::{shortest_path, Graph, ScratchPool, ShardMap};
 use fannr::roadnet::{LoadMode, WeightUpdate};
-use fannr::serve::{Body, Client, Op, Request, Response, ServeConfig, Server};
+use fannr::router::{Router, RouterConfig};
+use fannr::serve::{Body, Client, Op, Request, Response, ServeConfig, Server, ShardRole};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 // Count heap allocations so `bench-batch` can report allocations/query.
@@ -60,6 +62,8 @@ fn main() -> ExitCode {
         "render" => cmd_render(&opts),
         "stats" => cmd_stats(&opts),
         "serve" => cmd_serve(&opts),
+        "partition" => cmd_partition(&opts),
+        "route" => cmd_route(&opts),
         "update" => cmd_update(&opts),
         "build-index" => cmd_build_index(&opts),
         "bench-batch" => cmd_bench_batch(&opts),
@@ -95,9 +99,18 @@ commands:
   serve      serve queries over TCP              (--index DIR | --graph |
              --nodes --seed, --addr, --workers, --queue-depth,
              --deadline-ms, --labels, --cache-capacity,
-             --batch-window-ms, --batch-max, --no-mmap);
+             --batch-window-ms, --batch-max, --no-mmap,
+             --shard-id N --shard-map FILE for one shard of a
+             partitioned deployment);
              with --index, graph.v2 alone suffices: missing labels.v2 /
              gtree.v2 are built in the background and hot-swapped in
+  partition  cut a network into shards and write (--graph | --nodes --seed,
+             the FANNSM2 shard map                --shards K, --out FILE)
+  route      front a set of shard servers with   (--graph | --nodes --seed,
+             the phi*M*mdist pruning router       --shard-map FILE,
+                                                  --shard-addrs a:p,b:p[,...],
+                                                  --addr, --deadline-ms,
+                                                  --upstream-timeout-ms)
   update     push live weight updates to a       (--addr, --edges u:v:w[,...])
              running server without a restart
   build-index  build the flat v2 index directory (--graph | --nodes --seed,
@@ -516,6 +529,43 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         (g, engine)
     };
+    // `--shard-id N --shard-map FILE` makes this server one shard of a
+    // partitioned deployment: it answers only for its owned slice of P,
+    // applies only its owned edges, and reports its region in health.
+    let shard = match (opts.get("shard-id"), opts.get("shard-map")) {
+        (Some(ids), Some(path)) => {
+            let id: u32 = ids.parse().map_err(|_| format!("bad --shard-id '{ids}'"))?;
+            let map = ShardMap::read_flat(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+            if id >= map.num_shards() {
+                return Err(format!(
+                    "--shard-id {id} out of range (map has {} shards)",
+                    map.num_shards()
+                ));
+            }
+            if map.num_nodes() as usize != g.num_nodes() {
+                return Err(format!(
+                    "shard map covers {} nodes but the graph has {}",
+                    map.num_nodes(),
+                    g.num_nodes()
+                ));
+            }
+            Some(ShardRole {
+                id,
+                map: Arc::new(map),
+            })
+        }
+        (None, None) => None,
+        _ => return Err("--shard-id and --shard-map must be given together".to_string()),
+    };
+    let shard_banner = match &shard {
+        Some(role) => format!(
+            ", shard {}/{} ({} owned nodes)",
+            role.id,
+            role.map.num_shards(),
+            role.map.owned_nodes(role.id)
+        ),
+        None => String::new(),
+    };
     let config = ServeConfig {
         addr: opts
             .get("addr")
@@ -534,11 +584,12 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .map(std::time::Duration::from_millis),
         batch_max: get(opts, "batch-max", 16usize),
         handle_signals: true,
+        shard,
     };
     let server = Server::bind(config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "serving {} nodes on {addr} ({} workers, queue depth {}, labels: {}, cache: {}, batch window: {})",
+        "serving {} nodes on {addr} ({} workers, queue depth {}, labels: {}, cache: {}, batch window: {}{shard_banner})",
         g.num_nodes(),
         get::<usize>(opts, "workers", 2),
         get::<usize>(opts, "queue-depth", 64),
@@ -571,6 +622,116 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     if !m.search.is_empty() {
         println!("search totals: {}", m.search);
     }
+    Ok(())
+}
+
+/// The graph every partitioned-deployment command shares: `--graph FILE`
+/// or the deterministic synthetic network (`--nodes`, `--seed`). Shards,
+/// router, and `partition` must all be launched with the same choice.
+fn load_graph_or_synth(opts: &HashMap<String, String>) -> Result<Graph, String> {
+    if opts.contains_key("graph") {
+        load_graph(opts)
+    } else {
+        let nodes: usize = get(opts, "nodes", 10_000);
+        let seed: u64 = get(opts, "seed", 7);
+        Ok(fannr::workload::synth::road_network(
+            nodes,
+            &mut fannr::workload::rng(seed),
+        ))
+    }
+}
+
+/// Cut the network into `--shards` parts along the G-tree's top-level
+/// partitioner and persist the shard map (ownership, regions, borders,
+/// and the frozen pruning scale) as a flat v2 `FANNSM2` container.
+fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph_or_synth(opts)?;
+    let shards: usize = get(opts, "shards", 2);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    if shards > g.num_nodes() {
+        return Err(format!(
+            "--shards {shards} exceeds the node count {}",
+            g.num_nodes()
+        ));
+    }
+    let out = require(opts, "out")?;
+    let t0 = Instant::now();
+    let cut = fannr::gtree::top_level_cut(&g, shards);
+    let map = ShardMap::build(&g, &cut);
+    map.write_flat(Path::new(&out)).map_err(|e| e.to_string())?;
+    println!(
+        "partitioned {} nodes into {} shards in {:.2}s (scale {:.6}) -> {}",
+        g.num_nodes(),
+        map.num_shards(),
+        t0.elapsed().as_secs_f64(),
+        map.scale(),
+        out
+    );
+    for s in 0..map.num_shards() {
+        let r = map.region(s);
+        println!(
+            "  shard {s}: {:>8} nodes, {:>6} borders, region [{:.1}, {:.1}] x [{:.1}, {:.1}]",
+            map.owned_nodes(s),
+            map.border_nodes(s).len(),
+            r[0],
+            r[2],
+            r[1],
+            r[3],
+        );
+    }
+    Ok(())
+}
+
+/// Run the shard router: same wire protocol as `serve`, but each query
+/// fans out only to the shards the phi*M*mdist bound cannot prune.
+fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph_or_synth(opts)?;
+    let map_path = require(opts, "shard-map")?;
+    let map = ShardMap::read_flat(Path::new(&map_path)).map_err(|e| format!("{map_path}: {e}"))?;
+    let addrs: Vec<String> = require(opts, "shard-addrs")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    let mut config = RouterConfig::new(
+        opts.get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7979".to_string()),
+        addrs,
+        Arc::new(map),
+        g,
+    );
+    config.default_deadline = opts
+        .get("deadline-ms")
+        .and_then(|v| v.parse().ok())
+        .map(std::time::Duration::from_millis);
+    if let Some(ms) = opts.get("upstream-timeout-ms").and_then(|v| v.parse().ok()) {
+        config.upstream_timeout = std::time::Duration::from_millis(ms);
+    }
+    let router = Router::bind(config).map_err(|e| e.to_string())?;
+    let addr = router.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "routing {} shards on {addr} (a wire shutdown drains the whole deployment)",
+        router.num_shards(),
+    );
+    let summary = router.run().map_err(|e| e.to_string())?;
+    let m = &summary.metrics;
+    println!(
+        "drained after {:.1}s: {} conns | {} queries ({} ok, {} empty, {} cancelled, {} errors, {} shed) | {} shards contacted, {} pruned | {} upstream errors",
+        summary.uptime.as_secs_f64(),
+        summary.connections,
+        m.requests,
+        m.ok,
+        m.empty,
+        m.cancelled,
+        m.errors,
+        m.shed,
+        m.shards_contacted,
+        m.shards_pruned,
+        m.upstream_errors,
+    );
     Ok(())
 }
 

@@ -27,6 +27,7 @@
 
 pub use fann_bench as bench;
 pub use fann_core as fann;
+pub use fannr_router as router;
 pub use fannr_serve as serve;
 pub use gtree;
 pub use hublabel;

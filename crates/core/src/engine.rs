@@ -56,12 +56,12 @@ use crate::{flex_k, Aggregate, FannAnswer, FannQuery, KFannAnswer, QueryError};
 use hublabel::HubLabels;
 use roadnet::cancel::{CancelCheck, CancelToken, Cancelled};
 use roadnet::{
-    AppliedUpdate, Dist, Graph, NetworkSnapshot, NodeId, ScratchPool, SharedExpansion,
+    AppliedUpdate, Dist, Graph, NetworkSnapshot, NodeId, RepairScope, ScratchPool, SharedExpansion,
     SnapshotCell, UpdateError, WeightUpdate,
 };
 use spatial_rtree::{Mbr, Pt};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -220,50 +220,43 @@ fn cache_store(
 /// for the current graph.
 #[derive(Debug, Clone)]
 pub struct StaleSet {
-    updates: Vec<AppliedUpdate>,
-    increase_only: bool,
+    scope: RepairScope,
 }
 
 impl StaleSet {
     fn fresh() -> Self {
         StaleSet {
-            updates: Vec::new(),
-            increase_only: true,
+            scope: RepairScope::new(),
         }
     }
 
     /// No pending updates: the labels match the current graph exactly.
     pub fn is_fresh(&self) -> bool {
-        self.updates.is_empty()
+        self.scope.is_empty()
     }
 
     /// Net per-edge changes: `w_old` is the weight the labels were built
     /// with, `w_new` the current weight.
     pub fn updates(&self) -> &[AppliedUpdate] {
-        &self.updates
+        self.scope.edges()
     }
 
     /// Every net change is an increase — the per-pair certificate in
     /// [`GuardedLabelOracle`] applies. Decrease certificates do not
     /// compose across edges, so any net decrease disables them all.
     pub fn increase_only(&self) -> bool {
-        self.increase_only
+        self.scope.increase_only()
+    }
+
+    /// The ledger as a [`RepairScope`]: exactly the touched edges a
+    /// scoped repair must cover to bring the labels back to the current
+    /// graph.
+    pub fn scope(&self) -> &RepairScope {
+        &self.scope
     }
 
     fn absorb(&mut self, applied: &[AppliedUpdate]) {
-        for a in applied {
-            match self
-                .updates
-                .iter_mut()
-                .find(|e| (e.u, e.v) == (a.u, a.v) || (e.u, e.v) == (a.v, a.u))
-            {
-                // Keep the first w_old (the labels' weight), track the
-                // latest w_new (the current weight).
-                Some(e) => e.w_new = a.w_new,
-                None => self.updates.push(*a),
-            }
-        }
-        self.increase_only = self.updates.iter().all(AppliedUpdate::is_increase);
+        self.scope.absorb(applied);
     }
 }
 
@@ -305,6 +298,12 @@ impl EngineSnapshot {
         self.labels.is_some() && !self.stale.is_fresh()
     }
 
+    /// The attached hub labels, if any (e.g. for persisting a repaired
+    /// labeling or comparing it against a from-scratch build).
+    pub fn hub_labels(&self) -> Option<&Arc<HubLabels>> {
+        self.labels.as_ref()
+    }
+
     /// The point-to-point oracle for this snapshot: hub labels guarded by
     /// the staleness ledger (exact even mid-repair), or `None` when the
     /// snapshot is index-free.
@@ -320,7 +319,54 @@ impl EngineSnapshot {
     }
 }
 
+/// A maintained G-tree: the current tree, its phase-1 assembly cache
+/// (what [`gtree::GTree::repair_scoped`] advances in place), and the
+/// epoch of the graph the tree matches.
+struct GtreeMaint {
+    tree: gtree::GTree,
+    cache: gtree::RepairCache,
+    workers: usize,
+    epoch: u64,
+}
+
+/// Footprint and cost of the most recent index repair, split by index.
+/// A full label rebuild reports `labels_repaired == labels_total`; a
+/// scoped repair reports the (usually far smaller) replayed-hub count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Epoch the repaired indexes match.
+    pub epoch: u64,
+    /// Hub roots whose pruned search was re-run.
+    pub labels_repaired: u64,
+    /// Hub roots a from-scratch rebuild would run.
+    pub labels_total: u64,
+    /// Wall time of the label repair, milliseconds.
+    pub label_wall_ms: u64,
+    /// G-tree leaves whose border matrices were reassembled.
+    pub scoped_leaves: u64,
+    /// G-tree nodes (leaves + internals) recomputed in either phase.
+    pub gtree_nodes_recomputed: u64,
+    /// G-tree matrix entries rewritten.
+    pub gtree_entries_repaired: u64,
+    /// Total G-tree matrix entries (what a full rebuild rewrites).
+    pub gtree_entries_total: u64,
+    /// Wall time of the G-tree fold, milliseconds.
+    pub gtree_wall_ms: u64,
+}
+
+impl RepairReport {
+    /// Combined wall time of the last repair, milliseconds.
+    pub fn wall_ms(&self) -> u64 {
+        self.label_wall_ms + self.gtree_wall_ms
+    }
+}
+
 /// Shared mutable state behind every clone of one [`Engine`].
+///
+/// Lock order (when nested): `gtree_state` → `writer` → `gtree_pending`
+/// → `report`. `apply_updates` takes `writer` → `gtree_pending`; the
+/// G-tree fold holds `gtree_state` across its repair and briefly nests
+/// the other two.
 struct EngineShared {
     cell: SnapshotCell<EngineSnapshot>,
     /// Serializes publication (updates, label installs); readers never
@@ -329,6 +375,22 @@ struct EngineShared {
     /// A background repair thread is running (see
     /// [`Engine::repair_in_background`]).
     repairing: AtomicBool,
+    /// Bumped by every published update batch. The background repair
+    /// loop compares it across a repair pass to close the orphaned-
+    /// repair window: a batch landing anywhere inside the pass is
+    /// detected even if its staleness was already absorbed.
+    update_gen: AtomicU64,
+    /// G-tree maintenance is on: `apply_updates` folds each batch into
+    /// `gtree_pending` and repair passes advance `gtree_state`.
+    gtree_on: AtomicBool,
+    /// Touched edges not yet folded into the maintained G-tree, plus a
+    /// generation counter bumped on every absorb (so the fold can clear
+    /// exactly the scope it repaired).
+    gtree_pending: Mutex<(RepairScope, u64)>,
+    /// The maintained G-tree, when enabled.
+    gtree_state: Mutex<Option<GtreeMaint>>,
+    /// The last repair's footprint, for the serving metrics.
+    report: Mutex<Option<RepairReport>>,
     /// The epoch-keyed answer cache, when attached
     /// ([`Engine::with_answer_cache`]). Shared by every clone so the
     /// serving workers and the updater see one coherent cache.
@@ -354,6 +416,11 @@ pub struct IndexDirOptions {
     pub persist: bool,
     /// Partitioning parameters for a background-built G-tree.
     pub gtree_params: gtree::GTreeParams,
+    /// Keep the G-tree live across weight updates: load (or build) it
+    /// with a repair cache and fold every update batch into it via
+    /// [`gtree::GTree::repair_scoped`] during repair passes. Off by
+    /// default.
+    pub maintain_gtree: bool,
 }
 
 impl Default for IndexDirOptions {
@@ -364,6 +431,7 @@ impl Default for IndexDirOptions {
             workers: 0,
             persist: true,
             gtree_params: gtree::GTreeParams::default(),
+            maintain_gtree: false,
         }
     }
 }
@@ -412,6 +480,11 @@ impl Engine {
                 })),
                 writer: Mutex::new(()),
                 repairing: AtomicBool::new(false),
+                update_gen: AtomicU64::new(0),
+                gtree_on: AtomicBool::new(false),
+                gtree_pending: Mutex::new((RepairScope::new(), 0)),
+                gtree_state: Mutex::new(None),
+                report: Mutex::new(None),
                 cache: OnceLock::new(),
             }),
             allow_approx_sum: false,
@@ -461,18 +534,34 @@ impl Engine {
         opts: &IndexDirOptions,
     ) -> Result<Self, roadnet::flat::FlatError> {
         let graph = Graph::read_flat_with(&dir.join("graph.v2"), opts.load_mode)?;
-        let engine = Engine::new(&graph);
+        let mut engine = Engine::new(&graph);
         let labels_path = dir.join("labels.v2");
-        if labels_path.exists() {
+        let have_labels = labels_path.exists();
+        if have_labels {
             let labels = HubLabels::read_flat_with(&labels_path, opts.load_mode)?;
             roadnet::flat::ensure(
                 labels.num_nodes() == graph.num_nodes(),
                 "labels node count matches graph",
             )?;
-            return Ok(engine.with_prebuilt_labels(labels));
+            engine = engine.with_prebuilt_labels(labels);
         }
-        if opts.background_build {
+        let gtree_path = dir.join("gtree.v2");
+        let mut have_gtree = true;
+        if opts.maintain_gtree {
+            if gtree_path.exists() {
+                let tree = gtree::GTree::read_flat_with(&gtree_path, opts.load_mode)?;
+                engine.enable_gtree_maintenance_prebuilt(tree, opts.workers);
+            } else {
+                have_gtree = false;
+            }
+        }
+        if opts.background_build && (!have_labels || !have_gtree) {
             engine.complete_index_in_background(dir, opts);
+        } else if !have_gtree {
+            // Maintenance requested without a background builder: pay for
+            // the tree synchronously so the maintained index exists on
+            // return.
+            engine.install_gtree_maintenance(opts.gtree_params, opts.workers);
         }
         Ok(engine)
     }
@@ -520,16 +609,25 @@ impl Engine {
                 }
                 drop(guard);
             }
-            if opts.persist && !dir.join("gtree.v2").exists() {
-                let tree = gtree::GTree::build_with_params_parallel(
-                    disk.graph(),
-                    opts.gtree_params,
-                    opts.workers,
-                );
-                let _ = persist_atomic(&dir, "gtree.v2", |p| tree.write_flat(p));
+            let need_file = opts.persist && !dir.join("gtree.v2").exists();
+            let need_maint = opts.maintain_gtree && !engine.gtree_maintenance_enabled();
+            if need_file || need_maint {
+                let (tree, cache) =
+                    gtree::GTree::build_with_cache(disk.graph(), opts.gtree_params, opts.workers);
+                if need_file {
+                    let _ = persist_atomic(&dir, "gtree.v2", |p| tree.write_flat(p));
+                }
+                if need_maint
+                    && !engine.install_gtree_prebuilt(tree, cache, disk.epoch(), opts.workers)
+                {
+                    // The epoch moved past the disk graph mid-build; the
+                    // persisted tree still matches graph.v2, but the
+                    // maintained one must match the live weights.
+                    engine.install_gtree_maintenance(opts.gtree_params, opts.workers);
+                }
             }
             engine.shared.repairing.store(false, Ordering::SeqCst);
-            if engine.is_stale() {
+            if engine.needs_repair() {
                 // Updates that landed mid-build saw `repairing` set and
                 // skipped their own repair kick; pick them up.
                 engine.repair_in_background();
@@ -616,6 +714,15 @@ impl Engine {
         if cur.labels.is_some() {
             stale.absorb(&applied);
         }
+        if self.shared.gtree_on.load(Ordering::SeqCst) {
+            // Fold the batch into the G-tree's pending scope *before*
+            // publishing the snapshot: any reader that sees the new epoch
+            // is then guaranteed to see a pending scope covering it.
+            let mut pending = self.shared.gtree_pending.lock().unwrap();
+            pending.0.absorb(&applied);
+            pending.1 = pending.1.wrapping_add(1);
+        }
+        self.shared.update_gen.fetch_add(1, Ordering::SeqCst);
         self.shared.cell.store(Arc::new(EngineSnapshot {
             net,
             labels: cur.labels.clone(),
@@ -641,13 +748,28 @@ impl Engine {
         Ok(epoch)
     }
 
-    /// Rebuild stale labels on the current graph and publish them,
-    /// synchronously. Queries keep running (and stay exact) throughout;
-    /// if updates land while building, the build restarts on the newer
-    /// graph. No-op when the labels are already fresh or absent. Returns
-    /// the epoch whose labels are fresh on return.
+    /// Repair every stale index on the current graph and publish,
+    /// synchronously: scoped label repair (replay only the hubs whose
+    /// certificates cross a touched edge) plus, when G-tree maintenance
+    /// is on, a scoped G-tree fold. Queries keep running (and stay
+    /// exact) throughout; if updates land while repairing, the repair
+    /// restarts on the newer graph. No-op when everything is already
+    /// fresh. Returns the epoch whose labels are fresh on return.
     pub fn repair_indexes(&self) -> u64 {
-        self.publish_labels(true)
+        let epoch = self.publish_labels(true);
+        self.fold_gtree();
+        epoch
+    }
+
+    /// Anything for a repair pass to do: stale labels, or a maintained
+    /// G-tree with unfolded updates. Serving tiers surface this as the
+    /// health `stale` flag so clients can wait for full convergence.
+    pub fn needs_repair(&self) -> bool {
+        if self.is_stale() {
+            return true;
+        }
+        self.shared.gtree_on.load(Ordering::SeqCst)
+            && !self.shared.gtree_pending.lock().unwrap().0.is_empty()
     }
 
     /// [`Engine::repair_indexes`] on a background thread. Returns `false`
@@ -660,12 +782,19 @@ impl Engine {
         }
         let engine = self.clone();
         std::thread::spawn(move || loop {
+            let gen = engine.shared.update_gen.load(Ordering::SeqCst);
             engine.repair_indexes();
             engine.shared.repairing.store(false, Ordering::SeqCst);
-            // Re-check after clearing the flag: an update that landed in
-            // between would otherwise be orphaned (its repair_in_background
-            // saw the flag still set).
-            if engine.is_stale() && !engine.shared.repairing.swap(true, Ordering::SeqCst) {
+            // Close the orphaned-repair window: any batch published
+            // inside this pass saw `repairing` set and skipped its own
+            // kick, so re-check after clearing the flag. The generation
+            // counter catches even batches whose staleness the pass
+            // already absorbed (e.g. one landing between the staleness
+            // check and the publish); a batch landing after this check
+            // sees the cleared flag and kicks its own repair.
+            let missed =
+                engine.shared.update_gen.load(Ordering::SeqCst) != gen || engine.needs_repair();
+            if missed && !engine.shared.repairing.swap(true, Ordering::SeqCst) {
                 continue;
             }
             break;
@@ -673,16 +802,41 @@ impl Engine {
         true
     }
 
+    /// The footprint of the most recent index repair (scoped or full),
+    /// or `None` if no repair has run yet.
+    pub fn last_repair_report(&self) -> Option<RepairReport> {
+        *self.shared.report.lock().unwrap()
+    }
+
     /// Build labels for the current graph and publish them fresh,
     /// restarting if the graph moves mid-build. With `only_if_stale`,
-    /// exit early when there is nothing to repair.
+    /// exit early when there is nothing to repair. A snapshot that
+    /// already carries labels plus a non-empty staleness ledger takes
+    /// the scoped-repair path: only hubs whose tight-edge certificates
+    /// cross a touched edge are replayed, bit-identical to a rebuild.
     fn publish_labels(&self, only_if_stale: bool) -> u64 {
         loop {
             let pinned = self.snapshot();
             if only_if_stale && !pinned.is_stale() {
                 return pinned.epoch();
             }
-            let labels = Arc::new(HubLabels::build(pinned.graph()));
+            let t0 = Instant::now();
+            let (labels, repaired, total) = match &pinned.labels {
+                Some(old) if !pinned.stale.is_fresh() => {
+                    let touched: Vec<(NodeId, NodeId)> =
+                        pinned.stale.scope().touched_pairs().collect();
+                    let (next, stats) = old.repair_scoped(pinned.graph(), &touched);
+                    (
+                        Arc::new(next),
+                        stats.roots_searched as u64,
+                        stats.roots_total as u64,
+                    )
+                }
+                _ => {
+                    let n = pinned.graph().num_nodes() as u64;
+                    (Arc::new(HubLabels::build(pinned.graph())), n, n)
+                }
+            };
             let guard = self.shared.writer.lock().unwrap();
             let cur = self.shared.cell.load();
             if cur.epoch() == pinned.epoch() {
@@ -691,9 +845,156 @@ impl Engine {
                     labels: Some(labels),
                     stale: StaleSet::fresh(),
                 }));
-                return cur.epoch();
+                drop(guard);
+                let mut report = self.shared.report.lock().unwrap();
+                let r = report.get_or_insert_with(RepairReport::default);
+                r.epoch = pinned.epoch();
+                r.labels_repaired = repaired;
+                r.labels_total = total;
+                r.label_wall_ms = t0.elapsed().as_millis() as u64;
+                return pinned.epoch();
             }
             drop(guard); // weights moved while building; rebuild on the newer graph
+        }
+    }
+
+    /// Enable G-tree maintenance by building the tree (plus its repair
+    /// cache) for the current graph. Subsequent update batches
+    /// accumulate a pending [`RepairScope`] that repair passes fold into
+    /// the tree via [`gtree::GTree::repair_scoped`].
+    pub fn with_gtree_maintenance(self, params: gtree::GTreeParams, workers: usize) -> Self {
+        self.install_gtree_maintenance(params, workers);
+        self
+    }
+
+    /// [`Engine::with_gtree_maintenance`] on an engine reference.
+    pub fn install_gtree_maintenance(&self, params: gtree::GTreeParams, workers: usize) {
+        loop {
+            let pinned = self.snapshot();
+            let (tree, cache) = gtree::GTree::build_with_cache(pinned.graph(), params, workers);
+            if self.install_gtree_prebuilt(tree, cache, pinned.epoch(), workers) {
+                return;
+            }
+            // Weights moved mid-build; rebuild on the newer graph.
+        }
+    }
+
+    /// Enable G-tree maintenance from a previously built tree. The
+    /// caller asserts the tree was built for this engine's *current*
+    /// graph (same contract as [`Engine::with_prebuilt_labels`]); the
+    /// repair cache is reconstructed from the tree's own partition. If
+    /// the epoch moves mid-reconstruction the tree is rebuilt from
+    /// scratch on the live graph.
+    pub fn enable_gtree_maintenance_prebuilt(&self, tree: gtree::GTree, workers: usize) {
+        let params = tree.params();
+        let pinned = self.snapshot();
+        let cache = gtree::RepairCache::for_tree(&tree, pinned.graph(), workers);
+        if !self.install_gtree_prebuilt(tree, cache, pinned.epoch(), workers) {
+            self.install_gtree_maintenance(params, workers);
+        }
+    }
+
+    /// Whether G-tree maintenance is enabled.
+    pub fn gtree_maintenance_enabled(&self) -> bool {
+        self.shared.gtree_on.load(Ordering::SeqCst)
+    }
+
+    /// A handle to the maintained G-tree (cheap: the backing arrays are
+    /// shared), or `None` when maintenance is off. The tree matches the
+    /// epoch of the last completed repair pass, not necessarily the
+    /// live epoch.
+    pub fn maintained_gtree(&self) -> Option<gtree::GTree> {
+        let state = self.shared.gtree_state.lock().unwrap();
+        state.as_ref().map(|m| m.tree.clone())
+    }
+
+    /// Install a (tree, cache) pair built for `epoch` and switch
+    /// maintenance on; fails (returning `false`) when the live epoch has
+    /// already moved past `epoch`.
+    fn install_gtree_prebuilt(
+        &self,
+        tree: gtree::GTree,
+        cache: gtree::RepairCache,
+        epoch: u64,
+        workers: usize,
+    ) -> bool {
+        let mut state = self.shared.gtree_state.lock().unwrap();
+        let guard = self.shared.writer.lock().unwrap();
+        if self.shared.cell.load().epoch() != epoch {
+            return false;
+        }
+        self.shared.gtree_pending.lock().unwrap().0 = RepairScope::new();
+        *state = Some(GtreeMaint {
+            tree,
+            cache,
+            workers,
+            epoch,
+        });
+        self.shared.gtree_on.store(true, Ordering::SeqCst);
+        drop(guard);
+        true
+    }
+
+    /// Fold every pending touched edge into the maintained G-tree with
+    /// a scoped repair, looping until the tree has caught up with a
+    /// consistent (snapshot, pending-scope) pair. No-op when
+    /// maintenance is off or nothing is pending.
+    fn fold_gtree(&self) {
+        if !self.shared.gtree_on.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut state = self.shared.gtree_state.lock().unwrap();
+        let Some(maint) = state.as_mut() else { return };
+        loop {
+            // Pin the snapshot and clone the pending scope under the
+            // writer lock: `apply_updates` publishes both atomically, so
+            // the clone covers exactly the diff from the tree's base
+            // graph to the pinned epoch (a superset — round-tripped
+            // edges — is safe).
+            let (pinned, scope, gen) = {
+                let _guard = self.shared.writer.lock().unwrap();
+                let pinned = self.shared.cell.load();
+                let pending = self.shared.gtree_pending.lock().unwrap();
+                (pinned, pending.0.clone(), pending.1)
+            };
+            let epoch = pinned.epoch();
+            if scope.is_empty() && maint.epoch == epoch {
+                return;
+            }
+            let t0 = Instant::now();
+            let touched: Vec<(NodeId, NodeId)> = scope.touched_pairs().collect();
+            let (tree, stats) =
+                maint
+                    .tree
+                    .repair_scoped(pinned.graph(), &mut maint.cache, &touched, maint.workers);
+            maint.tree = tree;
+            maint.epoch = epoch;
+            {
+                let mut report = self.shared.report.lock().unwrap();
+                let r = report.get_or_insert_with(RepairReport::default);
+                r.epoch = epoch;
+                r.scoped_leaves = stats.scoped_leaves;
+                r.gtree_nodes_recomputed = stats.nodes_recomputed;
+                r.gtree_entries_repaired = stats.entries_repaired;
+                r.gtree_entries_total = stats.entries_total;
+                r.gtree_wall_ms = t0.elapsed().as_millis() as u64;
+            }
+            // Clear the pending scope only if nothing was absorbed since
+            // the clone (generation unchanged ⇒ no batch published ⇒ the
+            // live epoch is still the one the tree now matches).
+            let caught_up = {
+                let _guard = self.shared.writer.lock().unwrap();
+                let mut pending = self.shared.gtree_pending.lock().unwrap();
+                if pending.1 == gen {
+                    pending.0 = RepairScope::new();
+                    true
+                } else {
+                    false
+                }
+            };
+            if caught_up {
+                return;
+            }
         }
     }
 
@@ -2057,6 +2358,119 @@ mod tests {
         let truth = brute_force(snap.graph(), &query).unwrap();
         let a = engine.query(&p, &q, 0.67, Aggregate::Max).unwrap().unwrap();
         assert_eq!(a.dist, truth.dist);
+    }
+
+    #[test]
+    fn scoped_repair_publishes_labels_identical_to_rebuild() {
+        let g = grid(6, 6);
+        let engine = Engine::new(&g).with_labels();
+        engine
+            .apply_updates(&[
+                WeightUpdate { u: 7, v: 8, w: 90 },
+                WeightUpdate {
+                    u: 20,
+                    v: 26,
+                    w: 10,
+                },
+            ])
+            .unwrap();
+        assert_eq!(engine.repair_indexes(), 1);
+        assert!(!engine.is_stale());
+        let repaired = engine.snapshot().hub_labels().unwrap().clone();
+        let fresh = HubLabels::build(engine.snapshot().graph());
+        assert!(*repaired == fresh, "scoped repair must be bit-identical");
+        let report = engine.last_repair_report().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.labels_total, 36);
+        assert!(report.labels_repaired >= 1);
+    }
+
+    #[test]
+    fn maintained_gtree_tracks_updates_through_repairs() {
+        let g = grid(6, 6);
+        let engine = Engine::new(&g).with_labels().with_gtree_maintenance(
+            gtree::GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+            2,
+        );
+        assert!(engine.gtree_maintenance_enabled());
+        let base = engine.maintained_gtree().unwrap();
+        let fresh0 = gtree::GTree::build_with_params_parallel(
+            &g,
+            gtree::GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+            2,
+        );
+        assert!(base == fresh0, "initial maintained tree matches a build");
+        for (round, batch) in [
+            vec![WeightUpdate { u: 0, v: 1, w: 70 }],
+            vec![
+                WeightUpdate {
+                    u: 14,
+                    v: 20,
+                    w: 10,
+                },
+                WeightUpdate {
+                    u: 34,
+                    v: 35,
+                    w: 55,
+                },
+            ],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            engine.apply_updates(&batch).unwrap();
+            engine.repair_indexes();
+            let maintained = engine.maintained_gtree().unwrap();
+            let fresh = gtree::GTree::build_with_params_parallel(
+                engine.snapshot().graph(),
+                gtree::GTreeParams {
+                    fanout: 2,
+                    leaf_cap: 4,
+                },
+                2,
+            );
+            assert!(maintained == fresh, "round {round}: folded tree diverged");
+        }
+        let report = engine.last_repair_report().unwrap();
+        assert_eq!(report.epoch, 2);
+        assert!(report.gtree_entries_total > 0);
+        assert!(report.gtree_entries_repaired <= report.gtree_entries_total);
+    }
+
+    #[test]
+    fn background_repair_folds_gtree_updates() {
+        let g = grid(5, 5);
+        let engine = Engine::new(&g).with_labels().with_gtree_maintenance(
+            gtree::GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+            1,
+        );
+        engine
+            .apply_updates(&[WeightUpdate { u: 6, v: 11, w: 44 }])
+            .unwrap();
+        assert!(engine.repair_in_background());
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        while engine.needs_repair() || engine.shared.repairing.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "background fold never landed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let fresh = gtree::GTree::build_with_params_parallel(
+            engine.snapshot().graph(),
+            gtree::GTreeParams {
+                fanout: 2,
+                leaf_cap: 4,
+            },
+            1,
+        );
+        assert!(engine.maintained_gtree().unwrap() == fresh);
     }
 
     #[test]

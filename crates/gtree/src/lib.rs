@@ -21,4 +21,4 @@ pub mod tree;
 
 pub use knn::Occurrence;
 pub use partition::top_level_cut;
-pub use tree::{GTree, GTreeParams};
+pub use tree::{GTree, GTreeParams, GTreeRepairStats, RepairCache};

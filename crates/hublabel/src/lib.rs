@@ -385,6 +385,155 @@ impl HubLabels {
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * 8 + self.ranks.len() * 4 + self.dists.len() * 8
     }
+
+    /// Scoped repair after a batch of edge-weight changes, with the
+    /// default ([`Ordering::Degree`]) hub order. `self` must have been
+    /// built with that order (both build paths use it); the order is
+    /// topology-only, so it is recomputable from the patched graph.
+    pub fn repair_scoped(
+        &self,
+        g: &Graph,
+        touched: &[(NodeId, NodeId)],
+    ) -> (HubLabels, LabelRepairStats) {
+        let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        order.sort_by_key(|&v| (Reverse(g.degree(v)), v));
+        self.repair_scoped_with_order(g, &order, touched)
+    }
+
+    /// Scoped repair with an explicit hub order (must be the order `self`
+    /// was built with). `g` is the *patched* graph; `touched` lists the
+    /// edges whose weights differ from the graph the labels were built on
+    /// (a superset is safe). Returns labels **bit-identical** to
+    /// `build_with_order(g, order)` plus repair-cost counters.
+    ///
+    /// Why a per-hub certificate exists: the build's pruned Dijkstra
+    /// relaxes the neighbors of a node only when the node is settled
+    /// *unpruned*, i.e. exactly when it receives a label entry. So if hub
+    /// `h`'s search traversed edge `(a, b)`, then `rank(h)` appears in the
+    /// old label of `a` or `b` (every node also labels itself, covering
+    /// `h ∈ {a, b}`). Replaying hubs in rank order, an unflagged hub's
+    /// search reads only inputs — edge weights, its own label, and the
+    /// labels (restricted to earlier ranks) of nodes it settles — that are
+    /// unchanged, hence reproduces its old output verbatim and can be
+    /// copied instead of searched. When a re-run hub's output differs at
+    /// node `u`, every later hub whose old search could have read
+    /// `label(u)` — `u`'s own rank, plus ranks in the old labels of `u`'s
+    /// neighbors (the only way a search settles `u`) — is flagged too.
+    /// This holds for weight increases and decreases alike.
+    pub fn repair_scoped_with_order(
+        &self,
+        g: &Graph,
+        order: &[NodeId],
+        touched: &[(NodeId, NodeId)],
+    ) -> (HubLabels, LabelRepairStats) {
+        let n = g.num_nodes();
+        assert_eq!(order.len(), n, "order must cover every node");
+        assert_eq!(self.num_nodes(), n, "labels must match the graph");
+
+        let mut rank_of = vec![0u32; n];
+        for (rank, &hub) in order.iter().enumerate() {
+            rank_of[hub as usize] = rank as u32;
+        }
+        // Old entries inverted by hub rank: by_rank[r] = (node, dist) in
+        // ascending node order (built by scanning nodes in id order).
+        let mut by_rank: Vec<Vec<(NodeId, Dist)>> = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            let (ranks, dists) = self.label(v);
+            for (&r, &d) in ranks.iter().zip(dists) {
+                by_rank[r as usize].push((v, d));
+            }
+        }
+
+        // Seed: hubs whose old search may have traversed a touched edge.
+        let mut affected = vec![false; n];
+        for &(a, b) in touched {
+            for v in [a, b] {
+                let (ranks, _) = self.label(v);
+                for &r in ranks {
+                    affected[r as usize] = true;
+                }
+            }
+        }
+
+        let mut labels: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); n];
+        let mut scratch = SearchScratch::new(n);
+        let mut roots_searched = 0usize;
+        for (rank, &hub) in order.iter().enumerate() {
+            let old = &by_rank[rank];
+            if !affected[rank] {
+                for &(v, d) in old {
+                    labels[v as usize].push((rank as u32, d));
+                }
+                continue;
+            }
+            roots_searched += 1;
+            let mut out = scratch.pruned_dijkstra(g, hub, &labels);
+            out.sort_unstable_by_key(|&(v, _)| v);
+            for &(v, d) in &out {
+                labels[v as usize].push((rank as u32, d));
+            }
+            // Diff against the old entries (both sorted by node id); any
+            // node whose entry at this rank changed invalidates later
+            // hubs that could have observed it.
+            let (mut i, mut j) = (0, 0);
+            let dirty = |u: NodeId, affected: &mut Vec<bool>| {
+                let ru = rank_of[u as usize] as usize;
+                if ru > rank {
+                    affected[ru] = true;
+                }
+                for (x, _) in g.neighbors(u) {
+                    let (ranks, _) = self.label(x);
+                    for &r2 in ranks {
+                        if (r2 as usize) > rank {
+                            affected[r2 as usize] = true;
+                        }
+                    }
+                }
+            };
+            while i < old.len() || j < out.len() {
+                let changed = if i == old.len() {
+                    Some(out[j].0)
+                } else if j == out.len() {
+                    Some(old[i].0)
+                } else {
+                    match old[i].0.cmp(&out[j].0) {
+                        std::cmp::Ordering::Less => Some(old[i].0),
+                        std::cmp::Ordering::Greater => Some(out[j].0),
+                        std::cmp::Ordering::Equal => (old[i].1 != out[j].1).then_some(old[i].0),
+                    }
+                };
+                if let Some(u) = changed {
+                    dirty(u, &mut affected)
+                }
+                if i < old.len() && (j == out.len() || old[i].0 <= out[j].0) {
+                    let adv_j = j < out.len() && old[i].0 == out[j].0;
+                    i += 1;
+                    if adv_j {
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        (
+            HubLabels::from_labels(labels),
+            LabelRepairStats {
+                roots_searched,
+                roots_total: n,
+            },
+        )
+    }
+}
+
+/// Repair-cost counters from [`HubLabels::repair_scoped`]: how many hub
+/// searches actually re-ran versus the full-rebuild count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelRepairStats {
+    /// Hubs whose pruned search was re-run.
+    pub roots_searched: usize,
+    /// Hubs a from-scratch rebuild would run (one per vertex).
+    pub roots_total: usize,
 }
 
 impl PartialEq for HubLabels {
@@ -619,6 +768,70 @@ mod tests {
     fn custom_order_must_cover() {
         let g = grid(3, 3);
         let _ = HubLabels::build_with_order(&g, &[0, 1]);
+    }
+
+    fn patched(g: &Graph, patches: &[(NodeId, NodeId, u32)]) -> Graph {
+        g.with_patched_weights(patches).unwrap()
+    }
+
+    #[test]
+    fn repair_scoped_is_bit_identical_to_rebuild() {
+        let g = grid(6, 5);
+        let hl = HubLabels::build(&g);
+        // Increase, decrease, and a mixed batch — each must reproduce the
+        // from-scratch index exactly.
+        for patch in [
+            vec![(7u32, 8u32, 9u32)],
+            vec![(12, 18, 1)],
+            vec![(0, 1, 5), (14, 15, 1), (22, 28, 7)],
+        ] {
+            let g2 = patched(&g, &patch);
+            let touched: Vec<(NodeId, NodeId)> = patch.iter().map(|&(u, v, _)| (u, v)).collect();
+            let (repaired, stats) = hl.repair_scoped(&g2, &touched);
+            let rebuilt = HubLabels::build(&g2);
+            assert!(repaired == rebuilt, "repair diverged for patch {patch:?}");
+            assert_eq!(stats.roots_total, g.num_nodes());
+            assert!(stats.roots_searched <= stats.roots_total);
+        }
+    }
+
+    #[test]
+    fn repair_scoped_handles_repeated_batches() {
+        // Chain repairs: each repair feeds the next, staying identical to
+        // a rebuild at every step (including a weight round-trip).
+        let g0 = grid(5, 5);
+        let mut hl = HubLabels::build(&g0);
+        let mut g = g0.clone();
+        for patch in [(6u32, 7u32, 9u32), (6, 7, 1), (17, 22, 4), (6, 7, 2)] {
+            g = patched(&g, &[patch]);
+            let (next, _) = hl.repair_scoped(&g, &[(patch.0, patch.1)]);
+            assert!(next == HubLabels::build(&g), "diverged at patch {patch:?}");
+            hl = next;
+        }
+    }
+
+    #[test]
+    fn repair_scoped_empty_scope_is_a_clone() {
+        let g = grid(4, 4);
+        let hl = HubLabels::build(&g);
+        let (same, stats) = hl.repair_scoped(&g, &[]);
+        assert!(same == hl);
+        assert_eq!(stats.roots_searched, 0);
+    }
+
+    #[test]
+    fn repair_scoped_repairs_parallel_built_labels() {
+        // The batched parallel build is bit-identical to the sequential
+        // one, so its output is a valid repair starting point too.
+        let g = grid(6, 4);
+        let hl = HubLabels::build_parallel(&g, 4);
+        let g2 = patched(&g, &[(5, 11, 8), (13, 14, 1)]);
+        let (repaired, stats) = hl.repair_scoped(&g2, &[(5, 11), (13, 14)]);
+        assert!(repaired == HubLabels::build(&g2));
+        assert!(
+            stats.roots_searched < stats.roots_total,
+            "a two-edge patch should not invalidate every hub"
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use path::shortest_path;
 pub use recorder::SearchRecorder;
 pub use scratch::{QueryScratch, ScratchPool};
 pub use shardmap::{ShardMap, SHARD_MAP_MAGIC, SHARD_MAP_VERSION};
-pub use snapshot::{AppliedUpdate, NetworkSnapshot, SnapshotCell, WeightUpdate};
+pub use snapshot::{AppliedUpdate, NetworkSnapshot, RepairScope, SnapshotCell, WeightUpdate};
 
 /// A network (shortest-path) distance. `u64` so that sums of many `u32`
 /// edge weights cannot overflow.

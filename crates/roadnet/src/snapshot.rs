@@ -49,6 +49,104 @@ impl AppliedUpdate {
     }
 }
 
+/// The merged footprint of one or more applied update batches: the set of
+/// touched edges (canonicalised across both orientations and repeat
+/// updates), ready to be handed to the scoped index-repair paths
+/// (`GTree::repair_scoped`, `HubLabels::repair_scoped`).
+///
+/// Merge semantics match index-staleness tracking: an edge keeps the
+/// `w_old` of the *first* batch that touched it (the weight the indexes
+/// were built against) and the `w_new` of the *latest*. An edge whose
+/// weight round-trips back to its original value is deliberately kept —
+/// scoped repair recomputes its neighbourhood, finds nothing changed, and
+/// republishes fresh, which is cheaper than proving the round-trip safe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairScope {
+    edges: Vec<AppliedUpdate>,
+    increase_only: bool,
+}
+
+impl RepairScope {
+    /// An empty scope (repairing it is a no-op).
+    pub fn new() -> Self {
+        RepairScope {
+            edges: Vec::new(),
+            increase_only: true,
+        }
+    }
+
+    /// The scope of a single applied batch.
+    pub fn from_applied(applied: &[AppliedUpdate]) -> Self {
+        let mut s = Self::new();
+        s.absorb(applied);
+        s
+    }
+
+    /// Fold another applied batch into this scope (first `w_old` wins,
+    /// latest `w_new` wins, either orientation matches).
+    pub fn absorb(&mut self, applied: &[AppliedUpdate]) {
+        for a in applied {
+            match self
+                .edges
+                .iter_mut()
+                .find(|e| (e.u, e.v) == (a.u, a.v) || (e.u, e.v) == (a.v, a.u))
+            {
+                Some(e) => e.w_new = a.w_new,
+                None => self.edges.push(*a),
+            }
+        }
+        self.increase_only = self.edges.iter().all(AppliedUpdate::is_increase);
+    }
+
+    /// No edges touched since the last repair.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of distinct touched edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The merged per-edge old/new weights.
+    pub fn edges(&self) -> &[AppliedUpdate] {
+        &self.edges
+    }
+
+    /// Whether every merged change can only lengthen shortest paths
+    /// (certified label distances then stay valid as upper bounds).
+    pub fn increase_only(&self) -> bool {
+        self.increase_only
+    }
+
+    /// The touched edges as `(u, v)` pairs, one per distinct edge.
+    pub fn touched_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().map(|e| (e.u, e.v))
+    }
+
+    /// Every endpoint of a touched edge, sorted and deduplicated.
+    pub fn endpoints(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.edges.iter().flat_map(|e| [e.u, e.v]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The distinct partition cells (e.g. G-tree leaves) containing a
+    /// touched endpoint, given a node -> cell assignment. Sorted and
+    /// deduplicated; endpoints outside the slice are ignored.
+    pub fn leaves(&self, leaf_of: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .endpoints()
+            .into_iter()
+            .filter_map(|v| leaf_of.get(v as usize).copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
 /// An immutable, epoch-versioned road network: the unit of publication in
 /// the serving stack. Cheap to clone (the graph is a shared handle).
 #[derive(Debug, Clone)]
@@ -59,6 +157,10 @@ pub struct NetworkSnapshot {
     /// across epochs because [`NetworkSnapshot::apply`] validates against
     /// it, so lower bounds built once stay admissible forever.
     scale: f64,
+    /// The validated updates that produced this epoch from its
+    /// predecessor (delta encoding of the epoch). Empty for epoch 0 and
+    /// for republications; shared so clones stay cheap.
+    delta: Arc<[AppliedUpdate]>,
 }
 
 impl NetworkSnapshot {
@@ -70,6 +172,7 @@ impl NetworkSnapshot {
             graph,
             epoch: 0,
             scale,
+            delta: Arc::from([]),
         }
     }
 
@@ -96,6 +199,19 @@ impl NetworkSnapshot {
         LowerBound::with_scale(self.scale)
     }
 
+    /// The validated updates that produced this epoch from its
+    /// predecessor. Empty for epoch 0 and for `next_epoch`
+    /// republications.
+    #[inline]
+    pub fn delta(&self) -> &[AppliedUpdate] {
+        &self.delta
+    }
+
+    /// This epoch's delta as a ready-to-merge [`RepairScope`].
+    pub fn repair_scope(&self) -> RepairScope {
+        RepairScope::from_applied(&self.delta)
+    }
+
     /// The same graph republished under the next epoch (used when
     /// swapping in repaired indexes: answers are unchanged, but readers
     /// can observe that a new snapshot was published).
@@ -104,6 +220,7 @@ impl NetworkSnapshot {
             graph: self.graph.clone(),
             epoch: self.epoch + 1,
             scale: self.scale,
+            delta: Arc::from([]),
         }
     }
 
@@ -152,6 +269,7 @@ impl NetworkSnapshot {
                 graph,
                 epoch: self.epoch + 1,
                 scale: self.scale,
+                delta: applied.clone().into(),
             },
             applied,
         ))
@@ -333,6 +451,69 @@ mod tests {
         assert_eq!(next.graph().edge_weight(0, 1), Some(40));
         // Both entries report the pre-batch weight as old.
         assert!(applied.iter().all(|a| a.w_old == 5));
+    }
+
+    #[test]
+    fn apply_records_the_epoch_delta() {
+        let snap = NetworkSnapshot::new(line(4, 5));
+        assert!(snap.delta().is_empty());
+        let (next, applied) = snap
+            .apply(&[
+                WeightUpdate { u: 1, v: 2, w: 9 },
+                WeightUpdate { u: 2, v: 3, w: 7 },
+            ])
+            .unwrap();
+        assert_eq!(next.delta(), &applied[..]);
+        assert!(next.next_epoch().delta().is_empty());
+        let scope = next.repair_scope();
+        assert_eq!(scope.len(), 2);
+        assert_eq!(scope.endpoints(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn repair_scope_merges_like_staleness_tracking() {
+        let mut scope = RepairScope::new();
+        assert!(scope.is_empty() && scope.increase_only());
+        scope.absorb(&[AppliedUpdate {
+            u: 1,
+            v: 2,
+            w_old: 5,
+            w_new: 9,
+        }]);
+        // Opposite orientation merges into the same entry; first w_old
+        // is kept, latest w_new wins.
+        scope.absorb(&[AppliedUpdate {
+            u: 2,
+            v: 1,
+            w_old: 9,
+            w_new: 3,
+        }]);
+        assert_eq!(scope.len(), 1);
+        assert_eq!((scope.edges()[0].w_old, scope.edges()[0].w_new), (5, 3));
+        assert!(!scope.increase_only());
+        // A round-trip back to the original weight is kept, not dropped.
+        scope.absorb(&[AppliedUpdate {
+            u: 1,
+            v: 2,
+            w_old: 3,
+            w_new: 5,
+        }]);
+        assert_eq!(scope.len(), 1);
+        assert_eq!((scope.edges()[0].w_old, scope.edges()[0].w_new), (5, 5));
+        assert!(scope.increase_only());
+        // Leaf resolution dedups cells across endpoints.
+        let leaf_of = [7u32, 3, 3, 9];
+        scope.absorb(&[AppliedUpdate {
+            u: 0,
+            v: 1,
+            w_old: 5,
+            w_new: 6,
+        }]);
+        assert_eq!(scope.leaves(&leaf_of), vec![3, 7]);
+        assert_eq!(
+            scope.touched_pairs().collect::<Vec<_>>(),
+            vec![(1, 2), (0, 1)]
+        );
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! responses can be matched). Grammar:
 //!
 //! ```text
-//! request  = query | update | health | metrics | shutdown
+//! request  = query | update | update_stream | health | metrics | shutdown
 //! query    = {"op":"query", "p":[nodeid...], "q":[nodeid...],
 //!             "phi":number, "agg":"sum"|"max",
 //!             "deadline_ms":number?, "id":string?}
 //! update   = {"op":"update",
+//!             "updates":[{"u":nodeid,"v":nodeid,"w":weight}...],
+//!             "id":string?}
+//! update_stream = {"op":"update_stream", "seq":number,
 //!             "updates":[{"u":nodeid,"v":nodeid,"w":weight}...],
 //!             "id":string?}
 //! health   = {"op":"health", "id":string?}
@@ -22,6 +25,10 @@
 //!          | {"status":"cancelled", "id"?}      ; deadline exceeded
 //!          | {"status":"shed", "id"?}           ; queue full, retry later
 //!          | {"status":"updated", "id"?, "epoch":number, "applied":number}
+//!          | {"status":"stream_ack", "id"?, "seq":number,
+//!             "epoch":number, "applied":number} ; cumulative ack
+//!          | {"status":"stream_error", "id"?, "kind":"gap"|"overflow",
+//!             "expected":number, "got":number}
 //!          | {"status":"error", "id"?, "error":string}
 //!          | {"status":"upstream", "id"?, "shard":number, "error":string}
 //!          | {"status":"health", "id"?, ...}
@@ -35,6 +42,23 @@
 //! the new weights. Validation (edge exists, weight at or above the
 //! Euclidean admissibility floor) is all-or-nothing — on error nothing is
 //! published.
+//!
+//! # The update stream
+//!
+//! `update_stream` is the long-lived counterpart of `update`: a
+//! connection carries numbered segments (`seq` starts at 1, strictly
+//! sequential per connection) and each accepted segment is answered with
+//! a *cumulative* `stream_ack` whose `seq` is the highest contiguous
+//! segment applied on this connection. A duplicate segment (`seq` at or
+//! below the acked high-water mark) is re-acked idempotently with
+//! `applied:0`; a segment arriving past the expected number gets a typed
+//! `stream_error` with `kind:"gap"` (nothing is applied, the expected
+//! number is returned so the client can rewind); a segment larger than
+//! [`MAX_STREAM_SEGMENT`] edges gets `kind:"overflow"`. Senders keep at
+//! most [`STREAM_WINDOW`] segments in flight (pipelined past the last
+//! ack) so a stall never buffers unboundedly. A failed apply
+//! (validation) answers `error` *without* advancing the stream, so the
+//! client may repair and resend the same `seq`.
 //!
 //! The same serializer backs `fannr query --json`, so the CLI's output and
 //! the server's cannot drift.
@@ -52,12 +76,27 @@ pub struct Request {
     pub op: Op,
 }
 
+/// Most edges one `update_stream` segment may carry; larger segments are
+/// rejected with a typed `stream_error` of kind `overflow`.
+pub const MAX_STREAM_SEGMENT: usize = 4096;
+
+/// Most unacked segments an `update_stream` sender keeps in flight
+/// (client-side flow control; the per-connection reader processes
+/// segments in order, so acks come back in sequence).
+pub const STREAM_WINDOW: u64 = 32;
+
 /// The request operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     Query(QuerySpec),
     /// Set the weights of the listed edges, publishing the next epoch.
     Update(Vec<WeightUpdate>),
+    /// One numbered segment of a long-lived update stream (see the
+    /// [module docs](self) for the sequencing/ack contract).
+    UpdateStream {
+        seq: u64,
+        updates: Vec<WeightUpdate>,
+    },
     Health,
     Metrics,
     Shutdown,
@@ -73,6 +112,36 @@ pub struct QuerySpec {
     /// Per-request deadline, measured from the moment the server admits
     /// the request (queue wait counts). `None` uses the server default.
     pub deadline_ms: Option<u64>,
+}
+
+fn update_list(v: &Json) -> Result<Vec<WeightUpdate>, String> {
+    let arr = v
+        .get("updates")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "'updates' must be an array".to_string())?;
+    if arr.is_empty() {
+        return Err("'updates' must not be empty".to_string());
+    }
+    arr.iter()
+        .map(|e| {
+            let node = |key: &'static str| {
+                e.get(key)
+                    .and_then(Json::as_u64)
+                    .and_then(|n| NodeId::try_from(n).ok())
+                    .ok_or_else(|| format!("update '{key}' must be a node id"))
+            };
+            let w = e
+                .get("w")
+                .and_then(Json::as_u64)
+                .and_then(|n| Weight::try_from(n).ok())
+                .ok_or_else(|| "update 'w' must be a positive weight".to_string())?;
+            Ok(WeightUpdate {
+                u: node("u")?,
+                v: node("v")?,
+                w,
+            })
+        })
+        .collect()
 }
 
 fn node_list(v: &Json, key: &'static str) -> Result<Vec<NodeId>, String> {
@@ -127,36 +196,17 @@ impl Request {
                     deadline_ms,
                 })
             }
-            Some("update") => {
-                let arr = v
-                    .get("updates")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| "'updates' must be an array".to_string())?;
-                if arr.is_empty() {
-                    return Err("'updates' must not be empty".to_string());
+            Some("update") => Op::Update(update_list(&v)?),
+            Some("update_stream") => {
+                let seq = v
+                    .get("seq")
+                    .and_then(Json::as_u64)
+                    .filter(|&s| s >= 1)
+                    .ok_or_else(|| "'seq' must be a positive integer".to_string())?;
+                Op::UpdateStream {
+                    seq,
+                    updates: update_list(&v)?,
                 }
-                let updates = arr
-                    .iter()
-                    .map(|e| {
-                        let node = |key: &'static str| {
-                            e.get(key)
-                                .and_then(Json::as_u64)
-                                .and_then(|n| NodeId::try_from(n).ok())
-                                .ok_or_else(|| format!("update '{key}' must be a node id"))
-                        };
-                        let w = e
-                            .get("w")
-                            .and_then(Json::as_u64)
-                            .and_then(|n| Weight::try_from(n).ok())
-                            .ok_or_else(|| "update 'w' must be a positive weight".to_string())?;
-                        Ok(WeightUpdate {
-                            u: node("u")?,
-                            v: node("v")?,
-                            w,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, String>>()?;
-                Op::Update(updates)
             }
             Some("health") => Op::Health,
             Some("metrics") => Op::Metrics,
@@ -173,6 +223,7 @@ impl Request {
         let op = match &self.op {
             Op::Query(_) => "query",
             Op::Update(_) => "update",
+            Op::UpdateStream { .. } => "update_stream",
             Op::Health => "health",
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
@@ -187,7 +238,10 @@ impl Request {
                 members.push(("deadline_ms".into(), Json::from(ms)));
             }
         }
-        if let Op::Update(updates) = &self.op {
+        if let Op::UpdateStream { seq, .. } = &self.op {
+            members.push(("seq".into(), Json::from(*seq)));
+        }
+        if let Op::Update(updates) | Op::UpdateStream { updates, .. } = &self.op {
             members.push((
                 "updates".into(),
                 Json::Arr(
@@ -253,6 +307,19 @@ pub struct HealthInfo {
     pub owned_nodes: u64,
     /// Region MBR `[min_x, min_y, max_x, max_y]` in shard mode.
     pub region: Option<[f64; 4]>,
+    /// Hub roots replayed by the last scoped repair (equals
+    /// `labels_total` for a full rebuild; 0 before any repair).
+    pub labels_repaired: u64,
+    /// Hub roots a full rebuild would run.
+    pub labels_total: u64,
+    /// G-tree leaves reassembled by the last scoped repair.
+    pub repair_scoped_leaves: u64,
+    /// G-tree matrix entries rewritten by the last scoped repair.
+    pub gtree_entries_repaired: u64,
+    /// G-tree matrix entries a full rebuild rewrites (the whole index).
+    pub gtree_entries_total: u64,
+    /// Wall time of the last repair pass, milliseconds.
+    pub last_repair_ms: u64,
 }
 
 /// Aggregate serving counters for a `metrics` response.
@@ -300,6 +367,21 @@ pub struct MetricsInfo {
     pub shards_contacted: u64,
     /// Router only: requests failed with a typed `upstream` error.
     pub upstream_errors: u64,
+    /// `update_stream` segments accepted (acked with their own seq).
+    pub stream_segments: u64,
+    /// Edges applied through accepted stream segments.
+    pub stream_updates: u64,
+    /// Hub roots replayed by the last scoped repair (router: summed over
+    /// shards).
+    pub labels_repaired: u64,
+    /// Hub roots a full rebuild would run (router: summed over shards).
+    pub labels_total: u64,
+    /// G-tree leaves reassembled by the last scoped repair (router:
+    /// summed over shards).
+    pub repair_scoped_leaves: u64,
+    /// Wall time of the last repair pass, milliseconds (router: max over
+    /// shards).
+    pub last_repair_ms: u64,
     pub latency: LatencyHistogram,
     pub search: SearchStats,
 }
@@ -331,12 +413,36 @@ impl PartialEq for MetricsInfo {
             && self.shards_pruned == other.shards_pruned
             && self.shards_contacted == other.shards_contacted
             && self.upstream_errors == other.upstream_errors
+            && self.stream_segments == other.stream_segments
+            && self.stream_updates == other.stream_updates
+            && self.labels_repaired == other.labels_repaired
+            && self.labels_total == other.labels_total
+            && self.repair_scoped_leaves == other.repair_scoped_leaves
+            && self.last_repair_ms == other.last_repair_ms
             && self.search == other.search
             && self.latency.count() == other.latency.count()
             && self.latency.p50_ns() == other.latency.p50_ns()
             && self.latency.p90_ns() == other.latency.p90_ns()
             && self.latency.p99_ns() == other.latency.p99_ns()
             && self.latency.max_ns() == other.latency.max_ns()
+    }
+}
+
+/// Why an `update_stream` segment was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamErrorKind {
+    /// The segment number skipped ahead of the next expected one.
+    Gap,
+    /// The segment carried more than [`MAX_STREAM_SEGMENT`] edges.
+    Overflow,
+}
+
+impl StreamErrorKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamErrorKind::Gap => "gap",
+            StreamErrorKind::Overflow => "overflow",
+        }
     }
 }
 
@@ -370,6 +476,23 @@ pub enum Body {
         epoch: u64,
         applied: u64,
     },
+    /// Cumulative stream acknowledgement: `seq` is the highest contiguous
+    /// segment applied on this connection, `epoch` the published epoch
+    /// after it, `applied` the edges applied by the segment that
+    /// triggered this ack (0 on an idempotent duplicate re-ack).
+    StreamAck {
+        seq: u64,
+        epoch: u64,
+        applied: u64,
+    },
+    /// Typed stream-sequencing failure; nothing was applied. For `Gap`,
+    /// `expected`/`got` are segment numbers; for `Overflow`, the segment
+    /// cap and the offered segment size.
+    StreamError {
+        kind: StreamErrorKind,
+        expected: u64,
+        got: u64,
+    },
     Error {
         error: String,
     },
@@ -395,6 +518,8 @@ impl Response {
             Body::Cancelled => "cancelled",
             Body::Shed => "shed",
             Body::Updated { .. } => "updated",
+            Body::StreamAck { .. } => "stream_ack",
+            Body::StreamError { .. } => "stream_error",
             Body::Error { .. } => "error",
             Body::Upstream { .. } => "upstream",
             Body::Health(_) => "health",
@@ -428,6 +553,24 @@ impl Response {
                 members.push(("epoch".into(), Json::from(*epoch)));
                 members.push(("applied".into(), Json::from(*applied)));
             }
+            Body::StreamAck {
+                seq,
+                epoch,
+                applied,
+            } => {
+                members.push(("seq".into(), Json::from(*seq)));
+                members.push(("epoch".into(), Json::from(*epoch)));
+                members.push(("applied".into(), Json::from(*applied)));
+            }
+            Body::StreamError {
+                kind,
+                expected,
+                got,
+            } => {
+                members.push(("kind".into(), Json::from(kind.name())));
+                members.push(("expected".into(), Json::from(*expected)));
+                members.push(("got".into(), Json::from(*got)));
+            }
             Body::Error { error } => {
                 members.push(("error".into(), Json::from(error.as_str())));
             }
@@ -450,6 +593,21 @@ impl Response {
                 if let Some(r) = h.region {
                     members.push(("region".into(), region_json(&r)));
                 }
+                members.push(("labels_repaired".into(), Json::from(h.labels_repaired)));
+                members.push(("labels_total".into(), Json::from(h.labels_total)));
+                members.push((
+                    "repair_scoped_leaves".into(),
+                    Json::from(h.repair_scoped_leaves),
+                ));
+                members.push((
+                    "gtree_entries_repaired".into(),
+                    Json::from(h.gtree_entries_repaired),
+                ));
+                members.push((
+                    "gtree_entries_total".into(),
+                    Json::from(h.gtree_entries_total),
+                ));
+                members.push(("last_repair_ms".into(), Json::from(h.last_repair_ms)));
             }
             Body::Metrics(m) => {
                 members.push(("requests".into(), Json::from(m.requests)));
@@ -479,6 +637,15 @@ impl Response {
                 members.push(("shards_pruned".into(), Json::from(m.shards_pruned)));
                 members.push(("shards_contacted".into(), Json::from(m.shards_contacted)));
                 members.push(("upstream_errors".into(), Json::from(m.upstream_errors)));
+                members.push(("stream_segments".into(), Json::from(m.stream_segments)));
+                members.push(("stream_updates".into(), Json::from(m.stream_updates)));
+                members.push(("labels_repaired".into(), Json::from(m.labels_repaired)));
+                members.push(("labels_total".into(), Json::from(m.labels_total)));
+                members.push((
+                    "repair_scoped_leaves".into(),
+                    Json::from(m.repair_scoped_leaves),
+                ));
+                members.push(("last_repair_ms".into(), Json::from(m.last_repair_ms)));
                 members.push(("p50_us".into(), Json::from(m.latency.p50_ns() / 1_000)));
                 members.push(("p90_us".into(), Json::from(m.latency.p90_ns() / 1_000)));
                 members.push(("p99_us".into(), Json::from(m.latency.p99_ns() / 1_000)));
@@ -538,6 +705,20 @@ impl Response {
                 epoch: u64_field("epoch")?,
                 applied: u64_field("applied")?,
             },
+            Some("stream_ack") => Body::StreamAck {
+                seq: u64_field("seq")?,
+                epoch: u64_field("epoch")?,
+                applied: u64_field("applied")?,
+            },
+            Some("stream_error") => Body::StreamError {
+                kind: match v.get("kind").and_then(Json::as_str) {
+                    Some("gap") => StreamErrorKind::Gap,
+                    Some("overflow") => StreamErrorKind::Overflow,
+                    _ => return Err("'kind' must be \"gap\" or \"overflow\"".to_string()),
+                },
+                expected: u64_field("expected")?,
+                got: u64_field("got")?,
+            },
             Some("error") => Body::Error {
                 error: v
                     .get("error")
@@ -572,6 +753,23 @@ impl Response {
                 shard: v.get("shard").and_then(Json::as_u64).map(|s| s as u32),
                 owned_nodes: v.get("owned_nodes").and_then(Json::as_u64).unwrap_or(0),
                 region: region_from(&v),
+                // Repair-footprint fields arrived with incremental
+                // maintenance; tolerate their absence for older peers.
+                labels_repaired: v.get("labels_repaired").and_then(Json::as_u64).unwrap_or(0),
+                labels_total: v.get("labels_total").and_then(Json::as_u64).unwrap_or(0),
+                repair_scoped_leaves: v
+                    .get("repair_scoped_leaves")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                gtree_entries_repaired: v
+                    .get("gtree_entries_repaired")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                gtree_entries_total: v
+                    .get("gtree_entries_total")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                last_repair_ms: v.get("last_repair_ms").and_then(Json::as_u64).unwrap_or(0),
             }),
             Some("metrics") => {
                 let mut m = MetricsInfo {
@@ -603,6 +801,12 @@ impl Response {
                 m.shards_pruned = opt("shards_pruned");
                 m.shards_contacted = opt("shards_contacted");
                 m.upstream_errors = opt("upstream_errors");
+                m.stream_segments = opt("stream_segments");
+                m.stream_updates = opt("stream_updates");
+                m.labels_repaired = opt("labels_repaired");
+                m.labels_total = opt("labels_total");
+                m.repair_scoped_leaves = opt("repair_scoped_leaves");
+                m.last_repair_ms = opt("last_repair_ms");
                 // The histogram itself does not round-trip; carry the
                 // quantiles through as single samples so the client can
                 // still display them.
@@ -709,6 +913,99 @@ mod tests {
             r#"{"op":"update","updates":"yes"}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn update_stream_request_roundtrips() {
+        let req = Request {
+            id: Some("s-4".into()),
+            op: Op::UpdateStream {
+                seq: 17,
+                updates: vec![WeightUpdate { u: 3, v: 9, w: 41 }],
+            },
+        };
+        let line = req.to_json();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn update_stream_request_rejects_bad_seq() {
+        for bad in [
+            r#"{"op":"update_stream","updates":[{"u":1,"v":2,"w":3}]}"#,
+            r#"{"op":"update_stream","seq":0,"updates":[{"u":1,"v":2,"w":3}]}"#,
+            r#"{"op":"update_stream","seq":-1,"updates":[{"u":1,"v":2,"w":3}]}"#,
+            r#"{"op":"update_stream","seq":"x","updates":[{"u":1,"v":2,"w":3}]}"#,
+            r#"{"op":"update_stream","seq":1,"updates":[]}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn stream_ack_and_error_roundtrip() {
+        let ack = Response {
+            id: Some("s-4".into()),
+            body: Body::StreamAck {
+                seq: 17,
+                epoch: 9,
+                applied: 3,
+            },
+        };
+        let line = ack.to_json();
+        assert!(line.starts_with(r#"{"status":"stream_ack""#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), ack);
+        for kind in [StreamErrorKind::Gap, StreamErrorKind::Overflow] {
+            let err = Response {
+                id: None,
+                body: Body::StreamError {
+                    kind,
+                    expected: 5,
+                    got: 9,
+                },
+            };
+            assert_eq!(Response::parse(&err.to_json()).unwrap(), err);
+        }
+    }
+
+    #[test]
+    fn health_and_metrics_carry_repair_footprint() {
+        let resp = Response {
+            id: None,
+            body: Body::Health(HealthInfo {
+                labels_repaired: 12,
+                labels_total: 50_000,
+                repair_scoped_leaves: 2,
+                gtree_entries_repaired: 96,
+                gtree_entries_total: 18_432,
+                last_repair_ms: 7,
+                ..Default::default()
+            }),
+        };
+        assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+        let m = MetricsInfo {
+            stream_segments: 40,
+            stream_updates: 160,
+            labels_repaired: 12,
+            labels_total: 50_000,
+            repair_scoped_leaves: 2,
+            last_repair_ms: 7,
+            ..Default::default()
+        };
+        let resp = Response {
+            id: None,
+            body: Body::Metrics(Box::new(m)),
+        };
+        match Response::parse(&resp.to_json()).unwrap().body {
+            Body::Metrics(parsed) => {
+                assert_eq!(parsed.stream_segments, 40);
+                assert_eq!(parsed.stream_updates, 160);
+                assert_eq!(parsed.labels_repaired, 12);
+                assert_eq!(parsed.labels_total, 50_000);
+                assert_eq!(parsed.repair_scoped_leaves, 2);
+                assert_eq!(parsed.last_repair_ms, 7);
+            }
+            other => panic!("expected metrics, got {other:?}"),
         }
     }
 

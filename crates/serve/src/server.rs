@@ -31,7 +31,10 @@ use fann_core::engine::{BatchQuery, Engine};
 use fann_core::QueryError;
 use roadnet::{CancelToken, ShardMap};
 
-use crate::protocol::{Body, HealthInfo, MetricsInfo, Op, QuerySpec, Request, Response};
+use crate::protocol::{
+    Body, HealthInfo, MetricsInfo, Op, QuerySpec, Request, Response, StreamErrorKind,
+    MAX_STREAM_SEGMENT,
+};
 
 /// Shard-mode role: this server owns the nodes `v` with
 /// `map.owner(v) == id`. Queries keep only owned candidates, update
@@ -320,13 +323,26 @@ fn connection_loop(
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Next expected `update_stream` segment on this connection (streams
+    // are per-connection; a reconnect starts over at 1).
+    let mut stream_next: u64 = 1;
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client closed.
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
-                    handle_line(trimmed, &tx, &writer, engine, shared, stop, config, started);
+                    handle_line(
+                        trimmed,
+                        &tx,
+                        &writer,
+                        engine,
+                        shared,
+                        stop,
+                        config,
+                        started,
+                        &mut stream_next,
+                    );
                 }
                 line.clear();
             }
@@ -345,6 +361,26 @@ fn connection_loop(
     }
 }
 
+/// Drop the edges a shard does not own (owner of the smaller endpoint);
+/// foreign edges are the owning shard's job. Edges naming out-of-range
+/// nodes stay in so validation rejects the batch exactly like a
+/// non-shard server would.
+fn owned_updates(
+    updates: Vec<roadnet::WeightUpdate>,
+    config: &ServeConfig,
+) -> Vec<roadnet::WeightUpdate> {
+    match &config.shard {
+        Some(role) => {
+            let n = role.map.num_nodes();
+            updates
+                .into_iter()
+                .filter(|e| e.u >= n || e.v >= n || role.map.edge_owner(e.u, e.v) == role.id)
+                .collect()
+        }
+        None => updates,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_line(
     trimmed: &str,
@@ -355,6 +391,7 @@ fn handle_line(
     stop: &AtomicBool,
     config: &ServeConfig,
     started: Instant,
+    stream_next: &mut u64,
 ) {
     let req = match Request::parse(trimmed) {
         Ok(r) => r,
@@ -374,6 +411,7 @@ fn handle_line(
         Op::Health => {
             let snap = engine.snapshot();
             let (shard, owned_nodes, region) = shard_fields(config);
+            let report = engine.last_repair_report().unwrap_or_default();
             let body = Body::Health(HealthInfo {
                 uptime_ms: started.elapsed().as_millis() as u64,
                 inflight: shared.inflight.load(Ordering::Relaxed),
@@ -381,10 +419,18 @@ fn handle_line(
                 workers: config.workers.max(1) as u64,
                 draining: stop.load(Ordering::SeqCst) || sig::signalled(),
                 epoch: snap.epoch(),
-                stale: snap.is_stale(),
+                // Stale covers every index a repair pass still owes: lagging
+                // labels and unfolded maintained-G-tree updates alike.
+                stale: snap.is_stale() || engine.needs_repair(),
                 shard,
                 owned_nodes,
                 region,
+                labels_repaired: report.labels_repaired,
+                labels_total: report.labels_total,
+                repair_scoped_leaves: report.scoped_leaves,
+                gtree_entries_repaired: report.gtree_entries_repaired,
+                gtree_entries_total: report.gtree_entries_total,
+                last_repair_ms: report.wall_ms(),
             });
             write_response(writer, &Response { id: req.id, body });
         }
@@ -403,6 +449,12 @@ fn handle_line(
                 m.cache_evicted = cs.evicted;
                 m.cache_rebuilds = cs.rebuilds;
             }
+            if let Some(report) = engine.last_repair_report() {
+                m.labels_repaired = report.labels_repaired;
+                m.labels_total = report.labels_total;
+                m.repair_scoped_leaves = report.scoped_leaves;
+                m.last_repair_ms = report.wall_ms();
+            }
             write_response(
                 writer,
                 &Response {
@@ -412,22 +464,7 @@ fn handle_line(
             );
         }
         Op::Update(updates) => {
-            // A shard applies only the edges it owns (owner of the smaller
-            // endpoint); foreign edges are the owning shard's job. Edges
-            // naming out-of-range nodes stay in so validation rejects the
-            // batch exactly like a non-shard server would.
-            let updates = match &config.shard {
-                Some(role) => {
-                    let n = role.map.num_nodes();
-                    updates
-                        .into_iter()
-                        .filter(|e| {
-                            e.u >= n || e.v >= n || role.map.edge_owner(e.u, e.v) == role.id
-                        })
-                        .collect()
-                }
-                None => updates,
-            };
+            let updates = owned_updates(updates, config);
             if updates.is_empty() {
                 // Nothing owned here: acknowledge without bumping the epoch.
                 write_response(
@@ -461,6 +498,113 @@ fn handle_line(
                     );
                 }
                 Err(e) => {
+                    shared.metrics.lock().unwrap().errors += 1;
+                    write_response(
+                        writer,
+                        &Response {
+                            id: req.id,
+                            body: Body::Error {
+                                error: e.to_string(),
+                            },
+                        },
+                    );
+                }
+            }
+        }
+        Op::UpdateStream { seq, updates } => {
+            // Per-connection ordered stream: segments carry consecutive
+            // sequence numbers starting at 1. Duplicates (seq already
+            // applied) are re-acked idempotently; a gap rejects the segment
+            // without applying so the client can rewind and resend.
+            if updates.len() > MAX_STREAM_SEGMENT {
+                shared.metrics.lock().unwrap().errors += 1;
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        body: Body::StreamError {
+                            kind: StreamErrorKind::Overflow,
+                            expected: MAX_STREAM_SEGMENT as u64,
+                            got: updates.len() as u64,
+                        },
+                    },
+                );
+                return;
+            }
+            if seq < *stream_next {
+                // Already applied: cumulative re-ack, nothing re-applied.
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        body: Body::StreamAck {
+                            seq: *stream_next - 1,
+                            epoch: engine.epoch(),
+                            applied: 0,
+                        },
+                    },
+                );
+                return;
+            }
+            if seq > *stream_next {
+                shared.metrics.lock().unwrap().errors += 1;
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        body: Body::StreamError {
+                            kind: StreamErrorKind::Gap,
+                            expected: *stream_next,
+                            got: seq,
+                        },
+                    },
+                );
+                return;
+            }
+            let updates = owned_updates(updates, config);
+            if updates.is_empty() {
+                // Nothing owned here: the segment still advances the stream
+                // so acks stay cumulative across shards.
+                *stream_next = seq + 1;
+                shared.metrics.lock().unwrap().stream_segments += 1;
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        body: Body::StreamAck {
+                            seq,
+                            epoch: engine.epoch(),
+                            applied: 0,
+                        },
+                    },
+                );
+                return;
+            }
+            let applied = updates.len() as u64;
+            match engine.apply_updates(&updates) {
+                Ok(epoch) => {
+                    engine.repair_in_background();
+                    *stream_next = seq + 1;
+                    let mut m = shared.metrics.lock().unwrap();
+                    m.updates += 1;
+                    m.stream_segments += 1;
+                    m.stream_updates += applied;
+                    drop(m);
+                    write_response(
+                        writer,
+                        &Response {
+                            id: req.id,
+                            body: Body::StreamAck {
+                                seq,
+                                epoch,
+                                applied,
+                            },
+                        },
+                    );
+                }
+                Err(e) => {
+                    // Sequence NOT advanced: the client may fix and resend
+                    // the same seq.
                     shared.metrics.lock().unwrap().errors += 1;
                     write_response(
                         writer,

@@ -540,3 +540,144 @@ fn health_is_inline_while_a_batch_window_is_open() {
     assert_eq!(summary.metrics.batches, 1);
     assert_eq!(summary.metrics.batch_queries, 1);
 }
+
+/// The update stream applies strictly ordered segments, re-acks duplicates
+/// without re-applying, rejects gaps and oversized segments without side
+/// effects, and leaves answers bit-identical to a local engine fed the
+/// same updates.
+#[test]
+fn update_stream_orders_acks_and_stays_exact() {
+    let graph = test_graph(31, 200);
+    let (p, q) = pq(&graph, 32);
+    let mirror = Engine::new(&graph);
+
+    // Two disjoint single-edge segments, each tripling an edge weight.
+    let mut edges = graph.edges();
+    let (u1, v1, w1) = edges.next().expect("edge");
+    let (u2, v2, w2) = edges
+        .find(|&(a, b, _)| a != u1 && a != v1 && b != u1 && b != v1)
+        .expect("second edge");
+    let seg1 = vec![roadnet::WeightUpdate {
+        u: u1,
+        v: v1,
+        w: w1.saturating_mul(3),
+    }];
+    let seg2 = vec![roadnet::WeightUpdate {
+        u: u2,
+        v: v2,
+        w: w2.saturating_mul(3),
+    }];
+
+    let stream_req = |id: &str, seq: u64, updates: &[roadnet::WeightUpdate]| Request {
+        id: Some(id.to_string()),
+        op: Op::UpdateStream {
+            seq,
+            updates: updates.to_vec(),
+        },
+    };
+
+    let ((), _summary) = with_server(free_port_config(), &graph, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+
+        // Out-of-order first segment: rejected as a gap, nothing applied.
+        let resp = client.call(&stream_req("gap", 2, &seg1)).expect("call");
+        match resp.body {
+            Body::StreamError {
+                kind: fannr_serve::StreamErrorKind::Gap,
+                expected,
+                got,
+            } => {
+                assert_eq!(expected, 1);
+                assert_eq!(got, 2);
+            }
+            other => panic!("expected gap error, got {other:?}"),
+        }
+
+        // Oversized segment: rejected, sequence unmoved.
+        let fat = vec![seg1[0]; fannr_serve::MAX_STREAM_SEGMENT + 1];
+        let resp = client.call(&stream_req("fat", 1, &fat)).expect("call");
+        assert!(
+            matches!(
+                resp.body,
+                Body::StreamError {
+                    kind: fannr_serve::StreamErrorKind::Overflow,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+
+        // In-order segments apply and ack their own seq.
+        let resp = client.call(&stream_req("s1", 1, &seg1)).expect("call");
+        match resp.body {
+            Body::StreamAck { seq, applied, .. } => {
+                assert_eq!(seq, 1);
+                assert_eq!(applied, 1);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+        let resp = client.call(&stream_req("s2", 2, &seg2)).expect("call");
+        match resp.body {
+            Body::StreamAck {
+                seq,
+                applied,
+                epoch,
+            } => {
+                assert_eq!(seq, 2);
+                assert_eq!(applied, 1);
+                assert_eq!(epoch, 2);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+
+        // A duplicate re-acks cumulatively with nothing re-applied.
+        let resp = client.call(&stream_req("dup", 1, &seg1)).expect("call");
+        match resp.body {
+            Body::StreamAck {
+                seq,
+                applied,
+                epoch,
+            } => {
+                assert_eq!(seq, 2, "cumulative ack");
+                assert_eq!(applied, 0, "duplicate must not re-apply");
+                assert_eq!(epoch, 2, "duplicate must not bump the epoch");
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+
+        // Stream metrics account for the two applied segments only.
+        let resp = client
+            .call(&Request {
+                id: Some("m".into()),
+                op: Op::Metrics,
+            })
+            .expect("metrics");
+        match resp.body {
+            Body::Metrics(m) => {
+                assert_eq!(m.stream_segments, 2, "{m:?}");
+                assert_eq!(m.stream_updates, 2, "{m:?}");
+                assert_eq!(m.epoch, 2, "{m:?}");
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+
+        // Answers after the stream match a local engine fed the same
+        // updates in the same order.
+        mirror.apply_updates(&seg1).expect("mirror seg1");
+        mirror.apply_updates(&seg2).expect("mirror seg2");
+        for (id, agg) in [("q-sum", Aggregate::Sum), ("q-max", Aggregate::Max)] {
+            let resp = client
+                .call(&query_req(id, &p, &q, 0.5, agg))
+                .expect("query");
+            let expected = mirror.query(&p, &q, 0.5, agg).expect("valid query");
+            match (&resp.body, expected) {
+                (Body::Ok { p_star, dist, .. }, Some(ans)) => {
+                    assert_eq!(*p_star, ans.p_star, "{id}");
+                    assert_eq!(*dist, ans.dist, "{id}");
+                }
+                (Body::Empty, None) => {}
+                (body, expected) => panic!("{id}: got {body:?}, expected {expected:?}"),
+            }
+        }
+    });
+}

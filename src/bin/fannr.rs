@@ -100,6 +100,8 @@ commands:
              --nodes --seed, --addr, --workers, --queue-depth,
              --deadline-ms, --labels, --cache-capacity,
              --batch-window-ms, --batch-max, --no-mmap,
+             --maintain-gtree to keep a live G-tree repaired in place
+             under weight updates instead of rebuilding,
              --shard-id N --shard-map FILE for one shard of a
              partitioned deployment);
              with --index, graph.v2 alone suffices: missing labels.v2 /
@@ -111,8 +113,9 @@ commands:
                                                   --shard-addrs a:p,b:p[,...],
                                                   --addr, --deadline-ms,
                                                   --upstream-timeout-ms)
-  update     push live weight updates to a       (--addr, --edges u:v:w[,...])
-             running server without a restart
+  update     push live weight updates to a       (--addr, --edges u:v:w[,...],
+             running server without a restart     --stream for an
+                                                  update_stream segment)
   build-index  build the flat v2 index directory (--graph | --nodes --seed,
              --out DIR, --workers, --fanout, --leaf-cap, --skip-gtree);
              writes graph.v2 + labels.v2 + gtree.v2 for `serve --index`
@@ -502,6 +505,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
                 LoadMode::Auto
             },
             background_build: true,
+            // `--maintain-gtree` keeps a live G-tree alongside the labels:
+            // weight updates repair only the touched leaves' matrices
+            // instead of rebuilding, at the cost of the resident tree.
+            maintain_gtree: opts.contains_key("maintain-gtree"),
             // `--workers` sizes the serve pool; the background index
             // build always uses every core (workers: 0).
             ..IndexDirOptions::default()
@@ -526,6 +533,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
             let labels = HubLabels::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
             engine = engine.with_prebuilt_labels(labels);
+        }
+        if opts.contains_key("maintain-gtree") {
+            engine = engine.with_gtree_maintenance(GTreeParams::default(), 0);
         }
         (g, engine)
     };
@@ -762,10 +772,18 @@ fn cmd_update(opts: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("{addr}: {e}"))?,
     )
     .map_err(|e| format!("{addr}: {e}"))?;
+    // `--stream` sends the batch as the first segment of an update
+    // stream (seq 1) instead of a one-shot update: same edges, but the
+    // server acks with the stream's cumulative sequence.
+    let op = if opts.contains_key("stream") {
+        Op::UpdateStream { seq: 1, updates }
+    } else {
+        Op::Update(updates)
+    };
     let resp = client
         .call(&Request {
             id: Some("update".to_string()),
-            op: Op::Update(updates),
+            op,
         })
         .map_err(|e| e.to_string())?;
     match resp.body {
@@ -773,6 +791,24 @@ fn cmd_update(opts: &HashMap<String, String>) -> Result<(), String> {
             println!("applied {applied}/{sent} updates; server now at epoch {epoch}");
             Ok(())
         }
+        Body::StreamAck {
+            seq,
+            epoch,
+            applied,
+        } => {
+            println!(
+                "stream ack seq {seq}: applied {applied}/{sent} updates; server now at epoch {epoch}"
+            );
+            Ok(())
+        }
+        Body::StreamError {
+            kind,
+            expected,
+            got,
+        } => Err(format!(
+            "stream rejected: {} (expected {expected}, got {got})",
+            kind.name()
+        )),
         Body::Error { error } => Err(format!("server rejected the batch: {error}")),
         other => Err(format!("unexpected response {other:?}")),
     }

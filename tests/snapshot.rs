@@ -15,10 +15,18 @@
 //!   engine: every pinned snapshot shows each writer's batch fully
 //!   applied or not at all, and epochs never run backwards. The `stress_`
 //!   prefix is the CI filter for the multi-threaded step.
+//! * **scoped repair ≡ rebuild** — `HubLabels::repair_scoped` and
+//!   `GTree::repair_scoped`, driven by a [`RepairScope`], produce indexes
+//!   bit-identical to a from-scratch build on the patched graph:
+//!   structurally (`PartialEq`), in the serialized artifact bytes, and in
+//!   query answers — for chained per-batch repairs and for merged
+//!   multi-batch scopes alike.
 
 use fannr::fann::engine::Engine;
 use fannr::fann::Aggregate;
-use fannr::roadnet::{Graph, GraphBuilder, WeightUpdate};
+use fannr::gtree::{GTree, GTreeParams, RepairCache};
+use fannr::hublabel::HubLabels;
+use fannr::roadnet::{AppliedUpdate, Graph, GraphBuilder, RepairScope, WeightUpdate};
 use proptest::prelude::*;
 
 /// A random connected graph: spanning tree + `extra` random edges
@@ -227,6 +235,117 @@ proptest! {
         prop_assert!(!live.is_stale());
         for (i, agg) in [Aggregate::Max, Aggregate::Sum].into_iter().enumerate() {
             prop_assert_eq!(&live.query(&p, &q, phi, agg), &baseline[i]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scoped index repair is indistinguishable from rebuilding on the
+    /// patched graph — structurally, byte-for-byte in the serialized
+    /// artifact, and in query answers. A `fanout 2 / leaf_cap 4` G-tree
+    /// over 4–28 node graphs is several levels deep, so the seed-chosen
+    /// batches routinely span multiple leaves and include cut (border)
+    /// edges whose repair anchor is an internal LCA node. Covers chained
+    /// repairs (one per batch), a merged two-batch scope repaired in one
+    /// pass from the original index, and the disk-load path where the
+    /// repair cache is reconstructed with [`RepairCache::for_tree`].
+    #[test]
+    fn scoped_repairs_match_rebuilds_bit_for_bit(
+        (g, p, q, phi, upd_seed) in arb_instance()
+    ) {
+        let (inflate, deflate) = update_batches(&g, upd_seed);
+        prop_assume!(!inflate.is_empty());
+        let patch = |ups: &[WeightUpdate]| -> Graph {
+            let patches: Vec<_> = ups.iter().map(|u| (u.u, u.v, u.w)).collect();
+            g.with_patched_weights(&patches).expect("edges exist")
+        };
+        let g1 = patch(&inflate);
+        let g2 = patch(&deflate);
+
+        let applied = |from: &Graph, ups: &[WeightUpdate]| -> Vec<AppliedUpdate> {
+            ups.iter()
+                .map(|u| AppliedUpdate {
+                    u: u.u,
+                    v: u.v,
+                    w_old: from.edge_weight(u.u, u.v).expect("edge exists"),
+                    w_new: u.w,
+                })
+                .collect()
+        };
+        let batch1 = applied(&g, &inflate);
+        let batch2 = applied(&g1, &deflate);
+
+        let scope1 = RepairScope::from_applied(&batch1);
+        let scope2 = RepairScope::from_applied(&batch2);
+        let mut merged = scope1.clone();
+        merged.absorb(&batch2);
+        // Merge semantics: same edge set as either batch, first `w_old`
+        // wins — so w -> 4w -> 2w merges to the increase w -> 2w even
+        // though batch two alone is a decrease.
+        prop_assert!(scope1.increase_only());
+        prop_assert!(!scope2.increase_only());
+        prop_assert!(merged.increase_only());
+        prop_assert_eq!(merged.len(), scope1.len());
+
+        let touched1: Vec<_> = scope1.touched_pairs().collect();
+        let touched2: Vec<_> = scope2.touched_pairs().collect();
+        let merged_pairs: Vec<_> = merged.touched_pairs().collect();
+
+        // Hub labels: chained repairs, each vs a from-scratch build.
+        let l0 = HubLabels::build(&g);
+        let (l1, s1) = l0.repair_scoped(&g1, &touched1);
+        let want1 = HubLabels::build(&g1);
+        prop_assert!(l1 == want1, "label repair diverged (increase batch)");
+        prop_assert!(l1.to_bytes() == want1.to_bytes(), "label artifact bytes differ");
+        prop_assert_eq!(s1.roots_total, g.num_nodes());
+        prop_assert!(s1.roots_searched <= s1.roots_total);
+
+        let (l2, _) = l1.repair_scoped(&g2, &touched2);
+        let want2 = HubLabels::build(&g2);
+        prop_assert!(l2 == want2, "label repair diverged (decrease batch)");
+        prop_assert!(l2.to_bytes() == want2.to_bytes(), "label artifact bytes differ");
+
+        // Merged scope: one repair straight from the original labels.
+        let (lm, _) = l0.repair_scoped(&g2, &merged_pairs);
+        prop_assert!(lm == want2, "merged-scope label repair diverged");
+        prop_assert!(lm.to_bytes() == want2.to_bytes(), "label artifact bytes differ");
+
+        // G-tree: same three shapes against a parallel from-scratch build.
+        let params = GTreeParams { fanout: 2, leaf_cap: 4 };
+        let (t0, mut cache) = GTree::build_with_cache(&g, params, 1);
+        let (t1, gs1) = t0.repair_scoped(&g1, &mut cache, &touched1, 1);
+        let want_t1 = GTree::build_with_params_parallel(&g1, params, 1);
+        prop_assert!(t1 == want_t1, "g-tree repair diverged (increase batch)");
+        prop_assert!(t1.to_bytes() == want_t1.to_bytes(), "g-tree artifact bytes differ");
+        // A cut-edge-only batch anchors at internal LCA nodes and may
+        // recompute zero leaves — but never zero nodes.
+        prop_assert!(gs1.nodes_recomputed >= 1);
+        prop_assert!(gs1.entries_repaired <= gs1.entries_total);
+
+        let (t2, _) = t1.repair_scoped(&g2, &mut cache, &touched2, 1);
+        let want_t2 = GTree::build_with_params_parallel(&g2, params, 1);
+        prop_assert!(t2 == want_t2, "g-tree repair diverged (decrease batch)");
+        prop_assert!(t2.to_bytes() == want_t2.to_bytes(), "g-tree artifact bytes differ");
+
+        // Merged scope through a cache rebuilt off the original tree —
+        // the path a server takes after loading a flat index from disk.
+        let mut cache_m = RepairCache::for_tree(&t0, &g, 1);
+        let (tm, _) = t0.repair_scoped(&g2, &mut cache_m, &merged_pairs, 1);
+        prop_assert!(tm == want_t2, "merged-scope g-tree repair diverged");
+        prop_assert!(tm.to_bytes() == want_t2.to_bytes(), "g-tree artifact bytes differ");
+
+        // Answers: engines over the scoped-repaired labels agree with
+        // freshly built engines for every strategy and aggregate.
+        let scoped = [
+            Engine::new(&g2),
+            Engine::new(&g2).allow_approx_sum(true),
+            Engine::new(&g2).with_prebuilt_labels(lm),
+        ];
+        let fresh = engines(&g2);
+        for (live, rebuilt) in scoped.iter().zip(&fresh) {
+            assert_same_answers(live, rebuilt, &p, &q, phi, "scoped-repaired artifacts");
         }
     }
 }
